@@ -1,0 +1,15 @@
+.PHONY: test bench examples artifacts all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done
+
+artifacts: bench
+	@ls benchmarks/results
+
+all: test bench examples

@@ -1,0 +1,35 @@
+"""Artifact recording for the benchmark harness.
+
+Each figure benchmark regenerates its figure's content (a plan rendering,
+a step trace, a table of series) and records it under
+``benchmarks/results/<name>.txt`` so a run leaves inspectable evidence —
+the reproduction EXPERIMENTS.md points at.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Write (and print) a reproduction artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n--- {name} ---")
+    print(text)
+
+
+def table(headers: list[str], rows: list[list]) -> str:
+    """Render a fixed-width text table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

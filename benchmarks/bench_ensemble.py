@@ -1,0 +1,72 @@
+"""A6 — self-consistency ablation: ensemble voting vs model tier.
+
+A cheap classifier sampled k times with majority voting approaches a
+strong model's routing accuracy — the workflow-pattern family the paper
+cites (mixture-of-experts, self-consistency) realized on the intent
+classifier of Figure 10.
+"""
+
+import pytest
+from _artifacts import record, table
+
+from repro.core import Blueprint
+from repro.hr.agents import IntentClassifierAgent
+
+#: (utterance, expected intent) routing probes.
+PROBES = [
+    ("how many applicants have python skills?", "open_query"),
+    ("show me candidates in Oakland", "open_query"),
+    ("what is the average salary of our postings?", "open_query"),
+    ("who applied to job 4?", "open_query"),
+    ("summarize job 12 for me", "summarize"),
+    ("give me a summary of the pipeline", "summarize"),
+    ("rank the candidates by fit", "rank"),
+    ("top candidates for this role please", "rank"),
+    ("add Riley to the shortlist", "list_edit"),
+    ("remove the second candidate from my list", "list_edit"),
+    ("hello there", "greeting"),
+    ("hi again", "greeting"),
+]
+
+
+def accuracy(blueprint, model: str, ensemble: int) -> float:
+    session = blueprint.create_session()
+    classifier = IntentClassifierAgent(ensemble=ensemble)
+    classifier.default_model = model
+    blueprint.attach(classifier, session, register=False)
+    hits = sum(
+        1 for text, expected in PROBES if classifier.classify(text) == expected
+    )
+    classifier.detach()
+    return hits / len(PROBES)
+
+
+def test_a6_ensemble_vs_tier(benchmark, enterprise):
+    """Artifact: routing accuracy per (model, ensemble) configuration."""
+    blueprint = Blueprint(data_registry=enterprise.registry)
+    rows = []
+    scores = {}
+    for model in ("mega-nano", "mega-s", "mega-xl"):
+        for ensemble in (1, 3, 5):
+            if model == "mega-xl" and ensemble > 1:
+                continue  # the strong model needs no voting
+            score = accuracy(blueprint, model, ensemble)
+            scores[(model, ensemble)] = score
+            cost_note = f"{ensemble}x calls"
+            rows.append([model, ensemble, f"{score:.2f}", cost_note])
+    record(
+        "a6_ensemble",
+        "A6 — intent-routing accuracy: ensemble voting vs model tier\n"
+        + table(["model", "ensemble", "accuracy", "cost"], rows),
+    )
+    # Voting helps the cheap tiers and closes on the strong model.
+    assert scores[("mega-s", 5)] >= scores[("mega-s", 1)]
+    assert scores[("mega-nano", 5)] >= scores[("mega-nano", 1)]
+    best_cheap_voting = max(
+        scores[(model, ensemble)]
+        for model in ("mega-nano", "mega-s")
+        for ensemble in (3, 5)
+    )
+    assert best_cheap_voting >= scores[("mega-xl", 1)] - 0.1
+
+    benchmark(lambda: accuracy(blueprint, "mega-s", 3))

@@ -1,0 +1,61 @@
+"""F8 — Figure 8: a conversation in Agentic Employer.
+
+Regenerates a scripted conversation mixing UI interactions and text turns
+(the figure's content) and measures a full conversation.
+"""
+
+from _artifacts import record
+
+from repro.hr.apps import AgenticEmployerApp
+
+SCRIPT = [
+    ("say", "hello!"),
+    ("click", 1),
+    ("say", "how many applicants have python skills?"),
+    ("say", "top candidates by experience"),
+    ("say", "average salary of data scientist jobs"),
+    ("say", "add {first_name} to the shortlist"),
+    ("say", "update my shortlist"),
+]
+
+
+def run_conversation(enterprise):
+    app = AgenticEmployerApp(enterprise=enterprise)
+    first_name = enterprise.database.query(
+        "SELECT name FROM seekers WHERE id = 1"
+    )[0]["name"].split()[0]
+    for kind, arg in SCRIPT:
+        if kind == "say":
+            app.say(str(arg).format(first_name=first_name))
+        else:
+            app.click_job(arg)
+    return app
+
+
+def test_fig8_conversation(benchmark, enterprise):
+    """Artifact: the rendered conversation; bench: the full script."""
+    app = run_conversation(enterprise)
+    record(
+        "fig8_conversation",
+        "Figure 8 — a conversation in Agentic Employer\n"
+        + app.render_conversation()
+        + "\n\nsession budget: "
+        + str({k: round(v, 4) for k, v in app.budget.summary().items()}),
+    )
+    transcript = app.transcript()
+    assert len(transcript) == len(SCRIPT) * 2  # each turn gets a system reply
+    assert all(t.content for t in transcript)
+    assert "Shortlist (1):" in app.render_conversation()
+
+    benchmark(lambda: run_conversation(enterprise))
+
+
+def test_fig8_single_turn(benchmark, enterprise):
+    """Bench: one conversational turn through the tag chain."""
+    app = AgenticEmployerApp(enterprise=enterprise)
+
+    def turn():
+        return app.say("how many applicants have sql skills?")
+
+    reply = benchmark(turn)
+    assert "row" in reply

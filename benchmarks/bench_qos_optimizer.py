@@ -1,0 +1,98 @@
+"""A1 — QoS optimization ablation (Sections V-G/H).
+
+Regenerates the cost/quality trade-off tables the paper's optimization
+story implies: the Pareto frontier over the running example's data plan, a
+cost-budget sweep showing the model-tier crossover, and an optimizer
+on/off comparison.
+"""
+
+import pytest
+from _artifacts import record, table
+
+from repro.core import Blueprint, QoSSpec
+from repro.errors import OptimizationError
+
+QUERY = "data scientist position in SF bay area"
+
+
+@pytest.fixture(scope="module")
+def planner(enterprise):
+    return Blueprint(data_registry=enterprise.registry).data_planner
+
+
+def test_a1_pareto_frontier(benchmark, planner):
+    """Artifact: the frontier; bench: frontier construction."""
+    plan = planner.plan_job_query(QUERY, optimize=False)
+    frontier = planner.optimizer.frontier(plan)
+    rows = [
+        [f"{a.profile.cost:.5f}", f"{a.profile.latency:.2f}", f"{a.profile.quality:.3f}",
+         ",".join(c.model or c.source or "-" for _, c in a.choices)]
+        for a in frontier
+    ]
+    record(
+        "a1_pareto_frontier",
+        "A1 — Pareto frontier of the Figure-7 data plan "
+        f"({len(frontier)} non-dominated assignments)\n"
+        + table(["cost ($)", "latency (s)", "quality", "choices"], rows),
+    )
+    assert len(frontier) >= 3  # real trade-offs exist
+
+    benchmark(lambda: planner.optimizer.frontier(plan))
+
+
+def test_a1_budget_sweep_crossover(benchmark, planner):
+    """Artifact: model-tier crossover as the cost budget loosens."""
+    budgets = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.05)
+    rows = []
+    chosen_models = []
+    for budget in budgets:
+        plan = planner.plan_job_query(QUERY, optimize=False)
+        try:
+            assignment = planner.optimizer.optimize(
+                plan, QoSSpec(max_cost=budget, objective="quality")
+            )
+        except OptimizationError:
+            rows.append([f"{budget:.4f}", "infeasible", "-", "-"])
+            continue
+        cities = assignment.choice_for("cities")
+        chosen_models.append(cities.model)
+        rows.append([
+            f"{budget:.4f}", f"{assignment.profile.cost:.5f}",
+            f"{assignment.profile.quality:.3f}", cities.model,
+        ])
+    record(
+        "a1_budget_sweep",
+        "A1 — cost-budget sweep (objective: max quality under budget)\n"
+        + table(["budget ($)", "cost ($)", "quality", "cities model"], rows),
+    )
+    # The crossover: loosening the budget upgrades the chosen tier.
+    assert len(set(chosen_models)) >= 2
+    assert chosen_models[-1] == "mega-xl"
+
+    def sweep():
+        plan = planner.plan_job_query(QUERY, optimize=False)
+        return planner.optimizer.optimize(plan, QoSSpec(max_cost=0.005, objective="quality"))
+
+    benchmark(sweep)
+
+
+def test_a1_optimizer_on_vs_off(benchmark, planner):
+    """Artifact: optimized vs naive (first-choice) execution."""
+    naive_plan = planner.plan_job_query(QUERY, optimize=False)
+    naive = planner.execute(naive_plan)  # first choice per op = best-first
+    cheap_plan = planner.plan_job_query(QUERY, qos=QoSSpec(objective="cost"))
+    cheap = planner.execute(cheap_plan)
+    rows = [
+        ["naive (first alternative)", f"{naive.cost:.5f}", f"{naive.quality:.3f}", len(naive.final())],
+        ["optimized (min cost)", f"{cheap.cost:.5f}", f"{cheap.quality:.3f}", len(cheap.final())],
+    ]
+    record(
+        "a1_optimizer_ablation",
+        "A1 — optimizer ablation: the cost objective cuts spend\n"
+        + table(["configuration", "cost ($)", "quality", "rows"], rows),
+    )
+    assert cheap.cost < naive.cost
+
+    benchmark(lambda: planner.optimizer.optimize(
+        planner.plan_job_query(QUERY, optimize=False), QoSSpec(objective="cost")
+    ))

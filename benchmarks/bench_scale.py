@@ -1,0 +1,153 @@
+"""A7 — enterprise scale (the Introduction's framing question).
+
+"How to address the large scale of data and services typical in the
+enterprise?"  Measures the three load-bearing designs at scale: registry
+search over thousands of entries, indexed SQL over 100k-row tables, and
+trace queries over 100k-message histories.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from _artifacts import record, table
+
+from repro.clock import SimClock
+from repro.core import AgentRegistry
+from repro.storage import ColumnType, Database, quick_table
+from repro.storage.schema import Column
+from repro.streams import StreamStore
+
+
+def timed(fn, repeats: int = 5) -> float:
+    """Median wall-clock seconds of *fn* over *repeats* runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def big_registry(n: int, approximate: bool = False) -> AgentRegistry:
+    registry = AgentRegistry(approximate=approximate)
+    domains = ("billing", "matching", "search", "moderation", "analytics", "etl")
+    for i in range(n):
+        registry.register_metadata(
+            f"SVC_{i}",
+            f"{domains[i % len(domains)]} microservice number {i} handling "
+            f"workload shard {i % 17} for internal team {i % 31}",
+        )
+    return registry
+
+
+def test_a7_registry_scale(benchmark):
+    """Artifact: search latency vs registry size."""
+    rows = []
+    for size in (100, 500, 2000):
+        registry = big_registry(size)
+        latency = timed(lambda: registry.search("matching service for team", k=5))
+        rows.append([size, f"{latency * 1000:.2f}"])
+    record(
+        "a7_registry_scale",
+        "A7 — registry hybrid search latency vs entry count\n"
+        + table(["entries", "search ms"], rows),
+    )
+    assert float(rows[-1][1]) < 100  # still interactive at 2 000 entries
+
+    registry = big_registry(2000)
+    benchmark(lambda: registry.search("matching service for team", k=5))
+
+
+def test_a7_exact_vs_approximate_registry(benchmark):
+    """Artifact: IVF vs flat vector search over a large registry."""
+    exact = big_registry(2000)
+    approx = big_registry(2000, approximate=True)
+    query = "matching service for team"
+    exact_latency = timed(lambda: exact.search(query, k=5, method="vector"))
+    approx.search(query, k=5, method="vector")  # build clusters once
+    approx_latency = timed(lambda: approx.search(query, k=5, method="vector"))
+    exact_top = [h.entry.name for h in exact.search(query, k=10, method="vector")]
+    approx_top = [h.entry.name for h in approx.search(query, k=10, method="vector")]
+    recall = len(set(exact_top) & set(approx_top)) / 10
+    record(
+        "a7_exact_vs_approx",
+        "A7 — exact (flat) vs approximate (IVF) registry vector search, 2000 entries\n"
+        + table(
+            ["index", "search ms", "recall@10 vs exact"],
+            [["flat", f"{exact_latency * 1000:.2f}", "1.00"],
+             ["ivf (4/16 probes)", f"{approx_latency * 1000:.2f}", f"{recall:.2f}"]],
+        ),
+    )
+    assert recall >= 0.5
+
+    benchmark(lambda: approx.search(query, k=5, method="vector"))
+
+
+def build_big_table(n_rows: int) -> Database:
+    rng = np.random.default_rng(13)
+    database = Database("scale")
+    rows = [
+        {
+            "id": i,
+            "shard": int(rng.integers(0, 1000)),
+            "value": float(rng.random()),
+        }
+        for i in range(n_rows)
+    ]
+    quick_table(
+        database, "facts",
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("shard", ColumnType.INT),
+            Column("value", ColumnType.FLOAT),
+        ],
+        rows,
+    )
+    database.table("facts").create_index("shard", kind="hash")
+    return database
+
+
+def test_a7_sql_index_vs_scan(benchmark):
+    """Artifact: point-lookup latency, indexed vs forced scan, by table size."""
+    rows = []
+    for n in (1_000, 10_000, 100_000):
+        database = build_big_table(n)
+        indexed = timed(
+            lambda: database.query("SELECT * FROM facts WHERE shard = 7"), repeats=3
+        )
+        # value is unindexed: the same selectivity via a full scan.
+        scan = timed(
+            lambda: database.query("SELECT * FROM facts WHERE value < 0.001"), repeats=3
+        )
+        rows.append([n, f"{indexed * 1000:.2f}", f"{scan * 1000:.2f}"])
+    record(
+        "a7_sql_scale",
+        "A7 — SQL point lookup: hash index vs full scan (ms)\n"
+        + table(["rows", "indexed ms", "scan ms"], rows),
+    )
+    # The index's advantage grows with table size.
+    first_gap = float(rows[0][2]) / max(float(rows[0][1]), 1e-6)
+    last_gap = float(rows[-1][2]) / max(float(rows[-1][1]), 1e-6)
+    assert last_gap > first_gap
+
+    database = build_big_table(100_000)
+    benchmark(lambda: database.query("SELECT * FROM facts WHERE shard = 7"))
+
+
+def test_a7_trace_scale(benchmark):
+    """Artifact: observability queries over a 100k-message history."""
+    store = StreamStore(SimClock())
+    store.create_stream("s")
+    for i in range(100_000):
+        store.publish_data("s", i, tags=(f"T{i % 100}",), producer=f"p{i % 9}")
+    latency = timed(lambda: store.trace_by_tag("T42"), repeats=3)
+    record(
+        "a7_trace_scale",
+        "A7 — trace query over 100k messages\n"
+        + table(["messages", "by-tag query ms", "matches"],
+                [[100_000, f"{latency * 1000:.2f}", len(store.trace_by_tag('T42'))]]),
+    )
+    assert latency < 1.0
+
+    benchmark(lambda: store.trace_by_tag("T42"))

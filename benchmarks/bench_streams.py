@@ -1,0 +1,70 @@
+"""A2 — streams-database scaling (Section V-A).
+
+Measures publish throughput as subscriber count grows, tag-filtered
+dispatch, and trace/observability queries over large histories.
+"""
+
+from _artifacts import record, table
+
+from repro.clock import SimClock
+from repro.streams import StreamStore
+
+
+def build_store(n_subscribers: int, selective: bool) -> StreamStore:
+    store = StreamStore(SimClock())
+    store.create_stream("s")
+    sink = []
+    for i in range(n_subscribers):
+        tags = [f"T{i % 10}"] if selective else []
+        store.subscribe(f"sub-{i}", sink.append, include_tags=tags)
+    return store
+
+
+def test_a2_subscriber_scaling(benchmark):
+    """Artifact: publish cost vs subscriber count."""
+    import time
+
+    rows = []
+    for n in (0, 1, 10, 100):
+        store = build_store(n, selective=False)
+        start = time.perf_counter()
+        for i in range(2000):
+            store.publish_data("s", i)
+        elapsed = time.perf_counter() - start
+        rows.append([n, f"{2000 / elapsed:,.0f}"])
+    record(
+        "a2_streams_scaling",
+        "A2 — publish throughput (msgs/sec) vs broadcast subscriber count\n"
+        + table(["subscribers", "msgs/sec"], rows),
+    )
+
+    store = build_store(10, selective=False)
+    counter = iter(range(10**9))
+    benchmark(lambda: store.publish_data("s", next(counter)))
+
+
+def test_a2_selective_dispatch(benchmark):
+    """Tag-selective subscribers receive only their share."""
+    store = build_store(100, selective=True)
+    counter = iter(range(10**9))
+
+    def publish_tagged():
+        i = next(counter)
+        store.publish_data("s", i, tags=[f"T{i % 10}"])
+
+    benchmark(publish_tagged)
+
+
+def test_a2_trace_query(benchmark):
+    """Observability queries over a 20k-message history."""
+    store = StreamStore(SimClock())
+    store.create_stream("s")
+    for i in range(20_000):
+        store.publish_data("s", i, tags=[f"T{i % 50}"], producer=f"p{i % 7}")
+
+    def query():
+        return len(store.trace_by_tag("T3")), len(store.trace_by_producer("p2"))
+
+    by_tag, by_producer = benchmark(query)
+    assert by_tag == 400
+    assert by_producer > 0

@@ -1,0 +1,13 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hr.data import build_enterprise
+
+
+@pytest.fixture(scope="session")
+def enterprise():
+    """One enterprise for read-only benchmarks."""
+    return build_enterprise(seed=7, n_jobs=200, n_seekers=150, application_rate=0.05)

@@ -1,0 +1,50 @@
+"""Scenario II / Section VI: the Agentic Employer case study.
+
+Reproduces the Figure-8 conversation, the Figure-9 UI flow, and the
+Figure-10 conversation flow, printing the numbered step traces.
+
+Run:  python examples/agentic_employer.py
+"""
+
+from repro.hr.apps import AgenticEmployerApp
+
+
+def main() -> None:
+    app = AgenticEmployerApp(seed=7)
+
+    print("=" * 70)
+    print("Figure 9 — flow initiated from the UI (select job 1)")
+    print("=" * 70)
+    trace = app.blueprint.flow_trace()
+    app.click_job(1)
+    for step in trace.steps():
+        print(" ", step.render())
+    print()
+
+    print("=" * 70)
+    print("Figure 10 — flow initiated from conversation")
+    print("=" * 70)
+    trace.mark()
+    app.say("how many applicants have python skills?")
+    for step in trace.steps():
+        print(" ", step.render())
+    print()
+
+    print("=" * 70)
+    print("Figure 8 — the conversation view (queries, ranking, shortlist)")
+    print("=" * 70)
+    app.say("hello!")
+    app.say("top candidates by experience")
+    app.say("average salary of data scientist jobs in San Francisco")
+    first_name = app.enterprise.database.query(
+        "SELECT name FROM seekers WHERE id = 1"
+    )[0]["name"].split()[0]
+    app.say(f"add {first_name} to the shortlist")
+    app.say("update my shortlist")
+    print(app.render_conversation())
+    print()
+    print("session budget:", {k: round(v, 4) for k, v in app.budget.summary().items()})
+
+
+if __name__ == "__main__":
+    main()

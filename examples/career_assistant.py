@@ -1,0 +1,73 @@
+"""Scenario I: the conversational career assistant (paper Section II-A).
+
+Shows job search with the decomposed data plan (Figure 7), skill advice
+from LLM parametric knowledge, and per-request QoS budgets.
+
+Run:  python examples/career_assistant.py
+"""
+
+from repro.core import QoSSpec
+from repro.hr.apps import CareerAssistant
+
+
+def main() -> None:
+    assistant = CareerAssistant(seed=7)
+
+    print("=" * 70)
+    print("Job search — the running example")
+    print("=" * 70)
+    reply = assistant.ask("I am looking for a data scientist position in SF bay area.")
+    print(reply.text)
+    print()
+
+    print("=" * 70)
+    print("The data plan behind it (Figure 7)")
+    print("=" * 70)
+    plan = assistant.blueprint.data_planner.plan_job_query(
+        "data scientist position in SF bay area", qos=QoSSpec(objective="quality")
+    )
+    print(plan.render())
+    print()
+
+    print("=" * 70)
+    print("Follow-up + explanation (session scope, explanation module)")
+    print("=" * 70)
+    followup = assistant.followup("what about Oakland?")
+    print(followup.text.splitlines()[0] if followup.text else "(no matches)")
+    print()
+    print(assistant.explain_last())
+    print()
+
+    print("=" * 70)
+    print("Career advice — LLM as a data source")
+    print("=" * 70)
+    skills = assistant.advise_skills("data scientist", qos=QoSSpec(objective="quality"))
+    print("Required skills for a data scientist:", ", ".join(skills))
+    print()
+
+    print("=" * 70)
+    print("QoS: the same request under different budgets")
+    print("=" * 70)
+    for label, qos in [
+        ("cheap   (minimize cost)", QoSSpec(objective="cost")),
+        ("quality (min_quality=0.85)", QoSSpec(min_quality=0.85, objective="cost")),
+        ("best    (maximize quality)", QoSSpec(objective="quality")),
+    ]:
+        request_plan = assistant.blueprint.data_planner.plan_job_query(
+            "machine learning engineer position in SF bay area", qos=qos
+        )
+        profile = assistant.blueprint.data_planner.optimizer.project(request_plan)
+        models = {
+            op.op_id: (op.chosen.model or op.chosen.source)
+            for op in request_plan.operators()
+            if op.chosen is not None
+        }
+        print(
+            f"{label}: est cost=${profile.cost:.5f} latency={profile.latency:.2f}s "
+            f"quality={profile.quality:.3f}"
+        )
+        print(f"    operator choices: {models}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A guarded pipeline: verification, moderation, and self-reflection.
+
+Wires the paper's extension modules (Section III-A) into a live flow:
+a cheap LLM lists cities, the VERIFIER filters hallucinations against the
+enterprise JOBS table, the MODERATOR redacts PII from the outgoing text,
+and the REFLECTOR cleans a defective draft.
+
+Run:  python examples/guarded_assistant.py
+"""
+
+from repro.core import Blueprint, ModeratorAgent, QoSSpec, ReflectionAgent, VerifierAgent
+from repro.hr.data import build_enterprise
+from repro.streams import render_component_graph
+
+
+def main() -> None:
+    enterprise = build_enterprise(seed=7)
+    blueprint = Blueprint(data_registry=enterprise.registry)
+    session = blueprint.create_session("guarded")
+
+    verifier = VerifierAgent.against_column(enterprise.database, "jobs", "city")
+    moderator = ModeratorAgent()
+    reflector = ReflectionAgent()
+    for agent in (verifier, moderator, reflector):
+        blueprint.attach(agent, session)
+
+    print("=" * 70)
+    print("1. Verification: cheap model + VERIFY beats hallucinations")
+    print("=" * 70)
+    plan = blueprint.data_planner.plan_job_query(
+        "data scientist position in SF bay area", optimize=False, verify=True
+    )
+    from repro.core.plan import OperatorChoice
+
+    plan.operator("cities").chosen = OperatorChoice(model="mega-nano")
+    result = blueprint.data_planner.execute(plan)
+    print("raw LLM cities:      ", result.outputs["cities"])
+    print("verified against DB: ", result.outputs["verify_cities"])
+    print("jobs found:          ", len(result.final()))
+    print()
+
+    print("=" * 70)
+    print("2. Moderation: PII never reaches the display stream")
+    print("=" * 70)
+    chat = session.create_stream("chat", creator="user")
+    blueprint.store.publish_data(
+        chat.stream_id,
+        "Candidate Ann (ann@example.com, 415-555-1234) looks strong.",
+        tags=("MODERATE",),
+        producer="drafter",
+    )
+    safe = blueprint.store.get_stream(session.stream_id("moderator:safe_text"))
+    print("moderated:", safe.data_payloads()[-1])
+    print()
+
+    print("=" * 70)
+    print("3. Self-reflection: defective drafts get critiqued and revised")
+    print("=" * 70)
+    blueprint.store.publish_data(
+        chat.stream_id,
+        "Dear {name}, the the results results are attached. TODO add numbers",
+        tags=("REFLECT",),
+        producer="drafter",
+    )
+    revised = blueprint.store.get_stream(session.stream_id("reflector:revised"))
+    critique = blueprint.store.get_stream(session.stream_id("reflector:critique"))
+    print("critique:", critique.data_payloads()[-1])
+    print("revised: ", revised.data_payloads()[-1])
+    print()
+
+    print("=" * 70)
+    print("4. Who talked to whom (component flow graph)")
+    print("=" * 70)
+    print(render_component_graph(blueprint.store))
+
+
+if __name__ == "__main__":
+    main()

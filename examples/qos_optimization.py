@@ -1,0 +1,70 @@
+"""QoS optimization: the Pareto frontier and budget sweeps (Section V-G/H).
+
+Sweeps cost budgets over the running example's data plan and shows how the
+optimizer trades model tiers for quality — the FrugalGPT-style crossover.
+
+Run:  python examples/qos_optimization.py
+"""
+
+from repro.core import Blueprint, QoSSpec
+from repro.errors import OptimizationError
+from repro.hr.data import build_enterprise
+
+
+def main() -> None:
+    enterprise = build_enterprise(seed=7)
+    blueprint = Blueprint(data_registry=enterprise.registry)
+    planner = blueprint.data_planner
+    query = "data scientist position in SF bay area"
+
+    print("=" * 78)
+    print("Pareto frontier over the decomposed data plan")
+    print("=" * 78)
+    plan = planner.plan_job_query(query, optimize=False)
+    frontier = planner.optimizer.frontier(plan)
+    print(f"{'cost ($)':>10}  {'latency (s)':>12}  {'quality':>8}   choices")
+    for assignment in frontier[:12]:
+        models = [c.model or c.source or "-" for _, c in assignment.choices]
+        print(
+            f"{assignment.profile.cost:>10.5f}  {assignment.profile.latency:>12.2f}  "
+            f"{assignment.profile.quality:>8.3f}   {models}"
+        )
+    print(f"... {len(frontier)} Pareto-optimal assignments total")
+    print()
+
+    print("=" * 78)
+    print("Cost-budget sweep (objective: maximize quality under the budget)")
+    print("=" * 78)
+    print(f"{'budget ($)':>10}  {'chosen cost':>12}  {'quality':>8}  cities model")
+    for budget in (0.0005, 0.001, 0.002, 0.005, 0.01, 0.05):
+        sweep_plan = planner.plan_job_query(query, optimize=False)
+        try:
+            assignment = planner.optimizer.optimize(
+                sweep_plan, QoSSpec(max_cost=budget, objective="quality")
+            )
+        except OptimizationError:
+            print(f"{budget:>10.4f}  {'infeasible':>12}")
+            continue
+        cities = assignment.choice_for("cities")
+        print(
+            f"{budget:>10.4f}  {assignment.profile.cost:>12.5f}  "
+            f"{assignment.profile.quality:>8.3f}  {cities.model if cities else '-'}"
+        )
+    print()
+
+    print("=" * 78)
+    print("Execution under two budgets — projections vs actuals")
+    print("=" * 78)
+    for label, qos in [("cheap", QoSSpec(objective="cost")), ("best", QoSSpec(objective="quality"))]:
+        run_plan = planner.plan_job_query(query, qos=qos)
+        projection = planner.optimizer.project(run_plan)
+        result = planner.execute(run_plan)
+        print(
+            f"{label}: projected cost=${projection.cost:.5f} quality={projection.quality:.3f} | "
+            f"actual cost=${result.cost:.5f} quality={result.quality:.3f} "
+            f"rows={len(result.final())}"
+        )
+
+
+if __name__ == "__main__":
+    main()

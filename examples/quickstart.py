@@ -1,0 +1,55 @@
+"""Quickstart: boot the blueprint, attach an agent, run the running example.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Blueprint, FunctionAgent, Parameter
+from repro.hr.apps import CareerAssistant
+
+
+def part_one_streams_and_agents() -> None:
+    """The architecture in miniature: streams orchestrate one agent."""
+    print("=" * 70)
+    print("Part 1 — streams and a custom agent")
+    print("=" * 70)
+    blueprint = Blueprint()
+    session = blueprint.create_session("quickstart")
+
+    shouter = FunctionAgent(
+        "SHOUTER",
+        lambda inputs: {"SHOUTED": str(inputs["TEXT"]).upper() + "!"},
+        inputs=(Parameter("TEXT", "text", "text to shout"),),
+        outputs=(Parameter("SHOUTED", "text", "the text, loudly"),),
+        listen_tags=("USER",),
+        description="Shouts whatever the user says",
+    )
+    blueprint.attach(shouter, session)
+
+    user = session.create_stream("user", tags=("USER",), creator="user")
+    blueprint.store.publish_data(user.stream_id, "hello agents", tags=("USER",), producer="user")
+
+    output = blueprint.store.get_stream(session.stream_id("shouter:shouted"))
+    print("agent output:", output.data_payloads())
+    print("\nfull message trace (observability — every message is persisted):")
+    for message in blueprint.store.trace():
+        print(" ", message.describe())
+
+
+def part_two_running_example() -> None:
+    """The paper's running example through the full architecture."""
+    print()
+    print("=" * 70)
+    print('Part 2 — "I am looking for a data scientist position in SF bay area."')
+    print("=" * 70)
+    assistant = CareerAssistant(seed=7)
+    reply = assistant.ask("I am looking for a data scientist position in SF bay area.")
+    print("task plan executed:", reply.plan_rendering)
+    print()
+    print(reply.text)
+    print()
+    print("budget:", {k: round(v, 4) for k, v in reply.budget_summary.items()})
+
+
+if __name__ == "__main__":
+    part_one_streams_and_agents()
+    part_two_running_example()

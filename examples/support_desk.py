@@ -1,0 +1,45 @@
+"""A second enterprise on the same blueprint: the customer-support desk.
+
+The paper's architecture is "not specific to any industry"; this example
+runs the identical planner/coordinator machinery over a support vendor's
+tickets, embedded knowledge base, and product graph.
+
+Run:  python examples/support_desk.py
+"""
+
+from repro.core.rendering import RendererRegistry
+from repro.support import SupportAssistant
+
+TICKETS = [
+    "Our SearchCloud query api is failing with 429 errors in production, urgent!",
+    "MatchEngine scorer timeouts under load — customers are seeing errors",
+    "Minor question: how do I enable fresher exports in InsightBoard?",
+]
+
+
+def main() -> None:
+    desk = SupportAssistant(seed=21)
+    for ticket in TICKETS:
+        print("=" * 74)
+        print("TICKET:", ticket)
+        print("=" * 74)
+        outcome = desk.handle(ticket)
+        print("plan:", outcome.plan_rendering)
+        print(
+            f"triage: product={outcome.triage.get('product')} "
+            f"severity={outcome.triage.get('severity')}"
+        )
+        print()
+        print(outcome.response)
+        print()
+
+    print("=" * 74)
+    print("Open backlog by severity (a chart-rendered aggregate)")
+    print("=" * 74)
+    print(RendererRegistry().render(desk.backlog_summary()))
+    print()
+    print("session budget:", {k: round(v, 4) for k, v in desk.budget.summary().items()})
+
+
+if __name__ == "__main__":
+    main()

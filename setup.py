@@ -1,0 +1,4 @@
+"""Thin shim so legacy editable installs work offline (no wheel package)."""
+from setuptools import setup
+
+setup()

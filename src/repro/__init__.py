@@ -1,0 +1,32 @@
+"""repro: a working implementation of the blueprint architecture for
+compound AI systems (Kandogan et al., ICDE 2025).
+
+Subpackages:
+
+* :mod:`repro.streams` — the streams database orchestrating data/control.
+* :mod:`repro.storage` — relational/document/graph/KV/vector substrates.
+* :mod:`repro.embedding` — deterministic text embeddings.
+* :mod:`repro.llm` — the simulated LLM substrate with a model catalog.
+* :mod:`repro.core` — agents, registries, sessions, planners, budget,
+  optimizer, coordinator, deployment, and the Blueprint runtime facade.
+* :mod:`repro.hr` — the YourJourney HR domain: data, models, agents, apps.
+"""
+
+__version__ = "1.0.0"
+
+from .clock import SimClock, Stopwatch
+from .core.qos import QoSSpec
+from .core.runtime import Blueprint
+from .errors import ReproError
+from .ids import IdGenerator, new_id
+
+__all__ = [
+    "SimClock",
+    "Stopwatch",
+    "QoSSpec",
+    "Blueprint",
+    "ReproError",
+    "IdGenerator",
+    "new_id",
+    "__version__",
+]

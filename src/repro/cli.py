@@ -1,0 +1,108 @@
+"""Command-line interface: drive the blueprint from a shell.
+
+Usage:
+    python -m repro describe                 # the Figure-1 inventory
+    python -m repro ask "data scientist position in SF bay area"
+    python -m repro plan "data scientist position in SF bay area"
+    python -m repro employer --click 1 --say "how many applicants have python skills?"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Sequence
+
+from .core.qos import QoSSpec
+from .hr.apps import AgenticEmployerApp, CareerAssistant
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Blueprint architecture for compound AI systems"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="enterprise data seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser("describe", help="print the architecture inventory")
+
+    ask = commands.add_parser("ask", help="ask the career assistant")
+    ask.add_argument("text", help="the request, e.g. a job-search utterance")
+    ask.add_argument("--max-cost", type=float, default=None, help="QoS cost budget ($)")
+    ask.add_argument("--min-quality", type=float, default=None, help="QoS quality floor")
+
+    plan = commands.add_parser("plan", help="show the task and data plans for a request")
+    plan.add_argument("text")
+    plan.add_argument("--verify", action="store_true", help="inject fact verification")
+
+    employer = commands.add_parser("employer", help="run Agentic Employer turns")
+    employer.add_argument("--click", type=int, action="append", default=[],
+                          help="select a job id (repeatable)")
+    employer.add_argument("--say", action="append", default=[],
+                          help="a conversation turn (repeatable)")
+    return parser
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    assistant = CareerAssistant(seed=args.seed)
+    print(json.dumps(assistant.blueprint.describe(), indent=2, default=str))
+    return 0
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    assistant = CareerAssistant(seed=args.seed)
+    if args.max_cost is not None or args.min_quality is not None:
+        qos = QoSSpec(
+            max_cost=args.max_cost if args.max_cost is not None else float("inf"),
+            min_quality=args.min_quality or 0.0,
+            objective="cost",
+        )
+        reply = assistant.ask_with_qos(args.text, qos)
+    else:
+        reply = assistant.ask(args.text)
+    if reply.plan_rendering:
+        print(f"plan: {reply.plan_rendering}\n")
+    print(reply.text)
+    print(f"\nbudget: {json.dumps({k: round(v, 5) for k, v in reply.budget_summary.items()})}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    assistant = CareerAssistant(seed=args.seed)
+    task_plan = assistant.blueprint.task_planner.plan(
+        args.text, assistant.user_stream.stream_id
+    )
+    print(task_plan.render())
+    print()
+    data_plan = assistant.blueprint.data_planner.plan_job_query(
+        args.text, verify=args.verify
+    )
+    print(data_plan.render())
+    return 0
+
+
+def cmd_employer(args: argparse.Namespace) -> int:
+    app = AgenticEmployerApp(seed=args.seed)
+    # Interleave in the given order: clicks first, then says, is arbitrary;
+    # argparse cannot preserve global order, so run clicks then turns.
+    for job_id in args.click:
+        app.click_job(job_id)
+    for text in args.say:
+        app.say(text)
+    print(app.render_conversation())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "describe": cmd_describe,
+        "ask": cmd_ask,
+        "plan": cmd_plan,
+        "employer": cmd_employer,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Simulated time.
+
+The paper's QoS machinery tracks latency alongside cost and quality.  Real
+wall-clock sleeps would make tests slow and benches noisy, so the runtime
+accounts time on a :class:`SimClock`: components *advance* the clock by their
+modeled latency instead of sleeping.  Everything that timestamps messages or
+measures elapsed latency takes a clock so that runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds).
+
+    Example:
+        >>> clock = SimClock()
+        >>> clock.advance(0.25)
+        0.25
+        >>> clock.now()
+        0.25
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start in the past: {start}")
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock backwards: {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to *timestamp* if it is in the future."""
+        with self._lock:
+            if timestamp > self._now:
+                self._now = timestamp
+            return self._now
+
+
+class Stopwatch:
+    """Measures elapsed simulated time between two points.
+
+    Example:
+        >>> clock = SimClock()
+        >>> watch = Stopwatch(clock)
+        >>> _ = clock.advance(1.5)
+        >>> watch.elapsed()
+        1.5
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+
+    def elapsed(self) -> float:
+        """Simulated seconds since the stopwatch was created or restarted."""
+        return self._clock.now() - self._start
+
+    def restart(self) -> None:
+        """Reset the start point to the clock's current time."""
+        self._start = self._clock.now()

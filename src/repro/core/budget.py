@@ -1,0 +1,173 @@
+"""Budgets: live QoS accounting during plan execution.
+
+"The task coordinator ... receives a plan ... along with an initial budget
+and projected costs ... monitoring the execution ... and updating the
+budget with actual costs incurred as the execution progresses"
+(Section V-H).  :class:`Budget` is that record: a ledger of charges per
+source, projections from the optimizer, and violation checks the
+coordinator consults after every step.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..clock import SimClock
+from ..errors import BudgetExceededError
+from .qos import QoSSpec
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One ledger entry."""
+
+    source: str
+    cost: float
+    latency: float
+    quality: float | None
+    timestamp: float
+    note: str = ""
+
+
+@dataclass
+class Projection:
+    """The optimizer's pre-execution estimate for the whole plan."""
+
+    cost: float = 0.0
+    latency: float = 0.0
+    quality: float = 1.0
+
+
+class Budget:
+    """Tracks actual cost/latency/quality against a :class:`QoSSpec`."""
+
+    def __init__(
+        self,
+        qos: QoSSpec | None = None,
+        clock: SimClock | None = None,
+        projection: Projection | None = None,
+    ) -> None:
+        self.qos = qos or QoSSpec.unconstrained()
+        self._clock = clock or SimClock()
+        self.projection = projection or Projection()
+        self._charges: list[Charge] = []
+        self._start = self._clock.now()
+        self._lock = threading.Lock()
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def charge(
+        self,
+        source: str,
+        cost: float = 0.0,
+        latency: float = 0.0,
+        quality: float | None = None,
+        note: str = "",
+    ) -> Charge:
+        """Record a charge; latency also advances the simulated clock."""
+        if cost < 0 or latency < 0:
+            raise ValueError("charges must be non-negative")
+        if latency:
+            self._clock.advance(latency)
+        entry = Charge(
+            source=source,
+            cost=cost,
+            latency=latency,
+            quality=quality,
+            timestamp=self._clock.now(),
+            note=note,
+        )
+        with self._lock:
+            self._charges.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def spent_cost(self) -> float:
+        with self._lock:
+            return sum(entry.cost for entry in self._charges)
+
+    def elapsed_latency(self) -> float:
+        return self._clock.now() - self._start
+
+    def quality_estimate(self) -> float:
+        """Product of recorded step qualities (1.0 when none recorded).
+
+        Chained non-deterministic steps compound: a plan is only as good as
+        the product of its steps' fidelities, which is the pessimistic
+        estimate the coordinator uses for violation checks.
+        """
+        with self._lock:
+            product = 1.0
+            for entry in self._charges:
+                if entry.quality is not None:
+                    product *= entry.quality
+            return product
+
+    def remaining_cost(self) -> float:
+        return self.qos.max_cost - self.spent_cost()
+
+    def remaining_latency(self) -> float:
+        return self.qos.max_latency - self.elapsed_latency()
+
+    def charges(self) -> list[Charge]:
+        with self._lock:
+            return list(self._charges)
+
+    def by_source(self) -> dict[str, float]:
+        """Total cost per charging source."""
+        totals: dict[str, float] = {}
+        for entry in self.charges():
+            totals[entry.source] = totals.get(entry.source, 0.0) + entry.cost
+        return totals
+
+    # ------------------------------------------------------------------
+    # Violations
+    # ------------------------------------------------------------------
+    def violation(self) -> str | None:
+        """The violated QoS dimension, or None when within budget."""
+        if self.spent_cost() > self.qos.max_cost:
+            return "cost"
+        if self.elapsed_latency() > self.qos.max_latency:
+            return "latency"
+        if self.quality_estimate() < self.qos.min_quality:
+            return "quality"
+        return None
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` when any bound is violated."""
+        dimension = self.violation()
+        if dimension is not None:
+            raise BudgetExceededError(
+                f"budget violated on {dimension}: "
+                f"cost={self.spent_cost():.4f}/{self.qos.max_cost} "
+                f"latency={self.elapsed_latency():.2f}/{self.qos.max_latency} "
+                f"quality={self.quality_estimate():.3f}>={self.qos.min_quality}",
+                dimension=dimension,
+            )
+
+    def projected_overrun(self) -> str | None:
+        """The dimension the *projection* (or spend, if already higher)
+        would violate, or None when the plan looks affordable."""
+        if max(self.spent_cost(), self.projection.cost) > self.qos.max_cost:
+            return "cost"
+        if max(self.elapsed_latency(), self.projection.latency) > self.qos.max_latency:
+            return "latency"
+        if self.projection.quality < self.qos.min_quality:
+            return "quality"
+        return None
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cost": self.spent_cost(),
+            "latency": self.elapsed_latency(),
+            "quality": self.quality_estimate(),
+            "charges": float(len(self.charges())),
+        }

@@ -1,0 +1,280 @@
+"""The task coordinator (Section V-H).
+
+"The task planner is concerned with interpreting tasks, while the task
+coordinator handles execution."  The coordinator:
+
+* listens to any stream carrying a plan (tag ``PLAN``), unrolls the DAG,
+* drives each node by emitting ``EXECUTE_AGENT`` control messages,
+* resolves parameter bindings — constants, stream reads, upstream node
+  outputs — invoking the **data planner** for transformations
+  (``PROFILER.CRITERIA <- USER.TEXT`` becomes an extract data plan),
+* monitors the **budget** after every step, aborting the plan (and
+  optionally requesting a replan) when QoS thresholds are exceeded,
+* publishes the final result to its ``RESULT`` stream.
+
+Because the stream store delivers messages depth-first, the agent executes
+synchronously inside the coordinator's control publish, so outputs are
+visible immediately afterwards.  (Consequently, agents the coordinator
+drives should run inline — ``workers=0``, the default; worker-pool agents
+are for decentralized tag-triggered fan-out, where no one waits on them.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CoordinationError
+from ..streams import Instruction
+from .agent import Agent
+from .budget import Budget
+from .params import Parameter
+from .plan.task_plan import TaskNode, TaskPlan
+from .planners.data_planner import DataPlanner
+from .qos import QoSSpec
+
+
+@dataclass
+class PlanRun:
+    """Execution record of one plan."""
+
+    plan_id: str
+    goal: str
+    status: str = "running"  # running | completed | aborted | failed
+    node_outputs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    executed: list[str] = field(default_factory=list)
+    abort_reason: str | None = None
+
+    def outputs_of(self, node_id: str) -> dict[str, Any]:
+        return self.node_outputs.get(node_id, {})
+
+    def final_outputs(self) -> dict[str, Any]:
+        """Outputs of the last executed node (the plan's answer)."""
+        if not self.executed:
+            return {}
+        return self.node_outputs.get(self.executed[-1], {})
+
+
+class TaskCoordinator(Agent):
+    """Executes task plans by streaming instructions to agents."""
+
+    name = "TASK_COORDINATOR"
+    description = (
+        "Coordinates and monitors execution of agentic workflow plans, "
+        "tracking the budget and aborting on QoS violations"
+    )
+    inputs = (Parameter("PLAN", "plan", "a task plan DAG payload"),)
+    outputs = (Parameter("RESULT", "json", "final plan outputs"),)
+    listen_tags = ("PLAN",)
+    gate_mode = "any"
+
+    def __init__(
+        self,
+        data_planner: DataPlanner | None = None,
+        replan_on_violation: bool = False,
+        replan_budget_factor: float = 2.0,
+        max_replans: int = 1,
+        max_node_retries: int = 0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self._data_planner = data_planner
+        self._replan_on_violation = replan_on_violation
+        self._replan_budget_factor = replan_budget_factor
+        self._max_replans = max_replans
+        self._max_node_retries = max_node_retries
+        self.runs: list[PlanRun] = []
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any] | None:
+        payload = inputs["PLAN"]
+        plan = TaskPlan.from_payload(payload) if isinstance(payload, dict) else payload
+        run = self.execute_plan(plan)
+        if run.status != "completed":
+            return None
+        return {"RESULT": run.final_outputs()}
+
+    # ------------------------------------------------------------------
+    # Plan execution (also callable directly)
+    # ------------------------------------------------------------------
+    def execute_plan(
+        self, plan: TaskPlan, budget: Budget | None = None, _attempt: int = 0
+    ) -> PlanRun:
+        """Unroll and drive *plan*; returns the execution record.
+
+        On a budget violation the run aborts; with replanning enabled the
+        coordinator re-executes once under an escalated budget (the
+        paper's "prompt the user to confirm budget violations before
+        proceeding", with the confirmation simulated as policy).
+        """
+        context = self._require_context()
+        budget = budget or context.budget
+        plan.validate()
+        run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
+        self.runs.append(run)
+        # A control message addressed to an absent agent would dissolve
+        # silently; require every planned agent to be in the session.
+        participants = set(context.session.participants())
+        absent = sorted({n.agent for n in plan.nodes()} - participants)
+        if absent:
+            run.status = "failed"
+            run.abort_reason = f"agents not present in session: {absent}"
+            return run
+        for node in plan.order():
+            violation = budget.violation() if budget is not None else None
+            if violation is not None:
+                self._abort(run, plan, f"budget violated on {violation}")
+                if self._replan_on_violation and _attempt < self._max_replans:
+                    return self._replan(plan, budget, _attempt)
+                return run
+            try:
+                resolved = self._resolve_bindings(node, run)
+            except CoordinationError as error:
+                run.status = "failed"
+                run.abort_reason = str(error)
+                return run
+            outputs = self._execute_node(node, resolved)
+            if outputs is None:
+                run.status = "failed"
+                run.abort_reason = f"agent {node.agent} failed on node {node.node_id}"
+                return run
+            run.node_outputs[node.node_id] = outputs
+            run.executed.append(node.node_id)
+        run.status = "completed"
+        return run
+
+    def _execute_node(
+        self, node: TaskNode, resolved: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Emit the control instruction and collect the node's outputs."""
+        context = self._require_context()
+        for attempt in range(self._max_node_retries + 1):
+            marker = len(context.store.trace())
+            context.store.publish_control(
+                context.session.session_stream.stream_id,
+                Instruction.EXECUTE_AGENT,
+                producer=self.name,
+                agent=node.agent,
+                inputs=resolved,
+                node=node.node_id,
+            )
+            outputs = self._collect_outputs(node.node_id, marker)
+            if outputs is not None:
+                return outputs
+        return None
+
+    def _collect_outputs(self, node_id: str, marker: int) -> dict[str, Any] | None:
+        """Outputs emitted for *node_id* since trace position *marker*.
+
+        Returns None when the agent reported an error and produced nothing.
+        """
+        context = self._require_context()
+        outputs: dict[str, Any] = {}
+        errored = False
+        for message in context.store.trace()[marker:]:
+            if message.is_data and message.metadata.get("node") == node_id:
+                param = message.metadata.get("param")
+                if param:
+                    outputs[param] = message.payload
+            if (
+                message.is_control
+                and message.instruction() == "AGENT_ERROR"
+                and message.payload.get("node") == node_id
+            ):
+                errored = True
+        if outputs:
+            return outputs
+        if errored:
+            return None
+        # The agent ran but chose to emit nothing: an empty success.
+        return {}
+
+    # ------------------------------------------------------------------
+    # Binding resolution (with data-planner transformations)
+    # ------------------------------------------------------------------
+    def _resolve_bindings(self, node: TaskNode, run: PlanRun) -> dict[str, Any]:
+        context = self._require_context()
+        resolved: dict[str, Any] = {}
+        for param, binding in node.bindings.items():
+            if binding.stream is not None:
+                value = self._latest_payload(binding.stream)
+            elif binding.node is not None:
+                upstream = run.outputs_of(binding.node)
+                if binding.param not in upstream:
+                    raise CoordinationError(
+                        f"node {node.node_id!r} needs {binding.node}.{binding.param} "
+                        f"but upstream produced {sorted(upstream)}"
+                    )
+                value = upstream[binding.param]
+            else:
+                value = binding.value
+            if binding.transform is not None:
+                value = self._transform(binding.transform, value)
+            resolved[param] = value
+        return resolved
+
+    def _transform(self, transform: str, value: Any) -> Any:
+        """Apply a named data-plan transformation to a bound value."""
+        if self._data_planner is None:
+            raise CoordinationError(
+                f"binding requires transform {transform!r} but the coordinator "
+                "has no data planner"
+            )
+        context = self._require_context()
+        if transform.startswith("extract:"):
+            fields = tuple(transform.split(":", 1)[1].split("+"))
+            plan = self._data_planner.plan_transform(str(value), fields)
+            result = self._data_planner.execute(plan, budget=context.budget)
+            extracted = result.final()
+            if isinstance(extracted, dict):
+                if len(fields) == 1:
+                    return extracted.get(fields[0])
+                return {f: extracted.get(f) for f in fields}
+            return extracted
+        if transform == "summarize":
+            plan_goal = str(value)
+            summary_plan = self._data_planner.plan_knowledge("generate", plan_goal)
+            result = self._data_planner.execute(summary_plan, budget=context.budget)
+            return result.final()
+        raise CoordinationError(f"unknown transform: {transform!r}")
+
+    # ------------------------------------------------------------------
+    # Violation handling
+    # ------------------------------------------------------------------
+    def _replan(self, plan: TaskPlan, blown: Budget, attempt: int) -> PlanRun:
+        """Re-execute under an escalated fresh budget (one level only)."""
+        context = self._require_context()
+        escalated_qos = QoSSpec(
+            max_cost=blown.qos.max_cost * self._replan_budget_factor,
+            max_latency=blown.qos.max_latency * self._replan_budget_factor,
+            min_quality=blown.qos.min_quality,
+            objective=blown.qos.objective,
+        )
+        escalated = Budget(escalated_qos, clock=context.clock)
+        return self.execute_plan(plan, budget=escalated, _attempt=attempt + 1)
+
+    def _abort(self, run: PlanRun, plan: TaskPlan, reason: str) -> None:
+        context = self._require_context()
+        run.status = "aborted"
+        run.abort_reason = reason
+        context.store.publish_control(
+            context.session.session_stream.stream_id,
+            Instruction.ABORT_PLAN,
+            producer=self.name,
+            plan=plan.plan_id,
+            reason=reason,
+        )
+        if self._replan_on_violation:
+            context.store.publish_control(
+                context.session.session_stream.stream_id,
+                Instruction.REPLAN,
+                producer=self.name,
+                plan=plan.plan_id,
+                goal=plan.goal,
+                reason=reason,
+            )
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("RESULT",)

@@ -1,0 +1,248 @@
+"""Simulated cluster deployment (Figure 2).
+
+"In production setting, these components are distributed across different
+clusters with varying compute and networking configurations ... deployed in
+a distributed system with containers running each component, configured to
+scale and restart on failure" (Sections IV, V-B).
+
+This module simulates that story: a :class:`Cluster` of :class:`ClusterNode`
+machines hosts :class:`Container` instances placed by resource profile;
+each container runs an :class:`~repro.core.factory.AgentFactory` that spawns
+its agents; a :class:`Supervisor` restarts failed containers, respawning
+and re-attaching their agents.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import DeploymentError
+from .agent import Agent
+from .context import AgentContext
+from .factory import AgentFactory
+
+ContextFactory = Callable[[], AgentContext]
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Compute requirements/capacity (cpu cores, gpus, memory GB)."""
+
+    cpu: float = 1.0
+    gpu: int = 0
+    memory_gb: float = 2.0
+
+    def fits_into(self, capacity: "ResourceProfile") -> bool:
+        return (
+            self.cpu <= capacity.cpu
+            and self.gpu <= capacity.gpu
+            and self.memory_gb <= capacity.memory_gb
+        )
+
+    def minus(self, used: "ResourceProfile") -> "ResourceProfile":
+        return ResourceProfile(
+            cpu=self.cpu - used.cpu,
+            gpu=self.gpu - used.gpu,
+            memory_gb=self.memory_gb - used.memory_gb,
+        )
+
+
+class Container:
+    """A container image running an AgentFactory with its agents."""
+
+    def __init__(
+        self,
+        container_id: str,
+        image: str,
+        profile: ResourceProfile,
+        factory: AgentFactory,
+        context_factory: ContextFactory,
+        agent_specs: tuple[tuple[str, dict[str, Any]], ...],
+        restart_on_failure: bool = True,
+    ) -> None:
+        self.container_id = container_id
+        self.image = image
+        self.profile = profile
+        self.restart_on_failure = restart_on_failure
+        self._factory = factory
+        self._context_factory = context_factory
+        self._agent_specs = agent_specs
+        self._agents: list[Agent] = []
+        self.state = "created"  # created | running | failed | stopped
+        self.restarts = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        """Spawn and attach every configured agent."""
+        with self._lock:
+            if self.state == "running":
+                raise DeploymentError(f"container {self.container_id} already running")
+            self._agents = []
+            for type_name, kwargs in self._agent_specs:
+                agent = self._factory.spawn(type_name, **kwargs)
+                agent.attach(self._context_factory())
+                self._agents.append(agent)
+            self.state = "running"
+
+    def fail(self) -> None:
+        """Simulate a crash: agents stop abruptly, no exit signals."""
+        with self._lock:
+            if self.state != "running":
+                raise DeploymentError(
+                    f"cannot fail container {self.container_id} in state {self.state}"
+                )
+            for agent in self._agents:
+                agent.crash()
+                self._factory.forget(agent)
+            self._agents = []
+            self.state = "failed"
+
+    def stop(self) -> None:
+        """Graceful shutdown: agents detach (exit their sessions)."""
+        with self._lock:
+            for agent in self._agents:
+                agent.detach()
+                self._factory.forget(agent)
+            self._agents = []
+            self.state = "stopped"
+
+    def restart(self) -> None:
+        """Respawn after a failure (the supervisor's recovery action)."""
+        with self._lock:
+            if self.state != "failed":
+                raise DeploymentError(
+                    f"cannot restart container {self.container_id} in state {self.state}"
+                )
+            self.state = "created"
+        self.start()
+        self.restarts += 1
+
+    def agents(self) -> list[Agent]:
+        with self._lock:
+            return list(self._agents)
+
+
+class ClusterNode:
+    """One machine with fixed capacity."""
+
+    def __init__(self, node_id: str, capacity: ResourceProfile) -> None:
+        self.node_id = node_id
+        self.capacity = capacity
+        self.containers: list[Container] = []
+
+    def available(self) -> ResourceProfile:
+        remaining = self.capacity
+        for container in self.containers:
+            remaining = remaining.minus(container.profile)
+        return remaining
+
+    def can_host(self, profile: ResourceProfile) -> bool:
+        return profile.fits_into(self.available())
+
+    def host(self, container: Container) -> None:
+        if not self.can_host(container.profile):
+            raise DeploymentError(
+                f"node {self.node_id} cannot host container {container.container_id}"
+            )
+        self.containers.append(container)
+
+
+class Cluster:
+    """Nodes plus first-fit placement by resource profile."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: list[ClusterNode] = []
+        self._containers: dict[str, Container] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def add_node(self, capacity: ResourceProfile, node_id: str | None = None) -> ClusterNode:
+        with self._lock:
+            if node_id is None:
+                node_id = f"{self.name}-node-{len(self._nodes) + 1}"
+            node = ClusterNode(node_id, capacity)
+            self._nodes.append(node)
+            return node
+
+    def nodes(self) -> list[ClusterNode]:
+        with self._lock:
+            return list(self._nodes)
+
+    def deploy(
+        self,
+        image: str,
+        factory: AgentFactory,
+        context_factory: ContextFactory,
+        agent_specs: tuple[tuple[str, dict[str, Any]], ...],
+        profile: ResourceProfile | None = None,
+        restart_on_failure: bool = True,
+    ) -> Container:
+        """Create, place (first fit), and start a container."""
+        profile = profile or ResourceProfile()
+        with self._lock:
+            self._counter += 1
+            container = Container(
+                container_id=f"{self.name}-ctr-{self._counter}",
+                image=image,
+                profile=profile,
+                factory=factory,
+                context_factory=context_factory,
+                agent_specs=agent_specs,
+                restart_on_failure=restart_on_failure,
+            )
+            placed = False
+            for node in self._nodes:
+                if node.can_host(profile):
+                    node.host(container)
+                    placed = True
+                    break
+            if not placed:
+                raise DeploymentError(
+                    f"no node in cluster {self.name} can host profile {profile}"
+                )
+            self._containers[container.container_id] = container
+        container.start()
+        return container
+
+    def container(self, container_id: str) -> Container:
+        with self._lock:
+            container = self._containers.get(container_id)
+        if container is None:
+            raise DeploymentError(f"unknown container: {container_id!r}")
+        return container
+
+    def containers(self, state: str | None = None) -> list[Container]:
+        with self._lock:
+            found = list(self._containers.values())
+        if state is not None:
+            found = [c for c in found if c.state == state]
+        return found
+
+    def placement(self) -> dict[str, list[str]]:
+        """node id -> hosted container ids (the Figure-2 view)."""
+        return {
+            node.node_id: [c.container_id for c in node.containers]
+            for node in self.nodes()
+        }
+
+
+class Supervisor:
+    """Restarts failed containers (the 'restart on failure' loop)."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.recoveries = 0
+
+    def tick(self) -> list[str]:
+        """One supervision pass; returns the ids of restarted containers."""
+        restarted = []
+        for container in self.cluster.containers(state="failed"):
+            if not container.restart_on_failure:
+                continue
+            container.restart()
+            self.recoveries += 1
+            restarted.append(container.container_id)
+        return restarted

@@ -1,0 +1,155 @@
+"""Guard agents: moderation, verification, and self-reflection modules.
+
+The paper's related-work framing (Section III-A) treats these as the
+extension modules enterprises bolt onto LLMs — "verification modules
+validate content against trusted sources", "content moderation modules",
+and "self-reflection modules [that] assess outputs for coherence,
+consistency, and correctness".  In this architecture each is just another
+agent: tag-activated, stream-connected, and registrable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+from .agent import Agent
+from .params import Parameter
+
+#: Default policy for the moderator: terms that must never reach users
+#: and patterns treated as PII to redact.
+DEFAULT_BANNED_TERMS = ("confidential", "do not share", "internal only")
+PII_PATTERNS = {
+    "email": re.compile(r"\b[\w.+-]+@[\w-]+\.[\w.]+\b"),
+    "phone": re.compile(r"\b\d{3}[-.\s]\d{3}[-.\s]\d{4}\b"),
+    "ssn": re.compile(r"\b\d{3}-\d{2}-\d{4}\b"),
+}
+
+
+class ModeratorAgent(Agent):
+    """Checks outbound text against policy; emits a verdict and redaction.
+
+    Verdicts: ``allow`` (clean), ``redact`` (PII found and masked), or
+    ``block`` (banned terms present).
+    """
+
+    name = "MODERATOR"
+    description = "Moderates generated content: blocks banned terms, redacts PII"
+    inputs = (Parameter("TEXT", "text", "candidate output text"),)
+    outputs = (
+        Parameter("VERDICT", "text", "allow | redact | block"),
+        Parameter("SAFE_TEXT", "text", "the text after moderation"),
+    )
+    listen_tags = ("MODERATE",)
+    gate_mode = "any"
+
+    def __init__(self, banned_terms: Iterable[str] = DEFAULT_BANNED_TERMS, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._banned = tuple(term.lower() for term in banned_terms)
+
+    def moderate(self, text: str) -> tuple[str, str]:
+        """(verdict, safe_text) for *text* — also usable as a library call."""
+        lowered = text.lower()
+        for term in self._banned:
+            if term in lowered:
+                return "block", "[content blocked by policy]"
+        redacted = text
+        hit = False
+        for label, pattern in PII_PATTERNS.items():
+            if pattern.search(redacted):
+                redacted = pattern.sub(f"[{label} redacted]", redacted)
+                hit = True
+        return ("redact", redacted) if hit else ("allow", text)
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        verdict, safe = self.moderate(str(inputs["TEXT"]))
+        return {"VERDICT": verdict, "SAFE_TEXT": safe}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("MODERATED",) if param == "SAFE_TEXT" else ()
+
+
+class VerifierAgent(Agent):
+    """Validates a list-valued answer against a trusted-membership check.
+
+    The constructor takes the trusted check (a callable ``item -> bool``),
+    typically closed over an enterprise source — e.g. membership in a
+    relational column's distinct values.
+    """
+
+    name = "VERIFIER"
+    description = "Verifies answers against trusted enterprise sources"
+    inputs = (Parameter("ANSWER", "json", "a list-valued answer to verify"),)
+    outputs = (
+        Parameter("VERIFIED", "json", "items confirmed by the trusted source"),
+        Parameter("REJECTED", "json", "items the trusted source refutes"),
+    )
+    listen_tags = ("VERIFY",)
+    gate_mode = "any"
+
+    def __init__(self, is_trusted: Callable[[Any], bool], **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._is_trusted = is_trusted
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        answer = inputs["ANSWER"]
+        items = answer if isinstance(answer, list) else [answer]
+        verified = [item for item in items if self._is_trusted(item)]
+        rejected = [item for item in items if not self._is_trusted(item)]
+        return {"VERIFIED": verified, "REJECTED": rejected}
+
+    @classmethod
+    def against_column(cls, database, table: str, column: str, **kwargs: Any) -> "VerifierAgent":
+        """A verifier trusting the distinct values of ``table.column``."""
+        rows = database.execute(f"SELECT DISTINCT {column} FROM {table}").rows
+        trusted = {str(row[column]).lower() for row in rows if row[column] is not None}
+        return cls(lambda item: str(item).lower() in trusted, **kwargs)
+
+
+class ReflectionAgent(Agent):
+    """Assesses a draft for simple coherence/consistency defects and revises.
+
+    Deterministic checks stand in for an LLM critique: empty drafts,
+    unresolved template placeholders, word-level stutter, and contradictory
+    hedging are flagged; the revision strips what it can.
+    """
+
+    name = "REFLECTOR"
+    description = "Self-reflection: assesses drafts for coherence and revises them"
+    inputs = (Parameter("DRAFT", "text", "a draft output"),)
+    outputs = (
+        Parameter("REVISED", "text", "the improved draft"),
+        Parameter("CRITIQUE", "json", "the defects found"),
+    )
+    listen_tags = ("REFLECT",)
+    gate_mode = "any"
+
+    _PLACEHOLDER = re.compile(r"\{[a-z_]+\}|\bTODO\b|\bFIXME\b")
+    _STUTTER = re.compile(r"\b(\w+)( \1\b)+", re.IGNORECASE)
+
+    def critique(self, draft: str) -> list[str]:
+        defects = []
+        if not draft.strip():
+            defects.append("empty draft")
+        if self._PLACEHOLDER.search(draft):
+            defects.append("unresolved placeholder")
+        if self._STUTTER.search(draft):
+            defects.append("repeated words")
+        if "yes" in draft.lower() and "no" in draft.lower().split() and len(draft) < 40:
+            defects.append("contradictory hedging")
+        return defects
+
+    def revise(self, draft: str) -> str:
+        revised = self._STUTTER.sub(r"\1", draft)
+        revised = self._PLACEHOLDER.sub("", revised)
+        revised = re.sub(r"\s{2,}", " ", revised).strip()
+        return revised or "(no content)"
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        draft = str(inputs["DRAFT"])
+        defects = self.critique(draft)
+        revised = self.revise(draft) if defects else draft
+        return {"REVISED": revised, "CRITIQUE": defects}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("REFLECTED",) if param == "REVISED" else ()

@@ -1,0 +1,6 @@
+"""Plan optimization: cost model and multi-objective optimizer."""
+
+from .cost_model import CostModel, OpEstimate
+from .optimizer import Assignment, PlanOptimizer, PlanProfile
+
+__all__ = ["CostModel", "OpEstimate", "Assignment", "PlanOptimizer", "PlanProfile"]

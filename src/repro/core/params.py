@@ -1,0 +1,68 @@
+"""Typed input/output parameters for agents.
+
+"Each agent is structured with input and output parameters, alongside
+properties that dictate its behavior" (Section V-B).  Parameters carry the
+metadata the registries index and the planners match on when they connect
+one agent's outputs to another's inputs (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import AgentError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One named input or output of an agent.
+
+    Attributes:
+        name: parameter identifier, upper-case by convention (``CRITERIA``).
+        type_name: informal type label used for plan wiring (``text``,
+            ``json``, ``rows``, ``profile``, ``jobs``, ...).
+        description: registry-searchable description.
+        required: whether the agent can fire without it.
+        default: value used when not required and absent.
+    """
+
+    name: str
+    type_name: str = "text"
+    description: str = ""
+    required: bool = True
+    default: Any = None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "description": self.description,
+            "required": self.required,
+            "default": self.default,
+        }
+
+
+def validate_inputs(
+    parameters: tuple[Parameter, ...], inputs: dict[str, Any], agent: str
+) -> dict[str, Any]:
+    """Check *inputs* against parameter specs; fill defaults.
+
+    Raises:
+        AgentError: on missing required parameters or unknown names.
+    """
+    known = {p.name for p in parameters}
+    unknown = set(inputs) - known
+    if unknown:
+        raise AgentError(f"unknown inputs for agent {agent!r}: {sorted(unknown)}")
+    resolved: dict[str, Any] = {}
+    for parameter in parameters:
+        if parameter.name in inputs:
+            resolved[parameter.name] = inputs[parameter.name]
+        elif parameter.required:
+            raise AgentError(
+                f"missing required input {parameter.name!r} for agent {agent!r}"
+            )
+        else:
+            resolved[parameter.name] = parameter.default
+    return resolved

@@ -1,0 +1,16 @@
+"""Plan structures: generic DAGs, task plans (Fig. 6), data plans (Fig. 7)."""
+
+from .dag import Dag
+from .data_plan import DataOperator, DataPlan, Op, OperatorChoice
+from .task_plan import Binding, TaskNode, TaskPlan
+
+__all__ = [
+    "Dag",
+    "DataOperator",
+    "DataPlan",
+    "Op",
+    "OperatorChoice",
+    "Binding",
+    "TaskNode",
+    "TaskPlan",
+]

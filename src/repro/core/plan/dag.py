@@ -1,0 +1,111 @@
+"""Directed-acyclic-graph machinery shared by task and data plans."""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Iterable
+
+from ...errors import PlanError
+
+
+class Dag:
+    """A small DAG over hashable node ids with validation and toposort."""
+
+    def __init__(self) -> None:
+        self._nodes: list[Hashable] = []
+        self._edges: set[tuple[Hashable, Hashable]] = set()
+        self._lock = threading.Lock()
+
+    def add_node(self, node_id: Hashable) -> None:
+        with self._lock:
+            if node_id in self._nodes:
+                raise PlanError(f"duplicate node: {node_id!r}")
+            self._nodes.append(node_id)
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        with self._lock:
+            for node_id in (source, target):
+                if node_id not in self._nodes:
+                    raise PlanError(f"edge references unknown node: {node_id!r}")
+            if source == target:
+                raise PlanError(f"self-loop on node: {source!r}")
+            self._edges.add((source, target))
+
+    def nodes(self) -> list[Hashable]:
+        with self._lock:
+            return list(self._nodes)
+
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        with self._lock:
+            return sorted(self._edges, key=repr)
+
+    def predecessors(self, node_id: Hashable) -> list[Hashable]:
+        with self._lock:
+            return [s for s, t in self._edges if t == node_id]
+
+    def successors(self, node_id: Hashable) -> list[Hashable]:
+        with self._lock:
+            return [t for s, t in self._edges if s == node_id]
+
+    def roots(self) -> list[Hashable]:
+        with self._lock:
+            targets = {t for _, t in self._edges}
+            return [n for n in self._nodes if n not in targets]
+
+    def leaves(self) -> list[Hashable]:
+        with self._lock:
+            sources = {s for s, _ in self._edges}
+            return [n for n in self._nodes if n not in sources]
+
+    def topological_order(self) -> list[Hashable]:
+        """Kahn's algorithm; raises :class:`PlanError` on cycles.
+
+        Ties resolve in insertion order, so plans execute deterministically.
+        """
+        with self._lock:
+            nodes = list(self._nodes)
+            edges = set(self._edges)
+        in_degree = {node: 0 for node in nodes}
+        for _, target in edges:
+            in_degree[target] += 1
+        ready = [node for node in nodes if in_degree[node] == 0]
+        order: list[Hashable] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for source, target in sorted(edges, key=repr):
+                if source != node:
+                    continue
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    ready.append(target)
+            edges = {(s, t) for s, t in edges if s != node}
+        if len(order) != len(nodes):
+            leftover = sorted(set(nodes) - set(order), key=repr)
+            raise PlanError(f"plan contains a cycle through: {leftover}")
+        return order
+
+    def validate(self) -> None:
+        """Raise on structural problems (currently: cycles)."""
+        self.topological_order()
+
+    def longest_path_length(self, weights: dict[Hashable, float] | None = None) -> float:
+        """Critical-path length (node-weighted); used for latency estimates."""
+        order = self.topological_order()
+        weights = weights or {node: 1.0 for node in order}
+        best: dict[Hashable, float] = {}
+        for node in order:
+            incoming = [best[p] for p in self.predecessors(node)]
+            best[node] = weights.get(node, 1.0) + (max(incoming) if incoming else 0.0)
+        return max(best.values(), default=0.0)
+
+    @classmethod
+    def from_edges(
+        cls, nodes: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+    ) -> "Dag":
+        dag = cls()
+        for node in nodes:
+            dag.add_node(node)
+        for source, target in edges:
+            dag.add_edge(source, target)
+        return dag

@@ -1,0 +1,209 @@
+"""Data plans: operator DAGs over heterogeneous sources (Figure 7).
+
+The data planner decomposes a retrieval/transformation task into operators
+— "discover, select, join, query, extract, summarize, etc." (Section V-G)
+— plus the new operators the paper calls out beyond relational algebra:
+``Q2NL`` (turn a query fragment into a natural-language knowledge request)
+and ``LLM_CALL`` (use a model as a data source).
+
+Each operator may carry *alternatives* — candidate (source, model)
+configurations with differing cost/latency/quality — which is what the
+optimizer chooses among.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...errors import PlanError
+from .dag import Dag
+
+
+class Op(enum.Enum):
+    """Operator vocabulary of the data planner."""
+
+    DISCOVER = "discover"        # registry search for a source
+    Q2NL = "q2nl"                # query fragment -> NL knowledge request
+    LLM_CALL = "llm_call"        # model as a data source
+    TAXONOMY = "taxonomy"        # expand a concept via a graph source
+    NL2Q = "nl2q"                # NL -> executable query text
+    SQL = "sql"                  # run SQL against a relational source
+    DOC_FIND = "doc_find"        # filter a document collection
+    GRAPH_QUERY = "graph_query"  # traverse a graph source
+    KV_GET = "kv_get"            # fetch from a key-value source
+    SELECT = "select"            # filter rows by predicate params
+    PROJECT = "project"          # keep columns
+    JOIN = "join"                # join two row sets
+    UNION = "union"              # concatenate row sets
+    EXTRACT = "extract"          # structured extraction from text
+    SUMMARIZE = "summarize"      # condense rows/text
+    VERIFY = "verify"            # filter LLM answers against a trusted source
+    VECTOR_SEARCH = "vector_search"  # embedding retrieval over a collection
+    RANK = "rank"                # order rows by a scoring field
+    LIMIT = "limit"              # truncate rows
+
+
+@dataclass(frozen=True)
+class OperatorChoice:
+    """One way to execute an operator (the optimizer's decision unit)."""
+
+    source: str | None = None  # data-registry entry name
+    model: str | None = None   # model-catalog name (LLM-backed operators)
+    note: str = ""
+
+    def describe(self) -> str:
+        parts = []
+        if self.source:
+            parts.append(f"source={self.source}")
+        if self.model:
+            parts.append(f"model={self.model}")
+        if self.note:
+            parts.append(self.note)
+        return ", ".join(parts) or "default"
+
+
+@dataclass
+class DataOperator:
+    """One node in a data plan."""
+
+    op_id: str
+    op: Op
+    params: dict[str, Any] = field(default_factory=dict)
+    inputs: tuple[str, ...] = ()
+    choices: tuple[OperatorChoice, ...] = ()
+    chosen: OperatorChoice | None = None
+
+    def choice(self) -> OperatorChoice:
+        """The configuration to execute: chosen by the optimizer, else the
+        first alternative, else an empty default."""
+        if self.chosen is not None:
+            return self.chosen
+        if self.choices:
+            return self.choices[0]
+        return OperatorChoice()
+
+    def describe(self) -> str:
+        input_text = ",".join(self.inputs) if self.inputs else "-"
+        return (
+            f"{self.op_id}: {self.op.value}({self.params}) "
+            f"<- [{input_text}] via {self.choice().describe()}"
+        )
+
+
+class DataPlan:
+    """An executable DAG of :class:`DataOperator`."""
+
+    def __init__(self, plan_id: str, goal: str = "") -> None:
+        self.plan_id = plan_id
+        self.goal = goal
+        self._operators: dict[str, DataOperator] = {}
+        self._dag = Dag()
+
+    def add(self, operator: DataOperator) -> DataOperator:
+        if operator.op_id in self._operators:
+            raise PlanError(f"duplicate operator: {operator.op_id!r}")
+        for upstream in operator.inputs:
+            if upstream not in self._operators:
+                raise PlanError(
+                    f"operator {operator.op_id!r} depends on unknown {upstream!r}"
+                )
+        self._operators[operator.op_id] = operator
+        self._dag.add_node(operator.op_id)
+        for upstream in operator.inputs:
+            self._dag.add_edge(upstream, operator.op_id)
+        return operator
+
+    def add_op(
+        self,
+        op_id: str,
+        op: Op,
+        params: Mapping[str, Any] | None = None,
+        inputs: tuple[str, ...] = (),
+        choices: tuple[OperatorChoice, ...] = (),
+    ) -> DataOperator:
+        return self.add(
+            DataOperator(op_id, op, dict(params or {}), inputs, choices)
+        )
+
+    def operator(self, op_id: str) -> DataOperator:
+        if op_id not in self._operators:
+            raise PlanError(f"unknown operator: {op_id!r}")
+        return self._operators[op_id]
+
+    def operators(self) -> list[DataOperator]:
+        return [self._operators[oid] for oid in self._dag.nodes()]
+
+    def order(self) -> list[DataOperator]:
+        return [self._operators[oid] for oid in self._dag.topological_order()]
+
+    def edges(self) -> list[tuple[str, str]]:
+        return self._dag.edges()  # type: ignore[return-value]
+
+    def leaves(self) -> list[DataOperator]:
+        return [self._operators[oid] for oid in self._dag.leaves()]
+
+    def validate(self) -> None:
+        self._dag.validate()
+
+    def critical_path(self, weights: Mapping[str, float]) -> float:
+        """Longest-path length with per-operator *weights* (e.g. latency)."""
+        return self._dag.longest_path_length(dict(weights))
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def render(self) -> str:
+        """Readable rendering matching Figure 7's shape."""
+        lines = [f"DataPlan {self.plan_id}: {self.goal}"]
+        lines.extend(f"  {operator.describe()}" for operator in self.order())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (data plans travel over streams like task plans)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "plan_id": self.plan_id,
+            "goal": self.goal,
+            "operators": [
+                {
+                    "op_id": operator.op_id,
+                    "op": operator.op.value,
+                    "params": dict(operator.params),
+                    "inputs": list(operator.inputs),
+                    "choices": [
+                        {"source": c.source, "model": c.model, "note": c.note}
+                        for c in operator.choices
+                    ],
+                    "chosen": (
+                        {
+                            "source": operator.chosen.source,
+                            "model": operator.chosen.model,
+                            "note": operator.chosen.note,
+                        }
+                        if operator.chosen is not None
+                        else None
+                    ),
+                }
+                for operator in self.order()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "DataPlan":
+        plan = cls(payload["plan_id"], payload.get("goal", ""))
+        for spec in payload["operators"]:
+            operator = plan.add_op(
+                spec["op_id"],
+                Op(spec["op"]),
+                params=spec.get("params", {}),
+                inputs=tuple(spec.get("inputs", ())),
+                choices=tuple(
+                    OperatorChoice(**choice) for choice in spec.get("choices", ())
+                ),
+            )
+            if spec.get("chosen") is not None:
+                operator.chosen = OperatorChoice(**spec["chosen"])
+        return plan

@@ -1,0 +1,196 @@
+"""Task plans: DAGs of agent invocations (Figure 6).
+
+"A task plan structured as directed acyclic graphs (DAGs) connecting agent
+input and outputs ... Each node within these DAGs represents a sub-task
+assigned to a specific agent" (Section V-F).
+
+A :class:`TaskNode` names the agent and *binds* each input parameter to a
+value, a stream, or another node's output — optionally through a data-plan
+transform (``PROFILER.CRITERIA <- USER.TEXT`` needs an extract step; the
+coordinator delegates that to the data planner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...errors import PlanError
+from .dag import Dag
+
+
+@dataclass(frozen=True)
+class Binding:
+    """How one input parameter of a plan node gets its value.
+
+    Exactly one of the source fields is set:
+
+    * ``value`` — a constant baked into the plan,
+    * ``stream`` — the latest data payload on a stream (e.g. user text),
+    * ``node``/``param`` — the named output of an upstream node.
+
+    ``transform`` optionally names a data-plan transformation applied to
+    the source value before it reaches the agent (``extract:criteria``).
+    """
+
+    value: Any = None
+    stream: str | None = None
+    node: str | None = None
+    param: str | None = None
+    transform: str | None = None
+
+    def __post_init__(self) -> None:
+        sources = [
+            self.stream is not None,
+            self.node is not None,
+            self.value is not None,
+        ]
+        if sum(sources) > 1:
+            raise PlanError("a binding takes exactly one source (value/stream/node)")
+        if (self.node is None) != (self.param is None):
+            raise PlanError("node bindings need both node and param")
+
+    @classmethod
+    def const(cls, value: Any, transform: str | None = None) -> "Binding":
+        return cls(value=value, transform=transform)
+
+    @classmethod
+    def from_stream(cls, stream: str, transform: str | None = None) -> "Binding":
+        return cls(stream=stream, transform=transform)
+
+    @classmethod
+    def from_node(cls, node: str, param: str, transform: str | None = None) -> "Binding":
+        return cls(node=node, param=param, transform=transform)
+
+    def describe(self) -> str:
+        if self.stream is not None:
+            source = f"stream({self.stream})"
+        elif self.node is not None:
+            source = f"{self.node}.{self.param}"
+        else:
+            source = repr(self.value)
+        if self.transform:
+            return f"{self.transform}({source})"
+        return source
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One sub-task: an agent invocation with bound inputs."""
+
+    node_id: str
+    agent: str
+    bindings: Mapping[str, Binding] = field(default_factory=dict)
+    description: str = ""
+
+    def upstream_nodes(self) -> list[str]:
+        return [b.node for b in self.bindings.values() if b.node is not None]
+
+
+class TaskPlan:
+    """An executable DAG of :class:`TaskNode`."""
+
+    def __init__(self, plan_id: str, goal: str = "") -> None:
+        self.plan_id = plan_id
+        self.goal = goal
+        self._nodes: dict[str, TaskNode] = {}
+        self._dag = Dag()
+
+    def add(self, node: TaskNode) -> TaskNode:
+        if node.node_id in self._nodes:
+            raise PlanError(f"duplicate plan node: {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._dag.add_node(node.node_id)
+        for upstream in node.upstream_nodes():
+            if upstream not in self._nodes:
+                raise PlanError(
+                    f"node {node.node_id!r} binds unknown upstream node {upstream!r}"
+                )
+            self._dag.add_edge(upstream, node.node_id)
+        return node
+
+    def add_step(
+        self,
+        node_id: str,
+        agent: str,
+        bindings: Mapping[str, Binding] | None = None,
+        description: str = "",
+    ) -> TaskNode:
+        return self.add(TaskNode(node_id, agent, dict(bindings or {}), description))
+
+    def node(self, node_id: str) -> TaskNode:
+        if node_id not in self._nodes:
+            raise PlanError(f"unknown plan node: {node_id!r}")
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[TaskNode]:
+        return [self._nodes[nid] for nid in self._dag.nodes()]
+
+    def edges(self) -> list[tuple[str, str]]:
+        return self._dag.edges()  # type: ignore[return-value]
+
+    def order(self) -> list[TaskNode]:
+        """Nodes in executable (topological) order."""
+        return [self._nodes[nid] for nid in self._dag.topological_order()]
+
+    def validate(self, agent_names: set[str] | None = None) -> None:
+        """Structural validation; optionally check agents exist."""
+        self._dag.validate()
+        if agent_names is not None:
+            missing = [n.agent for n in self.nodes() if n.agent not in agent_names]
+            if missing:
+                raise PlanError(f"plan references unknown agents: {sorted(set(missing))}")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def render(self) -> str:
+        """Readable rendering matching Figure 6's shape."""
+        lines = [f"TaskPlan {self.plan_id}: {self.goal}"]
+        for node in self.order():
+            bound = ", ".join(
+                f"{param}<-{binding.describe()}" for param, binding in node.bindings.items()
+            )
+            lines.append(f"  {node.node_id}: EXECUTE {node.agent}({bound})")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Serializable form published onto a stream for the coordinator."""
+        return {
+            "plan_id": self.plan_id,
+            "goal": self.goal,
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "agent": node.agent,
+                    "description": node.description,
+                    "bindings": {
+                        param: {
+                            "value": binding.value,
+                            "stream": binding.stream,
+                            "node": binding.node,
+                            "param": binding.param,
+                            "transform": binding.transform,
+                        }
+                        for param, binding in node.bindings.items()
+                    },
+                }
+                for node in self.order()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TaskPlan":
+        plan = cls(payload["plan_id"], payload.get("goal", ""))
+        for node_payload in payload["nodes"]:
+            bindings = {
+                param: Binding(**spec)
+                for param, spec in node_payload.get("bindings", {}).items()
+            }
+            plan.add_step(
+                node_payload["node_id"],
+                node_payload["agent"],
+                bindings,
+                node_payload.get("description", ""),
+            )
+        return plan

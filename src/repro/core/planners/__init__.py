@@ -1,0 +1,15 @@
+"""Planners: task planner (Fig. 6) and data planner (Fig. 7) + executor."""
+
+from .data_executor import DataPlanExecutor, ExecutionResult
+from .data_planner import DataPlanner
+from .task_planner import StepSpec, TaskPlanner, TaskPlannerAgent, TaskTemplate
+
+__all__ = [
+    "DataPlanExecutor",
+    "ExecutionResult",
+    "DataPlanner",
+    "StepSpec",
+    "TaskPlanner",
+    "TaskPlannerAgent",
+    "TaskTemplate",
+]

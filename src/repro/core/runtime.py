@@ -1,0 +1,154 @@
+"""The Blueprint runtime: one object wiring every component together.
+
+This is the library's main entry point.  It owns the simulated clock, the
+streams database, the model catalog, both registries, the session manager,
+the planners, and the optimizer — the full Figure-1 component inventory —
+and provides the attach/bootstrap conveniences applications use.
+
+Example:
+    >>> from repro.core.runtime import Blueprint
+    >>> bp = Blueprint()
+    >>> session = bp.create_session()
+    >>> sorted(bp.describe()["components"])[:3]
+    ['agent_registry', 'agents', 'clock']
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..clock import SimClock
+from ..llm import ModelCatalog, UsageTracker
+from ..streams import FlowTrace, StreamStore
+from .agent import Agent
+from .budget import Budget, Projection
+from .context import AgentContext
+from .coordinator import TaskCoordinator
+from .factory import AgentFactory
+from .planners.data_planner import DataPlanner
+from .planners.task_planner import TaskPlanner, TaskPlannerAgent
+from .qos import QoSSpec
+from .registries import AgentRegistry, DataRegistry
+from .session import Session, SessionManager
+
+
+class Blueprint:
+    """The assembled blueprint architecture."""
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        catalog: ModelCatalog | None = None,
+        agent_registry: AgentRegistry | None = None,
+        data_registry: DataRegistry | None = None,
+        planner_model: str = "hr-ft",
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.store = StreamStore(self.clock)
+        self.tracker = UsageTracker()
+        self.catalog = catalog or ModelCatalog(clock=self.clock, tracker=self.tracker)
+        if self.catalog.clock is None:
+            self.catalog.clock = self.clock
+        self.agent_registry = agent_registry or AgentRegistry()
+        self.data_registry = data_registry or DataRegistry()
+        self.sessions = SessionManager(self.store)
+        self.data_planner = DataPlanner(
+            self.data_registry, self.catalog, planner_model=planner_model
+        )
+        self.task_planner = TaskPlanner(self.agent_registry, self.catalog)
+        self.factory = AgentFactory()
+        self._attached: dict[str, list[Agent]] = {}
+
+    # ------------------------------------------------------------------
+    # Sessions and contexts
+    # ------------------------------------------------------------------
+    def create_session(self, session_id: str | None = None) -> Session:
+        return self.sessions.create(session_id)
+
+    def budget(self, qos: QoSSpec | None = None, projection: Projection | None = None) -> Budget:
+        return Budget(qos=qos, clock=self.clock, projection=projection)
+
+    def context(self, session: Session, budget: Budget | None = None) -> AgentContext:
+        return AgentContext(
+            store=self.store,
+            session=session,
+            clock=self.clock,
+            catalog=self.catalog,
+            budget=budget,
+            agent_registry=self.agent_registry,
+            data_registry=self.data_registry,
+        )
+
+    # ------------------------------------------------------------------
+    # Agents
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        agent: Agent,
+        session: Session,
+        budget: Budget | None = None,
+        register: bool = True,
+    ) -> Agent:
+        """Attach *agent* to *session* and (optionally) register it."""
+        agent.attach(self.context(session, budget))
+        if register and not self.agent_registry.has(agent.name):
+            self.agent_registry.register_agent(agent)
+        self._attached.setdefault(session.session_id, []).append(agent)
+        return agent
+
+    def attach_planner_and_coordinator(
+        self,
+        session: Session,
+        budget: Budget | None = None,
+        user_stream: str | None = None,
+    ) -> tuple[TaskPlannerAgent, TaskCoordinator]:
+        """Bootstrap the standard orchestration pair for a session.
+
+        *user_stream* names the stream plans read user input from
+        (defaults to the session's ``user`` stream).
+        """
+        planner_agent = TaskPlannerAgent(self.task_planner, user_stream=user_stream)
+        coordinator = TaskCoordinator(data_planner=self.data_planner)
+        self.attach(planner_agent, session, budget)
+        self.attach(coordinator, session, budget)
+        return planner_agent, coordinator
+
+    def agents_in(self, session: Session) -> list[Agent]:
+        return list(self._attached.get(session.session_id, []))
+
+    def close_session(self, session: Session) -> None:
+        """Detach every agent attached through this runtime, then close."""
+        for agent in self._attached.pop(session.session_id, []):
+            if agent.context is not None:
+                agent.detach()
+        session.close()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def flow_trace(self) -> FlowTrace:
+        return FlowTrace(self.store)
+
+    def describe(self) -> dict[str, Any]:
+        """Component inventory (the Figure-1 architecture view)."""
+        return {
+            "components": {
+                "clock": {"now": self.clock.now()},
+                "streams": self.store.stats(),
+                "model_catalog": {"models": self.catalog.names()},
+                "agent_registry": {"entries": self.agent_registry.names()},
+                "data_registry": {"entries": self.data_registry.names()},
+                "sessions": {"active": self.sessions.active()},
+                "task_planner": {"templates": [t.intent for t in self.task_planner.templates()]},
+                "data_planner": {"planner_model": self.data_planner.planner_model},
+                "optimizer": {"type": type(self.data_planner.optimizer).__name__},
+                "agents": {
+                    session_id: [agent.name for agent in agents]
+                    for session_id, agents in self._attached.items()
+                },
+            },
+            "usage": {
+                "llm_calls": self.tracker.calls,
+                "llm_cost": self.tracker.cost,
+            },
+        }

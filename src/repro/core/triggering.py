@@ -1,0 +1,70 @@
+"""PetriNet-inspired multi-stream triggering (Figure 4).
+
+"We consider each input stream as a 'place' holding one or more tokens
+(input data).  Transitions occur when all places contain at least a token,
+allowing formation of a tuple with all input data for the processor
+function" (Section V-B).
+
+:class:`InputGate` implements exactly that: one *place* per input
+parameter; offering a token to a place may complete one or more input
+tuples, which are returned so the agent can fire its processor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..errors import AgentError
+
+
+class InputGate:
+    """Collects tokens per place and fires complete input tuples.
+
+    Modes:
+        * ``join`` (default) — fire once every place holds a token,
+          consuming one token per place (PetriNet transition semantics).
+          Queued tokens pair up in FIFO order across firings.
+        * ``any`` — fire immediately on each offered token with a partial
+          tuple (the single offered place); used by single-input agents
+          and by agents that react to whichever stream speaks first.
+
+    Example:
+        >>> gate = InputGate(["PROFILE", "JOBS"])
+        >>> gate.offer("PROFILE", {"name": "a"})
+        []
+        >>> gate.offer("JOBS", [1, 2])
+        [{'PROFILE': {'name': 'a'}, 'JOBS': [1, 2]}]
+    """
+
+    def __init__(self, places: list[str], mode: str = "join") -> None:
+        if not places:
+            raise AgentError("an input gate needs at least one place")
+        if mode not in {"join", "any"}:
+            raise AgentError(f"unknown gate mode: {mode!r}")
+        self.mode = mode
+        self._places: dict[str, deque[Any]] = {place: deque() for place in places}
+
+    @property
+    def places(self) -> list[str]:
+        return list(self._places)
+
+    def offer(self, place: str, token: Any) -> list[dict[str, Any]]:
+        """Deposit *token* in *place*; returns the input tuples that fire."""
+        if place not in self._places:
+            raise AgentError(f"unknown place: {place!r} (have {self.places})")
+        if self.mode == "any":
+            return [{place: token}]
+        self._places[place].append(token)
+        fired: list[dict[str, Any]] = []
+        while all(self._places[p] for p in self._places):
+            fired.append({p: self._places[p].popleft() for p in self._places})
+        return fired
+
+    def pending(self) -> dict[str, int]:
+        """Tokens waiting per place (for observability)."""
+        return {place: len(queue) for place, queue in self._places.items()}
+
+    def clear(self) -> None:
+        for queue in self._places.values():
+            queue.clear()

@@ -1,0 +1,88 @@
+"""Deterministic text embeddings via feature hashing.
+
+Registry search needs "vector-based techniques using learned representations
+derived from metadata" (Section V-C).  Offline we substitute learned
+embeddings with *feature-hashed* embeddings: words and character n-grams are
+hashed into a fixed-dimensional vector.  The result is deterministic across
+processes (md5, not Python's randomized ``hash``) and preserves lexical
+similarity — texts sharing vocabulary land near each other — which is the
+property the registries' semantic search exercises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Iterable
+
+import numpy as np
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lowercase word tokens of *text*."""
+    return _WORD_RE.findall(text.lower())
+
+
+def char_ngrams(word: str, n: int = 3) -> list[str]:
+    """Character n-grams of *word*, padded with boundary markers."""
+    padded = f"#{word}#"
+    if len(padded) <= n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+def _bucket(feature: str, dim: int) -> tuple[int, float]:
+    """Stable (index, sign) for a feature string."""
+    digest = hashlib.md5(feature.encode("utf-8")).digest()
+    index = int.from_bytes(digest[:4], "little") % dim
+    sign = 1.0 if digest[4] % 2 == 0 else -1.0
+    return index, sign
+
+
+class HashingEmbedder:
+    """Feature-hashing embedder over words and character trigrams.
+
+    Example:
+        >>> embedder = HashingEmbedder(dim=64)
+        >>> a = embedder.embed("job matching model")
+        >>> b = embedder.embed("model for matching jobs")
+        >>> c = embedder.embed("database index statistics")
+        >>> from repro.embedding.similarity import cosine
+        >>> cosine(a, b) > cosine(a, c)
+        True
+    """
+
+    def __init__(self, dim: int = 256, use_char_ngrams: bool = True) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive: {dim}")
+        self.dim = dim
+        self.use_char_ngrams = use_char_ngrams
+
+    def features(self, text: str) -> list[str]:
+        """The hashed feature strings for *text* (words + n-grams)."""
+        words = tokenize_words(text)
+        feats = [f"w:{word}" for word in words]
+        if self.use_char_ngrams:
+            for word in words:
+                feats.extend(f"c:{gram}" for gram in char_ngrams(word))
+        return feats
+
+    def embed(self, text: str) -> np.ndarray:
+        """L2-normalized embedding of *text* (zero vector for empty text)."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for feature in self.features(text):
+            index, sign = _bucket(feature, self.dim)
+            vector[index] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_many(self, texts: Iterable[str]) -> np.ndarray:
+        """Stacked embeddings, one row per text."""
+        rows = [self.embed(text) for text in texts]
+        if not rows:
+            return np.empty((0, self.dim))
+        return np.vstack(rows)

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the blueprint architecture.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at application boundaries while the
+subclasses keep failure modes distinguishable in tests and logs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StreamError(ReproError):
+    """A stream operation failed (unknown stream, closed stream, ...)."""
+
+
+class StreamClosedError(StreamError):
+    """A message was appended to, or read from, a closed stream."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate failures."""
+
+
+class SchemaError(StorageError):
+    """A schema definition or a row violating a schema was encountered."""
+
+
+class SQLError(StorageError):
+    """SQL text could not be lexed, parsed, planned, or executed."""
+
+
+class QueryError(StorageError):
+    """A document/graph/vector query was malformed or unanswerable."""
+
+
+class LLMError(ReproError):
+    """The (simulated) language-model substrate failed."""
+
+
+class ModelNotFoundError(LLMError):
+    """A model name was not present in the model catalog."""
+
+
+class ContextWindowExceededError(LLMError):
+    """A prompt exceeded the model's context window."""
+
+
+class RegistryError(ReproError):
+    """A registry operation failed (duplicate or missing entries, ...)."""
+
+
+class AccessDeniedError(RegistryError):
+    """A principal requested a data source its ACL does not allow."""
+
+
+class AgentError(ReproError):
+    """An agent failed while processing input."""
+
+
+class PlanError(ReproError):
+    """A task or data plan was structurally invalid (cycles, dangling refs)."""
+
+
+class PlanningError(ReproError):
+    """A planner could not produce a plan for the given request."""
+
+
+class BudgetExceededError(ReproError):
+    """Execution exceeded the QoS budget and was aborted.
+
+    Attributes:
+        dimension: which QoS dimension was violated (``cost``, ``latency``,
+            or ``quality``).
+    """
+
+    def __init__(self, message: str, dimension: str = "cost") -> None:
+        super().__init__(message)
+        self.dimension = dimension
+
+
+class CoordinationError(ReproError):
+    """The task coordinator could not make progress on a plan."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer found no plan satisfying the QoS constraints."""
+
+
+class DeploymentError(ReproError):
+    """A simulated container/cluster operation failed."""
+
+
+class SessionError(ReproError):
+    """A session operation failed (closed session, unknown agent, ...)."""

@@ -1,0 +1,24 @@
+"""The YourJourney HR domain: data, models, agents, and applications."""
+
+from .clustering import Cluster, cluster_seekers
+from .data import Enterprise, build_enterprise
+from .matching import JobMatcher, MatchResult
+from .nlq import NLQTranslator, Translation
+from .skills import SkillExtractor, SkillMention
+from .taxonomy import all_titles, base_titles, build_title_taxonomy
+
+__all__ = [
+    "Cluster",
+    "cluster_seekers",
+    "Enterprise",
+    "build_enterprise",
+    "JobMatcher",
+    "MatchResult",
+    "NLQTranslator",
+    "Translation",
+    "SkillExtractor",
+    "SkillMention",
+    "all_titles",
+    "base_titles",
+    "build_title_taxonomy",
+]

@@ -1,0 +1,28 @@
+"""The YourJourney agent fleet."""
+
+from .agentic_employer import AgenticEmployerAgent
+from .clusterer import ClustererAgent
+from .explainer import ExplainerAgent
+from .intent_classifier import INTENT_LABELS, IntentClassifierAgent
+from .job_matcher import JobMatcherAgent
+from .nl2q_agent import NL2QAgent
+from .presenter import PresenterAgent
+from .profiler import ProfilerAgent
+from .query_summarizer import QuerySummarizerAgent
+from .sql_executor import SQLExecutorAgent
+from .summarizer import SummarizerAgent
+
+__all__ = [
+    "AgenticEmployerAgent",
+    "ClustererAgent",
+    "ExplainerAgent",
+    "INTENT_LABELS",
+    "IntentClassifierAgent",
+    "JobMatcherAgent",
+    "NL2QAgent",
+    "PresenterAgent",
+    "ProfilerAgent",
+    "QuerySummarizerAgent",
+    "SQLExecutorAgent",
+    "SummarizerAgent",
+]

@@ -1,0 +1,210 @@
+"""AGENTIC_EMPLOYER (AE): the application driver (Section VI).
+
+"The main driver of the application logic is an Agentic Employer agent,
+which is the first receiver of any user interaction, whether it came in
+the form of events from the UI/forms, or through text entered into the
+conversation."
+
+Two flows from the case study:
+
+* **UI flow (Figure 9)** — a UI event selecting a job id arrives tagged
+  ``UI_EVENT``; AE emits the job id into a stream and a one-node plan
+  invoking SUMMARIZER, which the task coordinator unrolls.
+* **Conversation flow (Figure 10)** — the intent classifier tags the turn;
+  for an open-ended query AE emits the text into a new stream tagged
+  ``NLQ``, and the NL2Q -> SQL_EXECUTOR -> QUERY_SUMMARIZER chain fires
+  purely through stream-tag configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...core.plan.task_plan import Binding, TaskPlan
+from ...ids import IdGenerator
+from ...storage import Database
+
+
+class AgenticEmployerAgent(Agent):
+    name = "AGENTIC_EMPLOYER"
+    description = (
+        "Drives the Agentic Employer application: routes UI events and "
+        "conversation intents to agent workflows"
+    )
+    inputs = (
+        Parameter("EVENT", "ui_event", "a UI event object", required=False),
+        Parameter("INTENT", "intent", "a classified conversation turn", required=False),
+    )
+    outputs = (
+        Parameter("JOB_ID", "number", "the currently selected job", required=False),
+        Parameter("NLQ", "text", "a query forwarded for NL2Q", required=False),
+        Parameter("PLAN", "plan", "a task plan for the coordinator", required=False),
+        Parameter("RESPONSE", "text", "a direct conversational response", required=False),
+    )
+    listen_tags = ("UI_EVENT", "INTENT")
+    tag_to_place = {"UI_EVENT": "EVENT", "INTENT": "INTENT"}
+    gate_mode = "any"
+
+    def __init__(self, database: Database | None = None, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._ids = IdGenerator()
+        self._database = database
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any] | None:
+        event = inputs.get("EVENT")
+        intent = inputs.get("INTENT")
+        if event is not None:
+            self._handle_event(event)
+            return None
+        if intent is not None:
+            self._handle_intent(intent)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Figure 9: UI-initiated flow
+    # ------------------------------------------------------------------
+    def _handle_event(self, event: dict[str, Any]) -> None:
+        if event.get("type") != "select_job":
+            return
+        job_id = int(event["job_id"])
+        # Remember the selection: later turns ("cluster the applicants")
+        # scope to this job.
+        self._require_context().session.scope.child("SELECTED_JOB").set("id", job_id)
+        # Step 2 (Figure 9): emit the job id into a stream, then a plan
+        # invoking the Summarizer with that input.
+        self.emit("JOB_ID", job_id, tags=("JOB_ID",))
+        plan = TaskPlan(self._ids.next("ae-plan"), goal=f"summarize job {job_id}")
+        plan.add_step(
+            "summarize",
+            "SUMMARIZER",
+            {"JOB_ID": Binding.const(job_id)},
+            description=f"summarize job {job_id} for the employer",
+        )
+        self.emit("PLAN", plan.to_payload(), tags=("PLAN",))
+
+    # ------------------------------------------------------------------
+    # Figure 10: conversation-initiated flow
+    # ------------------------------------------------------------------
+    def _handle_intent(self, intent: dict[str, Any]) -> None:
+        kind = intent.get("intent")
+        text = str(intent.get("text", ""))
+        if kind in {"open_query", "rank"}:
+            # Step 3 (Figure 10): emit the query into a new stream tagged
+            # NLQ; NL2Q picks it up via stream-tag configuration.
+            self.emit("NLQ", text, tags=("NLQ",))
+            return
+        if kind == "summarize":
+            self.emit("NLQ", text, tags=("NLQ",))
+            return
+        if kind == "list_edit":
+            self._handle_list_edit(text)
+            return
+        if kind == "cluster":
+            self._handle_cluster()
+            return
+        if kind == "greeting":
+            self.emit(
+                "RESPONSE",
+                "Hello! Ask me about your applicants, or select a job to see a summary.",
+                tags=("DISPLAY",),
+            )
+            return
+        self.emit(
+            "RESPONSE",
+            f"I am not sure how to help with that yet ({kind}).",
+            tags=("DISPLAY",),
+        )
+
+    # ------------------------------------------------------------------
+    # Clustering: "rank and cluster candidates" (Section II-B)
+    # ------------------------------------------------------------------
+    def _handle_cluster(self) -> None:
+        """Plan a CLUSTERER run over the relevant candidates.
+
+        Scoped to the selected job's applicants when a job was clicked,
+        otherwise over the whole seeker pool.
+        """
+        if self._database is None:
+            self.emit("RESPONSE", "Clustering is unavailable without the database.",
+                      tags=("DISPLAY",))
+            return
+        selected = self._require_context().session.scope.child("SELECTED_JOB").get("id")
+        if selected is not None:
+            seekers = self._database.query(
+                "SELECT s.id, s.name, s.title, s.skills FROM applications a "
+                "JOIN seekers s ON a.seeker_id = s.id WHERE a.job_id = :job LIMIT 60",
+                {"job": selected},
+            )
+            goal = f"cluster applicants of job {selected}"
+        else:
+            seekers = self._database.query(
+                "SELECT id, name, title, skills FROM seekers LIMIT 60"
+            )
+            goal = "cluster all candidates"
+        plan = TaskPlan(self._ids.next("ae-plan"), goal=goal)
+        plan.add_step(
+            "cluster", "CLUSTERER", {"SEEKERS": Binding.const(seekers)},
+            description=goal,
+        )
+        self.emit("PLAN", plan.to_payload(), tags=("PLAN",))
+
+    # ------------------------------------------------------------------
+    # Interactive shortlist: "create lists interactively by add and
+    # remove applicants through queries" (Section II-B)
+    # ------------------------------------------------------------------
+    def _shortlist(self) -> list[dict[str, Any]]:
+        scope = self._require_context().session.scope.child("SHORTLIST")
+        return scope.get("members", [])
+
+    def _save_shortlist(self, members: list[dict[str, Any]]) -> None:
+        scope = self._require_context().session.scope.child("SHORTLIST")
+        scope.set("members", members)
+
+    def _render_shortlist(self, members: list[dict[str, Any]]) -> str:
+        if not members:
+            return "Your shortlist is empty."
+        lines = [f"Shortlist ({len(members)}):"]
+        lines.extend(
+            f"{i}. {m['name']} — {m['title']} ({m['city']})"
+            for i, m in enumerate(members, start=1)
+        )
+        return "\n".join(lines)
+
+    def _handle_list_edit(self, text: str) -> None:
+        lowered = text.lower()
+        members = list(self._shortlist())
+        if match := re.search(r"\badd\s+(.+?)(?:\s+(?:to|into|onto|on)\b.*)?$", lowered):
+            candidate = self._find_seeker(match.group(1))
+            if candidate is None:
+                reply = f"I could not find a candidate matching {match.group(1)!r}."
+            elif any(m["id"] == candidate["id"] for m in members):
+                reply = f"{candidate['name']} is already on the shortlist."
+            else:
+                members.append(candidate)
+                self._save_shortlist(members)
+                reply = f"Added {candidate['name']}.\n" + self._render_shortlist(members)
+        elif match := re.search(r"\bremove\s+(.+?)(?:\s+(?:from|off)\b.*)?$", lowered):
+            needle = match.group(1)
+            remaining = [m for m in members if needle not in m["name"].lower()]
+            if len(remaining) == len(members):
+                reply = f"Nobody matching {needle!r} is on the shortlist."
+            else:
+                self._save_shortlist(remaining)
+                reply = self._render_shortlist(remaining)
+        else:
+            reply = self._render_shortlist(members)
+        self.emit("RESPONSE", reply, tags=("DISPLAY",))
+
+    def _find_seeker(self, name_fragment: str) -> dict[str, Any] | None:
+        if self._database is None:
+            return None
+        rows = self._database.query(
+            "SELECT id, name, title, city FROM seekers "
+            "WHERE name LIKE :frag ORDER BY id LIMIT 1",
+            {"frag": f"%{name_fragment}%"},
+        )
+        return rows[0] if rows else None

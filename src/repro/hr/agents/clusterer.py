@@ -1,0 +1,50 @@
+"""CLUSTERER: groups candidates by skill profile (Scenario II)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ..clustering import cluster_seekers
+
+
+class ClustererAgent(Agent):
+    name = "CLUSTERER"
+    description = "Clusters candidates into skill-profile groups for employers"
+    inputs = (
+        Parameter("SEEKERS", "rows", "candidate rows to cluster"),
+        Parameter("K", "number", "number of clusters", required=False, default=3),
+    )
+    outputs = (
+        Parameter("CLUSTERS", "json", "the clusters with labels and members"),
+        Parameter("SUMMARY", "text", "a readable clustering summary"),
+    )
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        seekers = inputs["SEEKERS"] or []
+        k = int(inputs.get("K") or 3)
+        clusters = cluster_seekers(seekers, k=k)
+        context = self._require_context()
+        context.charge(
+            source=f"{self.name}/kmeans",
+            cost=1e-6,
+            latency=0.002 + 1e-5 * len(seekers),
+        )
+        if not clusters:
+            return {"CLUSTERS": [], "SUMMARY": "No candidates to cluster."}
+        payload = [
+            {
+                "label": c.label,
+                "size": c.size,
+                "members": list(c.members),
+                "member_ids": list(c.member_ids),
+            }
+            for c in clusters
+        ]
+        lines = [f"{len(clusters)} candidate groups:"]
+        lines.extend(c.render() for c in clusters)
+        return {"CLUSTERS": payload, "SUMMARY": "\n".join(lines)}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",) if param == "SUMMARY" else ()

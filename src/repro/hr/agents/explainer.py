@@ -1,0 +1,62 @@
+"""EXPLAINER: the explanation module as an agent (Section III-A).
+
+"Explanation modules aim to provide detailed insights and enhance
+transparency."  Given ranked matches and the profile they were ranked
+for, the agent produces a per-match natural-language explanation via the
+LLM's MATCH_EXPLAIN task, grounded in the matcher's own component scores.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+
+
+class ExplainerAgent(Agent):
+    name = "EXPLAINER"
+    description = "Explains why each matched job fits the seeker's profile"
+    inputs = (
+        Parameter("MATCHES", "matches", "ranked job matches"),
+        Parameter("PROFILE", "profile", "the seeker profile", required=False),
+    )
+    outputs = (Parameter("EXPLANATIONS", "text", "one explanation per match"),)
+    default_model = "hr-ft"
+
+    def __init__(self, max_explained: int = 3, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._max_explained = max_explained
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        matches = inputs["MATCHES"] or []
+        profile = inputs.get("PROFILE") or {}
+        seeker_title = str(profile.get("title") or "candidate")
+        seeker_skills = {
+            str(s).lower() for s in (profile.get("skills") or [])
+        }
+        lines = []
+        for match in matches[: self._max_explained]:
+            job_skills = {
+                part.strip().lower()
+                for part in str(match.get("skills", "")).split(",")
+                if part.strip()
+            }
+            shared = sorted(seeker_skills & job_skills) or sorted(job_skills)[:2]
+            location_fit = (
+                "remote-friendly" if match.get("remote")
+                else f"located in {match.get('city')}"
+            )
+            response = self.complete(
+                prompts.match_explain(
+                    seeker_title, str(match.get("title")), shared, location_fit
+                )
+            )
+            lines.append(f"- {match.get('title')} at {match.get('company')}: {response.text}")
+        if not lines:
+            return {"EXPLANATIONS": "No matches to explain."}
+        return {"EXPLANATIONS": "\n".join(lines)}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",)

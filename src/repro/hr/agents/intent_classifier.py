@@ -1,0 +1,65 @@
+"""INTENT_CLASSIFIER (IC): routes conversation turns (Figure 10, step 2).
+
+"An Intent Classifier agent automatically responds by emitting identified
+intent into the stream."  The agent listens to user text and emits
+``{"intent", "text"}`` tagged INTENT so the application driver can route.
+
+With ``ensemble > 1`` it samples the model several times (each call's
+prompt varies so the simulated model's degradation draws differ) and takes
+a majority vote — the self-consistency pattern, which buys a cheap model
+part of a strong model's accuracy (bench A6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+
+#: Intents the Agentic Employer conversation understands.
+INTENT_LABELS = ("open_query", "summarize", "list_edit", "rank", "cluster", "greeting")
+
+
+class IntentClassifierAgent(Agent):
+    name = "INTENT_CLASSIFIER"
+    description = "Classifies the intent of user conversation turns"
+    inputs = (Parameter("TEXT", "text", "a user utterance"),)
+    outputs = (Parameter("INTENT", "intent", "identified intent with the original text"),)
+    listen_tags = ("USER",)
+    gate_mode = "any"
+    default_model = "mega-s"
+
+    def __init__(
+        self,
+        labels: tuple[str, ...] = INTENT_LABELS,
+        ensemble: int = 1,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if ensemble < 1:
+            raise ValueError(f"ensemble must be >= 1: {ensemble}")
+        self._labels = labels
+        self._ensemble = ensemble
+
+    def classify(self, text: str) -> str:
+        """Classify *text*, majority-voting across ensemble samples."""
+        votes: Counter[str] = Counter()
+        for sample in range(self._ensemble):
+            # A varying suffix decorrelates the simulated model's errors,
+            # as temperature sampling would for a hosted model.
+            suffix = "" if sample == 0 else f"\nSAMPLE: {sample}"
+            response = self.complete(prompts.classify(text, self._labels) + suffix)
+            vote = str(response.structured or self._labels[0])
+            votes[vote] += 1
+        ranked = sorted(votes.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[0][0]
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        text = str(inputs["TEXT"])
+        return {"INTENT": {"intent": self.classify(text), "text": text}}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("INTENT",)

@@ -1,0 +1,76 @@
+"""JOB_MATCHER: the enterprise's predictive matching model as an agent.
+
+Inputs mirror the paper's registry example — JOB SEEKER DATA (PROFILE),
+JOBS, "and optionally CRITERIA for additional conditions"; output MATCHES
+(Section V-C).  When JOBS is not supplied by the plan, the agent invokes
+the **data planner** to find and query job sources — the paper's
+"agents themselves invoking data planner (using APIs)" path — which is
+where the decomposed Figure-7 plan runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...core.planners.data_planner import DataPlanner
+from ..matching import JobMatcher
+
+
+class JobMatcherAgent(Agent):
+    name = "JOB_MATCHER"
+    description = (
+        "Assesses match quality between a job seeker profile and jobs, "
+        "ranking job postings for the seeker"
+    )
+    inputs = (
+        Parameter("PROFILE", "profile", "job seeker data"),
+        Parameter("JOBS", "jobs", "candidate job rows", required=False),
+        Parameter("CRITERIA", "text", "additional conditions", required=False),
+    )
+    outputs = (Parameter("MATCHES", "matches", "ranked job matches"),)
+
+    def __init__(
+        self,
+        matcher: JobMatcher,
+        data_planner: DataPlanner | None = None,
+        top_k: int = 5,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self._matcher = matcher
+        self._data_planner = data_planner
+        self._top_k = top_k
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        profile = inputs["PROFILE"] or {}
+        jobs = inputs.get("JOBS")
+        if jobs is None:
+            jobs = self._fetch_jobs(profile, inputs.get("CRITERIA"))
+        results = self._matcher.match(profile, jobs, top_k=self._top_k)
+        matches = [
+            {**result.job, "score": result.score, "reasons": list(result.reasons)}
+            for result in results
+        ]
+        return {"MATCHES": matches}
+
+    def _fetch_jobs(self, profile: dict[str, Any], criteria: Any) -> list[dict[str, Any]]:
+        """Query job sources through the data planner (Figure 7 in action)."""
+        if self._data_planner is None:
+            return []
+        context = self._require_context()
+        query = str(criteria) if criteria else self._query_from_profile(profile)
+        result = self._data_planner.run_job_query(
+            query, budget=context.budget, principal=self.name
+        )
+        rows = result.final()
+        return rows if isinstance(rows, list) else []
+
+    @staticmethod
+    def _query_from_profile(profile: dict[str, Any]) -> str:
+        title = profile.get("title") or "software engineer"
+        location = profile.get("location")
+        if location:
+            return f"{title} position in {location}"
+        return f"{title} position"

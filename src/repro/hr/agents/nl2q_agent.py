@@ -1,0 +1,40 @@
+"""NL2Q: natural language to database query (Figure 10, step 3).
+
+Listens for messages tagged ``NLQ``, identifies "a suitable database
+query, in this case SQL", and emits the translation tagged ``SQL`` —
+which triggers the SQL executor through stream-tag configuration alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+from ..nlq import NLQTranslator
+
+
+class NL2QAgent(Agent):
+    name = "NL2Q"
+    description = "Translates natural language questions into SQL over the HR database"
+    inputs = (Parameter("QUERY", "text", "a natural-language question"),)
+    outputs = (Parameter("SQL", "sql", "the translated SQL query payload"),)
+    listen_tags = ("NLQ",)
+    gate_mode = "any"
+    default_model = "hr-ft"
+
+    def __init__(self, translator: NLQTranslator | None = None, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._translator = translator or NLQTranslator()
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        query = str(inputs["QUERY"])
+        # The production NL2Q model is an LLM; meter its usage even though
+        # the reference translation here is rule-based and deterministic.
+        self.complete(prompts.generate(f"Translate to SQL: {query}"))
+        translation = self._translator.translate(query)
+        return {"SQL": translation.as_payload()}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("SQL",)

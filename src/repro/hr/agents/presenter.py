@@ -1,0 +1,31 @@
+"""PRESENTER: renders matched jobs for the end user (Figure 6's last step)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+
+
+class PresenterAgent(Agent):
+    name = "PRESENTER"
+    description = "Presents matched jobs to the end user as a readable list"
+    inputs = (Parameter("MATCHES", "matches", "ranked job matches"),)
+    outputs = (Parameter("PRESENTATION", "text", "rendered results for display"),)
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        matches = inputs["MATCHES"] or []
+        if not matches:
+            return {"PRESENTATION": "No matching jobs found — try broadening your criteria."}
+        lines = [f"Top {len(matches)} matches for you:"]
+        for rank, match in enumerate(matches, start=1):
+            lines.append(
+                f"{rank}. {match.get('title')} at {match.get('company')} "
+                f"({match.get('city')}) — ${match.get('salary'):,} "
+                f"[score {match.get('score', 0):.2f}]"
+            )
+        return {"PRESENTATION": "\n".join(lines)}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",)

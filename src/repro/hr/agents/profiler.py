@@ -1,0 +1,72 @@
+"""PROFILER: builds a job-seeker profile from criteria text (Section V-B).
+
+"There can be an agent PROFILER that presents a user profile UI form to
+collect information from the user."  The agent extracts a structured
+profile (title, location, skills) from free-text criteria using the LLM
+extractor plus the skill-extraction model, and also emits the declarative
+UI form spec a front end would render to confirm/complete the profile.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+from ..skills import SkillExtractor
+
+
+class ProfilerAgent(Agent):
+    name = "PROFILER"
+    description = (
+        "Builds a job seeker profile (title, location, skills) from criteria "
+        "text and presents a profile UI form to collect information"
+    )
+    inputs = (Parameter("CRITERIA", "text", "free-text job search criteria"),)
+    outputs = (
+        Parameter("PROFILE", "profile", "structured job seeker profile"),
+        Parameter("FORM", "ui_form", "declarative profile form spec", required=False),
+    )
+    default_model = "hr-ft"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._skills = SkillExtractor()
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        criteria = str(inputs["CRITERIA"])
+        response = self.complete(prompts.extract(criteria, ("title", "location")))
+        extracted = response.structured if isinstance(response.structured, dict) else {}
+        title = extracted.get("title")
+        mentioned = self._skills.skills_of(criteria)
+        expected = self._skills.expected_skills(title) if title else []
+        profile = {
+            "title": title,
+            "location": extracted.get("location"),
+            "skills": sorted(set(mentioned) | set(expected)),
+            "criteria": criteria,
+        }
+        form = self._form_for(profile)
+        return {"PROFILE": profile, "FORM": form}
+
+    @staticmethod
+    def _form_for(profile: dict[str, Any]) -> dict[str, Any]:
+        """Declarative UI form spec (rendered by UI renderers, Section V-B)."""
+        return {
+            "type": "form",
+            "title": "Confirm your profile",
+            "fields": [
+                {"name": "title", "label": "Desired title", "value": profile["title"]},
+                {"name": "location", "label": "Location", "value": profile["location"]},
+                {
+                    "name": "skills",
+                    "label": "Skills",
+                    "value": ", ".join(profile["skills"]),
+                },
+            ],
+            "submit_tag": "PROFILE_CONFIRMED",
+        }
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("UI",) if param == "FORM" else ()

@@ -1,0 +1,35 @@
+"""QUERY_SUMMARIZER (QS): explains query results (Figure 10, final step).
+
+Listens for ``ROWS`` messages and, "utilizing LLMs, explains the query
+results" as display text.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+
+
+class QuerySummarizerAgent(Agent):
+    name = "QUERY_SUMMARIZER"
+    description = "Explains database query results in natural language"
+    inputs = (Parameter("ROWS", "rows", "query result rows"),)
+    outputs = (Parameter("SUMMARY", "text", "a natural-language explanation"),)
+    listen_tags = ("ROWS",)
+    gate_mode = "any"
+    default_model = "mega-m"
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        rows = inputs["ROWS"] or []
+        if not rows:
+            return {"SUMMARY": "The query returned no results."}
+        preview = rows[:10]
+        response = self.complete(prompts.describe_rows(preview, intro="Query results"))
+        header = f"The query returned {len(rows)} row(s)."
+        return {"SUMMARY": f"{header} {response.text}"}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",)

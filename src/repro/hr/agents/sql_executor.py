@@ -1,0 +1,46 @@
+"""SQL executor (QE): runs tagged SQL against the enterprise database.
+
+"A message tagged SQL can trigger SQLExecutor agent to execute the query
+in the message" (Section V-B) — the canonical decentralized activation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...storage import Database
+
+
+class SQLExecutorAgent(Agent):
+    name = "SQL_EXECUTOR"
+    description = "Executes SQL queries against the HR relational database"
+    inputs = (Parameter("SQL", "sql", "a SQL payload with sql text and parameters"),)
+    outputs = (Parameter("ROWS", "rows", "query result rows"),)
+    listen_tags = ("SQL",)
+    gate_mode = "any"
+
+    def __init__(self, database: Database, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._database = database
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        payload = inputs["SQL"]
+        if isinstance(payload, Mapping):
+            sql = str(payload["sql"])
+            parameters = dict(payload.get("parameters", {}))
+        else:
+            sql = str(payload)
+            parameters = {}
+        result = self._database.execute(sql, parameters)
+        context = self._require_context()
+        context.charge(
+            source=f"{self.name}/{self._database.name}",
+            cost=1e-6,
+            latency=0.001 + 1e-5 * max(len(result.rows), 1),
+        )
+        return {"ROWS": result.rows}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("ROWS",)

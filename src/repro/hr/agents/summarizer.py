@@ -1,0 +1,52 @@
+"""SUMMARIZER (S): summarizes a selected job and its applicant pipeline.
+
+In the Figure-9 flow, selecting a job id in the UI leads the coordinator
+to "execute Summarizer agent with the given input", which "invokes its
+plan to generate a summary".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.agent import Agent
+from ...core.params import Parameter
+from ...llm import prompts
+from ...storage import Database
+
+
+class SummarizerAgent(Agent):
+    name = "SUMMARIZER"
+    description = "Summarizes a job posting and its applicant pipeline"
+    inputs = (Parameter("JOB_ID", "number", "the selected job id"),)
+    outputs = (Parameter("SUMMARY", "text", "a readable summary"),)
+    default_model = "mega-m"
+
+    def __init__(self, database: Database, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._database = database
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        job_id = int(inputs["JOB_ID"])
+        jobs = self._database.query(
+            "SELECT * FROM jobs WHERE id = :job_id", {"job_id": job_id}
+        )
+        if not jobs:
+            return {"SUMMARY": f"No job with id {job_id}."}
+        job = jobs[0]
+        pipeline = self._database.query(
+            "SELECT status, COUNT(*) AS n FROM applications "
+            "WHERE job_id = :job_id GROUP BY status ORDER BY n DESC",
+            {"job_id": job_id},
+        )
+        pipeline_text = ", ".join(f"{row['status']}: {row['n']}" for row in pipeline)
+        source = (
+            f"Job {job_id}: {job['title']} at {job['company']} in {job['city']}, "
+            f"${job['salary']:,}. Required skills: {job['skills']}. "
+            f"Applications by status — {pipeline_text or 'none yet'}."
+        )
+        response = self.complete(prompts.summarize(source))
+        return {"SUMMARY": f"{source}\n{response.text}"}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",)

@@ -1,0 +1,7 @@
+"""Assembled applications: Career Assistant (Scenario I) and Agentic
+Employer (Scenario II / Section VI case study)."""
+
+from .agentic_employer import AgenticEmployerApp, Turn
+from .career_assistant import AssistantReply, CareerAssistant
+
+__all__ = ["AgenticEmployerApp", "Turn", "AssistantReply", "CareerAssistant"]

@@ -1,0 +1,97 @@
+"""Candidate clustering: YourJourney's other predictive model.
+
+Scenario II lets employers "utilize sophisticated predictive models to
+rank and cluster candidates" (Section II-B).  Ranking is the matcher;
+this is the clustering side: k-means over skill-profile embeddings, with
+clusters labeled by their dominant skills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..embedding import HashingEmbedder
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One group of similar candidates."""
+
+    label: str                      # dominant skills, e.g. "python + sql"
+    members: tuple[str, ...]        # candidate names
+    member_ids: tuple[Any, ...]
+    size: int
+
+    def render(self) -> str:
+        names = ", ".join(self.members[:5])
+        suffix = ", ..." if self.size > 5 else ""
+        return f"[{self.label}] ({self.size}): {names}{suffix}"
+
+
+def _skills_text(seeker: Mapping[str, Any]) -> str:
+    skills = seeker.get("skills", "")
+    if isinstance(skills, (list, tuple)):
+        return " ".join(str(s) for s in skills)
+    return str(skills).replace(",", " ")
+
+
+def _skill_phrases(seeker: Mapping[str, Any]) -> list[str]:
+    skills = seeker.get("skills", "")
+    if isinstance(skills, (list, tuple)):
+        return [str(s).strip() for s in skills if str(s).strip()]
+    return [part.strip() for part in str(skills).split(",") if part.strip()]
+
+
+def _dominant_skills(members: list[Mapping[str, Any]], top: int = 2) -> str:
+    counts: dict[str, int] = {}
+    for seeker in members:
+        for skill in _skill_phrases(seeker):
+            counts[skill] = counts.get(skill, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return " + ".join(skill for skill, _ in ranked[:top]) or "misc"
+
+
+def cluster_seekers(
+    seekers: Sequence[Mapping[str, Any]],
+    k: int = 3,
+    seed: int = 13,
+    iterations: int = 20,
+) -> list[Cluster]:
+    """K-means over skill embeddings; deterministic under *seed*.
+
+    Clusters come back largest first, each labeled with its dominant
+    skills.  Fewer seekers than *k* yields one cluster per seeker.
+    """
+    if not seekers:
+        return []
+    k = min(k, len(seekers))
+    embedder = HashingEmbedder(dim=64)
+    matrix = np.vstack([embedder.embed(_skills_text(s)) for s in seekers])
+    rng = np.random.default_rng(seed)
+    centroids = matrix[rng.choice(len(seekers), size=k, replace=False)].copy()
+    assignments = np.zeros(len(seekers), dtype=np.int64)
+    for _ in range(iterations):
+        distances = np.linalg.norm(matrix[:, None, :] - centroids[None, :, :], axis=2)
+        assignments = distances.argmin(axis=1)
+        for cluster_index in range(k):
+            members = matrix[assignments == cluster_index]
+            if len(members):
+                centroids[cluster_index] = members.mean(axis=0)
+    clusters = []
+    for cluster_index in range(k):
+        member_rows = [s for s, a in zip(seekers, assignments) if a == cluster_index]
+        if not member_rows:
+            continue
+        clusters.append(
+            Cluster(
+                label=_dominant_skills(member_rows),
+                members=tuple(str(s.get("name", s.get("id"))) for s in member_rows),
+                member_ids=tuple(s.get("id") for s in member_rows),
+                size=len(member_rows),
+            )
+        )
+    clusters.sort(key=lambda c: (-c.size, c.label))
+    return clusters

@@ -1,0 +1,126 @@
+"""Job-candidate matching: YourJourney's predictive matching model.
+
+A deterministic scoring model combining skill overlap, title proximity in
+the taxonomy, and location fit — the proprietary "job matching algorithm"
+that the agent registry maps as the JOB_MATCHER agent (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..storage import GraphStore
+from .taxonomy import node_id_for
+
+WEIGHT_SKILLS = 0.6
+WEIGHT_TITLE = 0.25
+WEIGHT_LOCATION = 0.15
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """One scored job for a profile."""
+
+    job: Mapping[str, Any]
+    score: float
+    reasons: tuple[str, ...]
+
+    def render(self) -> str:
+        job = self.job
+        return (
+            f"{job.get('title')} at {job.get('company')} ({job.get('city')}) — "
+            f"score {self.score:.2f} [{'; '.join(self.reasons)}]"
+        )
+
+
+def _skill_set(value: Any) -> set[str]:
+    if value is None:
+        return set()
+    if isinstance(value, str):
+        return {part.strip().lower() for part in value.split(",") if part.strip()}
+    return {str(part).strip().lower() for part in value}
+
+
+class JobMatcher:
+    """Scores jobs against a seeker profile."""
+
+    def __init__(self, taxonomy: GraphStore | None = None) -> None:
+        self._taxonomy = taxonomy
+
+    # ------------------------------------------------------------------
+    # Component scores
+    # ------------------------------------------------------------------
+    def skill_score(self, profile_skills: Any, job_skills: Any) -> float:
+        seeker = _skill_set(profile_skills)
+        job = _skill_set(job_skills)
+        if not job:
+            return 0.5  # no requirements stated: neutral
+        if not seeker:
+            return 0.0
+        return len(seeker & job) / len(job)
+
+    def title_score(self, profile_title: str | None, job_title: str | None) -> float:
+        if not profile_title or not job_title:
+            return 0.5
+        base_profile = _strip_seniority(profile_title)
+        base_job = _strip_seniority(job_title)
+        if base_profile.lower() == base_job.lower():
+            return 1.0
+        if self._taxonomy is not None:
+            if self._related_in_taxonomy(base_profile, base_job):
+                return 0.7
+        shared = set(base_profile.lower().split()) & set(base_job.lower().split())
+        return 0.4 if shared else 0.1
+
+    def _related_in_taxonomy(self, title_a: str, title_b: str) -> bool:
+        graph = self._taxonomy
+        node_a, node_b = node_id_for(title_a), node_id_for(title_b)
+        if not (graph.has_node(node_a) and graph.has_node(node_b)):
+            return False
+        neighborhood = {
+            node.node_id for node in graph.neighbors(node_a, "related", direction="both")
+        }
+        return node_b in neighborhood
+
+    def location_score(self, profile_city: str | None, job: Mapping[str, Any]) -> float:
+        if job.get("remote"):
+            return 1.0
+        if not profile_city or not job.get("city"):
+            return 0.5
+        return 1.0 if profile_city.lower() == str(job["city"]).lower() else 0.2
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, profile: Mapping[str, Any], job: Mapping[str, Any]) -> MatchResult:
+        skills = self.skill_score(profile.get("skills"), job.get("skills"))
+        title = self.title_score(profile.get("title"), job.get("title"))
+        location = self.location_score(profile.get("city"), job)
+        total = WEIGHT_SKILLS * skills + WEIGHT_TITLE * title + WEIGHT_LOCATION * location
+        reasons = (
+            f"skills {skills:.2f}",
+            f"title {title:.2f}",
+            f"location {location:.2f}",
+        )
+        return MatchResult(job=dict(job), score=round(total, 4), reasons=reasons)
+
+    def match(
+        self,
+        profile: Mapping[str, Any],
+        jobs: Iterable[Mapping[str, Any]],
+        top_k: int = 5,
+        min_score: float = 0.0,
+    ) -> list[MatchResult]:
+        """Top-*k* jobs for *profile*, best first (deterministic ties)."""
+        scored = [self.score(profile, job) for job in jobs]
+        scored = [result for result in scored if result.score >= min_score]
+        scored.sort(key=lambda r: (-r.score, str(r.job.get("id"))))
+        return scored[:top_k]
+
+
+def _strip_seniority(title: str) -> str:
+    stripped = title
+    for prefix in ("Senior ", "Staff ", "senior ", "staff "):
+        stripped = stripped.removeprefix(prefix)
+    return stripped

@@ -1,0 +1,273 @@
+"""Natural-language-to-query translation for the HR schema.
+
+The NL2Q agent (Figure 10) turns conversational employer questions into
+SQL over the ``hr`` database.  The translator is schema-aware and
+rule-based — deterministic and inspectable — while the calling agent still
+meters an LLM charge, mirroring a production NL2Q model's economics.
+
+Supported shapes (examples):
+    "how many applicants have python skills"      -> COUNT over seekers
+    "average salary of data scientist jobs"       -> AVG over jobs
+    "show applications for job 12"                -> filtered applications
+    "top candidates by experience"                -> ranked seekers
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import PlanningError
+from ..llm.knowledge import REGION_CITIES
+from .data import APPLICATION_STATUSES, OTHER_CITIES
+from .skills import SkillExtractor
+from .taxonomy import base_titles
+
+_ALL_CITIES = tuple(REGION_CITIES["sf bay area"]) + OTHER_CITIES
+
+_TABLE_HINTS = (
+    ("applications", ("application", "applications", "applied")),
+    ("seekers", ("applicant", "applicants", "candidate", "candidates", "seeker", "seekers", "people")),
+    ("jobs", ("job", "jobs", "position", "positions", "opening", "openings", "posting", "postings", "role", "roles")),
+)
+
+_NUMBER_RE = re.compile(r"(\d[\d,]*)\s*(k)?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Translation:
+    """A translated query plus how it was derived."""
+
+    sql: str
+    parameters: dict[str, Any]
+    table: str
+    explanation: str
+
+    def as_payload(self) -> dict[str, Any]:
+        return {
+            "sql": self.sql,
+            "parameters": self.parameters,
+            "table": self.table,
+            "explanation": self.explanation,
+        }
+
+
+class NLQTranslator:
+    """Rule-based NL -> SQL over the YourJourney HR schema."""
+
+    def __init__(self) -> None:
+        self._skills = SkillExtractor()
+
+    def translate(self, text: str) -> Translation:
+        lowered = text.lower()
+        join = self._detect_join(lowered)
+        if join is not None:
+            return join
+        table = self._detect_table(lowered)
+        conditions: list[str] = []
+        parameters: dict[str, Any] = {}
+        notes: list[str] = []
+        counter = 0
+
+        def bind(value: Any) -> str:
+            nonlocal counter
+            name = f"p{counter}"
+            counter += 1
+            parameters[name] = value
+            return f":{name}"
+
+        # -- filters ----------------------------------------------------
+        if table in {"jobs", "seekers"}:
+            for skill in self._skills.skills_of(text):
+                conditions.append(f"skills LIKE {bind('%' + skill + '%')}")
+                notes.append(f"skill '{skill}'")
+            city = self._detect_city(text)
+            if city is not None:
+                conditions.append(f"city = {bind(city)}")
+                notes.append(f"city '{city}'")
+            title = self._detect_title(lowered)
+            if title is not None:
+                conditions.append(f"title LIKE {bind('%' + title + '%')}")
+                notes.append(f"title '{title}'")
+            salary = self._detect_salary(lowered)
+            if salary is not None:
+                op, amount = salary
+                column = "salary" if table == "jobs" else "desired_salary"
+                conditions.append(f"{column} {op} {bind(amount)}")
+                notes.append(f"salary {op} {amount}")
+        if table == "jobs" and ("remote" in lowered):
+            conditions.append("remote = TRUE")
+            notes.append("remote only")
+        if table == "applications":
+            job_id = self._detect_job_id(lowered)
+            if job_id is not None:
+                conditions.append(f"job_id = {bind(job_id)}")
+                notes.append(f"job {job_id}")
+            for status in APPLICATION_STATUSES:
+                if status in lowered:
+                    conditions.append(f"status = {bind(status)}")
+                    notes.append(f"status '{status}'")
+                    break
+
+        # -- projection / aggregation ------------------------------------
+        order_clause = ""
+        limit_clause = " LIMIT 20"
+        if re.search(r"\bhow many\b|\bcount\b|\bnumber of\b", lowered):
+            select = "SELECT COUNT(*) AS n"
+            limit_clause = ""
+            notes.insert(0, "count")
+        elif match := re.search(r"\baverage\b|\bavg\b|\bmean\b", lowered):
+            column = self._aggregate_column(lowered, table)
+            select = f"SELECT AVG({column}) AS avg_{column}"
+            limit_clause = ""
+            notes.insert(0, f"average {column}")
+            del match
+        else:
+            select = "SELECT *"
+            if re.search(r"\btop\b|\bbest\b|\brank\b", lowered):
+                order_column = {
+                    "applications": "match_score",
+                    "seekers": "years_experience",
+                    "jobs": "salary",
+                }[table]
+                order_clause = f" ORDER BY {order_column} DESC"
+                limit_clause = " LIMIT 10"
+                notes.insert(0, f"top by {order_column}")
+
+        sql = f"{select} FROM {table}"
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += order_clause + limit_clause
+        explanation = f"table={table}" + (f"; {', '.join(notes)}" if notes else "")
+        return Translation(sql=sql, parameters=parameters, table=table, explanation=explanation)
+
+    # ------------------------------------------------------------------
+    # Join shapes: "who applied to <job filter>" spans two tables
+    # ------------------------------------------------------------------
+    def _detect_join(self, lowered: str) -> Translation | None:
+        """Applicants-for-jobs questions need applications ⋈ jobs (and the
+        seeker names need seekers too)."""
+        mentions_people = any(
+            hint in lowered
+            for hint in ("applicant", "candidate", "who applied", "applied to", "applicants for")
+        )
+        mentions_jobs = any(
+            hint in lowered for hint in ("job", "position", "posting", "role")
+        )
+        if not (mentions_people and mentions_jobs):
+            return None
+        conditions: list[str] = []
+        parameters: dict[str, Any] = {}
+        notes: list[str] = ["join seekers-applications-jobs"]
+        counter = 0
+
+        def bind(value: Any) -> str:
+            nonlocal counter
+            name = f"p{counter}"
+            counter += 1
+            parameters[name] = value
+            return f":{name}"
+
+        title = self._detect_title(lowered)
+        if title is not None:
+            conditions.append(f"j.title LIKE {bind('%' + title + '%')}")
+            notes.append(f"job title '{title}'")
+        city = self._detect_city(lowered)
+        if city is not None:
+            conditions.append(f"j.city = {bind(city)}")
+            notes.append(f"job city '{city}'")
+        for status in APPLICATION_STATUSES:
+            if status in lowered:
+                conditions.append(f"a.status = {bind(status)}")
+                notes.append(f"status '{status}'")
+                break
+        job_id = self._detect_job_id(lowered)
+        if job_id is not None:
+            conditions.append(f"a.job_id = {bind(job_id)}")
+            notes.append(f"job {job_id}")
+        if len(notes) == 1:
+            return None  # no job-side constraint: the single-table path wins
+        if re.search(r"\bhow many\b|\bcount\b|\bnumber of\b", lowered):
+            select = "SELECT COUNT(*) AS n"
+            limit = ""
+            notes.insert(0, "count")
+        else:
+            select = "SELECT s.name, s.title, j.title AS job_title, j.company, a.status"
+            limit = " LIMIT 20"
+        sql = (
+            f"{select} FROM applications a "
+            "JOIN jobs j ON a.job_id = j.id "
+            "JOIN seekers s ON a.seeker_id = s.id"
+        )
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += limit
+        return Translation(
+            sql=sql,
+            parameters=parameters,
+            table="applications",
+            explanation="; ".join(notes),
+        )
+
+    # ------------------------------------------------------------------
+    # Detectors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _detect_table(lowered: str) -> str:
+        for table, hints in _TABLE_HINTS:
+            if any(hint in lowered for hint in hints):
+                return table
+        raise PlanningError(f"cannot identify a target table in: {lowered!r}")
+
+    @staticmethod
+    def _detect_city(text: str) -> str | None:
+        lowered = text.lower()
+        for city in _ALL_CITIES:
+            if city.lower() in lowered:
+                return city
+        return None
+
+    @staticmethod
+    def _detect_title(lowered: str) -> str | None:
+        for title in base_titles():
+            if title.lower() in lowered:
+                return title
+        return None
+
+    @staticmethod
+    def _detect_salary(lowered: str) -> tuple[str, int] | None:
+        comparators = (
+            (">", ("over", "above", "more than", "at least", "greater than")),
+            ("<", ("under", "below", "less than", "at most")),
+        )
+        for op, words in comparators:
+            for word in words:
+                position = lowered.find(word)
+                if position < 0:
+                    continue
+                match = _NUMBER_RE.search(lowered, position)
+                if match is None:
+                    continue
+                amount = int(match.group(1).replace(",", ""))
+                if match.group(2):
+                    amount *= 1000
+                return op, amount
+        return None
+
+    @staticmethod
+    def _detect_job_id(lowered: str) -> int | None:
+        match = re.search(r"\bjob\s+(?:id\s+)?(\d+)", lowered)
+        return int(match.group(1)) if match else None
+
+    @staticmethod
+    def _aggregate_column(lowered: str, table: str) -> str:
+        if "experience" in lowered:
+            return "years_experience"
+        if "score" in lowered:
+            return "match_score"
+        if table == "seekers" and "salary" in lowered:
+            return "desired_salary"
+        if table == "applications":
+            return "match_score"
+        return "salary"

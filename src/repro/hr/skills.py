@@ -1,0 +1,100 @@
+"""Skill extraction: YourJourney's task-specific "CRF model".
+
+The paper's enterprise has "trained models ... for various tasks such as
+skill extraction" (Section II); agents wrap them like any other compute.
+This is a deterministic gazetteer/rule model: a vocabulary of canonical
+skills with aliases, matched on token boundaries with confidence scores —
+the behavioral stand-in for a sequence tagger, fully offline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..llm.knowledge import TITLE_SKILLS
+
+#: canonical skill -> aliases (matched case-insensitively).
+SKILL_ALIASES: dict[str, tuple[str, ...]] = {
+    "python": ("python", "py"),
+    "sql": ("sql", "structured query language"),
+    "machine learning": ("machine learning", "ml"),
+    "deep learning": ("deep learning", "neural networks"),
+    "statistics": ("statistics", "statistical analysis", "stats"),
+    "data visualization": ("data visualization", "dataviz", "tableau"),
+    "experiment design": ("experiment design", "a/b testing", "ab testing"),
+    "mlops": ("mlops", "ml ops"),
+    "distributed systems": ("distributed systems",),
+    "algorithms": ("algorithms", "data structures"),
+    "system design": ("system design", "architecture design"),
+    "testing": ("testing", "unit testing", "qa"),
+    "git": ("git", "version control"),
+    "debugging": ("debugging",),
+    "spark": ("spark", "pyspark"),
+    "airflow": ("airflow",),
+    "data modeling": ("data modeling", "data modelling"),
+    "roadmapping": ("roadmapping", "roadmap planning"),
+    "stakeholder management": ("stakeholder management",),
+    "analytics": ("analytics",),
+    "communication": ("communication",),
+}
+
+
+@dataclass(frozen=True)
+class SkillMention:
+    """One extracted skill occurrence."""
+
+    skill: str       # canonical name
+    surface: str     # text as matched
+    start: int
+    end: int
+    confidence: float
+
+
+class SkillExtractor:
+    """Gazetteer-based skill extractor with canonical normalization."""
+
+    def __init__(self, aliases: dict[str, tuple[str, ...]] | None = None) -> None:
+        self._aliases = aliases or SKILL_ALIASES
+        self._patterns: list[tuple[str, str, re.Pattern[str]]] = []
+        for canonical, surface_forms in self._aliases.items():
+            for surface in surface_forms:
+                pattern = re.compile(rf"\b{re.escape(surface)}\b", re.IGNORECASE)
+                self._patterns.append((canonical, surface, pattern))
+        # Longer aliases first: "machine learning" must win over "ml".
+        self._patterns.sort(key=lambda entry: -len(entry[1]))
+
+    def extract(self, text: str) -> list[SkillMention]:
+        """All skill mentions, deduplicated by overlapping spans."""
+        mentions: list[SkillMention] = []
+        claimed: list[tuple[int, int]] = []
+        for canonical, surface, pattern in self._patterns:
+            for match in pattern.finditer(text):
+                span = (match.start(), match.end())
+                if any(s < span[1] and span[0] < e for s, e in claimed):
+                    continue
+                claimed.append(span)
+                confidence = 0.95 if surface == canonical else 0.85
+                mentions.append(
+                    SkillMention(
+                        skill=canonical,
+                        surface=match.group(0),
+                        start=span[0],
+                        end=span[1],
+                        confidence=confidence,
+                    )
+                )
+        mentions.sort(key=lambda m: m.start)
+        return mentions
+
+    def skills_of(self, text: str) -> list[str]:
+        """Distinct canonical skills in *text*, in order of appearance."""
+        seen: list[str] = []
+        for mention in self.extract(text):
+            if mention.skill not in seen:
+                seen.append(mention.skill)
+        return seen
+
+    def expected_skills(self, title: str) -> list[str]:
+        """Core skills for a title, from the trained model's priors."""
+        return list(TITLE_SKILLS.get(title.lower(), ()))

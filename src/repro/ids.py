@@ -1,0 +1,60 @@
+"""Deterministic identifier generation.
+
+The architecture persists every message, stream, plan, and agent activation;
+stable, readable identifiers make traces reproducible across runs (given the
+same sequence of operations) and easy to assert on in tests.
+
+Identifiers look like ``msg-000042`` — a short prefix naming the entity kind
+plus a zero-padded per-kind counter. :class:`IdGenerator` instances are
+independent, so separate runtimes never share counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe per-kind counter-based id factory.
+
+    Example:
+        >>> ids = IdGenerator()
+        >>> ids.next("msg")
+        'msg-000001'
+        >>> ids.next("msg")
+        'msg-000002'
+        >>> ids.next("stream")
+        'stream-000001'
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+        self._lock = threading.Lock()
+
+    def next(self, kind: str) -> str:
+        """Return the next identifier for *kind*."""
+        with self._lock:
+            counter = self._counters.get(kind)
+            if counter is None:
+                counter = itertools.count(1)
+                self._counters[kind] = counter
+            return f"{kind}-{next(counter):06d}"
+
+    def reset(self) -> None:
+        """Forget all counters (fresh numbering for a new run)."""
+        with self._lock:
+            self._counters.clear()
+
+
+_GLOBAL = IdGenerator()
+
+
+def new_id(kind: str) -> str:
+    """Return a fresh identifier from the process-global generator."""
+    return _GLOBAL.next(kind)
+
+
+def reset_global_ids() -> None:
+    """Reset the process-global generator (used by tests for determinism)."""
+    _GLOBAL.reset()

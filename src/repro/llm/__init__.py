@@ -1,0 +1,21 @@
+"""Simulated LLM substrate: tokenizer, knowledge, models, catalog, prompts."""
+
+from . import knowledge, prompts
+from .catalog import DEFAULT_SPECS, ModelCatalog
+from .model import LLMResponse, LLMUsage, ModelSpec, SimulatedLLM, UsageTracker
+from .tokenizer import count_tokens, tokenize, truncate_tokens
+
+__all__ = [
+    "knowledge",
+    "prompts",
+    "DEFAULT_SPECS",
+    "ModelCatalog",
+    "LLMResponse",
+    "LLMUsage",
+    "ModelSpec",
+    "SimulatedLLM",
+    "UsageTracker",
+    "count_tokens",
+    "tokenize",
+    "truncate_tokens",
+]

@@ -1,0 +1,137 @@
+"""The model catalog: the enterprise's available LLM endpoints.
+
+The optimizer chooses among these by cost/latency/quality (Section V-G);
+the defaults span four general tiers plus a fine-tuned HR model — cheap and
+strong on HR tasks, weak on open-world knowledge — which is exactly the
+trade-off the paper's enterprise setting motivates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..clock import SimClock
+from ..errors import ModelNotFoundError
+from .model import ModelSpec, SimulatedLLM, UsageTracker
+
+#: Default model fleet (prices are per 1k tokens; latency in seconds).
+DEFAULT_SPECS: tuple[ModelSpec, ...] = (
+    ModelSpec(
+        name="mega-xl",
+        tier="xl",
+        quality=0.98,
+        cost_per_1k_input=0.030,
+        cost_per_1k_output=0.060,
+        latency_base=1.8,
+        latency_per_token=0.020,
+        context_window=32768,
+    ),
+    ModelSpec(
+        name="mega-m",
+        tier="m",
+        quality=0.92,
+        cost_per_1k_input=0.010,
+        cost_per_1k_output=0.020,
+        latency_base=0.9,
+        latency_per_token=0.010,
+        context_window=16384,
+    ),
+    ModelSpec(
+        name="mega-s",
+        tier="s",
+        quality=0.80,
+        cost_per_1k_input=0.002,
+        cost_per_1k_output=0.004,
+        latency_base=0.4,
+        latency_per_token=0.005,
+        context_window=8192,
+    ),
+    ModelSpec(
+        name="mega-nano",
+        tier="nano",
+        quality=0.62,
+        cost_per_1k_input=0.0005,
+        cost_per_1k_output=0.0010,
+        latency_base=0.15,
+        latency_per_token=0.002,
+        context_window=4096,
+    ),
+    ModelSpec(
+        name="hr-ft",
+        tier="ft",
+        quality=0.60,
+        domain="hr",
+        domain_quality=0.96,
+        cost_per_1k_input=0.001,
+        cost_per_1k_output=0.002,
+        latency_base=0.25,
+        latency_per_token=0.003,
+        context_window=8192,
+    ),
+)
+
+
+class ModelCatalog:
+    """Registry of model specs; hands out instrumented clients."""
+
+    def __init__(
+        self,
+        specs: tuple[ModelSpec, ...] = DEFAULT_SPECS,
+        clock: SimClock | None = None,
+        tracker: UsageTracker | None = None,
+    ) -> None:
+        self.clock = clock
+        self.tracker = tracker or UsageTracker()
+        self._specs: dict[str, ModelSpec] = {}
+        self._clients: dict[str, SimulatedLLM] = {}
+        self._lock = threading.Lock()
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: ModelSpec) -> None:
+        with self._lock:
+            self._specs[spec.name] = spec
+            self._clients.pop(spec.name, None)
+
+    def spec(self, name: str) -> ModelSpec:
+        with self._lock:
+            spec = self._specs.get(name)
+        if spec is None:
+            raise ModelNotFoundError(f"no model named {name!r} in catalog")
+        return spec
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    def specs(self) -> list[ModelSpec]:
+        with self._lock:
+            return [self._specs[name] for name in sorted(self._specs)]
+
+    def client(self, name: str, failure_rate: float = 0.0) -> SimulatedLLM:
+        """A (cached) client for *name*, wired to this catalog's clock/tracker."""
+        spec = self.spec(name)
+        with self._lock:
+            cached = self._clients.get(name)
+            if cached is not None and cached.failure_rate == failure_rate:
+                return cached
+            client = SimulatedLLM(
+                spec, clock=self.clock, tracker=self.tracker, failure_rate=failure_rate
+            )
+            self._clients[name] = client
+            return client
+
+    def cheapest(self, domain: str = "general", min_quality: float = 0.0) -> ModelSpec:
+        """Cheapest model whose effective quality meets *min_quality*."""
+        eligible = [
+            spec for spec in self.specs() if spec.quality_for(domain) >= min_quality
+        ]
+        if not eligible:
+            raise ModelNotFoundError(
+                f"no model with quality >= {min_quality} for domain {domain!r}"
+            )
+        return min(eligible, key=lambda spec: spec.cost_per_1k_output)
+
+    def best(self, domain: str = "general") -> ModelSpec:
+        """Highest effective quality model for *domain*."""
+        return max(self.specs(), key=lambda spec: spec.quality_for(domain))

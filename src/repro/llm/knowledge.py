@@ -1,0 +1,143 @@
+"""The simulated LLM's parametric world knowledge.
+
+The paper's data planner treats the LLM as a *data source* for knowledge
+that proprietary databases lack — the running example needs "cities in the
+SF bay area" (no database has a region column) and related job titles.
+This module is that parametric knowledge: curated, deterministic facts the
+simulated models draw on, with per-model quality controlling how faithfully
+they are reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Region name -> cities.  The running example hinges on "SF bay area".
+REGION_CITIES: Mapping[str, tuple[str, ...]] = {
+    "sf bay area": (
+        "San Francisco",
+        "Oakland",
+        "San Jose",
+        "Berkeley",
+        "Palo Alto",
+        "Mountain View",
+        "Sunnyvale",
+        "Santa Clara",
+        "Fremont",
+        "Redwood City",
+    ),
+    "new york metro": (
+        "New York",
+        "Brooklyn",
+        "Jersey City",
+        "Newark",
+        "White Plains",
+    ),
+    "seattle area": ("Seattle", "Bellevue", "Redmond", "Kirkland"),
+    "austin area": ("Austin", "Round Rock", "Cedar Park"),
+}
+
+#: Canonical title -> related titles (the LLM's view; the graph taxonomy in
+#: repro.hr.taxonomy is the enterprise's authoritative version).
+RELATED_TITLES: Mapping[str, tuple[str, ...]] = {
+    "data scientist": (
+        "Data Scientist",
+        "Machine Learning Engineer",
+        "Applied Scientist",
+        "Data Analyst",
+        "Research Scientist",
+    ),
+    "software engineer": (
+        "Software Engineer",
+        "Backend Engineer",
+        "Frontend Engineer",
+        "Full Stack Engineer",
+        "Systems Engineer",
+    ),
+    "product manager": (
+        "Product Manager",
+        "Technical Program Manager",
+        "Product Owner",
+    ),
+    "data engineer": (
+        "Data Engineer",
+        "Analytics Engineer",
+        "ETL Developer",
+    ),
+}
+
+#: Title -> core skills (used for career-advice style questions).
+TITLE_SKILLS: Mapping[str, tuple[str, ...]] = {
+    "data scientist": (
+        "python",
+        "statistics",
+        "machine learning",
+        "sql",
+        "data visualization",
+        "experiment design",
+    ),
+    "machine learning engineer": (
+        "python",
+        "deep learning",
+        "mlops",
+        "distributed systems",
+        "sql",
+    ),
+    "software engineer": (
+        "algorithms",
+        "system design",
+        "testing",
+        "git",
+        "debugging",
+    ),
+    "data engineer": (
+        "sql",
+        "spark",
+        "airflow",
+        "data modeling",
+        "python",
+    ),
+    "product manager": (
+        "roadmapping",
+        "stakeholder management",
+        "analytics",
+        "communication",
+    ),
+}
+
+#: Plausible-but-wrong answers injected by low-quality models.  Keeping the
+#: noise pool explicit makes degradation deterministic and testable.
+NOISE_CITIES: tuple[str, ...] = ("Los Angeles", "Sacramento", "Portland", "San Diego")
+NOISE_TITLES: tuple[str, ...] = ("Sales Engineer", "Recruiter", "Office Manager")
+NOISE_SKILLS: tuple[str, ...] = ("cooking", "juggling", "astrology")
+
+
+def lookup_region(region: str) -> tuple[str, ...] | None:
+    """Cities for *region*, matched case-insensitively and fuzzily."""
+    normalized = region.strip().lower()
+    if normalized in REGION_CITIES:
+        return REGION_CITIES[normalized]
+    for known, cities in REGION_CITIES.items():
+        if known in normalized or normalized in known:
+            return cities
+    return None
+
+
+def lookup_related_titles(title: str) -> tuple[str, ...] | None:
+    normalized = title.strip().lower()
+    if normalized in RELATED_TITLES:
+        return RELATED_TITLES[normalized]
+    for known, titles in RELATED_TITLES.items():
+        if known in normalized or normalized in known:
+            return titles
+    return None
+
+
+def lookup_skills(title: str) -> tuple[str, ...] | None:
+    normalized = title.strip().lower()
+    if normalized in TITLE_SKILLS:
+        return TITLE_SKILLS[normalized]
+    for known, skills in TITLE_SKILLS.items():
+        if known in normalized or normalized in known:
+            return skills
+    return None

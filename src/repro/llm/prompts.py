@@ -1,0 +1,67 @@
+"""Prompt builders for the task-directive convention.
+
+Agents and planners never concatenate prompt strings ad hoc; they build them
+here, so the convention stays in one place and tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def list_cities(region: str) -> str:
+    return f"TASK: LIST_CITIES\nREGION: {region}"
+
+
+def related_titles(title: str) -> str:
+    return f"TASK: RELATED_TITLES\nTITLE: {title}"
+
+
+def list_skills(title: str) -> str:
+    return f"TASK: LIST_SKILLS\nTITLE: {title}"
+
+
+def extract(text: str, fields: Iterable[str]) -> str:
+    field_list = ", ".join(fields)
+    return f"TASK: EXTRACT\nFIELDS: {field_list}\nTEXT: {text}"
+
+
+def summarize(text: str) -> str:
+    return f"TASK: SUMMARIZE\nTEXT: {text}"
+
+
+def classify(text: str, labels: Iterable[str]) -> str:
+    label_list = ", ".join(labels)
+    return f"TASK: CLASSIFY\nLABELS: {label_list}\nTEXT: {text}"
+
+
+def q2nl(fragment: str) -> str:
+    """Turn a query fragment into a natural-language knowledge request."""
+    return f"TASK: Q2NL\nFRAGMENT: {fragment}"
+
+
+def generate(text: str) -> str:
+    return f"TASK: GENERATE\n{text}"
+
+
+def match_explain(
+    seeker_title: str, job_title: str, shared_skills: Iterable[str], location_fit: str = ""
+) -> str:
+    """Explain a seeker-job match (the paper's explanation module)."""
+    skills = ", ".join(shared_skills)
+    return (
+        "TASK: MATCH_EXPLAIN\n"
+        f"SEEKER_TITLE: {seeker_title}\n"
+        f"JOB_TITLE: {job_title}\n"
+        f"SHARED_SKILLS: {skills}\n"
+        f"LOCATION_FIT: {location_fit}"
+    )
+
+
+def describe_rows(rows: Iterable[Mapping], intro: str = "Query results") -> str:
+    """Render rows into a summarization prompt (the QUERY SUMMARIZER's input)."""
+    lines = [f"{intro}:"]
+    for row in rows:
+        rendered = ", ".join(f"{key}={value}" for key, value in row.items())
+        lines.append(f"- {rendered}")
+    return summarize("\n".join(lines))

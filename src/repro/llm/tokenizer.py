@@ -1,0 +1,32 @@
+"""A small deterministic tokenizer for token accounting.
+
+Pricing, context-window checks, and latency models all need token counts.
+We tokenize on words and punctuation — close enough in spirit to BPE for
+cost accounting purposes, and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+|[^\sA-Za-z0-9]")
+
+
+def tokenize(text: str) -> list[str]:
+    """Word/punctuation tokens of *text*."""
+    return _TOKEN_RE.findall(text)
+
+
+def count_tokens(text: str) -> int:
+    """Number of tokens in *text*."""
+    return len(tokenize(text))
+
+
+def truncate_tokens(text: str, max_tokens: int) -> str:
+    """Keep at most *max_tokens* tokens of *text* (joined by spaces)."""
+    if max_tokens <= 0:
+        return ""
+    tokens = tokenize(text)
+    if len(tokens) <= max_tokens:
+        return text
+    return " ".join(tokens[:max_tokens])

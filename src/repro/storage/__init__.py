@@ -1,0 +1,30 @@
+"""Enterprise data substrates: relational, document, graph, KV, vector.
+
+The data registry (:mod:`repro.core.registries`) maps these sources; the
+data planner decomposes queries over them.
+"""
+
+from .document import Collection, DocumentStore
+from .graph import Edge, GraphStore, Node
+from .keyvalue import KeyValueStore
+from .relational import Database, SQLResult, Table, quick_table
+from .schema import Column, ColumnType, TableSchema
+from .vector import FlatIndex, IVFIndex
+
+__all__ = [
+    "Collection",
+    "DocumentStore",
+    "Edge",
+    "GraphStore",
+    "Node",
+    "KeyValueStore",
+    "Database",
+    "SQLResult",
+    "Table",
+    "quick_table",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "FlatIndex",
+    "IVFIndex",
+]

@@ -1,0 +1,6 @@
+"""Document storage: collections with a Mongo-style filter language."""
+
+from .query import get_path, matches, project
+from .store import Collection, DocumentStore
+
+__all__ = ["get_path", "matches", "project", "Collection", "DocumentStore"]

@@ -1,0 +1,5 @@
+"""Graph storage: a directed property graph with traversal helpers."""
+
+from .graph import Edge, GraphStore, Node
+
+__all__ = ["Edge", "GraphStore", "Node"]

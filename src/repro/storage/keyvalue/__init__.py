@@ -1,0 +1,5 @@
+"""Key-value storage with namespaces and TTLs."""
+
+from .store import KeyValueStore
+
+__all__ = ["KeyValueStore"]

@@ -1,0 +1,7 @@
+"""Relational storage: tables, indices, and a SQL execution engine."""
+
+from .database import Database, SQLResult, quick_table
+from .index import HashIndex, SortedIndex
+from .table import Table
+
+__all__ = ["Database", "SQLResult", "quick_table", "HashIndex", "SortedIndex", "Table"]

@@ -1,0 +1,126 @@
+"""A relational database: a named catalog of tables plus a SQL front door."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+from ...errors import StorageError
+from ..schema import Column, ColumnType, TableSchema
+from .table import Table
+
+
+class Database:
+    """Holds tables and executes SQL against them.
+
+    The SQL entry point lives here (rather than on tables) because queries
+    may join multiple tables.  Execution is delegated to
+    :mod:`repro.storage.relational.sql`.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        with self._lock:
+            key = schema.name.lower()
+            if key in self._tables:
+                raise StorageError(f"table already exists: {schema.name!r}")
+            table = Table(schema)
+            self._tables[key] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            if self._tables.pop(name.lower(), None) is None:
+                raise StorageError(f"unknown table: {name!r}")
+
+    def table(self, name: str) -> Table:
+        with self._lock:
+            table = self._tables.get(name.lower())
+        if table is None:
+            raise StorageError(f"unknown table: {name!r} in database {self.name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        with self._lock:
+            return list(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self.tables())
+
+    def describe(self) -> dict[str, Any]:
+        """Catalog metadata (used by the data registry)."""
+        return {
+            "database": self.name,
+            "description": self.description,
+            "tables": [table.schema.describe() for table in self.tables()],
+        }
+
+    # ------------------------------------------------------------------
+    # SQL
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: dict[str, Any] | None = None) -> "SQLResult":
+        """Parse and execute a SQL statement against this database."""
+        from .sql import execute_sql
+
+        return execute_sql(self, sql, parameters)
+
+    def query(self, sql: str, parameters: dict[str, Any] | None = None) -> list[dict[str, Any]]:
+        """Execute a SELECT and return its rows."""
+        return self.execute(sql, parameters).rows
+
+
+class SQLResult:
+    """The outcome of executing one SQL statement."""
+
+    def __init__(
+        self,
+        rows: list[dict[str, Any]] | None = None,
+        columns: list[str] | None = None,
+        rowcount: int = 0,
+        statement_kind: str = "select",
+    ) -> None:
+        self.rows = rows if rows is not None else []
+        self.columns = columns if columns is not None else []
+        self.rowcount = rowcount if rowcount else len(self.rows)
+        self.statement_kind = statement_kind
+
+    def scalar(self) -> Any:
+        """First column of the first row (for COUNT(*)-style queries)."""
+        if not self.rows or not self.columns:
+            return None
+        return self.rows[0][self.columns[0]]
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def quick_table(
+    database: Database,
+    name: str,
+    columns: Iterable[tuple[str, ColumnType] | Column],
+    rows: Iterable[dict[str, Any]] = (),
+    description: str = "",
+) -> Table:
+    """Create a table from (name, type) pairs and bulk-insert *rows*."""
+    schema = TableSchema.build(name, columns, description=description)
+    table = database.create_table(schema)
+    table.insert_many(rows)
+    return table

@@ -1,0 +1,7 @@
+"""SQL front end for the relational engine: lexer, parser, executor."""
+
+from .executor import ExecutionStats, execute_sql
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+
+__all__ = ["ExecutionStats", "execute_sql", "Token", "TokenType", "tokenize", "parse"]

@@ -1,0 +1,122 @@
+"""SQL lexer: turns statement text into a token stream."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ....errors import SQLError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN",
+    "IS", "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "OUTER", "ON",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
+    "INDEX", "PRIMARY", "KEY", "ASC", "DESC", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "USING", "EXISTS",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAMETER = "parameter"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),."
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex *sql* into tokens; raises :class:`SQLError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = i + 1
+            parts: list[str] = []
+            while True:
+                if end >= n:
+                    raise SQLError(f"unterminated string literal at {i}")
+                if sql[end] == "'":
+                    if end + 1 < n and sql[end + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(sql[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < n and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[i:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = end
+            continue
+        if ch == ":":
+            end = i + 1
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            if end == i + 1:
+                raise SQLError(f"bare ':' at {i}")
+            tokens.append(Token(TokenType.PARAMETER, sql[i + 1 : end], i))
+            i = end
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

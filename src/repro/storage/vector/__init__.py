@@ -1,0 +1,5 @@
+"""Vector storage: exact (flat) and approximate (IVF) similarity indices."""
+
+from .index import FlatIndex, IVFIndex
+
+__all__ = ["FlatIndex", "IVFIndex"]

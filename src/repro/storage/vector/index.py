@@ -1,0 +1,165 @@
+"""Vector indices for embedding search.
+
+The agent and data registries search over "learned representations derived
+from metadata and logs" (Sections V-C/D).  Two index structures:
+
+* :class:`FlatIndex` — exact brute-force search,
+* :class:`IVFIndex` — inverted-file approximate search: vectors are
+  clustered with k-means at build time and queries probe the nearest
+  ``n_probes`` clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ...errors import QueryError
+
+
+def _normalize_metric(metric: str) -> str:
+    if metric not in {"cosine", "dot", "l2"}:
+        raise QueryError(f"unknown metric: {metric!r} (want cosine/dot/l2)")
+    return metric
+
+
+def _as_matrix(vectors: Sequence[Sequence[float]] | np.ndarray, dim: int | None) -> np.ndarray:
+    matrix = np.asarray(vectors, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if dim is not None and matrix.shape[1] != dim:
+        raise QueryError(f"dimension mismatch: index dim={dim}, got {matrix.shape[1]}")
+    return matrix
+
+
+def _scores(matrix: np.ndarray, query: np.ndarray, metric: str) -> np.ndarray:
+    """Similarity scores (higher is better) of *query* vs rows of *matrix*."""
+    if metric == "dot":
+        return matrix @ query
+    if metric == "cosine":
+        norms = np.linalg.norm(matrix, axis=1) * np.linalg.norm(query)
+        norms = np.where(norms == 0, 1.0, norms)
+        return (matrix @ query) / norms
+    # l2: negate distance so that higher is better everywhere.
+    return -np.linalg.norm(matrix - query, axis=1)
+
+
+class FlatIndex:
+    """Exact nearest-neighbor search over all stored vectors."""
+
+    kind = "flat"
+
+    def __init__(self, dim: int, metric: str = "cosine") -> None:
+        if dim <= 0:
+            raise QueryError(f"dimension must be positive: {dim}")
+        self.dim = dim
+        self.metric = _normalize_metric(metric)
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._keys: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: Any, vector: Sequence[float] | np.ndarray) -> None:
+        matrix = _as_matrix(vector, self.dim)
+        self._vectors = np.vstack([self._vectors, matrix])
+        self._keys.append(key)
+
+    def add_many(self, items: Iterable[tuple[Any, Sequence[float]]]) -> None:
+        for key, vector in items:
+            self.add(key, vector)
+
+    def search(self, query: Sequence[float] | np.ndarray, k: int = 5) -> list[tuple[Any, float]]:
+        """Top-*k* (key, score) pairs; score is higher-is-better."""
+        if not self._keys:
+            return []
+        query_vec = _as_matrix(query, self.dim)[0]
+        scores = _scores(self._vectors, query_vec, self.metric)
+        k = min(k, len(self._keys))
+        top = np.argsort(-scores, kind="stable")[:k]
+        return [(self._keys[i], float(scores[i])) for i in top]
+
+
+class IVFIndex:
+    """Inverted-file approximate index (k-means clusters, probed search)."""
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "cosine",
+        n_clusters: int = 8,
+        n_probes: int = 2,
+        seed: int = 7,
+    ) -> None:
+        if dim <= 0:
+            raise QueryError(f"dimension must be positive: {dim}")
+        if n_clusters <= 0 or n_probes <= 0:
+            raise QueryError("n_clusters and n_probes must be positive")
+        self.dim = dim
+        self.metric = _normalize_metric(metric)
+        self.n_clusters = n_clusters
+        self.n_probes = min(n_probes, n_clusters)
+        self._seed = seed
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._keys: list[Any] = []
+        self._centroids: np.ndarray | None = None
+        self._assignments: list[list[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: Any, vector: Sequence[float] | np.ndarray) -> None:
+        matrix = _as_matrix(vector, self.dim)
+        self._vectors = np.vstack([self._vectors, matrix])
+        self._keys.append(key)
+        self._centroids = None  # built lazily on next search
+
+    def add_many(self, items: Iterable[tuple[Any, Sequence[float]]]) -> None:
+        for key, vector in items:
+            self.add(key, vector)
+
+    def build(self, iterations: int = 10) -> None:
+        """(Re)cluster stored vectors with k-means."""
+        n = len(self._keys)
+        if n == 0:
+            raise QueryError("cannot build an empty IVF index")
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self._seed)
+        centroids = self._vectors[rng.choice(n, size=k, replace=False)].copy()
+        assignments = np.zeros(n, dtype=np.int64)
+        for _ in range(iterations):
+            distances = np.linalg.norm(
+                self._vectors[:, None, :] - centroids[None, :, :], axis=2
+            )
+            assignments = distances.argmin(axis=1)
+            for cluster in range(k):
+                members = self._vectors[assignments == cluster]
+                if len(members):
+                    centroids[cluster] = members.mean(axis=0)
+        self._centroids = centroids
+        self._assignments = [[] for _ in range(k)]
+        for position, cluster in enumerate(assignments):
+            self._assignments[int(cluster)].append(position)
+
+    def search(self, query: Sequence[float] | np.ndarray, k: int = 5) -> list[tuple[Any, float]]:
+        if not self._keys:
+            return []
+        if self._centroids is None:
+            self.build()
+        assert self._centroids is not None
+        query_vec = _as_matrix(query, self.dim)[0]
+        centroid_distances = np.linalg.norm(self._centroids - query_vec, axis=1)
+        probe_order = np.argsort(centroid_distances, kind="stable")[: self.n_probes]
+        candidates: list[int] = []
+        for cluster in probe_order:
+            candidates.extend(self._assignments[int(cluster)])
+        if not candidates:
+            return []
+        matrix = self._vectors[candidates]
+        scores = _scores(matrix, query_vec, self.metric)
+        k = min(k, len(candidates))
+        top = np.argsort(-scores, kind="stable")[:k]
+        return [(self._keys[candidates[i]], float(scores[i])) for i in top]

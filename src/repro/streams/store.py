@@ -1,0 +1,232 @@
+"""The streams database: creation, publication, subscription, dispatch.
+
+The blueprint deploys a "streams database [that] manages the flow of data
+and control messages among components" (Section IV).  :class:`StreamStore`
+is that database: it owns every stream, assigns message ids and timestamps,
+persists the global trace, and delivers messages to subscribers.
+
+Delivery is synchronous and depth-first: when a subscriber's callback
+publishes further messages (the normal case — agents react to messages by
+emitting more), those are delivered immediately before the publish returns.
+This gives coordinators read-your-writes semantics over agent outputs; a
+dispatch-depth guard catches accidental agent loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..clock import SimClock
+from ..errors import StreamError
+from ..ids import IdGenerator
+from .message import Message, MessageKind, control_payload
+from .stream import Stream
+from .subscription import Subscription, SubscriberCallback, TagRule
+
+
+class StreamStore:
+    """In-process streams database with pub/sub and full observability."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._ids = IdGenerator()
+        self._streams: dict[str, Stream] = {}
+        self._subscriptions: dict[str, Subscription] = {}
+        self._trace: list[Message] = []
+        self._lock = threading.RLock()
+        self._depth = 0
+        self.max_dispatch_depth = 500
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle
+    # ------------------------------------------------------------------
+    def create_stream(
+        self,
+        stream_id: str | None = None,
+        tags: Iterable[str] = (),
+        creator: str = "",
+    ) -> Stream:
+        """Create and register a new stream.
+
+        Raises:
+            StreamError: if *stream_id* already exists.
+        """
+        with self._lock:
+            if stream_id is None:
+                stream_id = self._ids.next("stream")
+            if stream_id in self._streams:
+                raise StreamError(f"stream already exists: {stream_id!r}")
+            stream = Stream(
+                stream_id,
+                tags=frozenset(tags),
+                creator=creator,
+                created_at=self.clock.now(),
+            )
+            self._streams[stream_id] = stream
+            return stream
+
+    def get_stream(self, stream_id: str) -> Stream:
+        with self._lock:
+            stream = self._streams.get(stream_id)
+        if stream is None:
+            raise StreamError(f"unknown stream: {stream_id!r}")
+        return stream
+
+    def has_stream(self, stream_id: str) -> bool:
+        with self._lock:
+            return stream_id in self._streams
+
+    def ensure_stream(self, stream_id: str, creator: str = "") -> Stream:
+        """Return the stream, creating it if it does not exist yet."""
+        with self._lock:
+            if stream_id in self._streams:
+                return self._streams[stream_id]
+            return self.create_stream(stream_id, creator=creator)
+
+    def list_streams(self) -> list[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        stream_id: str,
+        payload: Any,
+        kind: MessageKind = MessageKind.DATA,
+        tags: Iterable[str] = (),
+        producer: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> Message:
+        """Append a message to *stream_id* and dispatch it to subscribers."""
+        stream = self.get_stream(stream_id)
+        message = Message(
+            message_id=self._ids.next("msg"),
+            stream_id=stream_id,
+            kind=kind,
+            payload=payload,
+            tags=frozenset(tags),
+            producer=producer,
+            timestamp=self.clock.now(),
+            metadata=dict(metadata or {}),
+        )
+        stream.append(message)
+        with self._lock:
+            self._trace.append(message)
+        self._dispatch(message)
+        return message
+
+    def publish_data(self, stream_id: str, payload: Any, **kwargs: Any) -> Message:
+        return self.publish(stream_id, payload, kind=MessageKind.DATA, **kwargs)
+
+    def publish_control(
+        self, stream_id: str, instruction: str, producer: str = "", tags: Iterable[str] = (), **fields: Any
+    ) -> Message:
+        """Publish a control message carrying *instruction* and *fields*."""
+        return self.publish(
+            stream_id,
+            control_payload(instruction, **fields),
+            kind=MessageKind.CONTROL,
+            tags=tags,
+            producer=producer,
+        )
+
+    def close_stream(self, stream_id: str, producer: str = "") -> Message:
+        """Append an end-of-stream marker, closing the stream."""
+        return self.publish(stream_id, None, kind=MessageKind.EOS, producer=producer)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        subscriber: str,
+        callback: SubscriberCallback,
+        stream_pattern: str = "*",
+        include_tags: Iterable[str] = (),
+        exclude_tags: Iterable[str] = (),
+        control_only: bool = False,
+        data_only: bool = False,
+    ) -> Subscription:
+        """Register *callback* for matching messages; returns the subscription."""
+        subscription = Subscription(
+            subscription_id=self._ids.next("sub"),
+            subscriber=subscriber,
+            callback=callback,
+            stream_pattern=stream_pattern,
+            tag_rule=TagRule.of(include_tags, exclude_tags),
+            control_only=control_only,
+            data_only=data_only,
+        )
+        with self._lock:
+            self._subscriptions[subscription.subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        with self._lock:
+            subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is not None:
+            subscription.active = False
+
+    def subscriptions(self) -> list[Subscription]:
+        with self._lock:
+            return list(self._subscriptions.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: Message) -> None:
+        """Depth-first synchronous delivery.
+
+        Messages published from inside a subscriber callback are delivered
+        immediately (nested), so a coordinator that publishes an
+        EXECUTE_AGENT instruction observes the agent's outputs as soon as
+        the publish returns.  A depth guard catches runaway agent loops.
+        """
+        with self._lock:
+            self._depth += 1
+            depth = self._depth
+            targets = [s for s in self._subscriptions.values() if s.wants(message)]
+        try:
+            if depth > self.max_dispatch_depth:
+                raise StreamError(
+                    f"dispatch depth exceeded {self.max_dispatch_depth} "
+                    f"(agent loop?) on stream {message.stream_id!r}"
+                )
+            for subscription in targets:
+                subscription.callback(message)
+        finally:
+            with self._lock:
+                self._depth -= 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def trace(self) -> list[Message]:
+        """The global, append-ordered log of every message ever published."""
+        with self._lock:
+            return list(self._trace)
+
+    def trace_by_tag(self, tag: str) -> list[Message]:
+        return [m for m in self.trace() if m.has_tag(tag)]
+
+    def trace_by_producer(self, producer: str) -> list[Message]:
+        return [m for m in self.trace() if m.producer == producer]
+
+    def stats(self) -> dict[str, Any]:
+        """Counts for dashboards and benches."""
+        with self._lock:
+            messages = list(self._trace)
+            n_streams = len(self._streams)
+            n_subs = len(self._subscriptions)
+        kinds: dict[str, int] = {}
+        for message in messages:
+            kinds[message.kind.value] = kinds.get(message.kind.value, 0) + 1
+        return {
+            "streams": n_streams,
+            "subscriptions": n_subs,
+            "messages": len(messages),
+            "by_kind": kinds,
+        }

@@ -1,0 +1,87 @@
+"""Subscriptions and tag rules for selective message consumption.
+
+Agents in the blueprint can be activated *decentrally* by monitoring
+designated tags within streams, "defined by inclusion and exclusion rules"
+(Section V-B).  :class:`TagRule` captures those rules; :class:`Subscription`
+binds a rule plus a stream filter to a subscriber callback.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .message import Message
+
+
+@dataclass(frozen=True)
+class TagRule:
+    """Inclusion/exclusion rule over message tags.
+
+    A message matches when it carries at least one included tag (or the
+    include set is empty, meaning "any") and none of the excluded tags.
+
+    Example:
+        >>> rule = TagRule(include=frozenset({"SQL"}), exclude=frozenset({"DRAFT"}))
+        >>> rule.matches({"SQL"})
+        True
+        >>> rule.matches({"SQL", "DRAFT"})
+        False
+        >>> TagRule().matches(set())  # empty rule matches everything
+        True
+    """
+
+    include: frozenset[str] = frozenset()
+    exclude: frozenset[str] = frozenset()
+
+    def matches(self, tags: Iterable[str]) -> bool:
+        tag_set = set(tags)
+        if self.exclude and tag_set & self.exclude:
+            return False
+        if self.include:
+            return bool(tag_set & self.include)
+        return True
+
+    @classmethod
+    def of(cls, include: Iterable[str] = (), exclude: Iterable[str] = ()) -> "TagRule":
+        """Convenience constructor from any iterables."""
+        return cls(include=frozenset(include), exclude=frozenset(exclude))
+
+
+SubscriberCallback = Callable[[Message], None]
+
+
+@dataclass
+class Subscription:
+    """A registered listener on the stream store.
+
+    Attributes:
+        subscription_id: unique identifier.
+        subscriber: name of the listening component (for traces).
+        callback: invoked once per matching message, in append order.
+        stream_pattern: glob over stream ids (``session-1/*``); ``*`` = all.
+        tag_rule: inclusion/exclusion rule over message tags.
+        control_only / data_only: restrict by message kind.
+    """
+
+    subscription_id: str
+    subscriber: str
+    callback: SubscriberCallback
+    stream_pattern: str = "*"
+    tag_rule: TagRule = field(default_factory=TagRule)
+    control_only: bool = False
+    data_only: bool = False
+    active: bool = True
+
+    def wants(self, message: Message) -> bool:
+        """Whether this subscription should receive *message*."""
+        if not self.active:
+            return False
+        if self.control_only and not message.is_control:
+            return False
+        if self.data_only and not message.is_data:
+            return False
+        if not fnmatch.fnmatchcase(message.stream_id, self.stream_pattern):
+            return False
+        return self.tag_rule.matches(message.tags)

@@ -1,0 +1,21 @@
+"""A second enterprise domain: the customer-support desk.
+
+Demonstrates that the blueprint generalizes beyond HR — the same
+registries, planners, coordinator, budgets, and agent machinery drive a
+support workflow (classify -> retrieve runbooks -> draft grounded reply).
+"""
+
+from .agents import KBRetrieverAgent, ResponseDrafterAgent, TicketClassifierAgent
+from .app import SupportAssistant, TicketOutcome
+from .data import SupportEnterprise, build_support_enterprise, generate_tickets
+
+__all__ = [
+    "KBRetrieverAgent",
+    "ResponseDrafterAgent",
+    "TicketClassifierAgent",
+    "SupportAssistant",
+    "TicketOutcome",
+    "SupportEnterprise",
+    "build_support_enterprise",
+    "generate_tickets",
+]

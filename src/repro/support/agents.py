@@ -1,0 +1,118 @@
+"""The support desk's agent fleet — new domain, same Agent machinery."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.agent import Agent
+from ..core.params import Parameter
+from ..core.planners.data_planner import DataPlanner
+from ..llm import prompts
+from .data import PRODUCTS, SEVERITIES
+
+
+class TicketClassifierAgent(Agent):
+    """Routes an incoming ticket: affected product plus severity estimate.
+
+    Product detection is gazetteer-based (the vendor knows its products);
+    severity uses the LLM classifier with keyword verification — the same
+    LLM-modulo pattern the HR planner uses.
+    """
+
+    name = "TICKET_CLASSIFIER"
+    description = "Classifies support tickets by product and severity"
+    inputs = (Parameter("TICKET", "text", "the raw ticket text"),)
+    outputs = (Parameter("TRIAGE", "json", "product, severity, component hints"),)
+    listen_tags = ("TICKET",)
+    gate_mode = "any"
+    default_model = "mega-s"
+
+    _URGENT = ("outage", "down", "critical", "production", "data loss", "urgent")
+    _MILD = ("question", "how do i", "cosmetic", "minor")
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        text = str(inputs["TICKET"])
+        lowered = text.lower()
+        product = next((p for p in PRODUCTS if p.lower() in lowered), None)
+        response = self.complete(prompts.classify(text, SEVERITIES))
+        severity = str(response.structured or "medium")
+        if any(word in lowered for word in self._URGENT):
+            severity = "critical"
+        elif any(word in lowered for word in self._MILD) and severity == "critical":
+            severity = "low"
+        return {"TRIAGE": {"product": product, "severity": severity, "text": text}}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("TRIAGE",)
+
+
+class KBRetrieverAgent(Agent):
+    """Retrieves the most relevant knowledge-base articles via a RAG plan."""
+
+    name = "KB_RETRIEVER"
+    description = "Finds knowledge base articles relevant to a triaged ticket"
+    inputs = (Parameter("TRIAGE", "json", "the classified ticket"),)
+    outputs = (Parameter("ARTICLES", "json", "ranked KB articles"),)
+
+    def __init__(self, data_planner: DataPlanner, k: int = 2, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._data_planner = data_planner
+        self._k = k
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        triage = inputs["TRIAGE"] or {}
+        query = str(triage.get("text", ""))
+        if triage.get("product"):
+            query = f"{triage['product']} {query}"
+        from ..core.plan import DataPlan, Op, OperatorChoice
+
+        plan = DataPlan(f"kb-{self.activations}", goal=query)
+        plan.add_op(
+            "retrieve", Op.VECTOR_SEARCH,
+            params={"query": query, "k": self._k},
+            choices=(OperatorChoice(source="KB"),),
+        )
+        context = self._require_context()
+        result = self._data_planner.execute(
+            plan, budget=context.budget, principal=self.name
+        )
+        return {"ARTICLES": result.final()}
+
+
+class ResponseDrafterAgent(Agent):
+    """Drafts the customer reply from the triage and the retrieved articles."""
+
+    name = "RESPONSE_DRAFTER"
+    description = "Drafts a support response grounded in knowledge base articles"
+    inputs = (
+        Parameter("TRIAGE", "json", "the classified ticket"),
+        Parameter("ARTICLES", "json", "retrieved KB articles"),
+    )
+    outputs = (Parameter("RESPONSE", "text", "the drafted reply"),)
+    default_model = "mega-m"
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        triage = inputs["TRIAGE"] or {}
+        articles = inputs["ARTICLES"] or []
+        if not articles:
+            return {
+                "RESPONSE": (
+                    "Thanks for the report — we could not find a matching "
+                    "runbook, so this ticket has been escalated to an engineer."
+                )
+            }
+        source = "\n".join(str(article.get("text", "")) for article in articles)
+        summary = self.complete(prompts.summarize(source)).structured
+        severity = triage.get("severity", "medium")
+        lines = [
+            f"Thanks for reaching out about {triage.get('product') or 'your issue'} "
+            f"(severity: {severity}).",
+            f"Suggested remediation: {summary}",
+            "References: " + "; ".join(str(a.get("title")) for a in articles),
+        ]
+        if severity == "critical":
+            lines.append("This ticket has been paged to the on-call engineer.")
+        return {"RESPONSE": "\n".join(lines)}
+
+    def output_tags(self, param: str) -> tuple[str, ...]:
+        return ("DISPLAY",)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.context import AgentContext
+from repro.core.runtime import Blueprint
+from repro.core.session import SessionManager
+from repro.hr.data import Enterprise, build_enterprise
+from repro.llm import ModelCatalog, UsageTracker
+from repro.streams import StreamStore
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def store(clock: SimClock) -> StreamStore:
+    return StreamStore(clock)
+
+
+@pytest.fixture
+def session(store: StreamStore):
+    return SessionManager(store).create("test")
+
+
+@pytest.fixture
+def catalog(clock: SimClock) -> ModelCatalog:
+    return ModelCatalog(clock=clock, tracker=UsageTracker())
+
+
+@pytest.fixture
+def context(store: StreamStore, session, clock: SimClock, catalog: ModelCatalog) -> AgentContext:
+    return AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+
+
+@pytest.fixture(scope="session")
+def shared_enterprise() -> Enterprise:
+    """A session-wide enterprise; treat as read-only in tests."""
+    return build_enterprise(seed=7, n_jobs=120, n_seekers=80, application_rate=0.05)
+
+
+@pytest.fixture
+def enterprise() -> Enterprise:
+    """A small fresh enterprise safe to mutate."""
+    return build_enterprise(seed=11, n_jobs=40, n_seekers=30, application_rate=0.08)
+
+
+@pytest.fixture
+def blueprint(enterprise: Enterprise) -> Blueprint:
+    return Blueprint(data_registry=enterprise.registry)

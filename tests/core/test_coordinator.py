@@ -1,0 +1,317 @@
+"""Tests for the task coordinator: execution, transforms, budget policing."""
+
+import pytest
+
+from repro.core.agent import FunctionAgent
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.coordinator import TaskCoordinator
+from repro.core.params import Parameter
+from repro.core.plan import Binding, TaskPlan
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.qos import QoSSpec
+from repro.streams import Instruction
+
+
+@pytest.fixture
+def rig(store, clock, catalog, enterprise):
+    """A session with a coordinator and two simple worker agents."""
+    from repro.core.session import SessionManager
+
+    session = SessionManager(store).create("rig")
+    budget = Budget(clock=clock)
+    data_planner = DataPlanner(enterprise.registry, catalog)
+
+    def context():
+        return AgentContext(
+            store=store, session=session, clock=clock, catalog=catalog, budget=budget
+        )
+
+    adder = FunctionAgent(
+        "ADDER",
+        lambda i: {"SUM": i["A"] + i["B"]},
+        inputs=(Parameter("A", "number"), Parameter("B", "number")),
+        outputs=(Parameter("SUM", "number"),),
+    )
+    scaler = FunctionAgent(
+        "SCALER",
+        lambda i: {"SCALED": i["X"] * 10},
+        inputs=(Parameter("X", "number"),),
+        outputs=(Parameter("SCALED", "number"),),
+    )
+    coordinator = TaskCoordinator(data_planner=data_planner)
+    for agent in (adder, scaler, coordinator):
+        agent.attach(context())
+    return session, budget, coordinator, store
+
+
+def two_step_plan():
+    plan = TaskPlan("p1", goal="add then scale")
+    plan.add_step("s1", "ADDER", {"A": Binding.const(2), "B": Binding.const(3)})
+    plan.add_step("s2", "SCALER", {"X": Binding.from_node("s1", "SUM")})
+    return plan
+
+
+class TestExecution:
+    def test_executes_dag_in_order(self, rig):
+        session, budget, coordinator, store = rig
+        run = coordinator.execute_plan(two_step_plan())
+        assert run.status == "completed"
+        assert run.executed == ["s1", "s2"]
+        assert run.final_outputs() == {"SCALED": 50}
+
+    def test_control_messages_emitted_per_node(self, rig):
+        session, budget, coordinator, store = rig
+        coordinator.execute_plan(two_step_plan())
+        controls = [
+            m for m in store.trace()
+            if m.is_control
+            and m.instruction() == Instruction.EXECUTE_AGENT
+            and m.producer == "TASK_COORDINATOR"
+        ]
+        assert [m.payload["agent"] for m in controls] == ["ADDER", "SCALER"]
+
+    def test_triggered_by_plan_message(self, rig):
+        """Publishing a PLAN-tagged payload activates the coordinator."""
+        session, budget, coordinator, store = rig
+        stream = session.create_stream("plans", creator="test")
+        store.publish_data(
+            stream.stream_id, two_step_plan().to_payload(), tags=("PLAN",), producer="test"
+        )
+        assert coordinator.runs[-1].status == "completed"
+        result_stream = store.get_stream(session.stream_id("task_coordinator:result"))
+        assert result_stream.data_payloads() == [{"SCALED": 50}]
+
+    def test_stream_binding_reads_latest(self, rig):
+        session, budget, coordinator, store = rig
+        user = session.create_stream("user", creator="user")
+        store.publish_data(user.stream_id, 7)
+        store.publish_data(user.stream_id, 9)
+        plan = TaskPlan("p2")
+        plan.add_step("s1", "SCALER", {"X": Binding.from_stream(user.stream_id)})
+        run = coordinator.execute_plan(plan)
+        assert run.final_outputs() == {"SCALED": 90}
+
+    def test_missing_upstream_output_fails_run(self, rig):
+        session, budget, coordinator, store = rig
+        plan = TaskPlan("p3")
+        plan.add_step("s1", "ADDER", {"A": Binding.const(1), "B": Binding.const(1)})
+        plan.add_step("s2", "SCALER", {"X": Binding.from_node("s1", "NOT_AN_OUTPUT")})
+        run = coordinator.execute_plan(plan)
+        assert run.status == "failed"
+        assert "NOT_AN_OUTPUT" in run.abort_reason
+
+    def test_agent_failure_fails_run(self, rig, store, clock, catalog):
+        session, budget, coordinator, _ = rig
+
+        def boom(inputs):
+            raise RuntimeError("nope")
+
+        bomber = FunctionAgent(
+            "BOMBER", boom, inputs=(Parameter("X", "number"),),
+            outputs=(Parameter("Y", "number"),),
+        )
+        bomber.attach(AgentContext(store=store, session=session, clock=clock, catalog=catalog))
+        plan = TaskPlan("p4")
+        plan.add_step("s1", "BOMBER", {"X": Binding.const(1)})
+        run = coordinator.execute_plan(plan)
+        assert run.status == "failed"
+        assert "BOMBER" in run.abort_reason
+
+    def test_absent_agent_fails_fast(self, rig):
+        """A plan naming an agent not in the session fails loudly, never
+        silently 'succeeding' with empty outputs."""
+        session, budget, coordinator, store = rig
+        plan = TaskPlan("ghostly")
+        plan.add_step("s1", "GHOST", {"X": Binding.const(1)})
+        run = coordinator.execute_plan(plan)
+        assert run.status == "failed"
+        assert "GHOST" in run.abort_reason
+        assert run.executed == []
+
+    def test_empty_output_is_success(self, rig, store, clock, catalog):
+        session, budget, coordinator, _ = rig
+        silent = FunctionAgent(
+            "SILENT", lambda i: None, inputs=(Parameter("X", "number"),),
+        )
+        silent.attach(AgentContext(store=store, session=session, clock=clock, catalog=catalog))
+        plan = TaskPlan("p5")
+        plan.add_step("s1", "SILENT", {"X": Binding.const(1)})
+        run = coordinator.execute_plan(plan)
+        assert run.status == "completed"
+        assert run.final_outputs() == {}
+
+
+class TestTransforms:
+    def test_extract_transform_via_data_planner(self, rig):
+        """PROFILER.CRITERIA <- USER.TEXT: the coordinator invokes the data
+        planner to extract the field (Section V-H's example)."""
+        session, budget, coordinator, store = rig
+        user = session.create_stream("user", creator="user")
+        store.publish_data(
+            user.stream_id, "I am looking for a data scientist position in SF bay area."
+        )
+        received = {}
+
+        def capture(inputs):
+            received.update(inputs)
+            return {"OUT": "ok"}
+
+        from repro.core.agent import FunctionAgent
+        from repro.core.context import AgentContext
+
+        catcher = FunctionAgent(
+            "CATCHER", capture,
+            inputs=(Parameter("TITLE", "text"),),
+            outputs=(Parameter("OUT", "text"),),
+        )
+        catcher.attach(coordinator.context)
+        plan = TaskPlan("pt")
+        plan.add_step(
+            "s1", "CATCHER",
+            {"TITLE": Binding.from_stream(user.stream_id, transform="extract:title")},
+        )
+        run = coordinator.execute_plan(plan)
+        assert run.status == "completed"
+        assert received["TITLE"] == "Data Scientist"
+
+    def test_multi_field_extract(self, rig):
+        session, budget, coordinator, store = rig
+        user = session.create_stream("user", creator="user")
+        store.publish_data(user.stream_id, "data scientist roles in Oakland")
+        got = {}
+        catcher = FunctionAgent(
+            "CATCH2", lambda i: got.update(i) or {"OUT": 1},
+            inputs=(Parameter("BOTH", "json"),), outputs=(Parameter("OUT", "number"),),
+        )
+        catcher.attach(coordinator.context)
+        plan = TaskPlan("pm")
+        plan.add_step(
+            "s1", "CATCH2",
+            {"BOTH": Binding.from_stream(user.stream_id, transform="extract:title+location")},
+        )
+        run = coordinator.execute_plan(plan)
+        assert run.status == "completed"
+        assert got["BOTH"]["title"] == "Data Scientist"
+        assert got["BOTH"]["location"] == "Oakland"
+
+    def test_unknown_transform_fails(self, rig):
+        session, budget, coordinator, store = rig
+        plan = TaskPlan("px")
+        plan.add_step(
+            "s1", "SCALER", {"X": Binding.const(1, transform="teleport")}
+        )
+        run = coordinator.execute_plan(plan)
+        assert run.status == "failed"
+        assert "teleport" in run.abort_reason
+
+    def test_transform_without_data_planner(self, store, clock, catalog, session):
+        coordinator = TaskCoordinator(data_planner=None)
+        coordinator.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+        )
+        scaler = FunctionAgent(
+            "SCALER", lambda i: {"SCALED": 1},
+            inputs=(Parameter("X", "number"),), outputs=(Parameter("SCALED", "number"),),
+        )
+        scaler.attach(AgentContext(store=store, session=session, clock=clock, catalog=catalog))
+        plan = TaskPlan("py")
+        plan.add_step("s1", "SCALER", {"X": Binding.const(1, transform="extract:title")})
+        run = coordinator.execute_plan(plan)
+        assert run.status == "failed"
+
+
+class TestBudgetEnforcement:
+    def test_abort_on_cost_violation(self, rig, clock):
+        session, _, coordinator, store = rig
+        tight = Budget(QoSSpec(max_cost=0.0001), clock=clock)
+        tight.charge("pre-existing", cost=1.0)  # already blown
+        run = coordinator.execute_plan(two_step_plan(), budget=tight)
+        assert run.status == "aborted"
+        assert "cost" in run.abort_reason
+        aborts = [
+            m for m in store.trace()
+            if m.is_control and m.instruction() == Instruction.ABORT_PLAN
+        ]
+        assert len(aborts) == 1
+
+    def test_abort_midway_keeps_partial_outputs(self, rig, clock, store, catalog):
+        session, _, coordinator, _ = rig
+        budget = Budget(QoSSpec(max_cost=0.5), clock=clock)
+
+        def expensive(inputs):
+            budget.charge("expensive-agent", cost=1.0)
+            return {"SUM": 1}
+
+        spender = FunctionAgent(
+            "SPENDER", expensive,
+            inputs=(Parameter("A", "number"),), outputs=(Parameter("SUM", "number"),),
+        )
+        spender.attach(AgentContext(store=store, session=session, clock=clock, catalog=catalog))
+        plan = TaskPlan("pb")
+        plan.add_step("s1", "SPENDER", {"A": Binding.const(1)})
+        plan.add_step("s2", "SCALER", {"X": Binding.from_node("s1", "SUM")})
+        run = coordinator.execute_plan(plan, budget=budget)
+        assert run.status == "aborted"
+        assert run.executed == ["s1"]  # first step ran, second was cut
+
+    def test_replan_instruction_emitted_and_recovers(self, rig, clock, store):
+        """Violation -> ABORT + REPLAN instructions -> escalated re-execution
+        completes the plan."""
+        session, _, _, _ = rig
+        coordinator = TaskCoordinator(replan_on_violation=True, replan_budget_factor=1e9)
+        coordinator.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=None)
+        )
+        blown = Budget(QoSSpec(max_cost=0.001), clock=clock)
+        blown.charge("x", cost=1.0)
+        run = coordinator.execute_plan(two_step_plan(), budget=blown)
+        assert run.status == "completed"
+        assert run.final_outputs() == {"SCALED": 50}
+        instructions = [m.instruction() for m in store.trace() if m.is_control]
+        assert Instruction.ABORT_PLAN in instructions
+        assert Instruction.REPLAN in instructions
+        # Two runs recorded: the aborted original and the replanned success.
+        statuses = [r.status for r in coordinator.runs]
+        assert statuses == ["aborted", "completed"]
+
+    def test_replan_attempts_bounded(self, rig, clock, store, catalog):
+        """A plan that blows every escalated budget stops after max_replans."""
+        session, _, _, _ = rig
+        coordinator = TaskCoordinator(
+            replan_on_violation=True, replan_budget_factor=1.0, max_replans=1
+        )
+        coordinator.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+        )
+
+        def slow(inputs):
+            clock.advance(1.0)  # each execution takes a simulated second
+            return {"SUM": 1}
+
+        slow_agent = FunctionAgent(
+            "SLOWPOKE", slow,
+            inputs=(Parameter("A", "number"),), outputs=(Parameter("SUM", "number"),),
+        )
+        slow_agent.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+        )
+        plan = TaskPlan("slowplan")
+        plan.add_step("s1", "SLOWPOKE", {"A": Binding.const(1)})
+        plan.add_step("s2", "SCALER", {"X": Binding.from_node("s1", "SUM")})
+        run = coordinator.execute_plan(plan, budget=Budget(QoSSpec(max_latency=0.5), clock=clock))
+        assert run.status == "aborted"
+        assert "latency" in run.abort_reason
+        assert len(coordinator.runs) == 2  # original + one replan, then stop
+
+    def test_no_replan_when_disabled(self, rig, clock, store):
+        session, _, coordinator, _ = rig
+        blown = Budget(QoSSpec(max_cost=0.001), clock=clock)
+        blown.charge("x", cost=1.0)
+        run = coordinator.execute_plan(two_step_plan(), budget=blown)
+        assert run.status == "aborted"
+        replans = [
+            m for m in store.trace()
+            if m.is_control and m.instruction() == Instruction.REPLAN
+        ]
+        assert replans == []

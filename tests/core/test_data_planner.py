@@ -1,0 +1,139 @@
+"""Tests for the data planner: decomposition, direct mode, execution."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.plan import Op
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.qos import QoSSpec
+from repro.llm import ModelCatalog
+
+
+@pytest.fixture
+def planner(enterprise, clock):
+    catalog = ModelCatalog(clock=clock)
+    return DataPlanner(enterprise.registry, catalog)
+
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+class TestParseRequest:
+    def test_running_example(self, planner):
+        parsed = planner.parse_request(RUNNING_EXAMPLE)
+        assert parsed["title"] == "Data Scientist"
+        assert parsed["location"] == "sf bay area"
+
+    def test_city_location(self, planner):
+        parsed = planner.parse_request("software engineer jobs in Oakland")
+        assert parsed["location"] == "Oakland"
+
+
+class TestDecomposedPlanning:
+    def test_region_injects_llm_source(self, planner):
+        """'SF bay area' matches no DB city -> Q2NL + LLM_CALL operators."""
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False)
+        ops = {o.op_id: o for o in plan.operators()}
+        assert "q2nl_location" in ops
+        assert ops["cities"].op is Op.LLM_CALL
+        assert ops["nl2q"].op is Op.NL2Q
+        assert ops["query_jobs"].op is Op.SQL
+
+    def test_known_city_skips_llm(self, planner):
+        plan = planner.plan_job_query(
+            "data scientist position in Oakland", optimize=False
+        )
+        op_ids = [o.op_id for o in plan.operators()]
+        assert "cities" not in op_ids
+        assert planner.registry.has("JOBS")
+        base = plan.operator("nl2q").params["base_filters"]
+        assert base == {"city": "Oakland"}
+
+    def test_title_expansion_prefers_graph(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False)
+        expand = plan.operator("expand_title")
+        assert expand.op is Op.TAXONOMY
+        assert expand.choices[0].source == "TITLE_TAXONOMY"
+        assert any(c.model for c in expand.choices)  # LLM alternatives exist
+
+    def test_optimizer_assigns_choices(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"))
+        for operator in plan.operators():
+            assert operator.chosen is not None
+
+    def test_plan_validates(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False)
+        plan.validate()
+
+
+class TestExecution:
+    def test_decomposed_finds_bay_area_jobs(self, planner, enterprise):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        result = planner.execute(plan)
+        rows = result.final()
+        assert isinstance(rows, list) and rows
+        bay = {"San Francisco", "Oakland", "San Jose", "Berkeley", "Palo Alto",
+               "Mountain View", "Sunnyvale", "Santa Clara", "Fremont", "Redwood City"}
+        assert all(row["city"] in bay for row in rows)
+        assert all("Data" in row["title"] or "Scientist" in row["title"]
+                   or "Engineer" in row["title"] or "Analyst" in row["title"]
+                   for row in rows)
+
+    def test_direct_plan_misses_region(self, planner):
+        """The baseline direct NL2Q finds nothing: 'sf bay area' is no city."""
+        direct = planner.plan_direct_query(RUNNING_EXAMPLE)
+        result = planner.execute(direct)
+        assert result.final() == []
+
+    def test_decomposed_beats_direct_recall(self, planner):
+        decomposed = planner.execute(
+            planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        )
+        direct = planner.execute(planner.plan_direct_query(RUNNING_EXAMPLE))
+        assert len(decomposed.final()) > len(direct.final())
+
+    def test_execution_charges_budget(self, planner, clock):
+        budget = Budget(clock=clock)
+        plan = planner.plan_job_query(RUNNING_EXAMPLE)
+        planner.execute(plan, budget=budget)
+        assert budget.spent_cost() > 0
+        sources = set(budget.by_source())
+        assert any(s.startswith("data-plan/") for s in sources)
+
+    def test_execution_metrics_accumulate(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE)
+        result = planner.execute(plan)
+        assert result.cost > 0
+        assert result.latency > 0
+        assert 0 < result.quality <= 1
+
+    def test_run_job_query_one_call(self, planner):
+        result = planner.run_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        assert result.final()
+
+
+class TestTransformPlanning:
+    def test_plan_transform_extract(self, planner):
+        plan = planner.plan_transform(RUNNING_EXAMPLE, ("title", "location"))
+        result = planner.execute(plan)
+        extracted = result.final()
+        assert extracted["title"] == "Data Scientist"
+
+    def test_transform_respects_qos(self, planner):
+        plan = planner.plan_transform(
+            RUNNING_EXAMPLE, ("title",), qos=QoSSpec(min_quality=0.95, objective="cost")
+        )
+        choice = plan.operator("extract").chosen
+        # Only hr-ft (0.96 on hr) and mega-xl (0.98) qualify; hr-ft is cheaper.
+        assert choice.model == "hr-ft"
+
+
+class TestKnowledgePlanning:
+    def test_skills_lookup(self, planner):
+        plan = planner.plan_knowledge("skills", "data scientist", qos=QoSSpec(objective="quality"))
+        result = planner.execute(plan)
+        assert "python" in result.final()
+
+    def test_cities_lookup(self, planner):
+        plan = planner.plan_knowledge("cities", "sf bay area", qos=QoSSpec(objective="quality"))
+        assert "San Francisco" in planner.execute(plan).final()

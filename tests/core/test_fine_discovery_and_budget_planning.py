@@ -1,0 +1,89 @@
+"""Tests for coarse-to-fine discovery and budget-aware planning."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.qos import QoSSpec
+
+
+class TestFineDiscovery:
+    def test_salary_concept_finds_jobs_salary_column(self, shared_enterprise):
+        hits = shared_enterprise.registry.discover_fine("annual salary in USD")
+        assert ("JOBS", "salary") in [(source, field) for source, field, _ in hits[:3]]
+
+    def test_skills_concept_spans_sources(self, shared_enterprise):
+        hits = shared_enterprise.registry.discover_fine("comma-separated skills", k=6)
+        pairs = {(source, field) for source, field, _ in hits}
+        assert ("JOBS", "skills") in pairs or ("SEEKERS", "skills") in pairs
+
+    def test_document_fields_included(self, shared_enterprise):
+        hits = shared_enterprise.registry.discover_fine("years of experience", k=6)
+        pairs = {(source, field) for source, field, _ in hits}
+        assert ("SEEKERS", "years_experience") in pairs or (
+            "PROFILES", "years_experience"
+        ) in pairs
+
+    def test_scores_descending_and_bounded(self, shared_enterprise):
+        hits = shared_enterprise.registry.discover_fine("job title", k=10)
+        scores = [score for _, _, score in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert len(hits) == 10
+
+    def test_non_field_sources_skipped(self, shared_enterprise):
+        hits = shared_enterprise.registry.discover_fine("anything", k=50)
+        sources = {source for source, _, _ in hits}
+        assert "TITLE_TAXONOMY" not in sources  # graphs have no fields
+        assert "LLM:WORLD" not in sources
+
+
+class TestBudgetAwarePlanning:
+    @pytest.fixture
+    def planner(self, blueprint, enterprise):
+        from repro.hr.apps.career_assistant import JOB_SEARCH_TEMPLATE, SKILL_ADVICE_TEMPLATE
+
+        blueprint.task_planner.register_template(JOB_SEARCH_TEMPLATE)
+        blueprint.task_planner.register_template(SKILL_ADVICE_TEMPLATE)
+        for name, description in [
+            ("PROFILER", "Builds a job seeker profile from search criteria"),
+            ("JOB_MATCHER", "Matches a profile with available job listings"),
+            ("PRESENTER", "Presents matched jobs to the end user"),
+        ]:
+            from repro.core.agent import FunctionAgent
+            from repro.core.params import Parameter
+
+            blueprint.agent_registry.register_agent(
+                FunctionAgent(
+                    name, lambda i: None,
+                    inputs=(Parameter("CRITERIA", "text"),) if name == "PROFILER"
+                    else (Parameter("PROFILE", "profile"),) if name == "JOB_MATCHER"
+                    else (Parameter("MATCHES", "matches"),),
+                    outputs=(Parameter("PROFILE", "profile"),) if name == "PROFILER"
+                    else (Parameter("MATCHES", "matches"),) if name == "JOB_MATCHER"
+                    else (Parameter("PRESENTATION", "text"),),
+                    description=description,
+                )
+            )
+        return blueprint.task_planner
+
+    def test_exhausted_budget_skips_llm_classification(self, planner, blueprint):
+        blown = Budget(QoSSpec(max_cost=0.01), clock=blueprint.clock)
+        blown.charge("previous-work", cost=0.0099)
+        calls_before = blueprint.tracker.calls
+        intent = planner.classify_intent(
+            "I am looking for a position", budget=blown
+        )
+        assert intent == "job_search"  # keyword routing still works
+        assert blueprint.tracker.calls == calls_before  # no LLM call happened
+
+    def test_healthy_budget_uses_llm(self, planner, blueprint):
+        healthy = Budget(QoSSpec(max_cost=10.0), clock=blueprint.clock)
+        calls_before = blueprint.tracker.calls
+        planner.classify_intent("I am looking for a position", budget=healthy)
+        assert blueprint.tracker.calls == calls_before + 1
+
+    def test_plan_threads_budget(self, planner, blueprint):
+        blown = Budget(QoSSpec(max_cost=0.0001), clock=blueprint.clock)
+        calls_before = blueprint.tracker.calls
+        plan = planner.plan("I am looking for a position", "user", budget=blown)
+        assert blueprint.tracker.calls == calls_before
+        assert len(plan) == 3

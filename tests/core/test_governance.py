@@ -1,0 +1,82 @@
+"""Tests for data governance: ACLs on registry sources (Section VII)."""
+
+import pytest
+
+from repro.core.planners.data_planner import DataPlanner
+from repro.errors import AccessDeniedError
+from repro.llm import ModelCatalog
+
+
+class TestRegistryACLs:
+    def test_open_source_allows_everyone(self, enterprise):
+        registry = enterprise.registry
+        assert registry.authorized("JOBS", None)
+        assert registry.handle("JOBS", principal="ANY_AGENT") is enterprise.database
+
+    def test_acl_restricts(self, enterprise):
+        registry = enterprise.registry
+        registry.set_acl("SEEKERS", {"JOB_MATCHER", "PROFILER"})
+        assert registry.authorized("SEEKERS", "JOB_MATCHER")
+        assert not registry.authorized("SEEKERS", "SUMMARIZER")
+        assert not registry.authorized("SEEKERS", None)
+
+    def test_handle_enforces_acl(self, enterprise):
+        registry = enterprise.registry
+        registry.set_acl("SEEKERS", {"JOB_MATCHER"})
+        with pytest.raises(AccessDeniedError):
+            registry.handle("SEEKERS", principal="INTRUDER")
+        registry.handle("SEEKERS", principal="JOB_MATCHER")
+
+    def test_clear_acl_reopens(self, enterprise):
+        registry = enterprise.registry
+        registry.set_acl("SEEKERS", {"A"})
+        registry.clear_acl("SEEKERS")
+        registry.handle("SEEKERS", principal="ANYONE")
+
+    def test_acl_requires_known_entry(self, enterprise):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            enterprise.registry.set_acl("GHOST", {"A"})
+
+    def test_acl_lookup(self, enterprise):
+        registry = enterprise.registry
+        assert registry.acl("JOBS") is None
+        registry.set_acl("JOBS", {"A"})
+        assert registry.acl("JOBS") == frozenset({"A"})
+        registry.clear_acl("JOBS")
+
+
+class TestPlanExecutionGovernance:
+    QUERY = "data scientist position in SF bay area"
+
+    @pytest.fixture
+    def planner(self, enterprise, clock):
+        return DataPlanner(enterprise.registry, ModelCatalog(clock=clock))
+
+    def test_authorized_principal_executes(self, planner, enterprise):
+        enterprise.registry.set_acl("JOBS", {"JOB_MATCHER"})
+        try:
+            plan = planner.plan_job_query(self.QUERY)
+            result = planner.execute(plan, principal="JOB_MATCHER")
+            assert result.final()
+        finally:
+            enterprise.registry.clear_acl("JOBS")
+
+    def test_unauthorized_principal_denied(self, planner, enterprise):
+        enterprise.registry.set_acl("JOBS", {"JOB_MATCHER"})
+        try:
+            plan = planner.plan_job_query(self.QUERY)
+            with pytest.raises(AccessDeniedError):
+                planner.execute(plan, principal="ROGUE_AGENT")
+        finally:
+            enterprise.registry.clear_acl("JOBS")
+
+    def test_anonymous_execution_denied_on_protected_source(self, planner, enterprise):
+        enterprise.registry.set_acl("JOBS", {"JOB_MATCHER"})
+        try:
+            plan = planner.plan_job_query(self.QUERY)
+            with pytest.raises(AccessDeniedError):
+                planner.execute(plan)
+        finally:
+            enterprise.registry.clear_acl("JOBS")

@@ -1,0 +1,100 @@
+"""Tests for the guard agents: moderation, verification, reflection."""
+
+import pytest
+
+from repro.core.guards import ModeratorAgent, ReflectionAgent, VerifierAgent
+
+
+class TestModerator:
+    @pytest.fixture
+    def moderator(self, context):
+        agent = ModeratorAgent()
+        agent.attach(context)
+        return agent
+
+    def test_clean_text_allowed(self, moderator):
+        verdict, safe = moderator.moderate("Here are your top job matches.")
+        assert verdict == "allow"
+        assert safe == "Here are your top job matches."
+
+    def test_banned_term_blocked(self, moderator):
+        verdict, safe = moderator.moderate("This is CONFIDENTIAL salary data")
+        assert verdict == "block"
+        assert "blocked" in safe
+
+    def test_email_redacted(self, moderator):
+        verdict, safe = moderator.moderate("Contact ann@example.com for details")
+        assert verdict == "redact"
+        assert "ann@example.com" not in safe
+        assert "[email redacted]" in safe
+
+    def test_phone_and_ssn_redacted(self, moderator):
+        verdict, safe = moderator.moderate("Call 415-555-1234, SSN 123-45-6789")
+        assert verdict == "redact"
+        assert "415-555-1234" not in safe
+        assert "123-45-6789" not in safe
+
+    def test_custom_banned_terms(self, context):
+        agent = ModeratorAgent(banned_terms=("tuna",))
+        verdict, _ = agent.moderate("I like tuna sandwiches")
+        assert verdict == "block"
+
+    def test_tag_activation(self, moderator, session, store):
+        user = session.create_stream("user", creator="user")
+        store.publish_data(user.stream_id, "email me at x@y.com", tags=("MODERATE",))
+        out = store.get_stream(session.stream_id("moderator:safe_text"))
+        assert "[email redacted]" in out.data_payloads()[0]
+        assert out.last().has_tag("MODERATED")
+
+
+class TestVerifier:
+    def test_splits_verified_and_rejected(self, context):
+        agent = VerifierAgent(lambda item: item in {"a", "b"})
+        agent.attach(context)
+        outputs = agent.processor({"ANSWER": ["a", "x", "b", "y"]})
+        assert outputs["VERIFIED"] == ["a", "b"]
+        assert outputs["REJECTED"] == ["x", "y"]
+
+    def test_scalar_answer_wrapped(self, context):
+        agent = VerifierAgent(lambda item: True)
+        agent.attach(context)
+        assert agent.processor({"ANSWER": "solo"})["VERIFIED"] == ["solo"]
+
+    def test_against_column(self, enterprise, context):
+        agent = VerifierAgent.against_column(enterprise.database, "jobs", "city")
+        agent.attach(context)
+        outputs = agent.processor(
+            {"ANSWER": ["Oakland", "Atlantis", "san francisco"]}
+        )
+        assert "Oakland" in outputs["VERIFIED"]
+        assert "san francisco" in outputs["VERIFIED"]  # case-insensitive
+        assert outputs["REJECTED"] == ["Atlantis"]
+
+
+class TestReflection:
+    @pytest.fixture
+    def reflector(self, context):
+        agent = ReflectionAgent()
+        agent.attach(context)
+        return agent
+
+    def test_clean_draft_untouched(self, reflector):
+        outputs = reflector.processor({"DRAFT": "A clean, coherent answer."})
+        assert outputs["CRITIQUE"] == []
+        assert outputs["REVISED"] == "A clean, coherent answer."
+
+    def test_empty_draft_flagged(self, reflector):
+        outputs = reflector.processor({"DRAFT": "   "})
+        assert "empty draft" in outputs["CRITIQUE"]
+        assert outputs["REVISED"] == "(no content)"
+
+    def test_placeholder_removed(self, reflector):
+        outputs = reflector.processor({"DRAFT": "Dear {name}, see TODO list"})
+        assert "unresolved placeholder" in outputs["CRITIQUE"]
+        assert "{name}" not in outputs["REVISED"]
+        assert "TODO" not in outputs["REVISED"]
+
+    def test_stutter_collapsed(self, reflector):
+        outputs = reflector.processor({"DRAFT": "the the the results are in"})
+        assert "repeated words" in outputs["CRITIQUE"]
+        assert outputs["REVISED"] == "the results are in"

@@ -1,0 +1,142 @@
+"""Tests for interactive (propose/approve/revise) planning and the explainer."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.coordinator import TaskCoordinator
+from repro.core.planners.task_planner import TaskPlannerAgent
+from repro.hr.apps.career_assistant import CareerAssistant
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def interactive_rig():
+    """A Career-Assistant-like rig with an *interactive* planner agent."""
+    assistant = CareerAssistant(seed=7)
+    blueprint = assistant.blueprint
+    planner_agent = TaskPlannerAgent(blueprint.task_planner, interactive=True)
+    # Detach the default non-interactive planner so only ours reacts.
+    assistant.planner_agent.detach()
+    blueprint.attach(planner_agent, assistant.session, assistant.budget, register=False)
+    return assistant, planner_agent
+
+
+def publish_user(assistant, text):
+    assistant.blueprint.store.publish_data(
+        assistant.user_stream.stream_id, text, tags=("USER",), producer="user"
+    )
+
+
+def publish_approval(assistant, payload):
+    assistant.blueprint.store.publish_data(
+        assistant.user_stream.stream_id, payload, tags=("PLAN_APPROVAL",), producer="user"
+    )
+
+
+class TestInteractivePlanning:
+    def test_proposal_emitted_not_executed(self, interactive_rig):
+        assistant, planner_agent = interactive_rig
+        publish_user(assistant, RUNNING_EXAMPLE)
+        proposals = [
+            m for m in assistant.blueprint.store.trace()
+            if m.is_data and m.has_tag("PLAN_PROPOSAL")
+        ]
+        assert len(proposals) == 1
+        assert proposals[0].payload["agents"] == ["PROFILER", "JOB_MATCHER", "PRESENTER"]
+        assert "EXECUTE PROFILER" in proposals[0].payload["rendering"]
+        # Nothing executed yet: the coordinator saw no PLAN message.
+        assert assistant.coordinator.runs == []
+        assert planner_agent.pending_proposals() == [proposals[0].payload["plan_id"]]
+
+    def test_approval_releases_execution(self, interactive_rig):
+        assistant, planner_agent = interactive_rig
+        publish_user(assistant, RUNNING_EXAMPLE)
+        plan_id = planner_agent.pending_proposals()[0]
+        publish_approval(assistant, {"plan_id": plan_id, "approve": True})
+        assert assistant.coordinator.runs
+        assert assistant.coordinator.runs[-1].status == "completed"
+        assert planner_agent.pending_proposals() == []
+
+    def test_rejection_revises_and_reproposes(self, interactive_rig):
+        assistant, planner_agent = interactive_rig
+        publish_user(assistant, RUNNING_EXAMPLE)
+        plan_id = planner_agent.pending_proposals()[0]
+        publish_approval(
+            assistant, {"plan_id": plan_id, "approve": False, "remove": ["step3"]}
+        )
+        proposals = [
+            m for m in assistant.blueprint.store.trace()
+            if m.is_data and m.has_tag("PLAN_PROPOSAL")
+        ]
+        assert len(proposals) == 2
+        assert proposals[-1].payload["agents"] == ["PROFILER", "JOB_MATCHER"]
+        # Approving the revision executes the shortened plan.
+        revised_id = planner_agent.pending_proposals()[0]
+        publish_approval(assistant, {"plan_id": revised_id, "approve": True})
+        run = assistant.coordinator.runs[-1]
+        assert run.status == "completed"
+        assert run.executed == ["step1", "step2"]
+
+    def test_unknown_plan_id_reports_error(self, interactive_rig):
+        assistant, planner_agent = interactive_rig
+        publish_approval(assistant, {"plan_id": "ghost", "approve": True})
+        assert planner_agent.failures == 1
+
+    def test_non_interactive_unchanged(self):
+        assistant = CareerAssistant(seed=7)
+        reply = assistant.ask(RUNNING_EXAMPLE)
+        assert reply.plan_rendering == "PROFILER -> JOB_MATCHER -> PRESENTER"
+
+
+class TestExplainer:
+    def test_explanations_grounded_in_matches(self, enterprise, store, clock, catalog):
+        from repro.core.session import SessionManager
+        from repro.hr.agents import ExplainerAgent
+
+        session = SessionManager(store).create("exp")
+        agent = ExplainerAgent()
+        agent.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+        )
+        matches = [
+            {"title": "Data Scientist", "company": "Acme", "city": "Oakland",
+             "skills": "python, sql", "remote": False, "score": 0.9},
+            {"title": "ML Engineer", "company": "Blue", "city": "SF",
+             "skills": "python, mlops", "remote": True, "score": 0.8},
+        ]
+        profile = {"title": "Data Scientist", "skills": ["python", "sql"]}
+        text = agent.processor({"MATCHES": matches, "PROFILE": profile})["EXPLANATIONS"]
+        assert "Data Scientist at Acme" in text
+        assert "python" in text
+        assert "located in Oakland" in text
+        assert "remote-friendly" in text
+
+    def test_empty_matches(self, enterprise, store, clock, catalog):
+        from repro.core.session import SessionManager
+        from repro.hr.agents import ExplainerAgent
+
+        session = SessionManager(store).create("exp2")
+        agent = ExplainerAgent()
+        agent.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog)
+        )
+        assert "No matches" in agent.processor({"MATCHES": [], "PROFILE": {}})["EXPLANATIONS"]
+
+    def test_budget_charged_per_explanation(self, store, clock, catalog):
+        from repro.core.session import SessionManager
+        from repro.hr.agents import ExplainerAgent
+
+        session = SessionManager(store).create("exp3")
+        budget = Budget(clock=clock)
+        agent = ExplainerAgent(max_explained=2)
+        agent.attach(
+            AgentContext(store=store, session=session, clock=clock, catalog=catalog, budget=budget)
+        )
+        matches = [
+            {"title": f"T{i}", "company": "C", "city": "SF", "skills": "python"}
+            for i in range(5)
+        ]
+        agent.processor({"MATCHES": matches, "PROFILE": {"title": "DS", "skills": []}})
+        assert len(budget.charges()) == 2  # capped at max_explained

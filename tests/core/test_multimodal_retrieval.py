@@ -1,0 +1,68 @@
+"""Tests for generic multi-modal retrieval planning."""
+
+import pytest
+
+from repro.core.plan import Op
+from repro.core.planners.data_planner import DataPlanner
+from repro.errors import PlanningError
+from repro.llm import ModelCatalog
+
+
+@pytest.fixture
+def planner(enterprise, clock):
+    return DataPlanner(enterprise.registry, ModelCatalog(clock=clock))
+
+
+class TestModalityRouting:
+    def test_relational_concept_plans_sql(self, planner):
+        plan = planner.plan_retrieval("open job postings", {"city": "Oakland"})
+        ops = {o.op_id: o.op for o in plan.operators()}
+        assert ops["fetch"] is Op.SQL
+        rows = planner.execute(plan).final()
+        assert rows
+        assert all(row["city"] == "Oakland" for row in rows)
+
+    def test_document_concept_plans_doc_find(self, planner):
+        plan = planner.plan_retrieval(
+            "seeker profile documents skills", {"skills": "python"}, limit=5
+        )
+        assert plan.operator("fetch").op is Op.DOC_FIND
+        documents = planner.execute(plan).final()
+        assert documents
+        assert all("python" in doc["skills"] for doc in documents)
+
+    def test_graph_concept_plans_taxonomy(self, planner):
+        plan = planner.plan_retrieval(
+            "job title taxonomy hierarchy", {"concept": "data scientist"}
+        )
+        assert plan.operator("fetch").op is Op.TAXONOMY
+        titles = planner.execute(plan).final()
+        assert "Machine Learning Engineer" in titles
+
+    def test_llm_concept_plans_model_call(self, planner):
+        plan = planner.plan_retrieval(
+            "world knowledge geography",
+            {"prompt_kind": "cities", "arg": "sf bay area"},
+        )
+        assert plan.operator("fetch").op is Op.LLM_CALL
+        cities = planner.execute(plan).final()
+        assert "San Francisco" in cities
+
+    def test_unknown_filter_columns_dropped(self, planner):
+        plan = planner.plan_retrieval(
+            "open job postings", {"city": "Oakland", "bogus_column": 1}
+        )
+        base = plan.operator("nl2q").params["base_filters"]
+        assert "bogus_column" not in base
+
+    def test_limit_applied(self, planner):
+        plan = planner.plan_retrieval("open job postings", limit=3)
+        rows = planner.execute(plan).final()
+        assert len(rows) <= 3
+
+    def test_no_source_raises(self, clock):
+        from repro.core.registries import DataRegistry
+
+        empty_planner = DataPlanner(DataRegistry(), ModelCatalog(clock=clock))
+        with pytest.raises(PlanningError):
+            empty_planner.plan_retrieval("anything at all")

@@ -1,0 +1,185 @@
+"""Tests for the cost model and plan optimizer."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.optimizer import CostModel, PlanOptimizer
+from repro.core.plan import DataPlan, Op, OperatorChoice
+from repro.core.plan.data_plan import DataOperator
+from repro.core.qos import QoSSpec
+from repro.errors import OptimizationError
+from repro.llm import ModelCatalog
+
+
+@pytest.fixture
+def catalog():
+    return ModelCatalog(clock=SimClock())
+
+
+@pytest.fixture
+def cost_model(catalog):
+    return CostModel(catalog)
+
+
+def llm_op(op_id="call", models=("mega-xl", "mega-s"), domain="general"):
+    return DataOperator(
+        op_id,
+        Op.LLM_CALL,
+        params={"prompt_kind": "cities", "arg": "x", "domain": domain},
+        choices=tuple(OperatorChoice(model=m) for m in models),
+    )
+
+
+class TestCostModel:
+    def test_llm_estimate_tracks_spec(self, cost_model, catalog):
+        operator = llm_op()
+        cheap = cost_model.estimate(operator, OperatorChoice(model="mega-s"))
+        pricey = cost_model.estimate(operator, OperatorChoice(model="mega-xl"))
+        assert cheap.cost < pricey.cost
+        assert cheap.latency < pricey.latency
+        assert cheap.quality < pricey.quality
+
+    def test_domain_quality(self, cost_model):
+        operator = DataOperator(
+            "e", Op.EXTRACT, params={"domain": "hr"},
+            choices=(OperatorChoice(model="hr-ft"),),
+        )
+        estimate = cost_model.estimate(operator, OperatorChoice(model="hr-ft"))
+        assert estimate.quality == 0.96
+
+    def test_storage_estimate_scales_with_rows(self, cost_model):
+        operator = DataOperator("s", Op.SQL, choices=(OperatorChoice(source="T"),))
+        small = cost_model.estimate(operator, operator.choice(), rows_in=10)
+        large = cost_model.estimate(operator, operator.choice(), rows_in=10000)
+        assert large.latency > small.latency
+        assert small.quality == 1.0
+
+    def test_taxonomy_dual_nature(self, cost_model):
+        """TAXONOMY is storage-backed with a graph source, LLM-backed with a model."""
+        operator = DataOperator("t", Op.TAXONOMY)
+        graph = cost_model.estimate(operator, OperatorChoice(source="TAX"))
+        llm = cost_model.estimate(operator, OperatorChoice(model="mega-xl"))
+        assert graph.quality == 1.0
+        assert llm.cost > graph.cost
+
+    def test_llm_shaped_op_without_model_is_cheap(self, cost_model):
+        operator = DataOperator("q", Op.Q2NL)
+        estimate = cost_model.estimate(operator, OperatorChoice())
+        assert estimate.quality == 1.0
+        assert estimate.cost < 1e-4
+
+    def test_estimates_for_lists_all_choices(self, cost_model):
+        operator = llm_op(models=("mega-xl", "mega-m", "mega-s"))
+        assert len(cost_model.estimates_for(operator)) == 3
+
+    def test_dominance(self, cost_model):
+        operator = llm_op()
+        cheap = cost_model.estimate(operator, OperatorChoice(model="mega-s"))
+        pricey = cost_model.estimate(operator, OperatorChoice(model="mega-xl"))
+        assert not cheap.dominates(pricey)  # quality worse
+        assert not pricey.dominates(cheap)  # cost worse
+
+
+class TestPlanOptimizer:
+    def plan(self, models=("mega-xl", "mega-m", "mega-s", "mega-nano")):
+        plan = DataPlan("p")
+        plan.add_op(
+            "cities", Op.LLM_CALL,
+            {"prompt_kind": "cities", "arg": "bay area", "domain": "general"},
+            choices=tuple(OperatorChoice(model=m) for m in models),
+        )
+        plan.add_op(
+            "extract", Op.EXTRACT, {"domain": "hr"},
+            inputs=("cities",),
+            choices=tuple(OperatorChoice(model=m) for m in models),
+        )
+        return plan
+
+    def test_frontier_is_pareto(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        frontier = optimizer.frontier(self.plan())
+        assert len(frontier) >= 2
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.profile.dominates(b.profile)
+
+    def test_unconstrained_cost_objective_picks_cheapest(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        plan = self.plan()
+        assignment = optimizer.optimize(plan, QoSSpec(objective="cost"))
+        assert assignment.choice_for("cities").model == "mega-nano"
+        assert plan.operator("cities").chosen.model == "mega-nano"
+
+    def test_quality_floor_forces_better_models(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        plan = self.plan()
+        assignment = optimizer.optimize(plan, QoSSpec(min_quality=0.9, objective="cost"))
+        assert assignment.profile.quality >= 0.9
+        assert assignment.choice_for("cities").model != "mega-nano"
+
+    def test_quality_objective_picks_best(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        assignment = optimizer.optimize(self.plan(), QoSSpec(objective="quality"))
+        assert assignment.choice_for("cities").model == "mega-xl"
+
+    def test_latency_constraint(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        assignment = optimizer.optimize(
+            self.plan(), QoSSpec(max_latency=1.5, objective="quality")
+        )
+        assert assignment.profile.latency <= 1.5
+
+    def test_infeasible_raises(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        with pytest.raises(OptimizationError):
+            optimizer.optimize(self.plan(), QoSSpec(max_cost=1e-9, min_quality=0.99))
+
+    def test_cost_constraint_respected(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        assignment = optimizer.optimize(
+            self.plan(), QoSSpec(max_cost=0.001, objective="quality")
+        )
+        assert assignment.profile.cost <= 0.001
+
+    def test_project_matches_frontier_member(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        plan = self.plan()
+        assignment = optimizer.optimize(plan, QoSSpec(objective="cost"))
+        projection = optimizer.project(plan)
+        assert projection.cost == pytest.approx(assignment.profile.cost)
+        assert projection.quality == pytest.approx(assignment.profile.quality)
+
+    def test_parallel_projection_uses_critical_path(self, cost_model):
+        """A diamond of LLM calls: parallel latency < sequential sum."""
+        plan = DataPlan("diamond")
+        choice = (OperatorChoice(model="mega-m"),)
+        params = {"prompt_kind": "cities", "arg": "x", "domain": "general"}
+        plan.add_op("root", Op.LLM_CALL, params, choices=choice)
+        plan.add_op("left", Op.LLM_CALL, params, inputs=("root",), choices=choice)
+        plan.add_op("right", Op.LLM_CALL, params, inputs=("root",), choices=choice)
+        plan.add_op("merge", Op.LLM_CALL, params, inputs=("left", "right"), choices=choice)
+        optimizer = PlanOptimizer(cost_model)
+        optimizer.optimize(plan)
+        sequential = optimizer.project(plan, parallel=False)
+        parallel = optimizer.project(plan, parallel=True)
+        assert parallel.latency < sequential.latency
+        # Diamond: critical path is 3 of the 4 equal-latency operators.
+        assert parallel.latency == pytest.approx(sequential.latency * 3 / 4)
+        assert parallel.cost == sequential.cost
+        assert parallel.quality == sequential.quality
+
+    def test_choice_for_missing_op(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        assignment = optimizer.optimize(self.plan())
+        assert assignment.choice_for("ghost") is None
+
+    def test_quality_compounds_across_ops(self, cost_model):
+        optimizer = PlanOptimizer(cost_model)
+        plan = self.plan(models=("mega-m",))
+        assignment = optimizer.optimize(plan)
+        spec_quality_general = 0.92
+        spec_quality_hr = 0.92
+        assert assignment.profile.quality == pytest.approx(
+            spec_quality_general * spec_quality_hr
+        )

@@ -1,0 +1,98 @@
+"""Tests for parameters and the PetriNet input gate."""
+
+import pytest
+
+from repro.core.params import Parameter, validate_inputs
+from repro.core.triggering import InputGate
+from repro.errors import AgentError
+
+
+PARAMS = (
+    Parameter("A", "text"),
+    Parameter("B", "number", required=False, default=7),
+)
+
+
+class TestValidateInputs:
+    def test_passes_through(self):
+        assert validate_inputs(PARAMS, {"A": "x", "B": 1}, "T") == {"A": "x", "B": 1}
+
+    def test_fills_default(self):
+        assert validate_inputs(PARAMS, {"A": "x"}, "T") == {"A": "x", "B": 7}
+
+    def test_missing_required(self):
+        with pytest.raises(AgentError, match="missing required"):
+            validate_inputs(PARAMS, {"B": 1}, "T")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AgentError, match="unknown"):
+            validate_inputs(PARAMS, {"A": "x", "Z": 1}, "T")
+
+    def test_parameter_describe(self):
+        described = PARAMS[1].describe()
+        assert described["required"] is False
+        assert described["default"] == 7
+
+
+class TestInputGateJoin:
+    def test_needs_all_places(self):
+        gate = InputGate(["A", "B"])
+        assert gate.offer("A", 1) == []
+        assert gate.offer("B", 2) == [{"A": 1, "B": 2}]
+
+    def test_queues_fifo(self):
+        """Tokens pair in arrival order across firings (Figure 4)."""
+        gate = InputGate(["A", "B"])
+        gate.offer("A", 1)
+        gate.offer("A", 2)
+        assert gate.offer("B", 10) == [{"A": 1, "B": 10}]
+        assert gate.offer("B", 20) == [{"A": 2, "B": 20}]
+
+    def test_multiple_firings_at_once(self):
+        gate = InputGate(["A", "B"])
+        gate.offer("A", 1)
+        gate.offer("A", 2)
+        gate.offer("B", 10)
+        fired = gate.offer("B", 20)
+        # Second B completes the second pair only.
+        assert fired == [{"A": 2, "B": 20}]
+
+    def test_single_place(self):
+        gate = InputGate(["ONLY"])
+        assert gate.offer("ONLY", 5) == [{"ONLY": 5}]
+
+    def test_unknown_place(self):
+        gate = InputGate(["A"])
+        with pytest.raises(AgentError):
+            gate.offer("Z", 1)
+
+    def test_pending(self):
+        gate = InputGate(["A", "B"])
+        gate.offer("A", 1)
+        assert gate.pending() == {"A": 1, "B": 0}
+
+    def test_clear(self):
+        gate = InputGate(["A", "B"])
+        gate.offer("A", 1)
+        gate.clear()
+        assert gate.pending() == {"A": 0, "B": 0}
+
+    def test_empty_places_rejected(self):
+        with pytest.raises(AgentError):
+            InputGate([])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AgentError):
+            InputGate(["A"], mode="quorum")
+
+
+class TestInputGateAny:
+    def test_fires_immediately_partial(self):
+        gate = InputGate(["A", "B"], mode="any")
+        assert gate.offer("A", 1) == [{"A": 1}]
+        assert gate.offer("B", 2) == [{"B": 2}]
+
+    def test_any_mode_never_queues(self):
+        gate = InputGate(["A", "B"], mode="any")
+        gate.offer("A", 1)
+        assert gate.pending() == {"A": 0, "B": 0}

@@ -1,0 +1,202 @@
+"""Tests for DAGs, task plans, and data plans."""
+
+import pytest
+
+from repro.core.plan import Binding, Dag, DataPlan, Op, OperatorChoice, TaskNode, TaskPlan
+from repro.errors import PlanError
+
+
+class TestDag:
+    def build(self):
+        return Dag.from_edges(["a", "b", "c", "d"], [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+    def test_duplicate_node(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(PlanError):
+            dag.add_node("a")
+
+    def test_edge_unknown_node(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(PlanError):
+            dag.add_edge("a", "zzz")
+
+    def test_self_loop_rejected(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(PlanError):
+            dag.add_edge("a", "a")
+
+    def test_roots_and_leaves(self):
+        dag = self.build()
+        assert dag.roots() == ["a"]
+        assert dag.leaves() == ["d"]
+
+    def test_predecessors_successors(self):
+        dag = self.build()
+        assert sorted(dag.predecessors("d")) == ["b", "c"]
+        assert sorted(dag.successors("a")) == ["b", "c"]
+
+    def test_topological_order(self):
+        order = self.build().topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_toposort_deterministic(self):
+        assert self.build().topological_order() == self.build().topological_order()
+
+    def test_cycle_detected(self):
+        dag = Dag.from_edges(["a", "b"], [("a", "b")])
+        dag._edges.add(("b", "a"))  # force a cycle past add_edge's API
+        with pytest.raises(PlanError, match="cycle"):
+            dag.topological_order()
+
+    def test_longest_path(self):
+        dag = self.build()
+        assert dag.longest_path_length() == 3.0
+        weighted = dag.longest_path_length({"a": 1.0, "b": 5.0, "c": 1.0, "d": 1.0})
+        assert weighted == 7.0
+
+    def test_empty_dag(self):
+        assert Dag().topological_order() == []
+        assert Dag().longest_path_length() == 0.0
+
+
+class TestBinding:
+    def test_exclusive_sources(self):
+        with pytest.raises(PlanError):
+            Binding(stream="s", value="v")
+
+    def test_node_requires_param(self):
+        with pytest.raises(PlanError):
+            Binding(node="n1")
+
+    def test_describe(self):
+        assert Binding.from_stream("s").describe() == "stream(s)"
+        assert Binding.from_node("n1", "OUT").describe() == "n1.OUT"
+        assert Binding.const(5).describe() == "5"
+        assert (
+            Binding.from_stream("s", transform="extract:title").describe()
+            == "extract:title(stream(s))"
+        )
+
+
+class TestTaskPlan:
+    def build(self):
+        plan = TaskPlan("p1", goal="find jobs")
+        plan.add_step("step1", "PROFILER", {"CRITERIA": Binding.from_stream("user")})
+        plan.add_step(
+            "step2", "JOB_MATCHER", {"PROFILE": Binding.from_node("step1", "PROFILE")}
+        )
+        plan.add_step(
+            "step3", "PRESENTER", {"MATCHES": Binding.from_node("step2", "MATCHES")}
+        )
+        return plan
+
+    def test_edges_follow_bindings(self):
+        assert self.build().edges() == [("step1", "step2"), ("step2", "step3")]
+
+    def test_order(self):
+        assert [n.node_id for n in self.build().order()] == ["step1", "step2", "step3"]
+
+    def test_duplicate_node(self):
+        plan = self.build()
+        with pytest.raises(PlanError):
+            plan.add_step("step1", "X")
+
+    def test_unknown_upstream(self):
+        plan = TaskPlan("p")
+        with pytest.raises(PlanError):
+            plan.add_step("s", "A", {"X": Binding.from_node("ghost", "OUT")})
+
+    def test_validate_agents(self):
+        plan = self.build()
+        plan.validate(agent_names={"PROFILER", "JOB_MATCHER", "PRESENTER"})
+        with pytest.raises(PlanError, match="unknown agents"):
+            plan.validate(agent_names={"PROFILER"})
+
+    def test_render(self):
+        text = self.build().render()
+        assert "EXECUTE PROFILER" in text
+        assert "PROFILE<-step1.PROFILE" in text
+
+    def test_payload_roundtrip(self):
+        plan = self.build()
+        restored = TaskPlan.from_payload(plan.to_payload())
+        assert [n.node_id for n in restored.order()] == [n.node_id for n in plan.order()]
+        assert restored.node("step2").bindings["PROFILE"].node == "step1"
+
+    def test_len(self):
+        assert len(self.build()) == 3
+
+    def test_node_lookup(self):
+        plan = self.build()
+        assert plan.node("step1").agent == "PROFILER"
+        with pytest.raises(PlanError):
+            plan.node("ghost")
+
+
+class TestDataPlan:
+    def build(self):
+        plan = DataPlan("d1", goal="jobs in sf bay area")
+        plan.add_op("cities", Op.LLM_CALL, {"prompt_kind": "cities", "arg": "sf bay area"},
+                    choices=(OperatorChoice(model="mega-m"),))
+        plan.add_op("nl2q", Op.NL2Q, {"table": "jobs"}, inputs=("cities",))
+        plan.add_op("sql", Op.SQL, inputs=("nl2q",), choices=(OperatorChoice(source="JOBS"),))
+        return plan
+
+    def test_structure(self):
+        plan = self.build()
+        assert [o.op_id for o in plan.order()] == ["cities", "nl2q", "sql"]
+        assert [o.op_id for o in plan.leaves()] == ["sql"]
+
+    def test_unknown_input(self):
+        plan = DataPlan("d")
+        with pytest.raises(PlanError):
+            plan.add_op("x", Op.SQL, inputs=("ghost",))
+
+    def test_duplicate_op(self):
+        plan = self.build()
+        with pytest.raises(PlanError):
+            plan.add_op("sql", Op.SQL)
+
+    def test_choice_defaults(self):
+        plan = self.build()
+        assert plan.operator("cities").choice().model == "mega-m"
+        assert plan.operator("nl2q").choice().model is None
+
+    def test_chosen_overrides(self):
+        plan = self.build()
+        plan.operator("cities").chosen = OperatorChoice(model="mega-xl")
+        assert plan.operator("cities").choice().model == "mega-xl"
+
+    def test_render(self):
+        text = self.build().render()
+        assert "llm_call" in text
+        assert "source=JOBS" in text
+
+    def test_payload_roundtrip(self):
+        import json
+
+        plan = self.build()
+        plan.operator("cities").chosen = OperatorChoice(model="mega-xl")
+        payload = json.loads(json.dumps(plan.to_payload()))  # JSON-able
+        restored = DataPlan.from_payload(payload)
+        assert [o.op_id for o in restored.order()] == [o.op_id for o in plan.order()]
+        assert restored.operator("cities").chosen.model == "mega-xl"
+        assert restored.operator("sql").choices[0].source == "JOBS"
+        assert restored.operator("nl2q").inputs == ("cities",)
+
+    def test_roundtrip_plan_executes(self, enterprise=None):
+        from repro.clock import SimClock
+        from repro.core.planners.data_planner import DataPlanner
+        from repro.hr.data import build_enterprise
+        from repro.llm import ModelCatalog
+
+        enterprise = build_enterprise(seed=11, n_jobs=20, n_seekers=10)
+        planner = DataPlanner(enterprise.registry, ModelCatalog(clock=SimClock()))
+        plan = planner.plan_job_query("data scientist position in SF bay area")
+        restored = DataPlan.from_payload(plan.to_payload())
+        result = planner.execute(restored)
+        assert isinstance(result.final(), list)

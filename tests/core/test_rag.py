@@ -1,0 +1,113 @@
+"""Tests for retrieval-augmented generation plans (Op.VECTOR_SEARCH + RAG)."""
+
+import pytest
+
+from repro.core.plan import DataPlan, Op, OperatorChoice
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.qos import QoSSpec
+from repro.errors import PlanError, PlanningError, RegistryError
+from repro.llm import ModelCatalog
+
+
+@pytest.fixture
+def planner(enterprise, clock):
+    return DataPlanner(enterprise.registry, ModelCatalog(clock=clock))
+
+
+class TestVectorIndexRegistration:
+    def test_embedded_collection_has_index(self, enterprise):
+        index, field = enterprise.registry.vector_index("RESUMES")
+        assert field == "text"
+        assert len(index) == len(enterprise.documents.collection("resumes"))
+
+    def test_unembedded_collection_raises(self, enterprise):
+        with pytest.raises(RegistryError, match="vector index"):
+            enterprise.registry.vector_index("PROFILES")
+
+    def test_metadata_records_embed_field(self, enterprise):
+        entry = enterprise.registry.get("RESUMES")
+        assert entry.metadata["embed_field"] == "text"
+
+
+class TestVectorSearchOperator:
+    def test_retrieves_relevant_resumes(self, planner, enterprise):
+        plan = DataPlan("v")
+        plan.add_op(
+            "retrieve", Op.VECTOR_SEARCH,
+            params={"query": "experienced data scientist with python and sql", "k": 4},
+            choices=(OperatorChoice(source="RESUMES"),),
+        )
+        documents = planner.execute(plan).final()
+        assert len(documents) == 4
+        assert all("_score" in doc and "text" in doc for doc in documents)
+        scores = [doc["_score"] for doc in documents]
+        assert scores == sorted(scores, reverse=True)
+        # Retrieval is on-topic: top hits mention the queried role family.
+        assert any("Data" in doc["text"] or "python" in doc["text"]
+                   for doc in documents[:2])
+
+    def test_query_can_come_from_upstream(self, planner):
+        plan = DataPlan("v2")
+        plan.add_op("q", Op.Q2NL, params={"fragment": "python experts"})
+        plan.add_op(
+            "retrieve", Op.VECTOR_SEARCH, params={"k": 2}, inputs=("q",),
+            choices=(OperatorChoice(source="RESUMES"),),
+        )
+        assert len(planner.execute(plan).final()) == 2
+
+    def test_requires_indexed_source(self, planner):
+        plan = DataPlan("v3")
+        plan.add_op(
+            "retrieve", Op.VECTOR_SEARCH, params={"query": "x"},
+            choices=(OperatorChoice(source="PROFILES"),),
+        )
+        with pytest.raises(RegistryError):
+            planner.execute(plan)
+
+    def test_requires_source(self, planner):
+        plan = DataPlan("v4")
+        plan.add_op("retrieve", Op.VECTOR_SEARCH, params={"query": "x"})
+        with pytest.raises(PlanError):
+            planner.execute(plan)
+
+
+class TestRAGPlanning:
+    def test_plan_shape(self, planner):
+        plan = planner.plan_rag("who has machine learning experience?", corpus="RESUMES")
+        assert [o.op.value for o in plan.order()] == ["vector_search", "summarize"]
+
+    def test_corpus_discovered_automatically(self, planner):
+        plan = planner.plan_rag("resume texts mentioning spark")
+        assert plan.operator("retrieve").choice().source == "RESUMES"
+
+    def test_no_corpus_raises(self, clock):
+        from repro.core.registries import DataRegistry
+
+        empty = DataPlanner(DataRegistry(), ModelCatalog(clock=clock))
+        with pytest.raises(PlanningError):
+            empty.plan_rag("anything")
+
+    def test_answer_grounded_in_retrieved_names(self, planner, enterprise):
+        """The RAG answer can only name real seekers via retrieval."""
+        plan = planner.plan_rag(
+            "experienced data scientist with python", corpus="RESUMES",
+            k=3, qos=QoSSpec(objective="quality"),
+        )
+        result = planner.execute(plan)
+        retrieved = result.outputs["retrieve"]
+        answer = str(result.final())
+        seeker_ids = {doc["seeker_id"] for doc in retrieved}
+        names = {
+            enterprise.documents.collection("profiles")
+            .get(f"profile-{sid}")["name"]
+            for sid in seeker_ids
+        }
+        # At least one retrieved seeker's name surfaces in the grounded answer.
+        assert any(name.split()[0] in answer for name in names)
+
+    def test_qos_controls_answer_model(self, planner):
+        cheap = planner.plan_rag("python experts", corpus="RESUMES",
+                                 qos=QoSSpec(objective="cost"))
+        best = planner.plan_rag("python experts", corpus="RESUMES",
+                                qos=QoSSpec(objective="quality"))
+        assert cheap.operator("answer").chosen.model != best.operator("answer").chosen.model

@@ -1,0 +1,65 @@
+"""Tests for registry metadata updates and runtime session teardown."""
+
+import pytest
+
+from repro.core.agent import FunctionAgent
+from repro.core.params import Parameter
+from repro.core.registries import AgentRegistry
+
+
+class TestUpdateMetadata:
+    def test_description_update_changes_search(self):
+        registry = AgentRegistry()
+        registry.register_metadata("SVC", "an unremarkable generic service")
+        registry.register_metadata("OTHER", "handles invoices and billing")
+        before = registry.search("fraud anomaly detection", k=1)
+        registry.update_metadata(
+            "SVC", description="detects fraud and anomalies in transactions"
+        )
+        after = registry.search("fraud anomaly detection", k=1)
+        assert after[0].entry.name == "SVC"
+        assert after[0].score > before[0].score or before[0].entry.name != "SVC"
+
+    def test_metadata_keys_merged(self):
+        registry = AgentRegistry()
+        registry.register_metadata("SVC", "a service")
+        entry = registry.update_metadata("SVC", deployment={"image": "svc:v2"})
+        assert entry.metadata["deployment"]["image"] == "svc:v2"
+
+    def test_usage_history_preserved(self):
+        registry = AgentRegistry()
+        registry.register_metadata("SVC", "a service")
+        registry.record_usage("SVC")
+        entry = registry.update_metadata("SVC", description="a better service")
+        assert entry.usage_count == 1
+
+    def test_unknown_entry_raises(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            AgentRegistry().update_metadata("GHOST", description="x")
+
+
+class TestCloseSession:
+    def test_agents_detached_and_session_closed(self, blueprint):
+        session = blueprint.create_session("teardown")
+        agent = FunctionAgent(
+            "W", lambda i: {"OUT": 1},
+            inputs=(Parameter("IN", "text"),), outputs=(Parameter("OUT", "number"),),
+            listen_tags=("GO",),
+        )
+        blueprint.attach(agent, session)
+        assert "W" in session.participants()
+        blueprint.close_session(session)
+        assert session.closed
+        assert "W" not in session.participants()
+        assert agent.context is None
+        assert blueprint.agents_in(session) == []
+
+    def test_close_session_tolerates_crashed_agents(self, blueprint):
+        session = blueprint.create_session("teardown2")
+        agent = FunctionAgent("X", lambda i: None)
+        blueprint.attach(agent, session)
+        agent.crash()  # context already gone
+        blueprint.close_session(session)
+        assert session.closed

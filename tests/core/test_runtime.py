@@ -1,0 +1,72 @@
+"""Tests for the Blueprint runtime facade."""
+
+import pytest
+
+from repro.core.agent import FunctionAgent
+from repro.core.params import Parameter
+from repro.core.qos import QoSSpec
+from repro.core.runtime import Blueprint
+
+
+class TestBlueprint:
+    def test_components_wired(self, blueprint):
+        assert blueprint.catalog.clock is blueprint.clock
+        assert blueprint.store.clock is blueprint.clock
+        assert blueprint.data_planner.registry is blueprint.data_registry
+
+    def test_injected_data_registry(self, enterprise):
+        bp = Blueprint(data_registry=enterprise.registry)
+        assert bp.data_registry.has("JOBS")
+
+    def test_create_session(self, blueprint):
+        session = blueprint.create_session("s1")
+        assert blueprint.sessions.get("s1") is session
+
+    def test_budget_uses_shared_clock(self, blueprint):
+        budget = blueprint.budget(QoSSpec(max_cost=1.0))
+        blueprint.clock.advance(2.0)
+        assert budget.elapsed_latency() == 2.0
+
+    def test_attach_registers_agent(self, blueprint):
+        session = blueprint.create_session()
+        agent = FunctionAgent(
+            "X", lambda i: None, inputs=(Parameter("IN", "text"),),
+            description="an agent that does X things",
+        )
+        blueprint.attach(agent, session)
+        assert blueprint.agent_registry.has("X")
+        assert blueprint.agents_in(session) == [agent]
+
+    def test_attach_without_register(self, blueprint):
+        session = blueprint.create_session()
+        agent = FunctionAgent("Y", lambda i: None)
+        blueprint.attach(agent, session, register=False)
+        assert not blueprint.agent_registry.has("Y")
+
+    def test_attach_planner_and_coordinator(self, blueprint):
+        session = blueprint.create_session()
+        planner_agent, coordinator = blueprint.attach_planner_and_coordinator(session)
+        assert "TASK_PLANNER" in session.participants()
+        assert "TASK_COORDINATOR" in session.participants()
+        assert blueprint.agent_registry.has("TASK_PLANNER")
+
+    def test_describe_inventory(self, blueprint):
+        """The Figure-1 component inventory is complete."""
+        session = blueprint.create_session()
+        blueprint.attach_planner_and_coordinator(session)
+        inventory = blueprint.describe()["components"]
+        for component in (
+            "clock", "streams", "model_catalog", "agent_registry", "data_registry",
+            "sessions", "task_planner", "data_planner", "optimizer", "agents",
+        ):
+            assert component in inventory
+        assert "JOBS" in inventory["data_registry"]["entries"]
+        assert inventory["model_catalog"]["models"]
+
+    def test_flow_trace(self, blueprint):
+        trace = blueprint.flow_trace()
+        session = blueprint.create_session()
+        session.enter("SOMEONE")
+        steps = trace.steps()
+        assert len(steps) == 1
+        assert steps[0].actor == "SOMEONE"

@@ -1,0 +1,111 @@
+"""Tests for the VERIFY data-plan operator (fact verification)."""
+
+import pytest
+
+from repro.core.plan import DataPlan, Op, OperatorChoice
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.qos import QoSSpec
+from repro.errors import PlanError
+from repro.llm import ModelCatalog
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def planner(enterprise, clock):
+    return DataPlanner(enterprise.registry, ModelCatalog(clock=clock))
+
+
+class TestVerifyOperator:
+    def test_filters_against_relational_column(self, planner):
+        plan = DataPlan("v")
+        plan.add_op(
+            "verify", Op.VERIFY,
+            params={"table": "jobs", "column": "city"},
+            choices=(OperatorChoice(source="JOBS"),),
+        )
+        # Execute with a synthetic upstream by adding a constant producer.
+        plan2 = DataPlan("v2")
+        plan2.add_op(
+            "cities", Op.LLM_CALL,
+            params={"prompt_kind": "cities", "arg": "sf bay area"},
+            choices=(OperatorChoice(model="mega-nano"),),
+        )
+        plan2.add_op(
+            "verify", Op.VERIFY,
+            params={"table": "jobs", "column": "city"},
+            inputs=("cities",),
+            choices=(OperatorChoice(source="JOBS"),),
+        )
+        result = planner.execute(plan2)
+        cities = result.outputs["cities"]
+        verified = result.outputs["verify"]
+        assert set(verified) <= set(cities)
+
+    def test_filters_against_graph_names(self, planner):
+        plan = DataPlan("vg")
+        plan.add_op(
+            "titles", Op.LLM_CALL,
+            params={"prompt_kind": "titles", "arg": "data scientist"},
+            choices=(OperatorChoice(model="mega-nano"),),
+        )
+        plan.add_op(
+            "verify", Op.VERIFY,
+            params={},
+            inputs=("titles",),
+            choices=(OperatorChoice(source="TITLE_TAXONOMY"),),
+        )
+        result = planner.execute(plan)
+        for title in result.outputs["verify"]:
+            assert title in result.outputs["titles"]
+
+    def test_requires_source(self, planner):
+        plan = DataPlan("bad")
+        plan.add_op("x", Op.LLM_CALL, params={"prompt_kind": "cities", "arg": "sf bay area"},
+                    choices=(OperatorChoice(model="mega-s"),))
+        plan.add_op("verify", Op.VERIFY, params={"table": "jobs", "column": "city"},
+                    inputs=("x",))
+        with pytest.raises(PlanError, match="source"):
+            planner.execute(plan)
+
+    def test_requires_input(self, planner):
+        plan = DataPlan("bad2")
+        plan.add_op("verify", Op.VERIFY, params={"table": "jobs", "column": "city"},
+                    choices=(OperatorChoice(source="JOBS"),))
+        with pytest.raises(PlanError, match="list input"):
+            planner.execute(plan)
+
+
+class TestVerifiedJobQuery:
+    def test_planner_injects_verify(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False, verify=True)
+        ops = [o.op_id for o in plan.operators()]
+        assert "verify_cities" in ops
+        nl2q = plan.operator("nl2q")
+        assert "verify_cities" in nl2q.inputs
+        assert "cities" not in nl2q.params["column_bindings"]
+
+    def test_verified_cities_are_real_db_values(self, planner, enterprise):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"), verify=True)
+        result = planner.execute(plan)
+        db_cities = {
+            row["city"] for row in enterprise.database.table("jobs").rows()
+        }
+        assert set(result.outputs["verify_cities"]) <= db_cities
+
+    def test_verify_filters_cheap_model_hallucinations(self, planner):
+        """Force the cheapest model; any hallucinated city must be removed."""
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False, verify=True)
+        from repro.core.plan import OperatorChoice as Choice
+
+        plan.operator("cities").chosen = Choice(model="mega-nano")
+        result = planner.execute(plan)
+        raw = set(result.outputs["cities"])
+        verified = set(result.outputs["verify_cities"])
+        noise = {"Los Angeles", "Sacramento", "Portland", "San Diego"}
+        assert not (verified & noise)
+        assert verified <= raw
+
+    def test_unverified_plan_unchanged(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, optimize=False, verify=False)
+        assert "verify_cities" not in [o.op_id for o in plan.operators()]

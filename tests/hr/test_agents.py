@@ -1,0 +1,273 @@
+"""Tests for the individual HR agents."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.session import SessionManager
+from repro.hr.agents import (
+    AgenticEmployerAgent,
+    IntentClassifierAgent,
+    JobMatcherAgent,
+    NL2QAgent,
+    PresenterAgent,
+    ProfilerAgent,
+    QuerySummarizerAgent,
+    SQLExecutorAgent,
+    SummarizerAgent,
+)
+from repro.hr.matching import JobMatcher
+from repro.llm import ModelCatalog
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def rig(store, clock, enterprise):
+    session = SessionManager(store).create("hr")
+    catalog = ModelCatalog(clock=clock)
+    budget = Budget(clock=clock)
+
+    def make_context():
+        return AgentContext(
+            store=store, session=session, clock=clock, catalog=catalog, budget=budget
+        )
+
+    return session, make_context, catalog, budget
+
+
+class TestProfiler:
+    def test_builds_profile(self, rig):
+        session, make_context, _, _ = rig
+        profiler = ProfilerAgent()
+        profiler.attach(make_context())
+        outputs = profiler.processor({"CRITERIA": RUNNING_EXAMPLE})
+        profile = outputs["PROFILE"]
+        assert profile["title"] == "Data Scientist"
+        assert profile["location"] == "sf bay area"
+        assert "python" in profile["skills"]
+
+    def test_emits_ui_form(self, rig):
+        session, make_context, _, _ = rig
+        profiler = ProfilerAgent()
+        profiler.attach(make_context())
+        form = profiler.processor({"CRITERIA": RUNNING_EXAMPLE})["FORM"]
+        assert form["type"] == "form"
+        assert {f["name"] for f in form["fields"]} == {"title", "location", "skills"}
+
+    def test_form_output_tagged_ui(self, rig):
+        assert ProfilerAgent().output_tags("FORM") == ("UI",)
+
+    def test_skills_mentioned_in_criteria_included(self, rig):
+        session, make_context, _, _ = rig
+        profiler = ProfilerAgent()
+        profiler.attach(make_context())
+        profile = profiler.processor(
+            {"CRITERIA": "data engineer role, strong in airflow"}
+        )["PROFILE"]
+        assert "airflow" in profile["skills"]
+
+
+class TestJobMatcherAgent:
+    def test_uses_provided_jobs(self, rig, enterprise):
+        session, make_context, _, _ = rig
+        agent = JobMatcherAgent(JobMatcher(enterprise.taxonomy), top_k=3)
+        agent.attach(make_context())
+        jobs = enterprise.jobs[:10]
+        outputs = agent.processor(
+            {"PROFILE": {"title": "Data Scientist", "skills": ["python"], "city": None},
+             "JOBS": jobs, "CRITERIA": None}
+        )
+        matches = outputs["MATCHES"]
+        assert len(matches) == 3
+        assert all("score" in m for m in matches)
+
+    def test_fetches_jobs_via_data_planner(self, rig, enterprise):
+        session, make_context, catalog, budget = rig
+        planner = DataPlanner(enterprise.registry, catalog)
+        agent = JobMatcherAgent(JobMatcher(enterprise.taxonomy), data_planner=planner)
+        agent.attach(make_context())
+        outputs = agent.processor(
+            {"PROFILE": {"title": "Data Scientist", "location": "sf bay area",
+                         "skills": ["python"], "city": None},
+             "JOBS": None, "CRITERIA": RUNNING_EXAMPLE}
+        )
+        assert outputs["MATCHES"]
+        assert budget.spent_cost() > 0  # data plan charged the budget
+
+    def test_no_planner_no_jobs(self, rig, enterprise):
+        session, make_context, _, _ = rig
+        agent = JobMatcherAgent(JobMatcher(enterprise.taxonomy))
+        agent.attach(make_context())
+        outputs = agent.processor(
+            {"PROFILE": {"title": "X", "skills": []}, "JOBS": None, "CRITERIA": None}
+        )
+        assert outputs["MATCHES"] == []
+
+
+class TestPresenter:
+    def test_renders_matches(self, rig):
+        session, make_context, _, _ = rig
+        presenter = PresenterAgent()
+        presenter.attach(make_context())
+        matches = [
+            {"title": "DS", "company": "Acme", "city": "SF", "salary": 100000, "score": 0.91},
+        ]
+        text = presenter.processor({"MATCHES": matches})["PRESENTATION"]
+        assert "1. DS at Acme" in text
+        assert "$100,000" in text
+
+    def test_empty_matches_message(self, rig):
+        session, make_context, _, _ = rig
+        presenter = PresenterAgent()
+        presenter.attach(make_context())
+        text = presenter.processor({"MATCHES": []})["PRESENTATION"]
+        assert "No matching jobs" in text
+
+    def test_display_tag(self):
+        assert PresenterAgent().output_tags("PRESENTATION") == ("DISPLAY",)
+
+
+class TestIntentClassifier:
+    def test_open_query(self, rig):
+        session, make_context, _, _ = rig
+        ic = IntentClassifierAgent()
+        ic.attach(make_context())
+        intent = ic.processor({"TEXT": "how many applicants have python skills?"})["INTENT"]
+        assert intent["intent"] == "open_query"
+        assert intent["text"].startswith("how many")
+
+    def test_greeting(self, rig):
+        session, make_context, _, _ = rig
+        ic = IntentClassifierAgent()
+        ic.attach(make_context())
+        assert ic.processor({"TEXT": "hello there"})["INTENT"]["intent"] == "greeting"
+
+    def test_ensemble_voting_recovers_cheap_model(self, rig):
+        """A query the cheap model misroutes once is fixed by majority vote."""
+        session, make_context, _, _ = rig
+        single = IntentClassifierAgent(ensemble=1)
+        single.default_model = "mega-nano"
+        single.attach(make_context())
+        voted = IntentClassifierAgent(ensemble=5)
+        voted.default_model = "mega-nano"
+        probes = [
+            ("how many applicants have python skills?", "open_query"),
+            ("summarize job 12 for me", "summarize"),
+            ("rank the candidates by fit", "rank"),
+            ("hello there", "greeting"),
+        ]
+        voted_context = make_context()
+        voted_context.session = session
+        voted._ensemble = 5
+        voted.attach(voted_context)
+        single_hits = sum(1 for t, e in probes if single.classify(t) == e)
+        voted_hits = sum(1 for t, e in probes if voted.classify(t) == e)
+        assert voted_hits >= single_hits
+
+    def test_ensemble_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            IntentClassifierAgent(ensemble=0)
+
+
+class TestNL2QAgent:
+    def test_translation_payload(self, rig):
+        session, make_context, _, budget = rig
+        nl2q = NL2QAgent()
+        nl2q.attach(make_context())
+        payload = nl2q.processor({"QUERY": "how many applicants have python skills"})["SQL"]
+        assert payload["sql"].startswith("SELECT COUNT(*)")
+        assert budget.spent_cost() > 0  # the model call was metered
+
+    def test_sql_tag(self):
+        assert NL2QAgent().output_tags("SQL") == ("SQL",)
+
+
+class TestSQLExecutorAgent:
+    def test_executes_payload(self, rig, enterprise):
+        session, make_context, _, budget = rig
+        qe = SQLExecutorAgent(enterprise.database)
+        qe.attach(make_context())
+        rows = qe.processor(
+            {"SQL": {"sql": "SELECT COUNT(*) AS n FROM jobs", "parameters": {}}}
+        )["ROWS"]
+        assert rows[0]["n"] == len(enterprise.jobs)
+        assert budget.spent_cost() > 0
+
+    def test_accepts_raw_sql_string(self, rig, enterprise):
+        session, make_context, _, _ = rig
+        qe = SQLExecutorAgent(enterprise.database)
+        qe.attach(make_context())
+        rows = qe.processor({"SQL": "SELECT id FROM jobs LIMIT 1"})["ROWS"]
+        assert rows == [{"id": 1}]
+
+
+class TestSummarizers:
+    def test_job_summarizer(self, rig, enterprise):
+        session, make_context, _, _ = rig
+        summarizer = SummarizerAgent(enterprise.database)
+        summarizer.attach(make_context())
+        summary = summarizer.processor({"JOB_ID": 1})["SUMMARY"]
+        assert "Job 1" in summary
+
+    def test_job_summarizer_missing_job(self, rig, enterprise):
+        session, make_context, _, _ = rig
+        summarizer = SummarizerAgent(enterprise.database)
+        summarizer.attach(make_context())
+        assert "No job" in summarizer.processor({"JOB_ID": 99999})["SUMMARY"]
+
+    def test_query_summarizer(self, rig):
+        session, make_context, _, _ = rig
+        qs = QuerySummarizerAgent()
+        qs.attach(make_context())
+        summary = qs.processor({"ROWS": [{"n": 12}]})["SUMMARY"]
+        assert "1 row" in summary
+
+    def test_query_summarizer_empty(self, rig):
+        session, make_context, _, _ = rig
+        qs = QuerySummarizerAgent()
+        qs.attach(make_context())
+        assert "no results" in qs.processor({"ROWS": []})["SUMMARY"]
+
+
+class TestAgenticEmployerAgent:
+    def test_select_job_emits_id_and_plan(self, rig, store):
+        session, make_context, _, _ = rig
+        ae = AgenticEmployerAgent()
+        ae.attach(make_context())
+        ae.processor({"EVENT": {"type": "select_job", "job_id": 7}, "INTENT": None})
+        job_stream = store.get_stream(session.stream_id("agentic_employer:job_id"))
+        assert job_stream.data_payloads() == [7]
+        plan_stream = store.get_stream(session.stream_id("agentic_employer:plan"))
+        payload = plan_stream.data_payloads()[0]
+        assert payload["nodes"][0]["agent"] == "SUMMARIZER"
+        assert payload["nodes"][0]["bindings"]["JOB_ID"]["value"] == 7
+
+    def test_unknown_event_ignored(self, rig, store):
+        session, make_context, _, _ = rig
+        ae = AgenticEmployerAgent()
+        ae.attach(make_context())
+        ae.processor({"EVENT": {"type": "scroll"}, "INTENT": None})
+        assert not store.has_stream(session.stream_id("agentic_employer:plan"))
+
+    def test_open_query_intent_forwards_nlq(self, rig, store):
+        session, make_context, _, _ = rig
+        ae = AgenticEmployerAgent()
+        ae.attach(make_context())
+        ae.processor(
+            {"EVENT": None, "INTENT": {"intent": "open_query", "text": "how many?"}}
+        )
+        nlq = store.get_stream(session.stream_id("agentic_employer:nlq"))
+        assert nlq.data_payloads() == ["how many?"]
+        assert nlq.last().has_tag("NLQ")
+
+    def test_greeting_responds_directly(self, rig, store):
+        session, make_context, _, _ = rig
+        ae = AgenticEmployerAgent()
+        ae.attach(make_context())
+        ae.processor({"EVENT": None, "INTENT": {"intent": "greeting", "text": "hi"}})
+        response = store.get_stream(session.stream_id("agentic_employer:response"))
+        assert response.last().has_tag("DISPLAY")

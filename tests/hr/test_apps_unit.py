@@ -1,0 +1,71 @@
+"""Unit-level tests for the two applications."""
+
+import pytest
+
+from repro.core.qos import QoSSpec
+from repro.hr.apps import AgenticEmployerApp, CareerAssistant
+
+
+class TestCareerAssistantUnit:
+    @pytest.fixture(scope="class")
+    def assistant(self):
+        return CareerAssistant(seed=7)
+
+    def test_templates_registered(self, assistant):
+        intents = [t.intent for t in assistant.blueprint.task_planner.templates()]
+        assert intents == ["job_search", "skill_advice"]
+
+    def test_agents_registered(self, assistant):
+        for name in ("PROFILER", "JOB_MATCHER", "PRESENTER"):
+            assert assistant.blueprint.agent_registry.has(name)
+
+    def test_no_matches_message(self, assistant):
+        reply = assistant.ask("I am looking for a basket weaver position in Atlantis")
+        assert reply.text  # graceful even when nothing matches
+
+    def test_skill_advice_intent_routes_short_plan(self, assistant):
+        plan = assistant.blueprint.task_planner.plan(
+            "I want to be a data scientist... what are the required skills?",
+            assistant.user_stream.stream_id,
+        )
+        assert len(plan) == 1
+        assert plan.order()[0].agent == "PROFILER"
+
+    def test_shared_clock_everywhere(self, assistant):
+        assert assistant.blueprint.catalog.clock is assistant.blueprint.clock
+        assert assistant.budget._clock is assistant.blueprint.clock
+
+
+class TestAgenticEmployerUnit:
+    @pytest.fixture
+    def app(self, enterprise):
+        return AgenticEmployerApp(enterprise=enterprise)
+
+    def test_fleet_in_session(self, app):
+        participants = set(app.session.participants())
+        assert {
+            "AGENTIC_EMPLOYER", "INTENT_CLASSIFIER", "NL2Q", "SQL_EXECUTOR",
+            "QUERY_SUMMARIZER", "SUMMARIZER", "TASK_COORDINATOR",
+        } <= participants
+
+    def test_unknown_job_click(self, app):
+        reply = app.click_job(999999)
+        assert "No job" in reply
+
+    def test_untranslatable_query_degrades_gracefully(self, app):
+        reply = app.say("what is the meaning of life?")
+        # NL2Q cannot find a table; the agent errors, the app survives.
+        assert isinstance(reply, str)
+        follow = app.say("how many open positions do we have?")
+        assert "row" in follow
+
+    def test_qos_budget_applies(self, enterprise):
+        app = AgenticEmployerApp(enterprise=enterprise, qos=QoSSpec(max_cost=10.0))
+        app.say("how many applicants are there?")
+        assert app.budget.qos.max_cost == 10.0
+        assert app.budget.violation() is None
+
+    def test_transcript_roles(self, app):
+        app.say("hello!")
+        app.click_job(1)
+        assert [t.role for t in app.transcript()] == ["user", "system", "ui", "system"]

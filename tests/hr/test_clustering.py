@@ -1,0 +1,98 @@
+"""Tests for candidate clustering (Scenario II's other predictive model)."""
+
+import pytest
+
+from repro.hr.clustering import Cluster, cluster_seekers
+
+
+def seekers_with_two_groups():
+    data_folk = [
+        {"id": i, "name": f"Data {i}", "skills": "python, sql, statistics"}
+        for i in range(1, 5)
+    ]
+    pm_folk = [
+        {"id": 10 + i, "name": f"PM {i}", "skills": "roadmapping, communication"}
+        for i in range(1, 4)
+    ]
+    return data_folk + pm_folk
+
+
+class TestClusterSeekers:
+    def test_partition_covers_everyone_once(self):
+        seekers = seekers_with_two_groups()
+        clusters = cluster_seekers(seekers, k=2)
+        all_ids = [i for c in clusters for i in c.member_ids]
+        assert sorted(all_ids) == sorted(s["id"] for s in seekers)
+
+    def test_separates_skill_families(self):
+        clusters = cluster_seekers(seekers_with_two_groups(), k=2)
+        assert len(clusters) == 2
+        by_label = {c.label: set(c.members) for c in clusters}
+        data_cluster = next(m for l, m in by_label.items() if "python" in l or "sql" in l)
+        assert all(name.startswith("Data") for name in data_cluster)
+
+    def test_labels_use_skill_phrases(self):
+        seekers = [
+            {"id": 1, "name": "A", "skills": "machine learning, python"},
+            {"id": 2, "name": "B", "skills": "machine learning, python"},
+        ]
+        clusters = cluster_seekers(seekers, k=1)
+        assert "machine learning" in clusters[0].label
+
+    def test_deterministic(self):
+        seekers = seekers_with_two_groups()
+        assert cluster_seekers(seekers, k=2) == cluster_seekers(seekers, k=2)
+
+    def test_k_larger_than_population(self):
+        seekers = seekers_with_two_groups()[:2]
+        clusters = cluster_seekers(seekers, k=5)
+        assert sum(c.size for c in clusters) == 2
+
+    def test_empty_input(self):
+        assert cluster_seekers([], k=3) == []
+
+    def test_sorted_largest_first(self):
+        clusters = cluster_seekers(seekers_with_two_groups(), k=2)
+        sizes = [c.size for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_render(self):
+        cluster = Cluster("python + sql", ("A", "B"), (1, 2), 2)
+        assert cluster.render() == "[python + sql] (2): A, B"
+
+    def test_skills_as_list_supported(self):
+        seekers = [{"id": 1, "name": "A", "skills": ["python", "sql"]}]
+        clusters = cluster_seekers(seekers, k=1)
+        assert clusters[0].label
+
+
+class TestClusterFlow:
+    def test_cluster_intent_scoped_to_selected_job(self, enterprise):
+        from repro.hr.apps import AgenticEmployerApp
+
+        app = AgenticEmployerApp(enterprise=enterprise)
+        app.click_job(1)
+        reply = app.say("cluster the applicants into groups")
+        assert "candidate groups" in reply
+        # Members are real applicants of job 1.
+        applicant_ids = {
+            row["seeker_id"]
+            for row in enterprise.database.query(
+                "SELECT seeker_id FROM applications WHERE job_id = 1"
+            )
+        }
+        clusters_msg = [
+            m for m in app.blueprint.store.trace()
+            if m.is_data and m.metadata.get("param") == "CLUSTERS"
+        ][-1]
+        clustered_ids = {
+            i for cluster in clusters_msg.payload for i in cluster["member_ids"]
+        }
+        assert clustered_ids <= applicant_ids
+
+    def test_cluster_without_selection_uses_pool(self, enterprise):
+        from repro.hr.apps import AgenticEmployerApp
+
+        app = AgenticEmployerApp(enterprise=enterprise)
+        reply = app.say("cluster the candidates by skills")
+        assert "candidate groups" in reply

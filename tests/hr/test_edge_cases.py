@@ -1,0 +1,107 @@
+"""Edge cases: tiny enterprises, empty inputs, degenerate queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import AgentContext
+from repro.core.session import SessionManager
+from repro.hr.data import build_enterprise, generate_applications, generate_jobs, generate_seekers
+from repro.llm import ModelCatalog
+
+
+class TestTinyEnterprise:
+    def test_minimal_sizes(self):
+        enterprise = build_enterprise(seed=3, n_jobs=1, n_seekers=1, application_rate=1.0)
+        assert len(enterprise.jobs) == 1
+        assert enterprise.database.execute(
+            "SELECT COUNT(*) AS n FROM applications"
+        ).scalar() == 1
+
+    def test_zero_generators(self):
+        rng = np.random.default_rng(1)
+        assert generate_jobs(0, rng) == []
+        assert generate_seekers(0, rng) == []
+        assert generate_applications([], [], rng) == []
+
+    def test_zero_application_rate(self):
+        rng = np.random.default_rng(1)
+        jobs = generate_jobs(5, rng)
+        seekers = generate_seekers(5, rng)
+        assert generate_applications(jobs, seekers, rng, rate=0.0) == []
+
+    def test_apps_work_on_tiny_enterprise(self):
+        from repro.hr.apps import AgenticEmployerApp
+
+        enterprise = build_enterprise(seed=3, n_jobs=2, n_seekers=2, application_rate=0.5)
+        app = AgenticEmployerApp(enterprise=enterprise)
+        assert "Job 1" in app.click_job(1)
+        assert isinstance(app.say("how many applicants are there?"), str)
+
+
+class TestDegenerateInputs:
+    @pytest.fixture
+    def rig(self, store, clock, enterprise):
+        session = SessionManager(store).create("edge")
+        catalog = ModelCatalog(clock=clock)
+        return session, AgentContext(
+            store=store, session=session, clock=clock, catalog=catalog
+        )
+
+    def test_profiler_with_vague_criteria(self, rig):
+        from repro.hr.agents import ProfilerAgent
+
+        session, context = rig
+        profiler = ProfilerAgent()
+        profiler.attach(context)
+        profile = profiler.processor({"CRITERIA": "something nice please"})["PROFILE"]
+        assert profile["title"] is None
+        assert profile["skills"] == []
+
+    def test_matcher_with_empty_profile(self, rig, enterprise):
+        from repro.hr.agents import JobMatcherAgent
+        from repro.hr.matching import JobMatcher
+
+        session, context = rig
+        agent = JobMatcherAgent(JobMatcher(enterprise.taxonomy))
+        agent.attach(context)
+        outputs = agent.processor(
+            {"PROFILE": {}, "JOBS": enterprise.jobs[:5], "CRITERIA": None}
+        )
+        assert len(outputs["MATCHES"]) == 5  # neutral scores, still ranked
+
+    def test_presenter_handles_missing_fields(self, rig):
+        from repro.hr.agents import PresenterAgent
+
+        session, context = rig
+        presenter = PresenterAgent()
+        presenter.attach(context)
+        text = presenter.processor(
+            {"MATCHES": [{"title": "X", "company": None, "city": None, "salary": 0}]}
+        )["PRESENTATION"]
+        assert "X" in text
+
+    def test_summarizer_with_job_lacking_applications(self, rig):
+        from repro.hr.agents import SummarizerAgent
+        from repro.storage import ColumnType, Database, quick_table
+        from repro.storage.schema import Column
+
+        session, context = rig
+        db = Database("mini")
+        quick_table(
+            db, "jobs",
+            [Column("id", ColumnType.INT, primary_key=True),
+             Column("title", ColumnType.TEXT), Column("company", ColumnType.TEXT),
+             Column("city", ColumnType.TEXT), Column("salary", ColumnType.INT),
+             Column("skills", ColumnType.TEXT)],
+            [{"id": 1, "title": "DS", "company": "A", "city": "SF",
+              "salary": 100000, "skills": "python"}],
+        )
+        quick_table(
+            db, "applications",
+            [Column("id", ColumnType.INT, primary_key=True),
+             Column("job_id", ColumnType.INT), Column("status", ColumnType.TEXT)],
+        )
+        summarizer = SummarizerAgent(db)
+        summarizer.attach(context)
+        summary = summarizer.processor({"JOB_ID": 1})["SUMMARY"]
+        assert "none yet" in summary

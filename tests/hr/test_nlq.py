@@ -1,0 +1,133 @@
+"""Tests for the NL -> SQL translator over the HR schema."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.hr.nlq import NLQTranslator
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return NLQTranslator()
+
+
+class TestTableDetection:
+    def test_applicants_map_to_seekers(self, translator):
+        assert translator.translate("how many applicants are there").table == "seekers"
+
+    def test_jobs(self, translator):
+        assert translator.translate("show open positions").table == "jobs"
+
+    def test_applications(self, translator):
+        assert translator.translate("list applications for job 3").table == "applications"
+
+    def test_unknown_raises(self, translator):
+        with pytest.raises(PlanningError):
+            translator.translate("what's the weather like")
+
+
+class TestAggregates:
+    def test_count(self, translator):
+        t = translator.translate("how many applicants have python skills")
+        assert t.sql.startswith("SELECT COUNT(*) AS n FROM seekers")
+        assert "skills LIKE" in t.sql
+
+    def test_average_salary_jobs(self, translator):
+        t = translator.translate("average salary of jobs in San Francisco")
+        assert "AVG(salary)" in t.sql
+        assert "city =" in t.sql
+
+    def test_average_experience(self, translator):
+        t = translator.translate("average experience of candidates")
+        assert "AVG(years_experience)" in t.sql
+
+    def test_average_desired_salary_for_seekers(self, translator):
+        t = translator.translate("average salary candidates want")
+        assert "AVG(desired_salary)" in t.sql
+
+    def test_average_score_applications(self, translator):
+        t = translator.translate("average match score of applications")
+        assert "AVG(match_score)" in t.sql
+
+
+class TestFilters:
+    def test_skill_filter_parameterized(self, translator):
+        t = translator.translate("candidates with python and sql skills")
+        assert t.sql.count("skills LIKE") == 2
+        assert "%python%" in t.parameters.values()
+
+    def test_city_filter(self, translator):
+        t = translator.translate("jobs in Oakland")
+        assert "city = :p0" in t.sql
+        assert t.parameters["p0"] == "Oakland"
+
+    def test_title_filter(self, translator):
+        t = translator.translate("data scientist jobs")
+        assert "title LIKE" in t.sql
+
+    def test_salary_over_with_k_suffix(self, translator):
+        t = translator.translate("jobs with salary over 150k")
+        assert "salary >" in t.sql
+        assert 150000 in t.parameters.values()
+
+    def test_salary_under(self, translator):
+        t = translator.translate("positions under 120,000 salary")
+        assert "salary <" in t.sql
+        assert 120000 in t.parameters.values()
+
+    def test_remote_filter(self, translator):
+        assert "remote = TRUE" in translator.translate("remote jobs").sql
+
+    def test_job_id_filter(self, translator):
+        t = translator.translate("applications for job 12")
+        assert "job_id = :p0" in t.sql
+        assert t.parameters["p0"] == 12
+
+    def test_status_filter(self, translator):
+        t = translator.translate("interviewing applications")
+        assert "status = " in t.sql
+        assert "interviewing" in t.parameters.values()
+
+
+class TestRanking:
+    def test_top_candidates_by_experience(self, translator):
+        t = translator.translate("top candidates please")
+        assert "ORDER BY years_experience DESC" in t.sql
+        assert "LIMIT 10" in t.sql
+
+    def test_top_applications_by_score(self, translator):
+        t = translator.translate("best applications for job 2")
+        assert "ORDER BY match_score DESC" in t.sql
+
+    def test_plain_select_limited(self, translator):
+        assert "LIMIT 20" in translator.translate("show me the jobs").sql
+
+    def test_explanation_mentions_derivation(self, translator):
+        t = translator.translate("how many applicants have python skills")
+        assert "count" in t.explanation
+        assert "seekers" in t.explanation
+
+
+class TestExecutionAgainstEnterprise:
+    def test_translations_run_on_real_schema(self, translator, shared_enterprise):
+        db = shared_enterprise.database
+        queries = [
+            "how many applicants have python skills",
+            "average salary of data scientist jobs",
+            "top candidates by experience",
+            "applications for job 1",
+            "remote jobs in Oakland",
+        ]
+        for query in queries:
+            t = translator.translate(query)
+            result = db.execute(t.sql, t.parameters)
+            assert result.statement_kind == "select"
+
+    def test_count_matches_manual_filter(self, translator, shared_enterprise):
+        db = shared_enterprise.database
+        t = translator.translate("how many applicants have python skills")
+        count = db.execute(t.sql, t.parameters).scalar()
+        manual = sum(
+            1 for row in db.table("seekers").rows() if "python" in row["skills"]
+        )
+        assert count == manual

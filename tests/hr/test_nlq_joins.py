@@ -1,0 +1,72 @@
+"""Tests for join-shaped NL -> SQL translations."""
+
+import pytest
+
+from repro.hr.nlq import NLQTranslator
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return NLQTranslator()
+
+
+class TestJoinDetection:
+    def test_applicants_for_titled_jobs(self, translator):
+        t = translator.translate("who applied to data scientist jobs?")
+        assert "JOIN jobs" in t.sql
+        assert "JOIN seekers" in t.sql
+        assert "j.title LIKE" in t.sql
+
+    def test_applicants_for_city_jobs(self, translator):
+        t = translator.translate("candidates who applied to positions in Oakland")
+        assert "j.city = :p0" in t.sql
+        assert t.parameters["p0"] == "Oakland"
+
+    def test_count_join(self, translator):
+        t = translator.translate("how many candidates applied to data scientist jobs?")
+        assert t.sql.startswith("SELECT COUNT(*)")
+        assert "JOIN jobs" in t.sql
+
+    def test_status_constraint_in_join(self, translator):
+        t = translator.translate("interviewing applicants for data scientist roles")
+        assert "a.status = " in t.sql
+
+    def test_plain_applicant_query_stays_single_table(self, translator):
+        t = translator.translate("how many applicants have python skills")
+        assert "JOIN" not in t.sql
+        assert t.table == "seekers"
+
+    def test_no_job_constraint_falls_back(self, translator):
+        # Mentions jobs but gives no job-side filter: single-table path.
+        t = translator.translate("show me applications please, any job")
+        assert t.table == "applications"
+        assert "JOIN" not in t.sql
+
+
+class TestJoinExecution:
+    def test_join_runs_and_is_consistent(self, translator, shared_enterprise):
+        db = shared_enterprise.database
+        t = translator.translate("who applied to data scientist jobs?")
+        rows = db.execute(t.sql, t.parameters).rows
+        for row in rows:
+            assert "Data Scientist" in row["job_title"]
+            assert row["name"]
+
+    def test_count_matches_manual_join(self, translator, shared_enterprise):
+        db = shared_enterprise.database
+        t = translator.translate("how many candidates applied to jobs in Oakland?")
+        count = db.execute(t.sql, t.parameters).scalar()
+        oakland_jobs = {
+            row["id"] for row in db.table("jobs").rows() if row["city"] == "Oakland"
+        }
+        manual = sum(
+            1 for app in db.table("applications").rows() if app["job_id"] in oakland_jobs
+        )
+        assert count == manual
+
+    def test_end_to_end_through_app(self, enterprise):
+        from repro.hr.apps import AgenticEmployerApp
+
+        app = AgenticEmployerApp(enterprise=enterprise)
+        reply = app.say("how many candidates applied to data scientist jobs?")
+        assert "row" in reply

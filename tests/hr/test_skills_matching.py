@@ -1,0 +1,137 @@
+"""Tests for the skill extractor and job matcher models."""
+
+import pytest
+
+from repro.hr.matching import JobMatcher
+from repro.hr.skills import SkillExtractor
+from repro.hr.taxonomy import build_title_taxonomy
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return SkillExtractor()
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return JobMatcher(build_title_taxonomy())
+
+
+class TestSkillExtractor:
+    def test_canonical_match(self, extractor):
+        mentions = extractor.extract("Strong python and sql experience")
+        assert [m.skill for m in mentions] == ["python", "sql"]
+
+    def test_alias_normalized(self, extractor):
+        skills = extractor.skills_of("expert in ML and pyspark")
+        assert "machine learning" in skills
+        assert "spark" in skills
+
+    def test_longest_alias_wins(self, extractor):
+        mentions = extractor.extract("machine learning pipelines")
+        assert [m.skill for m in mentions] == ["machine learning"]
+
+    def test_word_boundaries(self, extractor):
+        assert extractor.skills_of("graphql endpoints") == []  # 'sql' inside a word
+
+    def test_case_insensitive(self, extractor):
+        assert extractor.skills_of("PYTHON and SQL") == ["python", "sql"]
+
+    def test_spans_and_confidence(self, extractor):
+        mention = extractor.extract("knows python")[0]
+        assert mention.surface == "python"
+        assert mention.start == 6
+        assert mention.confidence == 0.95
+
+    def test_alias_confidence_lower(self, extractor):
+        mention = extractor.extract("ML models")[0]
+        assert mention.confidence == 0.85
+
+    def test_dedup_in_skills_of(self, extractor):
+        assert extractor.skills_of("python, python, python") == ["python"]
+
+    def test_expected_skills(self, extractor):
+        assert "statistics" in extractor.expected_skills("Data Scientist")
+        assert extractor.expected_skills("Basket Weaver") == []
+
+
+class TestJobMatcher:
+    PROFILE = {
+        "title": "Data Scientist",
+        "city": "Oakland",
+        "skills": ["python", "sql", "statistics"],
+    }
+
+    def job(self, **overrides):
+        job = {
+            "id": 1,
+            "title": "Data Scientist",
+            "company": "Acme",
+            "city": "Oakland",
+            "salary": 150000,
+            "remote": False,
+            "skills": "python, sql, statistics",
+        }
+        job.update(overrides)
+        return job
+
+    def test_perfect_match(self, matcher):
+        result = matcher.score(self.PROFILE, self.job())
+        assert result.score == pytest.approx(1.0)
+
+    def test_skill_overlap_fraction(self, matcher):
+        assert matcher.skill_score("python, sql", "python, sql, spark, airflow") == 0.5
+
+    def test_skill_score_accepts_lists(self, matcher):
+        assert matcher.skill_score(["python"], ["python", "sql"]) == 0.5
+
+    def test_no_job_skills_neutral(self, matcher):
+        assert matcher.skill_score("python", None) == 0.5
+
+    def test_title_related_via_taxonomy(self, matcher):
+        score = matcher.title_score("Data Scientist", "Machine Learning Engineer")
+        assert score == 0.7
+
+    def test_title_seniority_stripped(self, matcher):
+        assert matcher.title_score("Data Scientist", "Senior Data Scientist") == 1.0
+
+    def test_title_unrelated(self, matcher):
+        assert matcher.title_score("Data Scientist", "Product Owner") == 0.1
+
+    def test_title_shared_word(self, matcher):
+        assert matcher.title_score("Data Scientist", "Data Engineer") in (0.4, 0.7)
+
+    def test_location_remote_always_fits(self, matcher):
+        assert matcher.location_score("Austin", {"city": "Oakland", "remote": True}) == 1.0
+
+    def test_location_mismatch(self, matcher):
+        assert matcher.location_score("Austin", {"city": "Oakland", "remote": False}) == 0.2
+
+    def test_match_ranks_descending(self, matcher):
+        jobs = [
+            self.job(id=1),
+            self.job(id=2, city="New York"),
+            self.job(id=3, title="Product Owner", skills="roadmapping"),
+        ]
+        results = matcher.match(self.PROFILE, jobs, top_k=3)
+        assert [r.job["id"] for r in results] == [1, 2, 3]
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_truncates(self, matcher):
+        jobs = [self.job(id=i) for i in range(10)]
+        assert len(matcher.match(self.PROFILE, jobs, top_k=3)) == 3
+
+    def test_min_score_filters(self, matcher):
+        jobs = [self.job(id=1), self.job(id=2, title="Product Owner", skills="roadmapping", city="Austin")]
+        results = matcher.match(self.PROFILE, jobs, min_score=0.5)
+        assert [r.job["id"] for r in results] == [1]
+
+    def test_deterministic_tiebreak(self, matcher):
+        jobs = [self.job(id=2), self.job(id=1)]
+        results = matcher.match(self.PROFILE, jobs, top_k=2)
+        assert [r.job["id"] for r in results] == [1, 2]
+
+    def test_render(self, matcher):
+        text = matcher.score(self.PROFILE, self.job()).render()
+        assert "Acme" in text and "score" in text

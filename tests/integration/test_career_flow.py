@@ -1,0 +1,72 @@
+"""Integration: the Career Assistant running example (Figures 1, 6, 7)."""
+
+import pytest
+
+from repro.core.qos import QoSSpec
+from repro.hr.apps import CareerAssistant
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+BAY_AREA = {
+    "San Francisco", "Oakland", "San Jose", "Berkeley", "Palo Alto",
+    "Mountain View", "Sunnyvale", "Santa Clara", "Fremont", "Redwood City",
+}
+
+
+@pytest.fixture(scope="module")
+def assistant():
+    return CareerAssistant(seed=7)
+
+
+@pytest.fixture(scope="module")
+def reply(assistant):
+    return assistant.ask(RUNNING_EXAMPLE)
+
+
+class TestRunningExample:
+    def test_figure6_plan_executed(self, reply):
+        assert reply.plan_rendering == "PROFILER -> JOB_MATCHER -> PRESENTER"
+
+    def test_matches_found_in_bay_area(self, reply):
+        assert reply.matches
+        assert all(m["city"] in BAY_AREA for m in reply.matches)
+
+    def test_presentation_rendered(self, reply):
+        assert "matches for you" in reply.text
+        assert "score" in reply.text
+
+    def test_budget_charged(self, reply):
+        assert reply.budget_summary["cost"] > 0
+        assert reply.budget_summary["latency"] > 0
+
+    def test_event_driven_components_in_session(self, assistant):
+        participants = assistant.session.participants()
+        for name in ("PROFILER", "JOB_MATCHER", "PRESENTER", "TASK_PLANNER", "TASK_COORDINATOR"):
+            assert name in participants
+
+    def test_full_observability(self, assistant):
+        """Every exchanged message is in the trace (Section V-A's promise)."""
+        trace = assistant.blueprint.store.trace()
+        producers = {m.producer for m in trace}
+        assert {"user", "TASK_PLANNER", "TASK_COORDINATOR", "PROFILER",
+                "JOB_MATCHER", "PRESENTER"} <= producers
+
+    def test_profile_stream_persisted(self, assistant):
+        store = assistant.blueprint.store
+        stream = store.get_stream(assistant.session.stream_id("profiler:profile"))
+        profile = stream.data_payloads()[-1]
+        assert profile["title"] == "Data Scientist"
+
+
+class TestQoSVariants:
+    def test_per_request_budget(self, assistant):
+        reply = assistant.ask_with_qos(
+            "I am looking for a software engineer job in Oakland",
+            QoSSpec(max_cost=1.0, objective="cost"),
+        )
+        assert reply.budget_summary["cost"] > 0
+        assert reply.budget_summary["cost"] < 1.0
+
+    def test_skill_advice(self, assistant):
+        skills = assistant.advise_skills("data scientist", qos=QoSSpec(objective="quality"))
+        assert "python" in skills

@@ -1,0 +1,101 @@
+"""Integration: the career-assistant fleet deployed in containers.
+
+Combines Figure 1 (the component architecture) with Figure 2 (cluster
+deployment): agents run inside supervised containers, the planner and
+coordinator drive them over streams, and service survives a container
+failure via restart.
+"""
+
+import pytest
+
+from repro.core import (
+    AgentFactory,
+    Cluster,
+    ResourceProfile,
+    Supervisor,
+)
+from repro.core.runtime import Blueprint
+from repro.hr.agents import JobMatcherAgent, PresenterAgent, ProfilerAgent
+from repro.hr.apps.career_assistant import JOB_SEARCH_TEMPLATE, SKILL_ADVICE_TEMPLATE
+from repro.hr.matching import JobMatcher
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def deployed(enterprise):
+    blueprint = Blueprint(data_registry=enterprise.registry)
+    session = blueprint.create_session("deployed")
+    blueprint.task_planner.register_template(JOB_SEARCH_TEMPLATE)
+    blueprint.task_planner.register_template(SKILL_ADVICE_TEMPLATE)
+
+    factory = AgentFactory("hr-factory")
+    matcher = JobMatcher(enterprise.taxonomy)
+    factory.register("PROFILER", lambda **kw: ProfilerAgent(**kw))
+    factory.register(
+        "JOB_MATCHER",
+        lambda **kw: JobMatcherAgent(
+            matcher, data_planner=blueprint.data_planner, **kw
+        ),
+    )
+    factory.register("PRESENTER", lambda **kw: PresenterAgent(**kw))
+
+    cluster = Cluster("hr-prod")
+    cluster.add_node(ResourceProfile(cpu=8, gpu=1, memory_gb=32))
+    context_factory = lambda: blueprint.context(session)
+    containers = {
+        name: cluster.deploy(
+            f"{name.lower()}:v1", factory, context_factory, ((name, {}),),
+            profile=ResourceProfile(cpu=1, gpu=0, memory_gb=4),
+        )
+        for name in ("PROFILER", "JOB_MATCHER", "PRESENTER")
+    }
+    # The deployed agents must be in the registry for the planner to find.
+    for container in containers.values():
+        for agent in container.agents():
+            if not blueprint.agent_registry.has(agent.name):
+                blueprint.agent_registry.register_agent(agent)
+    blueprint.attach_planner_and_coordinator(session)
+    user = session.create_stream("user", tags=("USER",), creator="user")
+    return blueprint, session, cluster, containers, user
+
+
+def ask(blueprint, user, text):
+    marker = len(blueprint.store.trace())
+    blueprint.store.publish_data(user.stream_id, text, tags=("USER",), producer="user")
+    displays = [
+        m.payload for m in blueprint.store.trace()[marker:]
+        if m.is_data and m.has_tag("DISPLAY")
+    ]
+    return displays[-1] if displays else None
+
+
+class TestDeployedCareerFlow:
+    def test_request_served_by_containerized_agents(self, deployed):
+        blueprint, session, cluster, containers, user = deployed
+        reply = ask(blueprint, user, RUNNING_EXAMPLE)
+        assert reply and "matches for you" in reply
+        placement = cluster.placement()
+        assert sum(len(c) for c in placement.values()) == 3
+
+    def test_failure_breaks_then_restart_restores(self, deployed):
+        blueprint, session, cluster, containers, user = deployed
+        containers["JOB_MATCHER"].fail()
+        broken = ask(blueprint, user, RUNNING_EXAMPLE)
+        # The plan fails loudly: the matcher is no longer in the session.
+        assert broken is None
+        Supervisor(cluster).tick()
+        restored = ask(blueprint, user, RUNNING_EXAMPLE)
+        assert restored and "matches for you" in restored
+
+    def test_failed_run_recorded(self, deployed):
+        blueprint, session, cluster, containers, user = deployed
+        containers["PRESENTER"].fail()
+        session.exit("PRESENTER")  # ops marks the zombie as gone
+        ask(blueprint, user, RUNNING_EXAMPLE)
+        coordinator = next(
+            a for a in blueprint.agents_in(session) if a.name == "TASK_COORDINATOR"
+        )
+        run = coordinator.runs[-1]
+        assert run.status == "failed"
+        assert "PRESENTER" in run.abort_reason

@@ -1,0 +1,65 @@
+"""Integration: session-scoped follow-up turns in the Career Assistant."""
+
+import pytest
+
+from repro.hr.apps import CareerAssistant
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def assistant():
+    return CareerAssistant(seed=7)
+
+
+class TestFollowups:
+    def test_profile_remembered_in_scope(self, assistant):
+        assert assistant.remembered_profile() is None
+        assistant.ask(RUNNING_EXAMPLE)
+        profile = assistant.remembered_profile()
+        assert profile is not None
+        assert profile["title"] == "Data Scientist"
+        assert assistant.session.scope.child("PROFILE").path == "SESSION:career:PROFILE"
+
+    def test_location_followup_reuses_title(self, assistant):
+        assistant.ask(RUNNING_EXAMPLE)
+        reply = assistant.followup("what about positions in Oakland?")
+        assert reply.matches
+        # The remembered Data Scientist title carried over.
+        refined = assistant.remembered_profile()
+        assert refined["title"] == "Data Scientist"
+        assert refined["location"] == "Oakland"
+        assert all(m["city"] == "Oakland" or m.get("remote") for m in reply.matches)
+
+    def test_title_followup_reuses_location(self, assistant):
+        assistant.ask(RUNNING_EXAMPLE)
+        reply = assistant.followup("how about a data engineer position instead?")
+        refined = assistant.remembered_profile()
+        assert refined["title"] == "Data Engineer"
+        assert refined["location"] == "sf bay area"
+        assert reply.matches
+
+    def test_chained_followups_accumulate(self, assistant):
+        assistant.ask(RUNNING_EXAMPLE)
+        assistant.followup("what about Oakland jobs?")
+        assistant.followup("how about a data engineer position?")
+        refined = assistant.remembered_profile()
+        assert refined == {**refined, "title": "Data Engineer", "location": "Oakland"}
+
+    def test_followup_without_prior_ask_falls_back(self, assistant):
+        reply = assistant.followup(
+            "I am looking for a software engineer position in Oakland"
+        )
+        assert reply.plan_rendering  # full planning path ran instead
+
+
+class TestExplainLast:
+    def test_explanations_for_last_matches(self, assistant):
+        assistant.ask(RUNNING_EXAMPLE)
+        text = assistant.explain_last()
+        assert text.count("- ") >= 1
+        assert "fits a" in text
+
+    def test_nothing_to_explain(self):
+        fresh = CareerAssistant(seed=7)
+        assert "Nothing to explain" in fresh.explain_last()

@@ -1,0 +1,108 @@
+"""Integration: QoS-driven optimization and budget enforcement end-to-end."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.plan import Op
+from repro.core.planners.data_planner import DataPlanner
+from repro.core.qos import QoSSpec
+from repro.errors import OptimizationError
+from repro.llm import ModelCatalog
+
+RUNNING_EXAMPLE = "I am looking for a data scientist position in SF bay area."
+
+
+@pytest.fixture
+def planner(enterprise, clock):
+    return DataPlanner(enterprise.registry, ModelCatalog(clock=clock))
+
+
+class TestOptimizerUnderQoS:
+    def test_cost_objective_prefers_cheap_models(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"))
+        cities_model = plan.operator("cities").chosen.model
+        assert cities_model in ("mega-nano", "hr-ft")  # bottom of the price list
+
+    def test_quality_objective_prefers_strong_models(self, planner):
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        assert plan.operator("cities").chosen.model == "mega-xl"
+
+    def test_quality_floor_forces_spend_up(self, planner):
+        cheap_plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"))
+        floor_plan = planner.plan_job_query(
+            RUNNING_EXAMPLE, qos=QoSSpec(min_quality=0.85, objective="cost")
+        )
+        cheap_profile = planner.optimizer.project(cheap_plan)
+        floor_profile = planner.optimizer.project(floor_plan)
+        assert floor_profile.quality > cheap_profile.quality
+        assert floor_profile.cost >= cheap_profile.cost
+
+    def test_title_expansion_prefers_graph_under_cost(self, planner):
+        """The free in-house taxonomy beats paid LLM calls on cost."""
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"))
+        assert plan.operator("expand_title").chosen.source == "TITLE_TAXONOMY"
+
+    def test_impossible_qos_raises(self, planner):
+        with pytest.raises(OptimizationError):
+            planner.plan_job_query(
+                RUNNING_EXAMPLE, qos=QoSSpec(max_cost=1e-12, min_quality=0.99)
+            )
+
+    def test_latency_cap_bites(self, planner):
+        fast = planner.plan_job_query(
+            RUNNING_EXAMPLE, qos=QoSSpec(max_latency=3.0, objective="quality")
+        )
+        profile = planner.optimizer.project(fast)
+        assert profile.latency <= 3.0
+
+    def test_quality_actually_differs_in_execution(self, planner):
+        """Cheap plans recall fewer bay-area cities than quality plans."""
+        cheap = planner.execute(
+            planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="cost"))
+        )
+        good = planner.execute(
+            planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        )
+        assert len(good.outputs["cities"]) >= len(
+            [c for c in cheap.outputs["cities"]]
+        ) - 2  # cheap may hallucinate extras; quality should cover the region
+        assert good.quality > cheap.quality
+
+
+class TestBudgetEnforcementEndToEnd:
+    def test_execution_stops_at_cost_ceiling(self, planner, clock):
+        budget = Budget(QoSSpec(max_cost=1.0), clock=clock)
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        planner.execute(plan, budget=budget)
+        assert budget.violation() is None
+
+    def test_charges_attributed_per_operator(self, planner, clock):
+        budget = Budget(clock=clock)
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        planner.execute(plan, budget=budget)
+        sources = budget.by_source()
+        assert "data-plan/llm_call" in sources
+        assert "data-plan/sql" in sources
+
+    def test_tight_budget_aborts_app_request(self):
+        """End-to-end: an exhausted per-request budget aborts the plan."""
+        from repro.hr.apps import CareerAssistant
+
+        assistant = CareerAssistant(seed=7)
+        reply = assistant.ask_with_qos(
+            "I am looking for a data scientist position in SF bay area.",
+            QoSSpec(max_cost=1e-07, objective="cost"),
+        )
+        run = assistant.coordinator.runs[-1]
+        assert run.status == "aborted"
+        assert "cost" in run.abort_reason
+        assert reply.matches == [] or len(run.executed) < 3
+
+    def test_projection_close_to_actual(self, planner, clock):
+        """The optimizer's projection should track actual execution cost."""
+        plan = planner.plan_job_query(RUNNING_EXAMPLE, qos=QoSSpec(objective="quality"))
+        projection = planner.optimizer.project(plan)
+        budget = Budget(clock=clock)
+        result = planner.execute(plan, budget=budget)
+        assert result.cost == pytest.approx(projection.cost, rel=1.0)
+        assert result.cost > 0

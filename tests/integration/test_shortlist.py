@@ -1,0 +1,60 @@
+"""Integration: the interactive shortlist of Scenario II."""
+
+import pytest
+
+from repro.hr.apps import AgenticEmployerApp
+
+
+@pytest.fixture
+def app(enterprise):
+    return AgenticEmployerApp(enterprise=enterprise)
+
+
+@pytest.fixture
+def a_name(enterprise):
+    """A first name guaranteed to exist among the seekers."""
+    return enterprise.database.query("SELECT name FROM seekers WHERE id = 1")[0][
+        "name"
+    ].split()[0]
+
+
+class TestShortlist:
+    def test_add_candidate(self, app, a_name):
+        reply = app.say(f"add {a_name} to the shortlist")
+        assert "Added" in reply
+        assert "Shortlist (1):" in reply
+
+    def test_add_unknown_candidate(self, app):
+        reply = app.say("add Zyxwv to the shortlist")
+        assert "could not find" in reply
+
+    def test_duplicate_add_rejected(self, app, a_name):
+        app.say(f"add {a_name} to the shortlist")
+        reply = app.say(f"add {a_name} to the shortlist")
+        assert "already on the shortlist" in reply
+
+    def test_remove_candidate(self, app, a_name):
+        app.say(f"add {a_name} to the shortlist")
+        reply = app.say(f"remove {a_name} from my shortlist")
+        assert "empty" in reply
+
+    def test_remove_absent_candidate(self, app):
+        reply = app.say("remove Nobody from my shortlist")
+        assert "Nobody matching" in reply or "empty" in reply
+
+    def test_show_shortlist(self, app, a_name):
+        app.say(f"add {a_name} to the shortlist")
+        reply = app.say("update my shortlist")
+        assert "Shortlist (1):" in reply
+
+    def test_shortlist_lives_in_session_scope(self, app, a_name):
+        app.say(f"add {a_name} to the shortlist")
+        members = app.session.scope.child("SHORTLIST").get("members")
+        assert len(members) == 1
+        assert a_name in members[0]["name"]
+
+    def test_shortlist_persists_across_other_turns(self, app, a_name):
+        app.say(f"add {a_name} to the shortlist")
+        app.say("how many applicants have python skills?")
+        reply = app.say("update my shortlist")
+        assert "Shortlist (1):" in reply

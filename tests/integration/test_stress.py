@@ -1,0 +1,56 @@
+"""A long mixed-workload session: the app stays consistent over many turns."""
+
+import pytest
+
+from repro.hr.apps import AgenticEmployerApp, CareerAssistant
+
+
+class TestEmployerMarathon:
+    def test_fifty_mixed_turns(self, enterprise):
+        app = AgenticEmployerApp(enterprise=enterprise)
+        queries = [
+            "how many applicants have python skills?",
+            "how many applicants have sql skills?",
+            "top candidates by experience",
+            "average salary of data scientist jobs",
+            "how many candidates applied to data scientist jobs?",
+        ]
+        n_jobs = len(enterprise.jobs)
+        cost_trajectory = []
+        for turn in range(50):
+            if turn % 5 == 4:
+                reply = app.click_job(turn % n_jobs + 1)
+            else:
+                reply = app.say(queries[turn % len(queries)])
+            assert isinstance(reply, str) and reply
+            cost_trajectory.append(app.budget.spent_cost())
+        # Cost grows monotonically; no charge ever disappears.
+        assert all(b >= a for a, b in zip(cost_trajectory, cost_trajectory[1:]))
+        # The transcript mirrors every turn.
+        assert len(app.transcript()) == 100
+        # The trace stayed internally consistent.
+        trace = app.blueprint.store.trace()
+        assert len({m.message_id for m in trace}) == len(trace)
+        stamps = [m.timestamp for m in trace]
+        assert stamps == sorted(stamps)
+
+    def test_agents_never_wedge_after_errors(self, enterprise):
+        """Unanswerable queries error some agents; later turns still work."""
+        app = AgenticEmployerApp(enterprise=enterprise)
+        for _ in range(3):
+            app.say("what is the meaning of life, the universe and everything?")
+        reply = app.say("how many applicants have python skills?")
+        assert "row" in reply
+
+
+class TestAssistantMarathon:
+    def test_repeated_searches_and_refinements(self):
+        assistant = CareerAssistant(seed=7)
+        assistant.ask("I am looking for a data scientist position in SF bay area.")
+        for city in ("Oakland", "Berkeley", "San Jose", "Fremont"):
+            reply = assistant.followup(f"what about {city}?")
+            profile = assistant.remembered_profile()
+            assert profile["location"] == city
+        runs = assistant.coordinator.runs
+        assert all(run.status == "completed" for run in runs)
+        assert assistant.budget.spent_cost() > 0

@@ -1,0 +1,51 @@
+"""Tests for the knowledge base and the prompt builders."""
+
+from repro.llm import knowledge, prompts
+
+
+class TestKnowledgeLookups:
+    def test_region_exact(self):
+        cities = knowledge.lookup_region("sf bay area")
+        assert "San Francisco" in cities
+
+    def test_region_case_and_fuzz(self):
+        assert knowledge.lookup_region("SF Bay Area") is not None
+        assert knowledge.lookup_region("the greater sf bay area region") is not None
+
+    def test_region_unknown(self):
+        assert knowledge.lookup_region("middle earth") is None
+
+    def test_related_titles(self):
+        titles = knowledge.lookup_related_titles("data scientist")
+        assert "Applied Scientist" in titles
+        assert knowledge.lookup_related_titles("Senior Data Scientist") is not None
+
+    def test_related_titles_unknown(self):
+        assert knowledge.lookup_related_titles("wizard") is None
+
+    def test_skills(self):
+        assert "sql" in knowledge.lookup_skills("data scientist")
+        assert knowledge.lookup_skills("dragon tamer") is None
+
+    def test_noise_pools_disjoint_from_truth(self):
+        bay = set(knowledge.REGION_CITIES["sf bay area"])
+        assert not bay & set(knowledge.NOISE_CITIES)
+        all_titles = {t for ts in knowledge.RELATED_TITLES.values() for t in ts}
+        assert not all_titles & set(knowledge.NOISE_TITLES)
+
+
+class TestPromptBuilders:
+    def test_directive_shapes(self):
+        assert prompts.list_cities("x").startswith("TASK: LIST_CITIES\nREGION: x")
+        assert "TITLE: ds" in prompts.related_titles("ds")
+        assert "TITLE: ds" in prompts.list_skills("ds")
+        assert "FIELDS: a, b" in prompts.extract("text", ("a", "b"))
+        assert prompts.summarize("t") == "TASK: SUMMARIZE\nTEXT: t"
+        assert "LABELS: x, y" in prompts.classify("t", ("x", "y"))
+        assert "FRAGMENT: f" in prompts.q2nl("f")
+        assert prompts.generate("g").startswith("TASK: GENERATE")
+
+    def test_describe_rows(self):
+        prompt = prompts.describe_rows([{"a": 1, "b": "x"}], intro="Rows")
+        assert prompt.startswith("TASK: SUMMARIZE")
+        assert "a=1, b=x" in prompt

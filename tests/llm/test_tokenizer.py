@@ -1,0 +1,21 @@
+"""Tests for the token-accounting tokenizer."""
+
+from repro.llm import count_tokens, tokenize, truncate_tokens
+
+
+class TestTokenizer:
+    def test_words_and_punct(self):
+        assert tokenize("Hello, world!") == ["Hello", ",", "world", "!"]
+
+    def test_count(self):
+        assert count_tokens("a b c") == 3
+        assert count_tokens("") == 0
+
+    def test_truncate_noop_when_short(self):
+        assert truncate_tokens("a b", 5) == "a b"
+
+    def test_truncate(self):
+        assert truncate_tokens("a b c d", 2) == "a b"
+
+    def test_truncate_zero(self):
+        assert truncate_tokens("a b", 0) == ""

@@ -1,0 +1,134 @@
+"""Property-based tests for plan DAGs and the optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimClock
+from repro.core.optimizer import CostModel, PlanOptimizer
+from repro.core.plan import Dag, DataPlan, Op, OperatorChoice
+from repro.core.qos import QoSSpec
+from repro.errors import OptimizationError
+from repro.llm import ModelCatalog
+
+MODELS = ("mega-xl", "mega-m", "mega-s", "mega-nano", "hr-ft")
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG built by only adding edges from earlier to later nodes."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    nodes = [f"n{i}" for i in range(n)]
+    edges = []
+    for j in range(1, n):
+        parents = draw(
+            st.lists(st.integers(min_value=0, max_value=j - 1), max_size=3, unique=True)
+        )
+        edges.extend((f"n{p}", f"n{j}") for p in parents)
+    return Dag.from_edges(nodes, edges)
+
+
+class TestDagProperties:
+    @given(random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_toposort_respects_edges(self, dag):
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for source, target in dag.edges():
+            assert position[source] < position[target]
+
+    @given(random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_toposort_is_permutation(self, dag):
+        order = dag.topological_order()
+        assert sorted(order, key=str) == sorted(dag.nodes(), key=str)
+
+    @given(random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_roots_have_no_predecessors(self, dag):
+        for root in dag.roots():
+            assert dag.predecessors(root) == []
+        for leaf in dag.leaves():
+            assert dag.successors(leaf) == []
+
+    @given(random_dag())
+    @settings(max_examples=30, deadline=None)
+    def test_longest_path_at_least_one_at_most_n(self, dag):
+        length = dag.longest_path_length()
+        assert 1.0 <= length <= len(dag.nodes())
+
+
+@st.composite
+def llm_plan(draw):
+    """A chain plan of 1-5 LLM operators with random model menus."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    plan = DataPlan("prop")
+    previous = ()
+    for i in range(n):
+        menu = draw(
+            st.lists(st.sampled_from(MODELS), min_size=1, max_size=5, unique=True)
+        )
+        plan.add_op(
+            f"op{i}",
+            Op.LLM_CALL,
+            {"prompt_kind": "cities", "arg": "x", "domain": "general"},
+            inputs=previous,
+            choices=tuple(OperatorChoice(model=m) for m in menu),
+        )
+        previous = (f"op{i}",)
+    return plan
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+
+
+class TestOptimizerProperties:
+    @given(llm_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_mutually_nondominated(self, plan):
+        optimizer = PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+        frontier = optimizer.frontier(plan)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.profile.dominates(b.profile)
+
+    @given(llm_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_unconstrained_optimize_always_feasible(self, plan):
+        optimizer = PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+        assignment = optimizer.optimize(plan)
+        assert len(assignment.choices) == len(plan)
+
+    @given(llm_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_objective_is_frontier_minimum(self, plan):
+        optimizer = PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+        frontier = optimizer.frontier(plan)
+        chosen = optimizer.optimize(plan, QoSSpec(objective="cost"))
+        assert chosen.profile.cost == min(a.profile.cost for a in frontier)
+
+    @given(llm_plan(), st.floats(min_value=0.3, max_value=0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_quality_floor_respected_or_infeasible(self, plan, floor):
+        optimizer = PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+        try:
+            assignment = optimizer.optimize(plan, QoSSpec(min_quality=floor))
+        except OptimizationError:
+            best = optimizer.optimize(plan, QoSSpec(objective="quality"))
+            assert best.profile.quality < floor
+        else:
+            assert assignment.profile.quality >= floor
+
+    @given(llm_plan())
+    @settings(max_examples=30, deadline=None)
+    def test_projection_matches_applied_assignment(self, plan):
+        optimizer = PlanOptimizer(CostModel(ModelCatalog(clock=SimClock())))
+        assignment = optimizer.optimize(plan)
+        projection = optimizer.project(plan)
+        assert projection.cost == pytest.approx(assignment.profile.cost)
+        assert projection.latency == pytest.approx(assignment.profile.latency)
+        assert projection.quality == pytest.approx(assignment.profile.quality)

@@ -1,0 +1,94 @@
+"""Fuzzing: malformed inputs fail with the library's own errors, never
+with foreign exceptions (the 'errors should never pass silently' contract).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.storage import ColumnType, Database, quick_table
+from repro.storage.document.query import matches
+from repro.storage.relational.sql.parser import parse
+
+SQL_FRAGMENTS = st.lists(
+    st.sampled_from([
+        "SELECT", "FROM", "WHERE", "JOIN", "ON", "GROUP", "BY", "ORDER",
+        "LIMIT", "t", "a", "b", "*", ",", "(", ")", "=", "<", "AND", "OR",
+        "NOT", "IN", "LIKE", "1", "'x'", ":p", "COUNT", "AVG", "NULL",
+        "CASE", "WHEN", "THEN", "END", "+", "-", ".", "AS",
+    ]),
+    max_size=14,
+)
+
+
+class TestSQLFuzz:
+    @given(SQL_FRAGMENTS)
+    @settings(max_examples=300, deadline=None)
+    def test_parser_raises_only_library_errors(self, fragments):
+        sql = " ".join(fragments)
+        try:
+            parse(sql)
+        except ReproError:
+            pass  # the contract: our error types only
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_survives_arbitrary_text(self, text):
+        try:
+            parse(text)
+        except ReproError:
+            pass
+
+    @given(SQL_FRAGMENTS)
+    @settings(max_examples=150, deadline=None)
+    def test_executor_raises_only_library_errors(self, fragments):
+        db = Database("fuzz")
+        quick_table(db, "t", [("a", ColumnType.INT), ("b", ColumnType.TEXT)],
+                    [{"a": 1, "b": "x"}])
+        sql = " ".join(fragments)
+        try:
+            db.execute(sql, {"p": 1})
+        except ReproError:
+            pass
+
+
+FILTER_VALUES = st.recursive(
+    st.one_of(st.integers(), st.text(max_size=5), st.booleans(), st.none()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(
+            st.sampled_from(["$eq", "$gt", "$in", "$contains", "$or", "$bogus", "field"]),
+            children,
+            max_size=3,
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+class TestFilterFuzz:
+    @given(st.dictionaries(st.sampled_from(["a", "b", "$or", "$and", "$not", "$weird"]),
+                           FILTER_VALUES, max_size=4))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_raises_only_library_errors(self, filter_spec):
+        document = {"a": 1, "b": "text", "nested": {"x": 2}}
+        try:
+            result = matches(document, filter_spec)
+        except ReproError:
+            pass
+        except TypeError:
+            # Comparing incompatible literal types mirrors Python semantics
+            # (e.g. 5 > "x"); anything else is a genuine bug.
+            pass
+        else:
+            assert isinstance(result, bool)
+
+
+class TestTopLevelAPI:
+    def test_blueprint_importable_from_root(self):
+        import repro
+
+        blueprint = repro.Blueprint()
+        assert repro.QoSSpec(max_cost=1.0).max_cost == 1.0
+        assert blueprint.describe()["components"]

@@ -1,0 +1,83 @@
+"""Property-based tests: every generated NLQ translation must execute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hr.nlq import NLQTranslator
+
+TRANSLATOR = NLQTranslator()
+
+NOUNS = st.sampled_from(
+    ["applicants", "candidates", "jobs", "positions", "applications", "seekers"]
+)
+PREFIXES = st.sampled_from(
+    ["how many", "show me the", "top", "average salary of", "count the"]
+)
+QUALIFIERS = st.sampled_from(
+    [
+        "",
+        "with python skills",
+        "in Oakland",
+        "in San Francisco",
+        "with salary over 150k",
+        "with salary under 120,000",
+        "for job 3",
+        "that are interviewing",
+        "data scientist",
+        "remote",
+        "with sql and spark skills",
+    ]
+)
+
+
+@st.composite
+def utterance(draw):
+    prefix = draw(PREFIXES)
+    qualifier_a = draw(QUALIFIERS)
+    noun = draw(NOUNS)
+    qualifier_b = draw(QUALIFIERS)
+    return " ".join(part for part in (prefix, qualifier_a, noun, qualifier_b) if part)
+
+
+class TestTranslationTotality:
+    @given(utterance())
+    @settings(max_examples=120, deadline=None)
+    def test_every_translation_executes(self, text):
+        translation = TRANSLATOR.translate(text)
+        assert translation.sql.startswith("SELECT")
+        db = _enterprise().database
+        result = db.execute(translation.sql, translation.parameters)
+        assert result.statement_kind == "select"
+
+    @given(utterance())
+    @settings(max_examples=120, deadline=None)
+    def test_parameters_fully_bound(self, text):
+        translation = TRANSLATOR.translate(text)
+        for name in translation.parameters:
+            assert f":{name}" in translation.sql
+        # No dangling placeholders the parameters don't cover.
+        import re
+
+        placeholders = set(re.findall(r":(\w+)", translation.sql))
+        assert placeholders == set(translation.parameters)
+
+    @given(utterance())
+    @settings(max_examples=60, deadline=None)
+    def test_translation_deterministic(self, text):
+        first = TRANSLATOR.translate(text)
+        second = TRANSLATOR.translate(text)
+        assert first.sql == second.sql
+        assert first.parameters == second.parameters
+
+
+_CACHED = None
+
+
+def _enterprise():
+    global _CACHED
+    if _CACHED is None:
+        from repro.hr.data import build_enterprise
+
+        _CACHED = build_enterprise(seed=5, n_jobs=30, n_seekers=20)
+    return _CACHED

@@ -1,0 +1,102 @@
+"""Property-based equivalence tests: joins and subqueries vs plain Python."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import ColumnType, Database, quick_table
+from repro.storage.schema import Column
+
+LEFT_ROW = st.fixed_dictionaries(
+    {"key": st.integers(min_value=0, max_value=5), "payload": st.sampled_from("abc")}
+)
+RIGHT_ROW = st.fixed_dictionaries(
+    {"fk": st.integers(min_value=0, max_value=5), "score": st.integers(min_value=0, max_value=9)}
+)
+
+
+def build(left_rows, right_rows):
+    db = Database("prop")
+    quick_table(
+        db, "left_t",
+        [Column("id", ColumnType.INT, primary_key=True),
+         Column("key", ColumnType.INT), Column("payload", ColumnType.TEXT)],
+        [{"id": i, **row} for i, row in enumerate(left_rows)],
+    )
+    quick_table(
+        db, "right_t",
+        [Column("id", ColumnType.INT, primary_key=True),
+         Column("fk", ColumnType.INT), Column("score", ColumnType.INT)],
+        [{"id": i, **row} for i, row in enumerate(right_rows)],
+    )
+    return db
+
+
+class TestJoinEquivalence:
+    @given(st.lists(LEFT_ROW, max_size=12), st.lists(RIGHT_ROW, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_inner_join_matches_python(self, left_rows, right_rows):
+        db = build(left_rows, right_rows)
+        got = db.query(
+            "SELECT l.id AS lid, r.id AS rid FROM left_t l "
+            "JOIN right_t r ON r.fk = l.key"
+        )
+        expected = {
+            (li, ri)
+            for li, l in enumerate(left_rows)
+            for ri, r in enumerate(right_rows)
+            if r["fk"] == l["key"]
+        }
+        assert {(row["lid"], row["rid"]) for row in got} == expected
+        assert len(got) == len(expected)
+
+    @given(st.lists(LEFT_ROW, max_size=12), st.lists(RIGHT_ROW, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_left_join_preserves_all_left_rows(self, left_rows, right_rows):
+        db = build(left_rows, right_rows)
+        got = db.query(
+            "SELECT l.id AS lid, r.id AS rid FROM left_t l "
+            "LEFT JOIN right_t r ON r.fk = l.key"
+        )
+        matched_left = {row["lid"] for row in got}
+        assert matched_left == set(range(len(left_rows)))
+        # Unmatched left rows appear exactly once with NULL right side.
+        for li, l in enumerate(left_rows):
+            matches = [row for row in got if row["lid"] == li]
+            expected_n = sum(1 for r in right_rows if r["fk"] == l["key"])
+            if expected_n == 0:
+                assert len(matches) == 1 and matches[0]["rid"] is None
+            else:
+                assert len(matches) == expected_n
+
+    @given(st.lists(LEFT_ROW, max_size=12), st.lists(RIGHT_ROW, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_in_subquery_is_semi_join(self, left_rows, right_rows):
+        db = build(left_rows, right_rows)
+        got = db.query(
+            "SELECT id FROM left_t WHERE key IN (SELECT fk FROM right_t)"
+        )
+        fks = {r["fk"] for r in right_rows}
+        expected = {i for i, l in enumerate(left_rows) if l["key"] in fks}
+        assert {row["id"] for row in got} == expected
+
+    @given(st.lists(LEFT_ROW, max_size=12), st.lists(RIGHT_ROW, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_not_in_subquery_is_anti_join(self, left_rows, right_rows):
+        db = build(left_rows, right_rows)
+        got = db.query(
+            "SELECT id FROM left_t WHERE key NOT IN (SELECT fk FROM right_t)"
+        )
+        fks = {r["fk"] for r in right_rows}
+        expected = {i for i, l in enumerate(left_rows) if l["key"] not in fks}
+        assert {row["id"] for row in got} == expected
+
+    @given(st.lists(RIGHT_ROW, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_subquery_threshold(self, right_rows):
+        db = build([], right_rows)
+        got = db.query(
+            "SELECT id FROM right_t WHERE score >= (SELECT AVG(score) FROM right_t)"
+        )
+        avg = sum(r["score"] for r in right_rows) / len(right_rows)
+        expected = {i for i, r in enumerate(right_rows) if r["score"] >= avg}
+        assert {row["id"] for row in got} == expected

@@ -1,0 +1,123 @@
+"""Property-based tests for the SQL engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import ColumnType, Database, quick_table
+from repro.storage.schema import Column
+
+ROW = st.fixed_dictionaries(
+    {
+        "v": st.integers(min_value=-1000, max_value=1000),
+        "name": st.sampled_from(["a", "b", "c", "d"]),
+        "score": st.one_of(st.none(), st.floats(min_value=0, max_value=1, allow_nan=False)),
+    }
+)
+
+
+def build_db(rows):
+    db = Database("prop")
+    quick_table(
+        db,
+        "t",
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("v", ColumnType.INT),
+            Column("name", ColumnType.TEXT),
+            Column("score", ColumnType.FLOAT),
+        ],
+        [{"id": i, **row} for i, row in enumerate(rows)],
+    )
+    return db
+
+
+class TestSelectInvariants:
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_where_filter_matches_python_filter(self, rows):
+        db = build_db(rows)
+        got = db.query("SELECT id FROM t WHERE v > 0")
+        expected = [i for i, row in enumerate(rows) if row["v"] > 0]
+        assert sorted(r["id"] for r in got) == expected
+
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_count_equals_len(self, rows):
+        db = build_db(rows)
+        assert db.execute("SELECT COUNT(*) AS n FROM t").scalar() == len(rows)
+
+    @given(st.lists(ROW, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_python(self, rows):
+        db = build_db(rows)
+        assert db.execute("SELECT SUM(v) AS s FROM t").scalar() == sum(
+            row["v"] for row in rows
+        )
+
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_sorts(self, rows):
+        db = build_db(rows)
+        got = [r["v"] for r in db.query("SELECT v FROM t ORDER BY v")]
+        assert got == sorted(row["v"] for row in rows)
+
+    @given(st.lists(ROW, max_size=30), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_bounds_output(self, rows, limit):
+        db = build_db(rows)
+        got = db.query(f"SELECT * FROM t LIMIT {limit}")
+        assert len(got) == min(limit, len(rows))
+
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_group_counts_sum_to_total(self, rows):
+        db = build_db(rows)
+        groups = db.query("SELECT name, COUNT(*) AS n FROM t GROUP BY name")
+        assert sum(g["n"] for g in groups) == len(rows)
+
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_indexed_equality_equals_scan(self, rows):
+        db = build_db(rows)
+        db.execute("CREATE INDEX i ON t (name)")
+        for name in ("a", "b", "c", "d"):
+            indexed = db.query("SELECT id FROM t WHERE name = :n ORDER BY id", {"n": name})
+            expected = [{"id": i} for i, row in enumerate(rows) if row["name"] == name]
+            assert indexed == expected
+
+    @given(st.lists(ROW, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_no_duplicates(self, rows):
+        db = build_db(rows)
+        got = [r["name"] for r in db.query("SELECT DISTINCT name FROM t")]
+        assert len(got) == len(set(got))
+        assert set(got) == {row["name"] for row in rows}
+
+    @given(st.lists(ROW, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_null_scores_never_compare(self, rows):
+        db = build_db(rows)
+        above = db.query("SELECT id FROM t WHERE score > 0.5")
+        below = db.query("SELECT id FROM t WHERE score <= 0.5")
+        nulls = db.query("SELECT id FROM t WHERE score IS NULL")
+        assert len(above) + len(below) + len(nulls) == len(rows)
+
+
+class TestDMLInvariants:
+    @given(st.lists(ROW, max_size=20), st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_delete_then_count(self, rows, threshold):
+        db = build_db(rows)
+        deleted = db.execute("DELETE FROM t WHERE v < :x", {"x": threshold}).rowcount
+        remaining = db.execute("SELECT COUNT(*) AS n FROM t").scalar()
+        assert deleted + remaining == len(rows)
+        assert all(r["v"] >= threshold for r in db.query("SELECT v FROM t"))
+
+    @given(st.lists(ROW, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_update_preserves_count(self, rows):
+        db = build_db(rows)
+        db.execute("UPDATE t SET v = v + 1")
+        assert db.execute("SELECT COUNT(*) AS n FROM t").scalar() == len(rows)
+        got = sorted(r["v"] for r in db.query("SELECT v FROM t"))
+        assert got == sorted(row["v"] + 1 for row in rows)

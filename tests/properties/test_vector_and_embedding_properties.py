@@ -1,0 +1,99 @@
+"""Property-based tests for vector search and embeddings."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.embedding import HashingEmbedder, cosine
+from repro.storage.vector import FlatIndex, IVFIndex
+
+VECTOR = arrays(
+    np.float64,
+    shape=4,
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False, width=64),
+)
+
+
+class TestFlatIndexProperties:
+    @given(st.lists(VECTOR, min_size=1, max_size=30), VECTOR)
+    @settings(max_examples=40, deadline=None)
+    def test_top1_l2_is_true_nearest(self, vectors, query):
+        index = FlatIndex(dim=4, metric="l2")
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        top_key, top_score = index.search(query, k=1)[0]
+        distances = [np.linalg.norm(v - query) for v in vectors]
+        assert np.isclose(-top_score, min(distances))
+
+    @given(st.lists(VECTOR, min_size=1, max_size=30), VECTOR, st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_monotone_nonincreasing(self, vectors, query, k):
+        index = FlatIndex(dim=4, metric="dot")
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        scores = [s for _, s in index.search(query, k=k)]
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    @given(st.lists(VECTOR, min_size=1, max_size=30), VECTOR)
+    @settings(max_examples=30, deadline=None)
+    def test_result_keys_unique(self, vectors, query):
+        index = FlatIndex(dim=4)
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        keys = [key for key, _ in index.search(query, k=len(vectors))]
+        assert len(keys) == len(set(keys))
+
+
+class TestIVFProperties:
+    @given(st.lists(VECTOR, min_size=5, max_size=40), VECTOR)
+    @settings(max_examples=20, deadline=None)
+    def test_ivf_results_subset_of_corpus(self, vectors, query):
+        index = IVFIndex(dim=4, n_clusters=3, n_probes=3)
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        keys = [key for key, _ in index.search(query, k=10)]
+        assert set(keys) <= set(range(len(vectors)))
+
+    @given(st.lists(VECTOR, min_size=5, max_size=40), VECTOR)
+    @settings(max_examples=20, deadline=None)
+    def test_full_probe_ivf_matches_flat_top1(self, vectors, query):
+        """Probing every cluster makes IVF exact."""
+        ivf = IVFIndex(dim=4, metric="l2", n_clusters=3, n_probes=3)
+        flat = FlatIndex(dim=4, metric="l2")
+        for i, vector in enumerate(vectors):
+            ivf.add(i, vector)
+            flat.add(i, vector)
+        ivf_top = ivf.search(query, k=1)[0]
+        flat_top = flat.search(query, k=1)[0]
+        assert np.isclose(ivf_top[1], flat_top[1])
+
+
+TEXT = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+    max_size=40,
+)
+
+
+class TestEmbeddingProperties:
+    @given(TEXT)
+    @settings(max_examples=60, deadline=None)
+    def test_norm_is_zero_or_one(self, text):
+        embedder = HashingEmbedder(dim=64)
+        norm = np.linalg.norm(embedder.embed(text))
+        assert np.isclose(norm, 0.0) or np.isclose(norm, 1.0)
+
+    @given(TEXT)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, text):
+        embedder = HashingEmbedder(dim=64)
+        assert np.allclose(embedder.embed(text), embedder.embed(text))
+
+    @given(st.lists(st.sampled_from(["job", "data", "match", "sql"]), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_word_order_invariance(self, words):
+        """Bag-of-features: permuting words leaves the embedding unchanged."""
+        embedder = HashingEmbedder(dim=64)
+        a = embedder.embed(" ".join(words))
+        b = embedder.embed(" ".join(reversed(words)))
+        assert cosine(a, b) > 0.999

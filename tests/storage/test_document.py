@@ -1,0 +1,172 @@
+"""Tests for the document store and its filter language."""
+
+import pytest
+
+from repro.errors import QueryError, StorageError
+from repro.storage.document import Collection, DocumentStore, matches, project
+
+
+@pytest.fixture
+def people():
+    collection = Collection("people")
+    collection.insert_many(
+        [
+            {"name": "ann", "age": 30, "skills": ["python", "sql"], "address": {"city": "SF"}},
+            {"name": "bob", "age": 25, "skills": ["java"], "address": {"city": "NY"}},
+            {"name": "cam", "age": 35, "skills": ["python"], "address": {"city": "SF"}},
+        ]
+    )
+    return collection
+
+
+class TestFilterLanguage:
+    def test_equality(self):
+        assert matches({"a": 1}, {"a": 1})
+        assert not matches({"a": 1}, {"a": 2})
+
+    def test_missing_field_no_match(self):
+        assert not matches({"a": 1}, {"b": 1})
+
+    def test_comparisons(self):
+        doc = {"n": 5}
+        assert matches(doc, {"n": {"$gt": 4}})
+        assert matches(doc, {"n": {"$gte": 5}})
+        assert matches(doc, {"n": {"$lt": 6}})
+        assert matches(doc, {"n": {"$lte": 5}})
+        assert matches(doc, {"n": {"$ne": 4}})
+        assert not matches(doc, {"n": {"$gt": 5}})
+
+    def test_in_nin(self):
+        assert matches({"c": "SF"}, {"c": {"$in": ["SF", "NY"]}})
+        assert matches({"c": "LA"}, {"c": {"$nin": ["SF", "NY"]}})
+
+    def test_contains_on_list_and_string(self):
+        assert matches({"skills": ["python"]}, {"skills": {"$contains": "python"}})
+        assert matches({"bio": "Loves Python dearly"}, {"bio": {"$contains": "python"}})
+        assert not matches({"n": 5}, {"n": {"$contains": "x"}})
+
+    def test_regex(self):
+        assert matches({"bio": "senior data scientist"}, {"bio": {"$regex": "data.scientist"}})
+
+    def test_exists(self):
+        assert matches({"a": 1}, {"a": {"$exists": True}})
+        assert matches({}, {"a": {"$exists": False}})
+
+    def test_size(self):
+        assert matches({"skills": ["a", "b"]}, {"skills": {"$size": 2}})
+
+    def test_dotted_paths(self):
+        assert matches({"address": {"city": "SF"}}, {"address.city": "SF"})
+
+    def test_or_and_not(self):
+        doc = {"a": 1, "b": 2}
+        assert matches(doc, {"$or": [{"a": 9}, {"b": 2}]})
+        assert matches(doc, {"$and": [{"a": 1}, {"b": 2}]})
+        assert matches(doc, {"$not": {"a": 9}})
+        assert not matches(doc, {"$not": {"a": 1}})
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$bogus": 1}})
+
+    def test_bad_or_clause(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"$or": "not-a-list"})
+
+    def test_project(self):
+        doc = {"a": 1, "b": 2, "address": {"city": "SF"}}
+        assert project(doc, ["a", "address.city"]) == {"a": 1, "address.city": "SF"}
+        assert project(doc, None) == doc
+
+
+class TestCollection:
+    def test_insert_assigns_ids(self, people):
+        assert len(people) == 3
+        assert people.find_one({"name": "ann"})["_id"].startswith("doc-")
+
+    def test_explicit_id_and_duplicates(self):
+        collection = Collection("c")
+        collection.insert({"x": 1}, doc_id="mine")
+        assert collection.get("mine")["x"] == 1
+        with pytest.raises(StorageError):
+            collection.insert({"x": 2}, doc_id="mine")
+
+    def test_insert_copies_document(self, people):
+        original = {"name": "dee"}
+        people.insert(original)
+        assert "_id" not in original
+
+    def test_find_with_filter(self, people):
+        found = people.find({"address.city": "SF"})
+        assert sorted(d["name"] for d in found) == ["ann", "cam"]
+
+    def test_find_sort_and_limit(self, people):
+        found = people.find(sort="age", descending=True, limit=2)
+        assert [d["name"] for d in found] == ["cam", "ann"]
+
+    def test_find_with_projection(self, people):
+        found = people.find({"name": "ann"}, fields=["age"])
+        assert found == [{"age": 30}]
+
+    def test_find_one_missing(self, people):
+        assert people.find_one({"name": "zed"}) is None
+
+    def test_get_missing_raises(self, people):
+        with pytest.raises(QueryError):
+            people.get("doc-999999")
+
+    def test_count(self, people):
+        assert people.count({"age": {"$gte": 30}}) == 2
+
+    def test_distinct(self, people):
+        assert sorted(people.distinct("address.city")) == ["NY", "SF"]
+
+    def test_update(self, people):
+        assert people.update({"name": "ann"}, {"age": 31}) == 1
+        assert people.find_one({"name": "ann"})["age"] == 31
+
+    def test_update_cannot_change_id(self, people):
+        with pytest.raises(StorageError):
+            people.update({"name": "ann"}, {"_id": "hack"})
+
+    def test_delete(self, people):
+        assert people.delete({"address.city": "SF"}) == 2
+        assert len(people) == 1
+
+    def test_field_index_used_and_maintained(self, people):
+        people.create_index("name")
+        assert people.indexed_fields() == ["name"]
+        assert people.find({"name": "bob"})[0]["age"] == 25
+        people.update({"name": "bob"}, {"name": "robert"})
+        assert people.find({"name": "robert"})[0]["age"] == 25
+        assert people.find({"name": "bob"}) == []
+
+    def test_index_with_in_filter(self, people):
+        people.create_index("name")
+        found = people.find({"name": {"$in": ["ann", "cam"]}})
+        assert len(found) == 2
+
+
+class TestDocumentStore:
+    def test_create_and_get(self):
+        store = DocumentStore("docs")
+        store.create_collection("a")
+        assert store.has_collection("a")
+        assert store.collection("a").name == "a"
+
+    def test_duplicate_collection(self):
+        store = DocumentStore("docs")
+        store.create_collection("a")
+        with pytest.raises(StorageError):
+            store.create_collection("a")
+
+    def test_unknown_collection(self):
+        with pytest.raises(StorageError):
+            DocumentStore("docs").collection("nope")
+
+    def test_describe(self):
+        store = DocumentStore("docs")
+        collection = store.create_collection("a", "things")
+        collection.insert({"x": 1})
+        described = store.describe()
+        assert described["collections"][0]["documents"] == 1

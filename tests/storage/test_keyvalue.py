@@ -1,0 +1,79 @@
+"""Tests for the key-value store."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import StorageError
+from repro.storage.keyvalue import KeyValueStore
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def kv(clock):
+    return KeyValueStore("kv", clock=clock)
+
+
+class TestKeyValueStore:
+    def test_put_get(self, kv):
+        kv.put("ns", "k", 42)
+        assert kv.get("ns", "k") == 42
+
+    def test_get_default(self, kv):
+        assert kv.get("ns", "missing", "fallback") == "fallback"
+
+    def test_contains(self, kv):
+        kv.put("ns", "k", None)
+        assert kv.contains("ns", "k")
+        assert not kv.contains("ns", "other")
+
+    def test_delete(self, kv):
+        kv.put("ns", "k", 1)
+        assert kv.delete("ns", "k")
+        assert not kv.delete("ns", "k")
+
+    def test_keys_sorted(self, kv):
+        kv.put("ns", "b", 1)
+        kv.put("ns", "a", 2)
+        assert kv.keys("ns") == ["a", "b"]
+
+    def test_items(self, kv):
+        kv.put("ns", "a", 1)
+        assert list(kv.items("ns")) == [("a", 1)]
+
+    def test_namespaces_isolated(self, kv):
+        kv.put("n1", "k", 1)
+        kv.put("n2", "k", 2)
+        assert kv.get("n1", "k") == 1
+        assert kv.get("n2", "k") == 2
+        assert kv.namespaces() == ["n1", "n2"]
+
+    def test_clear(self, kv):
+        kv.put("ns", "a", 1)
+        kv.put("ns", "b", 2)
+        assert kv.clear("ns") == 2
+        assert kv.keys("ns") == []
+
+    def test_ttl_expiry_on_sim_clock(self, kv, clock):
+        kv.put("ns", "k", 1, ttl=5.0)
+        assert kv.get("ns", "k") == 1
+        clock.advance(5.0)
+        assert kv.get("ns", "k") is None
+        assert kv.keys("ns") == []
+
+    def test_ttl_overwrite_removes_expiry(self, kv, clock):
+        kv.put("ns", "k", 1, ttl=5.0)
+        kv.put("ns", "k", 2)
+        clock.advance(10.0)
+        assert kv.get("ns", "k") == 2
+
+    def test_ttl_must_be_positive(self, kv):
+        with pytest.raises(StorageError):
+            kv.put("ns", "k", 1, ttl=0)
+
+    def test_describe(self, kv):
+        kv.put("ns", "k", 1)
+        assert kv.describe()["namespaces"] == {"ns": 1}

@@ -1,0 +1,68 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.storage.relational.sql.lexer import TokenType, tokenize
+
+
+def types(sql):
+    return [t.type for t in tokenize(sql)][:-1]  # drop EOF
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("myTable")[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "myTable"
+
+    def test_numbers(self):
+        assert values("42 3.14") == ["42", "3.14"]
+        assert types("42 3.14") == [TokenType.NUMBER, TokenType.NUMBER]
+
+    def test_strings_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        assert values("a <= b <> c != d") == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_parameters(self):
+        tokens = tokenize(":name")
+        assert tokens[0].type is TokenType.PARAMETER
+        assert tokens[0].value == "name"
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(SQLError):
+            tokenize("a : b")
+
+    def test_line_comments_skipped(self):
+        assert values("SELECT -- comment here\n1") == ["SELECT", "1"]
+
+    def test_punctuation(self):
+        assert values("(a, b.c)") == ["(", "a", ",", "b", ".", "c", ")"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT @")
+
+    def test_eof_token_last(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_concat_operator(self):
+        assert "||" in values("a || b")

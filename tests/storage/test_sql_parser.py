@@ -1,0 +1,192 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.storage.relational.sql import ast
+from repro.storage.relational.sql.parser import parse
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse("SELECT * FROM jobs")
+        assert isinstance(statement, ast.Select)
+        assert isinstance(statement.items[0].expr, ast.Star)
+        assert statement.table.name == "jobs"
+
+    def test_select_columns_with_aliases(self):
+        statement = parse("SELECT title AS t, salary s FROM jobs")
+        assert statement.items[0].alias == "t"
+        assert statement.items[1].alias == "s"
+
+    def test_table_alias(self):
+        statement = parse("SELECT j.title FROM jobs j")
+        assert statement.table.alias == "j"
+        ref = statement.items[0].expr
+        assert isinstance(ref, ast.ColumnRef)
+        assert ref.table == "j"
+
+    def test_where_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: (a=1) OR ((b=2) AND (c=3))
+        where = statement.where
+        assert isinstance(where, ast.Binary) and where.op == "OR"
+        assert isinstance(where.right, ast.Binary) and where.right.op == "AND"
+
+    def test_not_precedence(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+        where = statement.where
+        assert isinstance(where, ast.Binary) and where.op == "AND"
+        assert isinstance(where.left, ast.Unary) and where.left.op == "NOT"
+
+    def test_in_list(self):
+        statement = parse("SELECT * FROM t WHERE city IN ('a', 'b')")
+        assert isinstance(statement.where, ast.InList)
+        assert len(statement.where.items) == 2
+
+    def test_not_in(self):
+        statement = parse("SELECT * FROM t WHERE city NOT IN ('a')")
+        assert statement.where.negated
+
+    def test_between(self):
+        statement = parse("SELECT * FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(statement.where, ast.Between)
+
+    def test_like(self):
+        statement = parse("SELECT * FROM t WHERE name LIKE '%x%'")
+        assert isinstance(statement.where, ast.Binary)
+        assert statement.where.op == "LIKE"
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse("SELECT * FROM t WHERE x IS NULL").where.negated
+        assert parse("SELECT * FROM t WHERE x IS NOT NULL").where.negated
+
+    def test_group_by_having(self):
+        statement = parse(
+            "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 2"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT * FROM t ORDER BY a ASC, b DESC")
+        assert not statement.order_by[0].descending
+        assert statement.order_by[1].descending
+
+    def test_limit_offset(self):
+        statement = parse("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT city FROM t").distinct
+
+    def test_joins(self):
+        statement = parse(
+            "SELECT * FROM a JOIN b ON a.id = b.a_id LEFT JOIN c ON c.id = a.c_id"
+        )
+        assert len(statement.joins) == 2
+        assert statement.joins[0].kind == "inner"
+        assert statement.joins[1].kind == "left"
+
+    def test_inner_join_keyword(self):
+        statement = parse("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert statement.joins[0].kind == "inner"
+
+    def test_function_call_with_distinct(self):
+        statement = parse("SELECT COUNT(DISTINCT city) FROM t")
+        call = statement.items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.distinct
+
+    def test_count_star(self):
+        call = parse("SELECT COUNT(*) FROM t").items[0].expr
+        assert isinstance(call.args[0], ast.Star)
+
+    def test_case_when(self):
+        statement = parse(
+            "SELECT CASE WHEN x > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        case = statement.items[0].expr
+        assert isinstance(case, ast.CaseWhen)
+        assert case.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLError):
+            parse("SELECT CASE END FROM t")
+
+    def test_qualified_star(self):
+        statement = parse("SELECT j.* FROM jobs j")
+        star = statement.items[0].expr
+        assert isinstance(star, ast.Star)
+        assert star.table == "j"
+
+    def test_arithmetic_precedence(self):
+        expr = parse("SELECT 1 + 2 * 3 FROM t").items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse("SELECT -x FROM t").items[0].expr
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+    def test_parameters(self):
+        statement = parse("SELECT * FROM t WHERE x = :val")
+        assert isinstance(statement.where.right, ast.Parameter)
+
+    def test_literals(self):
+        items = parse("SELECT NULL, TRUE, FALSE, 'txt', 1.5 FROM t").items
+        assert [i.expr.value for i in items] == [None, True, False, "txt", 1.5]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t garbage extra tokens ,")
+
+    def test_non_reserved_keywords_as_column_names(self):
+        """`key` and `index` are valid column names despite being keywords."""
+        statement = parse("SELECT key, index FROM t WHERE key = 1")
+        refs = [item.expr for item in statement.items]
+        assert [r.name for r in refs] == ["key", "index"]
+        assert statement.where.left.name == "key"
+
+
+class TestDMLParsing:
+    def test_insert_multi_row(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(statement, ast.Update)
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, score FLOAT)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].not_null
+        assert not statement.columns[2].not_null
+
+    def test_create_index(self):
+        statement = parse("CREATE INDEX idx ON t (col) USING sorted")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.kind == "sorted"
+
+    def test_create_index_default_hash(self):
+        assert parse("CREATE INDEX idx ON t (col)").kind == "hash"
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLError):
+            parse("DROP TABLE t")

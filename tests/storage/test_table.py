@@ -1,0 +1,153 @@
+"""Tests for tables and secondary indices."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.relational.index import HashIndex, SortedIndex
+from repro.storage.relational.table import Table
+from repro.storage.schema import Column, ColumnType, TableSchema
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "people",
+        (
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INT),
+        ),
+    )
+    t = Table(schema)
+    t.insert_many(
+        [
+            {"id": 1, "name": "ann", "age": 30},
+            {"id": 2, "name": "bob", "age": 25},
+            {"id": 3, "name": "cam", "age": 30},
+        ]
+    )
+    return t
+
+
+class TestTable:
+    def test_insert_and_scan(self, table):
+        assert len(table) == 3
+        assert [r["name"] for r in table.scan()] == ["ann", "bob", "cam"]
+
+    def test_scan_returns_copies(self, table):
+        row = next(table.scan())
+        row["name"] = "mutated"
+        assert next(table.scan())["name"] == "ann"
+
+    def test_duplicate_pk_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.insert({"id": 1, "name": "dup", "age": 1})
+
+    def test_insert_validates_schema(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 4, "name": 5, "age": 1})
+
+    def test_update(self, table):
+        count = table.update(lambda r: r["age"] == 30, {"age": 31})
+        assert count == 2
+        assert sorted(r["age"] for r in table.scan()) == [25, 31, 31]
+
+    def test_update_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.update(lambda r: True, {"bogus": 1})
+
+    def test_delete(self, table):
+        assert table.delete(lambda r: r["age"] == 30) == 2
+        assert len(table) == 1
+
+    def test_pk_lookup_uses_auto_index(self, table):
+        assert table.index_on("id") is not None
+        assert table.lookup("id", 2)[0]["name"] == "bob"
+
+    def test_lookup_without_index_scans(self, table):
+        assert table.index_on("name") is None
+        assert table.lookup("name", "cam")[0]["id"] == 3
+
+    def test_create_hash_index_backfills(self, table):
+        table.create_index("age", kind="hash")
+        assert sorted(r["id"] for r in table.lookup("age", 30)) == [1, 3]
+
+    def test_index_maintained_on_update(self, table):
+        table.create_index("age", kind="hash")
+        table.update(lambda r: r["id"] == 1, {"age": 99})
+        assert [r["id"] for r in table.lookup("age", 99)] == [1]
+        assert [r["id"] for r in table.lookup("age", 30)] == [3]
+
+    def test_index_maintained_on_delete(self, table):
+        table.create_index("age", kind="hash")
+        table.delete(lambda r: r["id"] == 1)
+        assert [r["id"] for r in table.lookup("age", 30)] == [3]
+
+    def test_unknown_index_kind(self, table):
+        with pytest.raises(StorageError):
+            table.create_index("age", kind="btree-9000")
+
+    def test_index_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.create_index("bogus")
+
+    def test_indexed_columns_metadata(self, table):
+        table.create_index("age", kind="sorted")
+        assert table.indexed_columns() == {"id": "hash", "age": "sorted"}
+
+
+class TestHashIndex:
+    def test_insert_lookup_remove(self):
+        index = HashIndex("c")
+        index.insert("x", 1)
+        index.insert("x", 2)
+        assert index.lookup("x") == {1, 2}
+        index.remove("x", 1)
+        assert index.lookup("x") == {2}
+        assert index.lookup("missing") == set()
+
+    def test_lookup_many(self):
+        index = HashIndex("c")
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert index.lookup_many(["a", "b", "c"]) == {1, 2}
+
+    def test_len(self):
+        index = HashIndex("c")
+        index.insert("a", 1)
+        index.insert("a", 2)
+        assert len(index) == 2
+
+
+class TestSortedIndex:
+    def build(self):
+        index = SortedIndex("c")
+        for row_id, value in enumerate([10, 20, 30, 40]):
+            index.insert(value, row_id)
+        return index
+
+    def test_equality_lookup(self):
+        assert self.build().lookup(20) == {1}
+
+    def test_range_inclusive(self):
+        assert self.build().range(low=20, high=30) == {1, 2}
+
+    def test_range_exclusive(self):
+        index = self.build()
+        assert index.range(low=20, high=30, low_inclusive=False) == {2}
+        assert index.range(low=20, high=30, high_inclusive=False) == {1}
+
+    def test_open_ranges(self):
+        index = self.build()
+        assert index.range(low=30) == {2, 3}
+        assert index.range(high=20) == {0, 1}
+
+    def test_none_not_indexed(self):
+        index = SortedIndex("c")
+        index.insert(None, 0)
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = self.build()
+        index.remove(20, 1)
+        assert index.lookup(20) == set()

@@ -1,0 +1,124 @@
+"""Tests for the vector indices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.vector import FlatIndex, IVFIndex
+
+
+def unit(values):
+    vector = np.asarray(values, dtype=float)
+    return vector / np.linalg.norm(vector)
+
+
+class TestFlatIndex:
+    def test_empty_search(self):
+        assert FlatIndex(dim=3).search([1, 0, 0]) == []
+
+    def test_invalid_dim(self):
+        with pytest.raises(QueryError):
+            FlatIndex(dim=0)
+
+    def test_invalid_metric(self):
+        with pytest.raises(QueryError):
+            FlatIndex(dim=3, metric="hamming")
+
+    def test_dimension_mismatch(self):
+        index = FlatIndex(dim=3)
+        with pytest.raises(QueryError):
+            index.add("a", [1, 0])
+
+    def test_cosine_nearest(self):
+        index = FlatIndex(dim=3, metric="cosine")
+        index.add("x", [1, 0, 0])
+        index.add("y", [0, 1, 0])
+        index.add("xy", [1, 1, 0])
+        results = index.search([1, 0.1, 0], k=2)
+        assert results[0][0] == "x"
+        assert results[1][0] == "xy"
+
+    def test_scores_descending(self):
+        index = FlatIndex(dim=2)
+        index.add_many([("a", [1, 0]), ("b", [0.5, 0.5]), ("c", [0, 1])])
+        results = index.search([1, 0], k=3)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_l2_metric(self):
+        index = FlatIndex(dim=2, metric="l2")
+        index.add("near", [1, 1])
+        index.add("far", [10, 10])
+        assert index.search([0, 0], k=1)[0][0] == "near"
+
+    def test_dot_metric(self):
+        index = FlatIndex(dim=2, metric="dot")
+        index.add("big", [5, 5])
+        index.add("small", [1, 1])
+        assert index.search([1, 1], k=1)[0][0] == "big"
+
+    def test_k_larger_than_index(self):
+        index = FlatIndex(dim=2)
+        index.add("a", [1, 0])
+        assert len(index.search([1, 0], k=10)) == 1
+
+    def test_len(self):
+        index = FlatIndex(dim=2)
+        index.add("a", [1, 0])
+        assert len(index) == 1
+
+
+class TestIVFIndex:
+    def build(self, n=60, seed=3):
+        rng = np.random.default_rng(seed)
+        index = IVFIndex(dim=4, n_clusters=4, n_probes=2)
+        vectors = []
+        for i in range(n):
+            center = np.zeros(4)
+            center[i % 4] = 5.0
+            vector = center + rng.normal(0, 0.2, size=4)
+            index.add(f"v{i}", vector)
+            vectors.append((f"v{i}", vector))
+        return index, vectors
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(QueryError):
+            IVFIndex(dim=2).build()
+
+    def test_invalid_params(self):
+        with pytest.raises(QueryError):
+            IVFIndex(dim=2, n_clusters=0)
+
+    def test_search_finds_cluster_members(self):
+        index, _ = self.build()
+        query = np.array([5.0, 0, 0, 0])
+        results = index.search(query, k=5)
+        assert len(results) == 5
+        # All results should come from the cluster along axis 0.
+        for key, _ in results:
+            assert int(key[1:]) % 4 == 0
+
+    def test_lazy_build_on_search(self):
+        index, _ = self.build()
+        assert index.search([0, 5.0, 0, 0], k=1)  # triggers build()
+
+    def test_add_invalidates_build(self):
+        index, _ = self.build()
+        index.search([5.0, 0, 0, 0], k=1)
+        index.add("new", [5.0, 0, 0, 0])
+        results = index.search([5.0, 0, 0, 0], k=1)
+        assert results[0][0] == "new"
+
+    def test_recall_against_flat(self):
+        """IVF with 2/4 probes should recall most true neighbors here."""
+        index, vectors = self.build()
+        flat = FlatIndex(dim=4)
+        for key, vector in vectors:
+            flat.add(key, vector)
+        query = np.array([0, 0, 5.0, 0])
+        true_top = {k for k, _ in flat.search(query, k=10)}
+        approx_top = {k for k, _ in index.search(query, k=10)}
+        assert len(true_top & approx_top) >= 8
+
+    def test_empty_search(self):
+        assert IVFIndex(dim=2).search([1, 0]) == []

@@ -1,0 +1,73 @@
+"""Tests for the flow-graph observability exporter."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.streams import (
+    StreamStore,
+    build_flow_graph,
+    component_graph,
+    render_component_graph,
+)
+
+
+@pytest.fixture
+def store():
+    store = StreamStore(SimClock())
+    store.create_stream("chat")
+    store.create_stream("results")
+    store.subscribe("WORKER", lambda m: None, stream_pattern="chat", include_tags=["GO"])
+    store.subscribe("VIEWER", lambda m: None, stream_pattern="results")
+    store.publish_data("chat", "x", tags=["GO"], producer="user")
+    store.publish_data("chat", "y", tags=["GO"], producer="user")
+    store.publish_data("results", 1, producer="WORKER")
+    return store
+
+
+class TestFlowGraph:
+    def test_nodes_have_kinds(self, store):
+        graph = build_flow_graph(store)
+        assert graph.nodes["user"]["kind"] == "component"
+        assert graph.nodes["chat"]["kind"] == "stream"
+
+    def test_producer_edges_weighted(self, store):
+        graph = build_flow_graph(store)
+        assert graph["user"]["chat"]["weight"] == 2
+        assert graph["WORKER"]["results"]["weight"] == 1
+
+    def test_consumer_edges(self, store):
+        graph = build_flow_graph(store)
+        assert graph.has_edge("chat", "WORKER")
+        assert graph.has_edge("results", "VIEWER")
+
+    def test_non_matching_subscription_excluded(self, store):
+        store.subscribe("DEAF", lambda m: None, include_tags=["NEVER_USED"])
+        graph = build_flow_graph(store)
+        assert "DEAF" not in graph.nodes
+
+    def test_component_graph_collapses_streams(self, store):
+        graph = component_graph(store)
+        assert graph.has_edge("user", "WORKER")
+        assert graph.has_edge("WORKER", "VIEWER")
+        assert "chat" not in graph.nodes
+
+    def test_self_edges_dropped(self, store):
+        # WORKER both produces to and (via a new sub) consumes from results.
+        store.subscribe("WORKER", lambda m: None, stream_pattern="results")
+        graph = component_graph(store)
+        assert not graph.has_edge("WORKER", "WORKER")
+
+    def test_render(self, store):
+        text = render_component_graph(store)
+        assert "user -> WORKER (x2)" in text
+
+    def test_end_to_end_app_graph(self, enterprise):
+        """The Figure-10 chain appears as a path in the component graph."""
+        from repro.hr.apps import AgenticEmployerApp
+
+        app = AgenticEmployerApp(enterprise=enterprise)
+        app.say("how many applicants have python skills?")
+        graph = component_graph(app.blueprint.store)
+        import networkx as nx
+
+        assert nx.has_path(graph, "user", "QUERY_SUMMARIZER")

@@ -1,0 +1,56 @@
+"""Tests for the message model."""
+
+from repro.streams import Instruction, Message, MessageKind, control_payload
+
+
+def make(kind=MessageKind.DATA, payload="hello", tags=frozenset(), **kwargs):
+    return Message(
+        message_id="msg-1",
+        stream_id="s-1",
+        kind=kind,
+        payload=payload,
+        tags=frozenset(tags),
+        **kwargs,
+    )
+
+
+class TestMessage:
+    def test_kind_predicates(self):
+        assert make(MessageKind.DATA).is_data
+        assert make(MessageKind.CONTROL).is_control
+        assert make(MessageKind.EOS).is_eos
+        assert not make(MessageKind.DATA).is_control
+
+    def test_instruction_on_control(self):
+        message = make(MessageKind.CONTROL, control_payload(Instruction.EXECUTE_AGENT, agent="A"))
+        assert message.instruction() == Instruction.EXECUTE_AGENT
+
+    def test_instruction_on_data_is_none(self):
+        assert make(MessageKind.DATA).instruction() is None
+
+    def test_instruction_on_non_mapping_control(self):
+        assert make(MessageKind.CONTROL, payload="raw").instruction() is None
+
+    def test_has_tag(self):
+        message = make(tags={"SQL", "NLQ"})
+        assert message.has_tag("SQL")
+        assert not message.has_tag("PLAN")
+
+    def test_describe_renders_one_line(self):
+        line = make(tags={"B", "A"}, producer="P", timestamp=1.25).describe()
+        assert "msg-1" in line
+        assert "A,B" in line  # tags sorted
+        assert "producer=P" in line
+
+    def test_immutability(self):
+        message = make()
+        try:
+            message.payload = "other"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_control_payload_builder(self):
+        payload = control_payload("X", a=1, b="two")
+        assert payload == {"instruction": "X", "a": 1, "b": "two"}

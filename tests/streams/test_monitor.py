@@ -1,0 +1,78 @@
+"""Tests for flow-trace reconstruction."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.streams import FlowTrace, StreamStore
+
+
+@pytest.fixture
+def store():
+    return StreamStore(SimClock())
+
+
+class TestFlowTrace:
+    def test_window_starts_at_construction(self, store):
+        store.create_stream("s")
+        store.publish_data("s", "before")
+        trace = FlowTrace(store)
+        store.publish_data("s", "after")
+        assert [m.payload for m in trace.window()] == ["after"]
+
+    def test_mark_restarts_window(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1)
+        trace.mark()
+        store.publish_data("s", 2)
+        assert [m.payload for m in trace.window()] == [2]
+
+    def test_steps_are_numbered(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1, producer="A")
+        store.publish_data("s", 2, producer="B")
+        steps = trace.steps()
+        assert [s.index for s in steps] == [1, 2]
+        assert [s.actor for s in steps] == ["A", "B"]
+
+    def test_steps_filter_by_producer(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1, producer="A")
+        store.publish_data("s", 2, producer="B")
+        steps = trace.steps(producers=["B"])
+        assert len(steps) == 1
+        assert steps[0].actor == "B"
+
+    def test_custom_describe_drops_none(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1, producer="A")
+        store.publish_data("s", 2, producer="B")
+        steps = trace.steps(describe=lambda m: "kept" if m.producer == "A" else None)
+        assert len(steps) == 1
+        assert steps[0].action == "kept"
+
+    def test_default_actions(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1, tags=["SQL"], producer="A")
+        store.publish_control("s", "EXECUTE_AGENT", producer="B")
+        steps = trace.steps()
+        assert "SQL" in steps[0].action
+        assert "EXECUTE_AGENT" in steps[1].action
+
+    def test_actors_in_first_appearance_order(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        for producer in ("B", "A", "B"):
+            store.publish_data("s", 0, producer=producer)
+        assert trace.actors() == ["B", "A"]
+
+    def test_render(self, store):
+        store.create_stream("s")
+        trace = FlowTrace(store)
+        store.publish_data("s", 1, producer="A")
+        text = trace.render()
+        assert text.startswith("Step 1: A")

@@ -1,0 +1,67 @@
+"""Tests for tag rules and subscription matching."""
+
+from repro.streams import Message, MessageKind, Subscription, TagRule
+
+
+def message(stream_id="s", tags=(), kind=MessageKind.DATA):
+    return Message("m-1", stream_id, kind, None, tags=frozenset(tags))
+
+
+class TestTagRule:
+    def test_empty_rule_matches_everything(self):
+        assert TagRule().matches(set())
+        assert TagRule().matches({"X"})
+
+    def test_include_requires_overlap(self):
+        rule = TagRule.of(include=["A", "B"])
+        assert rule.matches({"B"})
+        assert not rule.matches({"C"})
+        assert not rule.matches(set())
+
+    def test_exclude_wins_over_include(self):
+        rule = TagRule.of(include=["A"], exclude=["BAD"])
+        assert rule.matches({"A"})
+        assert not rule.matches({"A", "BAD"})
+
+    def test_exclude_only(self):
+        rule = TagRule.of(exclude=["BAD"])
+        assert rule.matches({"GOOD"})
+        assert not rule.matches({"BAD"})
+
+
+class TestSubscription:
+    def make(self, **kwargs):
+        defaults = dict(
+            subscription_id="sub-1",
+            subscriber="tester",
+            callback=lambda m: None,
+        )
+        defaults.update(kwargs)
+        return Subscription(**defaults)
+
+    def test_wants_by_pattern(self):
+        subscription = self.make(stream_pattern="sess:*")
+        assert subscription.wants(message("sess:chat"))
+        assert not subscription.wants(message("other:chat"))
+
+    def test_pattern_is_case_sensitive(self):
+        subscription = self.make(stream_pattern="Sess:*")
+        assert not subscription.wants(message("sess:chat"))
+
+    def test_wants_by_tags(self):
+        subscription = self.make(tag_rule=TagRule.of(include=["SQL"]))
+        assert subscription.wants(message(tags={"SQL"}))
+        assert not subscription.wants(message(tags={"NLQ"}))
+
+    def test_kind_filters(self):
+        control_sub = self.make(control_only=True)
+        assert control_sub.wants(message(kind=MessageKind.CONTROL))
+        assert not control_sub.wants(message())
+        data_sub = self.make(data_only=True)
+        assert data_sub.wants(message())
+        assert not data_sub.wants(message(kind=MessageKind.CONTROL))
+
+    def test_inactive_wants_nothing(self):
+        subscription = self.make()
+        subscription.active = False
+        assert not subscription.wants(message())

@@ -1,0 +1,75 @@
+"""Tests for word-level text streaming."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.streams import (
+    StreamStore,
+    UtteranceAssembler,
+    collect_text,
+    stream_words,
+)
+
+
+@pytest.fixture
+def store():
+    store = StreamStore(SimClock())
+    store.create_stream("chat")
+    return store
+
+
+class TestStreamWords:
+    def test_one_message_per_word_plus_end(self, store):
+        messages = stream_words(store, "chat", "hello agent world")
+        assert len(messages) == 4
+        assert [m.payload for m in messages[:3]] == ["hello", "agent", "world"]
+        assert messages[3].has_tag("UTTERANCE_END")
+        assert messages[3].payload == {"words": 3}
+
+    def test_word_latency_spreads_timestamps(self, store):
+        messages = stream_words(store, "chat", "a b c", word_latency=0.1)
+        stamps = [m.timestamp for m in messages[:3]]
+        assert stamps == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_extra_tags(self, store):
+        messages = stream_words(store, "chat", "hi", extra_tags=("USERWORDS",))
+        assert messages[0].has_tag("USERWORDS")
+
+
+class TestCollectText:
+    def test_reassembles_single_utterance(self, store):
+        stream_words(store, "chat", "find me a job")
+        assert collect_text(store, "chat") == "find me a job"
+
+    def test_multiple_utterances_indexed(self, store):
+        stream_words(store, "chat", "first message")
+        stream_words(store, "chat", "second one")
+        assert collect_text(store, "chat", 0) == "first message"
+        assert collect_text(store, "chat", -1) == "second one"
+
+    def test_incomplete_utterance_returned_as_partial(self, store):
+        store.publish_data("chat", "dangling", tags=("WORD",))
+        assert collect_text(store, "chat") == "dangling"
+
+
+class TestUtteranceAssembler:
+    def test_callback_per_utterance(self, store):
+        collected = []
+        assembler = UtteranceAssembler(on_utterance=collected.append)
+        store.subscribe("assembler", assembler.on_message, stream_pattern="chat")
+        stream_words(store, "chat", "one two")
+        stream_words(store, "chat", "three")
+        assert collected == ["one two", "three"]
+
+    def test_feeds_a_downstream_agent(self, store):
+        """Word stream -> assembler -> a whole-utterance data message."""
+        store.create_stream("utterances")
+        assembler = UtteranceAssembler(
+            on_utterance=lambda text: store.publish_data(
+                "utterances", text, tags=("USER",), producer="assembler"
+            )
+        )
+        store.subscribe("assembler", assembler.on_message, stream_pattern="chat")
+        stream_words(store, "chat", "I am looking for a data scientist position")
+        payloads = store.get_stream("utterances").data_payloads()
+        assert payloads == ["I am looking for a data scientist position"]

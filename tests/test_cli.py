@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert "JOBS" in output["components"]["data_registry"]["entries"]
+
+    def test_ask(self, capsys):
+        code = main(["ask", "I am looking for a data scientist position in SF bay area."])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "plan: PROFILER -> JOB_MATCHER -> PRESENTER" in output
+        assert "budget:" in output
+
+    def test_ask_with_qos(self, capsys):
+        code = main([
+            "ask", "I am looking for a data scientist position in SF bay area.",
+            "--max-cost", "1.0",
+        ])
+        assert code == 0
+        assert "budget:" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "data scientist position in SF bay area"]) == 0
+        output = capsys.readouterr().out
+        assert "TaskPlan" in output
+        assert "DataPlan" in output
+        assert "llm_call" in output
+
+    def test_plan_with_verify(self, capsys):
+        main(["plan", "data scientist position in SF bay area", "--verify"])
+        assert "verify" in capsys.readouterr().out
+
+    def test_employer(self, capsys):
+        code = main([
+            "employer", "--click", "1",
+            "--say", "how many applicants have python skills?",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "UI: [select job 1]" in output
+        assert "System:" in output
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,30 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import repro.clock
+import repro.core.runtime
+import repro.core.triggering
+import repro.embedding.hashing
+import repro.ids
+import repro.streams.message
+import repro.streams.subscription
+
+MODULES = (
+    repro.clock,
+    repro.core.runtime,
+    repro.core.triggering,
+    repro.embedding.hashing,
+    repro.ids,
+    repro.streams.message,
+    repro.streams.subscription,
+)
+
+
+def test_doctests_pass():
+    attempted = 0
+    for module in MODULES:
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0, f"doctest failure in {module.__name__}"
+        attempted += result.attempted
+    assert attempted > 10  # the examples genuinely ran

@@ -1,0 +1,47 @@
+"""The examples are part of the contract: every script must run clean."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        if name == "quickstart":
+            module.part_one_streams_and_agents()
+            module.part_two_running_example()
+        else:
+            module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert len(output) > 100  # produced real output
+
+
+def test_quickstart_shows_running_example():
+    output = run_example("quickstart")
+    assert "data scientist position" in output
+    assert "PROFILER -> JOB_MATCHER -> PRESENTER" in output
+
+
+def test_agentic_employer_shows_figures():
+    output = run_example("agentic_employer")
+    assert "Figure 9" in output and "Figure 10" in output
+    assert "Step 1" in output
+    assert "Shortlist (1):" in output
