@@ -1,10 +1,14 @@
-.PHONY: test bench examples artifacts all
+.PHONY: test bench reliability examples artifacts all
 
 test:
 	pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+reliability:
+	PYTHONPATH=src python -m pytest benchmarks/bench_reliability.py benchmarks/bench_chaos.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_resilience.py tests/properties/test_chaos_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

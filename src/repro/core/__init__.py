@@ -4,8 +4,16 @@ optimizer, coordinator, deployment, and the :class:`Blueprint` runtime."""
 from .agent import Agent, FunctionAgent
 from .budget import Budget, Charge, Projection
 from .context import AgentContext
-from .coordinator import PlanRun, TaskCoordinator
+from .coordinator import NodeFailure, PlanRun, TaskCoordinator
 from .deployment import Cluster, Container, ResourceProfile, Supervisor
+from .resilience import (
+    BreakerBoard,
+    ChaosController,
+    ChaosSpec,
+    CircuitBreaker,
+    DeadLetterQueue,
+    RetryPolicy,
+)
 from .factory import AgentFactory
 from .guards import ModeratorAgent, ReflectionAgent, VerifierAgent
 from .rendering import RendererRegistry, submit_form
@@ -32,8 +40,15 @@ __all__ = [
     "Charge",
     "Projection",
     "AgentContext",
+    "NodeFailure",
     "PlanRun",
     "TaskCoordinator",
+    "BreakerBoard",
+    "ChaosController",
+    "ChaosSpec",
+    "CircuitBreaker",
+    "DeadLetterQueue",
+    "RetryPolicy",
     "Cluster",
     "Container",
     "ResourceProfile",

@@ -28,6 +28,7 @@ from ..llm import LLMResponse
 from ..streams import Instruction, Message
 from .context import AgentContext
 from .params import Parameter, validate_inputs
+from .resilience.retry import RetryPolicy, is_transient
 from .triggering import InputGate
 
 
@@ -65,6 +66,9 @@ class Agent:
         self._gate: InputGate | None = None
         self._subscription_ids: list[str] = []
         self._lock = threading.RLock()
+        #: Per-execution model-tier override (e.g. a plan node's fallback
+        #: tier), threaded from EXECUTE_AGENT metadata into :meth:`complete`.
+        self._model_override: str | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,8 +125,14 @@ class Agent:
 
     def crash(self) -> None:
         """Simulate abrupt termination: stop listening without the polite
-        session-exit signal (used by the deployment failure simulator)."""
-        context = self._require_context()
+        session-exit signal (used by the deployment failure simulator).
+
+        Idempotent: crashing an already-dead agent is a no-op, so a health
+        probe can fail a container whose agents died on their own.
+        """
+        context = self.context
+        if context is None:
+            return
         for subscription_id in self._subscription_ids:
             context.store.unsubscribe(subscription_id)
         self._subscription_ids.clear()
@@ -154,7 +164,7 @@ class Agent:
             inputs[param] = self._latest_payload(stream_id)
         metadata = {
             key: payload[key]
-            for key in ("node", "plan", "output_stream")
+            for key in ("node", "plan", "output_stream", "model")
             if key in payload
         }
         self._spawn(inputs, metadata)
@@ -208,9 +218,12 @@ class Agent:
     def _execute(self, inputs: dict[str, Any], metadata: dict[str, Any]) -> None:
         context = self._require_context()
         self.activations += 1
+        override = metadata.get("model")
         try:
             if self.inputs:
                 inputs = validate_inputs(self.inputs, inputs, self.name)
+            if override:
+                self._model_override = override
             results = self.processor(inputs)
         except Exception as error:  # noqa: BLE001 - agents report, don't crash the bus
             self.failures += 1
@@ -221,9 +234,14 @@ class Agent:
                 producer=self.name,
                 agent=self.name,
                 error=str(error),
+                error_type=type(error).__name__,
+                transient=is_transient(error),
                 **{k: v for k, v in metadata.items() if k in ("node", "plan")},
             )
             return
+        finally:
+            if override:
+                self._model_override = None
         if results is None:
             return
         self._emit(results, metadata)
@@ -284,24 +302,42 @@ class Agent:
     # ------------------------------------------------------------------
     # LLM access with budget metering
     # ------------------------------------------------------------------
-    def complete(self, prompt: str, model: str | None = None) -> LLMResponse:
-        """Call a model from the catalog, charging the active budget."""
+    def complete(
+        self, prompt: str, model: str | None = None, retry: RetryPolicy | None = None
+    ) -> LLMResponse:
+        """Call a model from the catalog, charging the active budget.
+
+        The model resolves in priority order: the explicit *model*
+        argument, then a per-execution override from the driving plan node
+        (``EXECUTE_AGENT``'s ``model`` field), then :attr:`default_model`.
+        With *retry*, transient LLM failures are retried under that policy,
+        backoff charged to the budget.
+        """
         context = self._require_context()
         if context.catalog is None:
             raise AgentError(f"agent {self.name} has no model catalog in context")
-        client = context.catalog.client(model or self.default_model)
-        before = context.clock.now()
-        response = client.complete(prompt)
-        already_elapsed = context.clock.now() - before
-        context.charge(
-            source=f"{self.name}/{response.model}",
-            cost=response.usage.cost,
-            # Catalogs sharing the session clock advanced it during the
-            # call; charge only the shortfall so latency counts once.
-            latency=max(0.0, response.usage.latency - already_elapsed),
-            quality=client.spec.quality_for(response.domain),
+        name = model or self._model_override or self.default_model
+
+        def call() -> LLMResponse:
+            client = context.catalog.client(name)
+            before = context.clock.now()
+            response = client.complete(prompt)
+            already_elapsed = context.clock.now() - before
+            context.charge(
+                source=f"{self.name}/{response.model}",
+                cost=response.usage.cost,
+                # Catalogs sharing the session clock advanced it during the
+                # call; charge only the shortfall so latency counts once.
+                latency=max(0.0, response.usage.latency - already_elapsed),
+                quality=client.spec.quality_for(response.domain),
+            )
+            return response
+
+        if retry is None:
+            return call()
+        return retry.call(
+            call, key=f"{self.name}/{name}", clock=context.clock, budget=context.budget
         )
-        return response
 
     # ------------------------------------------------------------------
     # Metadata

@@ -12,6 +12,14 @@ coordinator handles execution."  The coordinator:
   optionally requesting a replan) when QoS thresholds are exceeded,
 * publishes the final result to its ``RESULT`` stream.
 
+Execution is resilient (Section VII's "error handling and retry"):
+failures are classified transient/fatal and retried under a
+:class:`~repro.core.resilience.RetryPolicy` with backoff charged to the
+budget; a :class:`~repro.core.resilience.BreakerBoard` short-circuits
+nodes that target a known-failing agent; nodes may carry deadlines and
+fallback agents/model tiers; work that still fails is quarantined on the
+session's dead-letter stream, replayable after recovery.
+
 Because the stream store delivers messages depth-first, the agent executes
 synchronously inside the coordinator's control publish, so outputs are
 visible immediately afterwards.  (Consequently, agents the coordinator
@@ -32,6 +40,21 @@ from .params import Parameter
 from .plan.task_plan import TaskNode, TaskPlan
 from .planners.data_planner import DataPlanner
 from .qos import QoSSpec
+from .resilience import BreakerBoard, DeadLetterQueue, RetryPolicy
+
+
+@dataclass
+class NodeFailure:
+    """Why one execution attempt of a plan node did not succeed."""
+
+    error: str
+    error_type: str = ""
+    transient: bool = False
+    attempts: int = 1
+
+    def describe(self) -> str:
+        kind = "transient" if self.transient else "fatal"
+        return f"{self.error} [{self.error_type or 'unknown'}, {kind}, attempts={self.attempts}]"
 
 
 @dataclass
@@ -44,6 +67,15 @@ class PlanRun:
     node_outputs: dict[str, dict[str, Any]] = field(default_factory=dict)
     executed: list[str] = field(default_factory=list)
     abort_reason: str | None = None
+    #: Failure record per node that (finally or initially) failed.
+    node_errors: dict[str, NodeFailure] = field(default_factory=dict)
+    #: Partial outputs an agent emitted before reporting an error; kept for
+    #: diagnosis but never treated as node success.
+    partial_outputs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: node id -> fallback agent that rescued it.
+    fallbacks: dict[str, str] = field(default_factory=dict)
+    #: message ids of dead-letter entries quarantined by this run.
+    dead_letters: list[str] = field(default_factory=list)
 
     def outputs_of(self, node_id: str) -> dict[str, Any]:
         return self.node_outputs.get(node_id, {})
@@ -53,6 +85,10 @@ class PlanRun:
         if not self.executed:
             return {}
         return self.node_outputs.get(self.executed[-1], {})
+
+    def degraded(self) -> bool:
+        """Whether any node completed through a fallback route."""
+        return bool(self.fallbacks)
 
 
 class TaskCoordinator(Agent):
@@ -75,6 +111,9 @@ class TaskCoordinator(Agent):
         replan_budget_factor: float = 2.0,
         max_replans: int = 1,
         max_node_retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        breakers: BreakerBoard | None = None,
+        dead_letters: bool = True,
         **kwargs: Any,
     ) -> None:
         super().__init__(**kwargs)
@@ -83,6 +122,12 @@ class TaskCoordinator(Agent):
         self._replan_budget_factor = replan_budget_factor
         self._max_replans = max_replans
         self._max_node_retries = max_node_retries
+        #: Explicit policy wins; otherwise ``max_node_retries`` keeps its
+        #: legacy immediate-retry-anything semantics.
+        self._retry_policy = retry_policy
+        self._breakers = breakers
+        self._dead_letters_enabled = dead_letters
+        self._dead_letter_queue: DeadLetterQueue | None = None
         self.runs: list[PlanRun] = []
 
     # ------------------------------------------------------------------
@@ -95,6 +140,50 @@ class TaskCoordinator(Agent):
         if run.status != "completed":
             return None
         return {"RESULT": run.final_outputs()}
+
+    # ------------------------------------------------------------------
+    # Resilience wiring
+    # ------------------------------------------------------------------
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The effective per-node retry policy."""
+        if self._retry_policy is not None:
+            return self._retry_policy
+        return RetryPolicy.immediate(self._max_node_retries)
+
+    @property
+    def breakers(self) -> BreakerBoard | None:
+        return self._breakers
+
+    def dead_letter_queue(self) -> DeadLetterQueue:
+        """The session's quarantine stream (created on first use so
+        sessions that never fail keep their traces unchanged)."""
+        if self._dead_letter_queue is None:
+            context = self._require_context()
+            self._dead_letter_queue = DeadLetterQueue(context.store, context.session)
+        return self._dead_letter_queue
+
+    def replay_dead_letters(self) -> int:
+        """Re-execute pending dead letters; returns how many recovered.
+
+        Each entry is re-driven through the normal ``EXECUTE_AGENT`` path
+        with its originally resolved inputs; successes are acknowledged on
+        the stream and removed from the pending set.
+        """
+        queue = self.dead_letter_queue()
+
+        def executor(payload: dict[str, Any]) -> bool:
+            node = TaskNode(
+                node_id=payload["node"],
+                agent=payload["agent"],
+                fallback_agent=payload.get("fallback_agent"),
+            )
+            outputs, failure = self._attempt_node(
+                node, payload.get("inputs", {}), node.agent, None
+            )
+            return failure is None and outputs is not None
+
+        return len(queue.replay(executor))
 
     # ------------------------------------------------------------------
     # Plan execution (also callable directly)
@@ -135,10 +224,14 @@ class TaskCoordinator(Agent):
                 run.status = "failed"
                 run.abort_reason = str(error)
                 return run
-            outputs = self._execute_node(node, resolved)
+            outputs = self._execute_node(node, resolved, run, budget)
             if outputs is None:
                 run.status = "failed"
-                run.abort_reason = f"agent {node.agent} failed on node {node.node_id}"
+                failure = run.node_errors.get(node.node_id)
+                detail = f": {failure.describe()}" if failure else ""
+                run.abort_reason = (
+                    f"agent {node.agent} failed on node {node.node_id}{detail}"
+                )
                 return run
             run.node_outputs[node.node_id] = outputs
             run.executed.append(node.node_id)
@@ -146,33 +239,141 @@ class TaskCoordinator(Agent):
         return run
 
     def _execute_node(
-        self, node: TaskNode, resolved: dict[str, Any]
+        self,
+        node: TaskNode,
+        resolved: dict[str, Any],
+        run: PlanRun,
+        budget: Budget | None,
     ) -> dict[str, Any] | None:
-        """Emit the control instruction and collect the node's outputs."""
-        context = self._require_context()
-        for attempt in range(self._max_node_retries + 1):
-            marker = len(context.store.trace())
-            context.store.publish_control(
-                context.session.session_stream.stream_id,
-                Instruction.EXECUTE_AGENT,
-                producer=self.name,
-                agent=node.agent,
-                inputs=resolved,
-                node=node.node_id,
+        """Drive one node to success, through retries/breaker/fallback.
+
+        Returns the node's outputs, or None when every route failed (the
+        work item is then dead-lettered).
+        """
+        policy = self.retry_policy
+        breaker = self._breakers.for_agent(node.agent) if self._breakers else None
+        failure: NodeFailure | None = None
+        attempts = 0
+
+        if breaker is not None and not breaker.allow():
+            # Short-circuit: do NOT emit EXECUTE_AGENT to the failing agent.
+            failure = NodeFailure(
+                error=f"circuit breaker open for agent {node.agent}",
+                error_type="CircuitOpenError",
+                transient=True,
+                attempts=0,
             )
-            outputs = self._collect_outputs(node.node_id, marker)
-            if outputs is not None:
-                return outputs
+        else:
+            while True:
+                attempts += 1
+                outputs, attempt_failure = self._attempt_node(
+                    node, resolved, node.agent, node.model, run
+                )
+                if attempt_failure is None:
+                    if breaker is not None:
+                        breaker.record_success()
+                    return outputs
+                if breaker is not None:
+                    breaker.record_failure()
+                attempt_failure.attempts = attempts
+                failure = attempt_failure
+                error = _failure_as_error(attempt_failure)
+                if not policy.should_retry(error, attempts):
+                    break
+                policy.charge_backoff(
+                    attempts,
+                    key=f"{run.plan_id}/{node.node_id}",
+                    clock=self._require_context().clock,
+                    budget=budget,
+                )
+
+        run.node_errors[node.node_id] = failure
+        rescued = self._execute_fallback(node, resolved, run)
+        if rescued is not None:
+            return rescued
+        self._quarantine(node, resolved, run, failure)
         return None
 
-    def _collect_outputs(self, node_id: str, marker: int) -> dict[str, Any] | None:
-        """Outputs emitted for *node_id* since trace position *marker*.
+    def _execute_fallback(
+        self, node: TaskNode, resolved: dict[str, Any], run: PlanRun
+    ) -> dict[str, Any] | None:
+        """Route the node to its fallback agent (graceful degradation)."""
+        if node.fallback_agent is None:
+            return None
+        context = self._require_context()
+        if node.fallback_agent not in context.session.participants():
+            return None
+        outputs, failure = self._attempt_node(
+            node, resolved, node.fallback_agent, node.fallback_model, run
+        )
+        if failure is None and outputs is not None:
+            run.fallbacks[node.node_id] = node.fallback_agent
+            return outputs
+        return None
 
-        Returns None when the agent reported an error and produced nothing.
+    def _attempt_node(
+        self,
+        node: TaskNode,
+        resolved: dict[str, Any],
+        agent: str,
+        model: str | None,
+        run: PlanRun | None = None,
+    ) -> tuple[dict[str, Any] | None, NodeFailure | None]:
+        """One EXECUTE_AGENT emission plus output/error collection."""
+        context = self._require_context()
+        marker = len(context.store.trace())
+        started = context.clock.now()
+        extra: dict[str, Any] = {}
+        if model is not None:
+            extra["model"] = model
+        context.store.publish_control(
+            context.session.session_stream.stream_id,
+            Instruction.EXECUTE_AGENT,
+            producer=self.name,
+            agent=agent,
+            inputs=resolved,
+            node=node.node_id,
+            **extra,
+        )
+        outputs, failure = self._collect_outputs(node.node_id, agent, marker)
+        elapsed = context.clock.now() - started
+        if (
+            failure is None
+            and node.deadline is not None
+            and elapsed > node.deadline
+        ):
+            # The node's modeled latency blew its slice: outputs are late,
+            # discard them and report the deadline breach.
+            failure = NodeFailure(
+                error=(
+                    f"node {node.node_id} exceeded deadline "
+                    f"({elapsed:.3f}s > {node.deadline:.3f}s)"
+                ),
+                error_type="DeadlineExceededError",
+                transient=False,
+            )
+            outputs = None
+        if failure is not None and outputs is not None and run is not None:
+            run.partial_outputs[node.node_id] = outputs
+        if failure is not None:
+            return None, failure
+        return outputs if outputs is not None else {}, None
+
+    def _collect_outputs(
+        self, node_id: str, agent: str, marker: int
+    ) -> tuple[dict[str, Any] | None, NodeFailure | None]:
+        """Outputs and/or failure for *node_id* since trace position *marker*.
+
+        An ``AGENT_ERROR`` takes precedence over any partial outputs the
+        agent emitted before failing — both are returned so the caller can
+        surface the partials in the run record.  An agent that produced
+        neither outputs nor an error is an empty success only if it is
+        still subscribed (alive); a crashed agent's silence is a transient
+        failure, not a success.
         """
         context = self._require_context()
         outputs: dict[str, Any] = {}
-        errored = False
+        failure: NodeFailure | None = None
         for message in context.store.trace()[marker:]:
             if message.is_data and message.metadata.get("node") == node_id:
                 param = message.metadata.get("param")
@@ -183,13 +384,51 @@ class TaskCoordinator(Agent):
                 and message.instruction() == "AGENT_ERROR"
                 and message.payload.get("node") == node_id
             ):
-                errored = True
+                failure = NodeFailure(
+                    error=str(message.payload.get("error", "agent error")),
+                    error_type=str(message.payload.get("error_type", "")),
+                    transient=bool(message.payload.get("transient", False)),
+                )
+        if failure is not None:
+            return (outputs or None), failure
         if outputs:
-            return outputs
-        if errored:
-            return None
+            return outputs, None
+        if not self._agent_listening(agent):
+            return None, NodeFailure(
+                error=f"agent {agent} is not listening (crashed container?)",
+                error_type="AgentUnreachableError",
+                transient=True,
+            )
         # The agent ran but chose to emit nothing: an empty success.
-        return {}
+        return {}, None
+
+    def _agent_listening(self, agent: str) -> bool:
+        """Liveness probe: a crashed agent has no active subscriptions."""
+        context = self._require_context()
+        return any(s.subscriber == agent for s in context.store.subscriptions())
+
+    def _quarantine(
+        self,
+        node: TaskNode,
+        resolved: dict[str, Any],
+        run: PlanRun,
+        failure: NodeFailure | None,
+    ) -> None:
+        if not self._dead_letters_enabled:
+            return
+        failure = failure or NodeFailure(error="unknown failure")
+        entry = self.dead_letter_queue().quarantine(
+            plan=run.plan_id,
+            node=node.node_id,
+            agent=node.agent,
+            inputs=resolved,
+            error=failure.error,
+            error_type=failure.error_type,
+            transient=failure.transient,
+            attempts=failure.attempts,
+            fallback_agent=node.fallback_agent,
+        )
+        run.dead_letters.append(entry.message_id)
 
     # ------------------------------------------------------------------
     # Binding resolution (with data-planner transformations)
@@ -278,3 +517,12 @@ class TaskCoordinator(Agent):
 
     def output_tags(self, param: str) -> tuple[str, ...]:
         return ("RESULT",)
+
+
+def _failure_as_error(failure: NodeFailure) -> BaseException:
+    """Rebuild an exception-shaped object for retry classification."""
+    from ..errors import ReproError, TransientError
+
+    if failure.transient:
+        return TransientError(failure.error)
+    return ReproError(failure.error)

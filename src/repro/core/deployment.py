@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..clock import SimClock
 from ..errors import DeploymentError
 from .agent import Agent
 from .context import AgentContext
@@ -72,18 +73,33 @@ class Container:
         self._agents: list[Agent] = []
         self.state = "created"  # created | running | failed | stopped
         self.restarts = 0
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
 
     def start(self) -> None:
-        """Spawn and attach every configured agent."""
+        """Spawn and attach every configured agent.
+
+        A failure partway through (an agent constructor or attach raising)
+        rolls back the partially started agents and leaves the container
+        ``failed`` — recoverable via :meth:`restart` — never stuck in
+        ``created`` with orphaned agents.
+        """
         with self._lock:
             if self.state == "running":
                 raise DeploymentError(f"container {self.container_id} already running")
             self._agents = []
-            for type_name, kwargs in self._agent_specs:
-                agent = self._factory.spawn(type_name, **kwargs)
-                agent.attach(self._context_factory())
-                self._agents.append(agent)
+            try:
+                for type_name, kwargs in self._agent_specs:
+                    agent = self._factory.spawn(type_name, **kwargs)
+                    self._agents.append(agent)
+                    agent.attach(self._context_factory())
+            except Exception:
+                for agent in self._agents:
+                    if agent.context is not None:
+                        agent.crash()
+                    self._factory.forget(agent)
+                self._agents = []
+                self.state = "failed"
+                raise
             self.state = "running"
 
     def fail(self) -> None:
@@ -109,15 +125,27 @@ class Container:
             self.state = "stopped"
 
     def restart(self) -> None:
-        """Respawn after a failure (the supervisor's recovery action)."""
+        """Respawn after a failure (the supervisor's recovery action).
+
+        Re-entrant: ``restarts`` counts *attempts* and is committed under
+        the lock before starting, and a failed start leaves the container
+        ``failed`` so recovery can simply be tried again.
+        """
         with self._lock:
-            if self.state != "failed":
+            if self.state not in ("failed", "created"):
                 raise DeploymentError(
                     f"cannot restart container {self.container_id} in state {self.state}"
                 )
+            self.restarts += 1
             self.state = "created"
-        self.start()
-        self.restarts += 1
+            self.start()
+
+    def healthy(self) -> bool:
+        """Liveness probe: running with every agent still attached."""
+        with self._lock:
+            return self.state == "running" and all(
+                agent.context is not None for agent in self._agents
+            )
 
     def agents(self) -> list[Agent]:
         with self._lock:
@@ -230,19 +258,91 @@ class Cluster:
 
 
 class Supervisor:
-    """Restarts failed containers (the 'restart on failure' loop)."""
+    """Restarts failed containers (the 'restart on failure' loop).
 
-    def __init__(self, cluster: Cluster) -> None:
+    Beyond the naive restart loop, the supervisor implements the
+    production discipline the blueprint's "configured to scale and restart
+    on failure" implies:
+
+    * **health probes** — running containers whose agents have silently
+      crashed are marked failed so the restart path picks them up,
+    * **crash-loop detection** — consecutive restart attempts per
+      container are budgeted (``max_restarts``); a container that keeps
+      dying is *quarantined* (stopped) instead of thrashing forever.  A
+      container observed healthy again has its attempt counter reset.
+    * **restart backoff** — with a clock, successive restart attempts are
+      spaced exponentially (``backoff_base * multiplier^attempts``), so a
+      crash-looping container does not consume every supervision pass.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        clock: "SimClock | None" = None,
+        max_restarts: int = 5,
+        backoff_base: float = 1.0,
+        backoff_multiplier: float = 2.0,
+        backoff_max: float = 60.0,
+    ) -> None:
+        if max_restarts < 1:
+            raise DeploymentError(f"max_restarts must be >= 1: {max_restarts}")
         self.cluster = cluster
+        self.clock = clock
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_multiplier = backoff_multiplier
+        self.backoff_max = backoff_max
         self.recoveries = 0
+        #: Containers whose restart budget ran out, now stopped.
+        self.quarantined: list[str] = []
+        self._attempts: dict[str, int] = {}
+        self._not_before: dict[str, float] = {}
+
+    def probe(self, container: Container) -> bool:
+        """Health-check one container; an unhealthy runner is failed."""
+        if container.state != "running":
+            return False
+        if container.healthy():
+            return True
+        container.fail()
+        return False
+
+    def _backoff(self, attempts: int) -> float:
+        return min(
+            self.backoff_base * self.backoff_multiplier**attempts, self.backoff_max
+        )
 
     def tick(self) -> list[str]:
         """One supervision pass; returns the ids of restarted containers."""
+        # Probe pass: demote unhealthy runners, clear attempt counters of
+        # containers that stayed healthy (a recovered service is no longer
+        # crash-looping).
+        for container in self.cluster.containers(state="running"):
+            if self.probe(container):
+                self._attempts.pop(container.container_id, None)
+                self._not_before.pop(container.container_id, None)
         restarted = []
         for container in self.cluster.containers(state="failed"):
             if not container.restart_on_failure:
                 continue
-            container.restart()
+            container_id = container.container_id
+            if container_id in self.quarantined:
+                continue
+            attempts = self._attempts.get(container_id, 0)
+            if attempts >= self.max_restarts:
+                container.stop()  # quarantine: stop thrashing
+                self.quarantined.append(container_id)
+                continue
+            now = self.clock.now() if self.clock is not None else None
+            if now is not None and now < self._not_before.get(container_id, 0.0):
+                continue  # still backing off
+            self._attempts[container_id] = attempts + 1
+            if now is not None:
+                self._not_before[container_id] = now + self._backoff(attempts)
+            try:
+                container.restart()
+            except Exception:  # noqa: BLE001 - a failed restart is an attempt
+                continue
             self.recoveries += 1
-            restarted.append(container.container_id)
+            restarted.append(container_id)
         return restarted

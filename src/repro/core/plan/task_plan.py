@@ -76,12 +76,32 @@ class Binding:
 
 @dataclass(frozen=True)
 class TaskNode:
-    """One sub-task: an agent invocation with bound inputs."""
+    """One sub-task: an agent invocation with bound inputs.
+
+    Resilience annotations (all optional) let a plan degrade gracefully
+    instead of failing:
+
+    * ``deadline`` — maximum simulated seconds this node may spend; the
+      coordinator aborts a node whose modeled latency exceeds its slice.
+    * ``fallback_agent`` — routed to when the primary agent exhausts its
+      retries or its circuit breaker is open.
+    * ``model`` / ``fallback_model`` — LLM tier hints threaded into the
+      (fallback) agent's ``complete`` calls, so a fallback can also mean
+      "same agent logic, cheaper model".
+    """
 
     node_id: str
     agent: str
     bindings: Mapping[str, Binding] = field(default_factory=dict)
     description: str = ""
+    deadline: float | None = None
+    fallback_agent: str | None = None
+    model: str | None = None
+    fallback_model: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise PlanError(f"node {self.node_id!r} deadline must be > 0: {self.deadline}")
 
     def upstream_nodes(self) -> list[str]:
         return [b.node for b in self.bindings.values() if b.node is not None]
@@ -115,8 +135,23 @@ class TaskPlan:
         agent: str,
         bindings: Mapping[str, Binding] | None = None,
         description: str = "",
+        deadline: float | None = None,
+        fallback_agent: str | None = None,
+        model: str | None = None,
+        fallback_model: str | None = None,
     ) -> TaskNode:
-        return self.add(TaskNode(node_id, agent, dict(bindings or {}), description))
+        return self.add(
+            TaskNode(
+                node_id,
+                agent,
+                dict(bindings or {}),
+                description,
+                deadline=deadline,
+                fallback_agent=fallback_agent,
+                model=model,
+                fallback_model=fallback_model,
+            )
+        )
 
     def node(self, node_id: str) -> TaskNode:
         if node_id not in self._nodes:
@@ -164,6 +199,10 @@ class TaskPlan:
                     "node_id": node.node_id,
                     "agent": node.agent,
                     "description": node.description,
+                    "deadline": node.deadline,
+                    "fallback_agent": node.fallback_agent,
+                    "model": node.model,
+                    "fallback_model": node.fallback_model,
                     "bindings": {
                         param: {
                             "value": binding.value,
@@ -192,5 +231,9 @@ class TaskPlan:
                 node_payload["agent"],
                 bindings,
                 node_payload.get("description", ""),
+                deadline=node_payload.get("deadline"),
+                fallback_agent=node_payload.get("fallback_agent"),
+                model=node_payload.get("model"),
+                fallback_model=node_payload.get("fallback_model"),
             )
         return plan

@@ -1,0 +1,190 @@
+"""Circuit breakers: stop hammering agents that are known to be failing.
+
+A breaker wraps calls to one downstream target (an agent, a model).  It is
+**closed** in normal operation; after ``failure_threshold`` consecutive
+failures it **opens** and short-circuits every call (callers route to
+fallbacks instead of wasting budget).  After ``recovery_timeout`` simulated
+seconds it becomes **half-open** and admits a limited number of probe
+calls: one success closes it again, one failure re-opens it.
+
+All timing runs on the :class:`~repro.clock.SimClock`, so breaker behavior
+is deterministic and replayable.  Every state transition is recorded with
+its timestamp for tests and observability.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from ...clock import SimClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker over a simulated clock."""
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 3,
+        recovery_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: SimClock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if recovery_timeout < 0:
+            raise ValueError(f"recovery_timeout must be >= 0: {recovery_timeout}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1: {half_open_probes}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_probes = half_open_probes
+        self.clock = clock or SimClock()
+        self.transitions: list[tuple[float, str]] = []
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_admitted = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state(self) -> str:
+        """Current state; lazily moves open -> half-open after the timeout."""
+        with self._lock:
+            self._refresh()
+            return self._state
+
+    def _refresh(self) -> None:
+        if (
+            self._state == OPEN
+            and self.clock.now() - self._opened_at >= self.recovery_timeout
+        ):
+            self._transition(HALF_OPEN)
+            self._probes_admitted = 0
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append((self.clock.now(), state))
+
+    # ------------------------------------------------------------------
+    # Call gating
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the caller may attempt the protected call right now.
+
+        In half-open state only ``half_open_probes`` callers are admitted
+        until one of them reports an outcome.
+        """
+        with self._lock:
+            self._refresh()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_admitted < self.half_open_probes:
+                self._probes_admitted += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A protected call succeeded; half-open probes close the breaker."""
+        with self._lock:
+            self._refresh()
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A protected call failed; may open (or re-open) the breaker."""
+        with self._lock:
+            self._refresh()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._open()
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self.clock.now()
+        self._probes_admitted = 0
+        self._transition(OPEN)
+
+    def force_open(self) -> None:
+        """Open immediately (operator action / tests)."""
+        with self._lock:
+            if self._state != OPEN:
+                self._open()
+
+    def reset(self) -> None:
+        """Close and forget failure history (operator action)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            self._refresh()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": list(self.transitions),
+            }
+
+
+class BreakerBoard:
+    """Per-target breakers sharing one configuration and clock.
+
+    The coordinator keeps one board and consults ``for_agent(name)``
+    before emitting ``EXECUTE_AGENT`` to *name*.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        failure_threshold: int = 3,
+        recovery_timeout: float = 30.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_probes = half_open_probes
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def for_agent(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name=name,
+                    failure_threshold=self.failure_threshold,
+                    recovery_timeout=self.recovery_timeout,
+                    half_open_probes=self.half_open_probes,
+                    clock=self.clock,
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    def __iter__(self) -> Iterator[CircuitBreaker]:
+        with self._lock:
+            return iter(list(self._breakers.values()))
+
+    def states(self) -> dict[str, str]:
+        return {b.name: b.state() for b in self}
+
+    def open_targets(self) -> list[str]:
+        return sorted(name for name, state in self.states().items() if state == OPEN)

@@ -1,0 +1,189 @@
+"""Chaos injection: seeded, replayable fault scenarios.
+
+The resilience benchmarks and tests need failures that are *realistic*
+(container kills, LLM transient-error bursts, latency spikes) yet
+*deterministic* — two runs with the same seed must produce byte-identical
+traces.  :class:`ChaosController` provides that: every fault decision is a
+hash of ``(seed, key, per-key counter)``, never global randomness, so the
+decision sequence for each fault site is independent of interleaving with
+other sites.
+
+A scenario advances in *steps* (one per plan, request, or supervision
+tick).  LLM faults model provider brownouts: a base transient rate plus
+occasional bursts during which the rate spikes — exactly the regime where
+naive immediate-retry melts down and breakers/fallbacks pay off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from ...clock import SimClock
+from ...errors import TransientError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...llm import ModelCatalog
+    from ..budget import Budget
+    from ..deployment import Cluster
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """What to inject, and how hard.
+
+    Attributes:
+        container_kill_rate: probability per step of killing each running
+            container in a struck cluster.
+        llm_transient_rate: baseline probability an LLM call fails
+            transiently.
+        llm_burst_rate: probability per step that a provider brownout
+            starts.
+        llm_burst_length: steps a brownout lasts.
+        llm_burst_transient_rate: LLM transient rate during a brownout.
+        agent_transient_rate: probability a guarded agent work item raises
+            :class:`~repro.errors.TransientError` (via :meth:`agent_fault`).
+        latency_spike_rate: probability per :meth:`maybe_spike` call of a
+            latency spike.
+        latency_spike_seconds: size of each spike in simulated seconds.
+    """
+
+    container_kill_rate: float = 0.0
+    llm_transient_rate: float = 0.0
+    llm_burst_rate: float = 0.0
+    llm_burst_length: int = 5
+    llm_burst_transient_rate: float = 0.9
+    agent_transient_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "container_kill_rate",
+            "llm_transient_rate",
+            "llm_burst_rate",
+            "llm_burst_transient_rate",
+            "agent_transient_rate",
+            "latency_spike_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {rate}")
+
+
+class ChaosController:
+    """Deterministic fault injector driven by a seed and per-key counters."""
+
+    def __init__(
+        self,
+        spec: ChaosSpec,
+        seed: int = 0,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.clock = clock or SimClock()
+        self.events: list[dict[str, Any]] = []
+        self._counters: dict[str, int] = {}
+        self._steps = 0
+        self._burst_remaining = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Deterministic randomness
+    # ------------------------------------------------------------------
+    def roll(self, key: str) -> float:
+        """Next deterministic uniform draw in [0, 1) for *key*."""
+        with self._lock:
+            count = self._counters.get(key, 0) + 1
+            self._counters[key] = count
+        digest = hashlib.md5(f"{self.seed}|{key}|{count}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
+    def _record(self, kind: str, **detail: Any) -> None:
+        self.events.append({"time": self.clock.now(), "kind": kind, **detail})
+
+    # ------------------------------------------------------------------
+    # Scenario stepping
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Advance the scenario one step; manages LLM brownout state."""
+        with self._lock:
+            self._steps += 1
+            steps = self._steps
+            if self._burst_remaining > 0:
+                self._burst_remaining -= 1
+        if (
+            self._burst_remaining == 0
+            and self.spec.llm_burst_rate > 0
+            and self.roll("llm-burst") < self.spec.llm_burst_rate
+        ):
+            with self._lock:
+                self._burst_remaining = self.spec.llm_burst_length
+            self._record("llm_burst", length=self.spec.llm_burst_length)
+        return steps
+
+    def in_burst(self) -> bool:
+        with self._lock:
+            return self._burst_remaining > 0
+
+    def current_llm_rate(self) -> float:
+        """Effective LLM transient rate at this step (base or brownout)."""
+        if self.in_burst():
+            return self.spec.llm_burst_transient_rate
+        return self.spec.llm_transient_rate
+
+    # ------------------------------------------------------------------
+    # Fault sites
+    # ------------------------------------------------------------------
+    def infect_catalog(self, catalog: "ModelCatalog") -> float:
+        """Point the catalog's default failure rate at the current chaos
+        level; call once per step.  Returns the applied rate."""
+        rate = self.current_llm_rate()
+        catalog.default_failure_rate = rate
+        return rate
+
+    def strike_cluster(self, cluster: "Cluster") -> list[str]:
+        """Kill each running container with ``container_kill_rate``."""
+        killed: list[str] = []
+        for container in cluster.containers(state="running"):
+            if self.roll(f"kill|{container.container_id}") < self.spec.container_kill_rate:
+                container.fail()
+                killed.append(container.container_id)
+                self._record("container_kill", container=container.container_id)
+        return killed
+
+    def agent_fault(self, key: str) -> None:
+        """Raise :class:`TransientError` with ``agent_transient_rate``.
+
+        Agents under chaos call this at the top of their processor.
+        """
+        if (
+            self.spec.agent_transient_rate > 0
+            and self.roll(f"agent|{key}") < self.spec.agent_transient_rate
+        ):
+            self._record("agent_fault", key=key)
+            raise TransientError(f"chaos-injected transient fault at {key}")
+
+    def maybe_spike(self, key: str, budget: "Budget | None" = None) -> float:
+        """Inject a latency spike (charged to the budget when given)."""
+        if (
+            self.spec.latency_spike_rate > 0
+            and self.roll(f"spike|{key}") < self.spec.latency_spike_rate
+        ):
+            spike = self.spec.latency_spike_seconds
+            if budget is not None:
+                budget.charge(f"chaos:{key}", latency=spike, note="latency spike")
+            else:
+                self.clock.advance(spike)
+            self._record("latency_spike", key=key, seconds=spike)
+            return spike
+        return 0.0
+
+    def describe(self) -> dict[str, Any]:
+        kinds: dict[str, int] = {}
+        for event in self.events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        return {"seed": self.seed, "steps": self._steps, "events": kinds}

@@ -9,7 +9,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Attributes:
+        transient: whether the failure is plausibly recoverable by retrying
+            (network blips, model overload).  Retry policies consult this
+            classification; fatal errors (schema violations, missing models,
+            oversized prompts) fail fast instead of burning the budget.
+    """
+
+    transient: bool = False
 
 
 class StreamError(ReproError):
@@ -36,16 +45,33 @@ class QueryError(StorageError):
     """A document/graph/vector query was malformed or unanswerable."""
 
 
+class TransientError(ReproError):
+    """A recoverable failure: retrying may succeed (the chaos harness and
+    flaky agents raise this to signal 'try again')."""
+
+    transient = True
+
+
 class LLMError(ReproError):
-    """The (simulated) language-model substrate failed."""
+    """The (simulated) language-model substrate failed.
+
+    Plain LLM failures model provider-side blips (overload, 5xx) and are
+    classified transient; structural subclasses below override that.
+    """
+
+    transient = True
 
 
 class ModelNotFoundError(LLMError):
     """A model name was not present in the model catalog."""
 
+    transient = False
+
 
 class ContextWindowExceededError(LLMError):
     """A prompt exceeded the model's context window."""
+
+    transient = False
 
 
 class RegistryError(ReproError):
@@ -83,6 +109,20 @@ class BudgetExceededError(ReproError):
 
 class CoordinationError(ReproError):
     """The task coordinator could not make progress on a plan."""
+
+
+class DeadlineExceededError(ReproError):
+    """A plan node's modeled latency exceeded its deadline slice."""
+
+
+class CircuitOpenError(ReproError):
+    """A call was short-circuited because the target's breaker is open.
+
+    Transient by design: the breaker will probe again after its recovery
+    timeout, so the caller may retry later (or route to a fallback now).
+    """
+
+    transient = True
 
 
 class OptimizationError(ReproError):

@@ -79,9 +79,13 @@ class ModelCatalog:
         specs: tuple[ModelSpec, ...] = DEFAULT_SPECS,
         clock: SimClock | None = None,
         tracker: UsageTracker | None = None,
+        default_failure_rate: float = 0.0,
     ) -> None:
         self.clock = clock
         self.tracker = tracker or UsageTracker()
+        #: Transient-failure rate applied to clients when the caller does
+        #: not name one — the chaos controller's LLM fault-injection knob.
+        self.default_failure_rate = default_failure_rate
         self._specs: dict[str, ModelSpec] = {}
         self._clients: dict[str, SimulatedLLM] = {}
         self._lock = threading.Lock()
@@ -108,9 +112,15 @@ class ModelCatalog:
         with self._lock:
             return [self._specs[name] for name in sorted(self._specs)]
 
-    def client(self, name: str, failure_rate: float = 0.0) -> SimulatedLLM:
-        """A (cached) client for *name*, wired to this catalog's clock/tracker."""
+    def client(self, name: str, failure_rate: float | None = None) -> SimulatedLLM:
+        """A (cached) client for *name*, wired to this catalog's clock/tracker.
+
+        *failure_rate* defaults to :attr:`default_failure_rate` (normally
+        zero; raised by chaos injection to simulate provider brownouts).
+        """
         spec = self.spec(name)
+        if failure_rate is None:
+            failure_rate = self.default_failure_rate
         with self._lock:
             cached = self._clients.get(name)
             if cached is not None and cached.failure_rate == failure_rate:
