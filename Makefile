@@ -1,4 +1,4 @@
-.PHONY: test bench reliability examples artifacts all
+.PHONY: test bench reliability observability examples artifacts all
 
 test:
 	pytest tests/
@@ -9,6 +9,10 @@ bench:
 reliability:
 	PYTHONPATH=src python -m pytest benchmarks/bench_reliability.py benchmarks/bench_chaos.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_resilience.py tests/properties/test_chaos_properties.py -q
+
+observability:
+	PYTHONPATH=src python -m pytest benchmarks/bench_tracing.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_observability.py tests/properties/test_chaos_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

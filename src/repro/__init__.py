@@ -7,6 +7,7 @@ Subpackages:
 * :mod:`repro.storage` — relational/document/graph/KV/vector substrates.
 * :mod:`repro.embedding` — deterministic text embeddings.
 * :mod:`repro.llm` — the simulated LLM substrate with a model catalog.
+* :mod:`repro.observability` — plan-level tracing and the metrics registry.
 * :mod:`repro.core` — agents, registries, sessions, planners, budget,
   optimizer, coordinator, deployment, and the Blueprint runtime facade.
 * :mod:`repro.hr` — the YourJourney HR domain: data, models, agents, apps.
@@ -19,12 +20,14 @@ from .core.qos import QoSSpec
 from .core.runtime import Blueprint
 from .errors import ReproError
 from .ids import IdGenerator, new_id
+from .observability import Observability
 
 __all__ = [
     "SimClock",
     "Stopwatch",
     "QoSSpec",
     "Blueprint",
+    "Observability",
     "ReproError",
     "IdGenerator",
     "new_id",

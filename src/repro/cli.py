@@ -5,6 +5,7 @@ Usage:
     python -m repro ask "data scientist position in SF bay area"
     python -m repro plan "data scientist position in SF bay area"
     python -m repro employer --click 1 --say "how many applicants have python skills?"
+    python -m repro trace --say "how many applicants have python skills?"
 """
 
 from __future__ import annotations
@@ -40,6 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="select a job id (repeatable)")
     employer.add_argument("--say", action="append", default=[],
                           help="a conversation turn (repeatable)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run an Agentic Employer conversation and dump its span tree "
+             "and metrics snapshot",
+    )
+    trace.add_argument("--click", type=int, action="append", default=[],
+                       help="select a job id (repeatable)")
+    trace.add_argument("--say", action="append", default=[],
+                       help="a conversation turn (repeatable; defaults to a "
+                            "canonical one-click, one-question conversation)")
+    trace.add_argument("--format", choices=("report", "flame", "critical", "json"),
+                       default="report",
+                       help="report = flamegraph + critical path + metrics "
+                            "(default); json = the canonical byte-comparable "
+                            "export")
+    trace.add_argument("--output", default=None,
+                       help="write to a file instead of stdout")
     return parser
 
 
@@ -93,6 +112,48 @@ def cmd_employer(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one conversation: every turn's plan -> node -> agent -> call
+    tree plus the session's metric snapshot, from one deterministic run."""
+    clicks = args.click or ([1] if not args.say else [])
+    says = args.say or ["how many applicants have python skills?"]
+    app = AgenticEmployerApp(seed=args.seed)
+    for job_id in clicks:
+        app.click_job(job_id)
+    for text in says:
+        app.say(text)
+    observability = app.observability
+    if args.format == "json":
+        report = app.trace_export()
+    elif args.format == "flame":
+        report = observability.flamegraph()
+    elif args.format == "critical":
+        report = observability.critical_path_report()
+    else:
+        report = "\n".join(
+            [
+                "== conversation ==",
+                app.render_conversation(),
+                "",
+                "== span tree (flamegraph) ==",
+                observability.flamegraph(),
+                "",
+                "== critical path ==",
+                observability.critical_path_report(),
+                "",
+                "== metrics ==",
+                observability.metrics_report(),
+            ]
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"trace written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -100,6 +161,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ask": cmd_ask,
         "plan": cmd_plan,
         "employer": cmd_employer,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -30,9 +30,12 @@ class SimClock:
         self._lock = threading.Lock()
 
     def now(self) -> float:
-        """Current simulated time in seconds."""
-        with self._lock:
-            return self._now
+        """Current simulated time in seconds.
+
+        Lock-free: a float attribute read is atomic in CPython, and this
+        sits on every hot path (message stamps, span starts, charges).
+        """
+        return self._now
 
     def advance(self, seconds: float) -> float:
         """Advance the clock by *seconds* and return the new time."""

@@ -69,6 +69,12 @@ class Agent:
         #: Per-execution model-tier override (e.g. a plan node's fallback
         #: tier), threaded from EXECUTE_AGENT metadata into :meth:`complete`.
         self._model_override: str | None = None
+        # _execute is the runtime's hottest path: the span name is
+        # precomputed, and activation/failure metrics are pulled from the
+        # plain counters above by a snapshot-time collector rather than
+        # pushed per event.
+        self._span_name = f"agent:{self.name}"
+        self._registered_metrics = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -85,6 +91,12 @@ class Agent:
             )
         if self.inputs:
             self._gate = InputGate([p.name for p in self.inputs], mode=self.gate_mode)
+        metrics = context.metrics
+        if metrics is not None and metrics.enabled and self._registered_metrics is not metrics:
+            # Cumulative semantics survive restarts: a replacement instance
+            # registers its own collector and the registry sums both.
+            metrics.register_collector(self._collect_metrics)
+            self._registered_metrics = metrics
         # Central activation: EXECUTE_AGENT control messages addressed to us.
         subscription = context.store.subscribe(
             subscriber=self.name,
@@ -109,6 +121,13 @@ class Agent:
 
     def on_attach(self) -> None:
         """Hook for subclasses (create streams, warm caches)."""
+
+    def _collect_metrics(self, sink: Any) -> None:
+        """Report activation/failure counts into a metrics snapshot."""
+        if self.activations:
+            sink.inc("agent.activations", float(self.activations), agent=self.name)
+        if self.failures:
+            sink.inc("agent.failures", float(self.failures), agent=self.name)
 
     def detach(self) -> None:
         """Leave the session and stop listening."""
@@ -219,32 +238,35 @@ class Agent:
         context = self._require_context()
         self.activations += 1
         override = metadata.get("model")
-        try:
-            if self.inputs:
-                inputs = validate_inputs(self.inputs, inputs, self.name)
-            if override:
-                self._model_override = override
-            results = self.processor(inputs)
-        except Exception as error:  # noqa: BLE001 - agents report, don't crash the bus
-            self.failures += 1
-            self.last_error = str(error)
-            context.store.publish_control(
-                context.session.session_stream.stream_id,
-                "AGENT_ERROR",
-                producer=self.name,
-                agent=self.name,
-                error=str(error),
-                error_type=type(error).__name__,
-                transient=is_transient(error),
-                **{k: v for k, v in metadata.items() if k in ("node", "plan")},
-            )
-            return
-        finally:
-            if override:
-                self._model_override = None
-        if results is None:
-            return
-        self._emit(results, metadata)
+        span_attrs = {k: v for k, v in metadata.items() if k in ("node", "plan", "model")}
+        with context.span(self._span_name, kind="agent", **span_attrs) as span:
+            try:
+                if self.inputs:
+                    inputs = validate_inputs(self.inputs, inputs, self.name)
+                if override:
+                    self._model_override = override
+                results = self.processor(inputs)
+            except Exception as error:  # noqa: BLE001 - agents report, don't crash the bus
+                self.failures += 1
+                self.last_error = str(error)
+                span.set_error(f"{type(error).__name__}: {error}")
+                context.store.publish_control(
+                    context.session.session_stream.stream_id,
+                    "AGENT_ERROR",
+                    producer=self.name,
+                    agent=self.name,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    transient=is_transient(error),
+                    **{k: v for k, v in metadata.items() if k in ("node", "plan")},
+                )
+                return
+            finally:
+                if override:
+                    self._model_override = None
+            if results is None:
+                return
+            self._emit(results, metadata)
 
     def processor(self, inputs: dict[str, Any]) -> dict[str, Any] | None:
         """Transform validated *inputs* into outputs (param name -> value).
@@ -336,7 +358,11 @@ class Agent:
         if retry is None:
             return call()
         return retry.call(
-            call, key=f"{self.name}/{name}", clock=context.clock, budget=context.budget
+            call,
+            key=f"{self.name}/{name}",
+            clock=context.clock,
+            budget=context.budget,
+            metrics=context.metrics,
         )
 
     # ------------------------------------------------------------------

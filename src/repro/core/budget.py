@@ -12,10 +12,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..clock import SimClock
 from ..errors import BudgetExceededError
 from .qos import QoSSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import MetricsRegistry
+    from ..observability.metrics import CollectorSink
 
 
 @dataclass(frozen=True)
@@ -47,13 +52,23 @@ class Budget:
         qos: QoSSpec | None = None,
         clock: SimClock | None = None,
         projection: Projection | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.qos = qos or QoSSpec.unconstrained()
         self._clock = clock or SimClock()
         self.projection = projection or Projection()
+        self.metrics = metrics
         self._charges: list[Charge] = []
+        self._spent_cost = 0.0
+        self._cost_by_source: dict[str, float] = {}
+        self._latency_by_source: dict[str, float] = {}
         self._start = self._clock.now()
         self._lock = threading.Lock()
+        # Charging is a hot path, so the registry pulls from the ledger at
+        # snapshot time (``budget.cost``/``budget.latency`` counters and
+        # remaining-headroom gauges) instead of being pushed per charge.
+        if metrics is not None:
+            metrics.register_collector(self._collect_metrics)
 
     @property
     def clock(self) -> SimClock:
@@ -70,29 +85,64 @@ class Budget:
         quality: float | None = None,
         note: str = "",
     ) -> Charge:
-        """Record a charge; latency also advances the simulated clock."""
+        """Record a charge; latency also advances the simulated clock.
+
+        Clock-advance and ledger-append happen atomically under the
+        budget lock: two threads charging concurrently each get a ledger
+        position consistent with their timestamp (an interleaved
+        advance/append could otherwise record timestamps out of order
+        relative to the ledger).
+        """
         if cost < 0 or latency < 0:
             raise ValueError("charges must be non-negative")
-        if latency:
-            self._clock.advance(latency)
-        entry = Charge(
-            source=source,
-            cost=cost,
-            latency=latency,
-            quality=quality,
-            timestamp=self._clock.now(),
-            note=note,
-        )
         with self._lock:
+            if latency:
+                self._clock.advance(latency)
+            entry = Charge(
+                source=source,
+                cost=cost,
+                latency=latency,
+                quality=quality,
+                timestamp=self._clock.now(),
+                note=note,
+            )
             self._charges.append(entry)
+            self._spent_cost += cost
+            self._cost_by_source[source] = (
+                self._cost_by_source.get(source, 0.0) + cost
+            )
+            self._latency_by_source[source] = (
+                self._latency_by_source.get(source, 0.0) + latency
+            )
         return entry
+
+    def _collect_metrics(self, sink: "CollectorSink") -> None:
+        """Report the ledger into a metrics snapshot being assembled.
+
+        Headroom gauges are only reported while finite: an unconstrained
+        QoS (``max_cost = inf``) must never push ``inf`` into a snapshot
+        (the sink skips non-finite values, so the normal unconstrained
+        case stays quiet without even bumping the drop counter).
+        """
+        with self._lock:
+            cost_by_source = dict(self._cost_by_source)
+            latency_by_source = dict(self._latency_by_source)
+            n_charges = len(self._charges)
+        for source, cost in cost_by_source.items():
+            sink.inc("budget.cost", cost, source=source)
+        for source, latency in latency_by_source.items():
+            sink.inc("budget.latency", latency, source=source)
+        sink.inc("budget.charges", float(n_charges))
+        sink.set_gauge("budget.remaining_cost", self.remaining_cost())
+        sink.set_gauge("budget.remaining_latency", self.remaining_latency())
 
     # ------------------------------------------------------------------
     # Totals
     # ------------------------------------------------------------------
     def spent_cost(self) -> float:
-        with self._lock:
-            return sum(entry.cost for entry in self._charges)
+        # Maintained incrementally under the charge lock; reading a float
+        # attribute is atomic, and this is consulted per violation check.
+        return self._spent_cost
 
     def elapsed_latency(self) -> float:
         return self._clock.now() - self._start
@@ -123,10 +173,8 @@ class Budget:
 
     def by_source(self) -> dict[str, float]:
         """Total cost per charging source."""
-        totals: dict[str, float] = {}
-        for entry in self.charges():
-            totals[entry.source] = totals.get(entry.source, 0.0) + entry.cost
-        return totals
+        with self._lock:
+            return dict(self._cost_by_source)
 
     # ------------------------------------------------------------------
     # Violations

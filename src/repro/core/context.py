@@ -18,6 +18,7 @@ from .budget import Budget
 from .session import Session
 
 if TYPE_CHECKING:  # avoid import cycles; registries import params only
+    from ..observability import MetricsRegistry, Observability
     from .registries import AgentRegistry, DataRegistry
 
 
@@ -32,6 +33,7 @@ class AgentContext:
     budget: Budget | None = None
     agent_registry: "AgentRegistry | None" = None
     data_registry: "DataRegistry | None" = None
+    observability: "Observability | None" = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     def charge(
@@ -40,6 +42,38 @@ class AgentContext:
         """Record a charge on the active budget, if any."""
         if self.budget is not None:
             self.budget.charge(source, cost=cost, latency=latency, quality=quality)
+
+    # ------------------------------------------------------------------
+    # Instrumentation (no-ops when observability is absent or disabled)
+    # ------------------------------------------------------------------
+    def span(self, name: str, kind: str = "internal", **attributes: Any):
+        """A trace span context manager, or a no-op context when untraced.
+
+        The no-op context still yields a (shared, discarding) span so
+        call sites can set attributes unconditionally.
+        """
+        if self.observability is None:
+            from ..observability.span import NOOP_SPAN
+
+            return NOOP_SPAN
+        return self.observability.span(name, kind=kind, **attributes)
+
+    @property
+    def metrics(self) -> "MetricsRegistry | None":
+        """The session's metrics registry, if observability is wired."""
+        if self.observability is None:
+            return None
+        return self.observability.metrics
+
+    def metric_inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc(name, value, **labels)
+
+    def metric_observe(self, name: str, value: float) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.observe(name, value)
 
     def extra(self, key: str, default: Any = None) -> Any:
         return self.extras.get(key, default)

@@ -129,6 +129,36 @@ class TaskCoordinator(Agent):
         self._dead_letters_enabled = dead_letters
         self._dead_letter_queue: DeadLetterQueue | None = None
         self.runs: list[PlanRun] = []
+        # Per-event counters are kept as plain tallies and pulled into
+        # metrics snapshots by a collector (the same pattern Budget and
+        # StreamStore use): plan/node completion is the coordinator's
+        # per-iteration hot path.  The histogram keeps per-event pushes —
+        # percentiles need the individual observations.
+        self._metrics = None
+        self._h_node_attempts = None
+        self._plan_status_tally: dict[str, int] = {}
+        self._short_circuit_tally: dict[str, int] = {}
+        self._rescue_tally: dict[str, int] = {}
+        self._registered_metrics = None
+
+    def on_attach(self) -> None:
+        metrics = self.context.metrics if self.context is not None else None
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
+        self._h_node_attempts = (
+            self._metrics.histogram("node.attempts") if self._metrics else None
+        )
+        if self._metrics is not None and self._registered_metrics is not self._metrics:
+            self._metrics.register_collector(self._collect_metrics)
+            self._registered_metrics = self._metrics
+
+    def _collect_metrics(self, sink: Any) -> None:
+        """Report execution tallies into a metrics snapshot being built."""
+        for status, count in self._plan_status_tally.items():
+            sink.inc("plan.runs", float(count), status=status)
+        for agent, count in self._short_circuit_tally.items():
+            sink.inc("breaker.short_circuits", float(count), agent=agent)
+        for agent, count in self._rescue_tally.items():
+            sink.inc("node.fallback_rescues", float(count), agent=agent)
 
     # ------------------------------------------------------------------
     # Activation
@@ -160,7 +190,9 @@ class TaskCoordinator(Agent):
         sessions that never fail keep their traces unchanged)."""
         if self._dead_letter_queue is None:
             context = self._require_context()
-            self._dead_letter_queue = DeadLetterQueue(context.store, context.session)
+            self._dead_letter_queue = DeadLetterQueue(
+                context.store, context.session, metrics=context.metrics
+            )
         return self._dead_letter_queue
 
     def replay_dead_letters(self) -> int:
@@ -203,6 +235,25 @@ class TaskCoordinator(Agent):
         plan.validate()
         run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
         self.runs.append(run)
+        with context.span(
+            f"plan:{plan.plan_id}", kind="plan", goal=plan.goal, attempt=_attempt
+        ) as span:
+            # On a replan the returned run is the escalated re-execution's;
+            # the span and metric describe *this* invocation's run.
+            result = self._execute_plan_traced(plan, budget, run, _attempt)
+            span.set_attribute("status", run.status)
+            span.set_attribute("nodes_executed", len(run.executed))
+            if run.status != "completed":
+                span.set_error(run.abort_reason or run.status)
+        tally = self._plan_status_tally
+        tally[run.status] = tally.get(run.status, 0) + 1
+        return result
+
+    def _execute_plan_traced(
+        self, plan: TaskPlan, budget: Budget | None, run: PlanRun, _attempt: int
+    ) -> PlanRun:
+        """The plan-driving loop proper (wrapped in the plan span)."""
+        context = self._require_context()
         # A control message addressed to an absent agent would dissolve
         # silently; require every planned agent to be in the session.
         participants = set(context.session.participants())
@@ -250,49 +301,69 @@ class TaskCoordinator(Agent):
         Returns the node's outputs, or None when every route failed (the
         work item is then dead-lettered).
         """
-        policy = self.retry_policy
-        breaker = self._breakers.for_agent(node.agent) if self._breakers else None
-        failure: NodeFailure | None = None
-        attempts = 0
+        context = self._require_context()
+        # The parent plan span already names the plan, so the node span
+        # only carries the agent.
+        with context.span(
+            f"node:{node.node_id}", kind="node", agent=node.agent
+        ) as span:
+            policy = self.retry_policy
+            breaker = self._breakers.for_agent(node.agent) if self._breakers else None
+            failure: NodeFailure | None = None
+            attempts = 0
 
-        if breaker is not None and not breaker.allow():
-            # Short-circuit: do NOT emit EXECUTE_AGENT to the failing agent.
-            failure = NodeFailure(
-                error=f"circuit breaker open for agent {node.agent}",
-                error_type="CircuitOpenError",
-                transient=True,
-                attempts=0,
-            )
-        else:
-            while True:
-                attempts += 1
-                outputs, attempt_failure = self._attempt_node(
-                    node, resolved, node.agent, node.model, run
+            if breaker is not None and not breaker.allow():
+                # Short-circuit: do NOT emit EXECUTE_AGENT to the failing agent.
+                tally = self._short_circuit_tally
+                tally[node.agent] = tally.get(node.agent, 0) + 1
+                span.set_attribute("short_circuited", True)
+                failure = NodeFailure(
+                    error=f"circuit breaker open for agent {node.agent}",
+                    error_type="CircuitOpenError",
+                    transient=True,
+                    attempts=0,
                 )
-                if attempt_failure is None:
+            else:
+                while True:
+                    attempts += 1
+                    outputs, attempt_failure = self._attempt_node(
+                        node, resolved, node.agent, node.model, run
+                    )
+                    if attempt_failure is None:
+                        if breaker is not None:
+                            breaker.record_success()
+                        span.set_attribute("attempts", attempts)
+                        if self._h_node_attempts is not None:
+                            self._h_node_attempts.observe(attempts)
+                        return outputs
                     if breaker is not None:
-                        breaker.record_success()
-                    return outputs
-                if breaker is not None:
-                    breaker.record_failure()
-                attempt_failure.attempts = attempts
-                failure = attempt_failure
-                error = _failure_as_error(attempt_failure)
-                if not policy.should_retry(error, attempts):
-                    break
-                policy.charge_backoff(
-                    attempts,
-                    key=f"{run.plan_id}/{node.node_id}",
-                    clock=self._require_context().clock,
-                    budget=budget,
-                )
+                        breaker.record_failure()
+                    attempt_failure.attempts = attempts
+                    failure = attempt_failure
+                    error = _failure_as_error(attempt_failure)
+                    if not policy.should_retry(error, attempts):
+                        break
+                    policy.charge_backoff(
+                        attempts,
+                        key=f"{run.plan_id}/{node.node_id}",
+                        clock=context.clock,
+                        budget=budget,
+                        metrics=context.metrics,
+                    )
 
-        run.node_errors[node.node_id] = failure
-        rescued = self._execute_fallback(node, resolved, run)
-        if rescued is not None:
-            return rescued
-        self._quarantine(node, resolved, run, failure)
-        return None
+            span.set_attribute("attempts", attempts)
+            if self._h_node_attempts is not None:
+                self._h_node_attempts.observe(attempts)
+            span.set_error(failure.describe() if failure else "node failed")
+            run.node_errors[node.node_id] = failure
+            rescued = self._execute_fallback(node, resolved, run)
+            if rescued is not None:
+                span.set_attribute("rescued_by", node.fallback_agent)
+                tally = self._rescue_tally
+                tally[node.agent] = tally.get(node.agent, 0) + 1
+                return rescued
+            self._quarantine(node, resolved, run, failure)
+            return None
 
     def _execute_fallback(
         self, node: TaskNode, resolved: dict[str, Any], run: PlanRun

@@ -15,9 +15,12 @@ its timestamp for tests and observability.
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+from typing import Iterator, TYPE_CHECKING
 
 from ...clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability import MetricsRegistry
 
 CLOSED = "closed"
 OPEN = "open"
@@ -33,7 +36,9 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         recovery_timeout: float = 30.0,
         half_open_probes: int = 1,
+        probe_timeout: float | None = None,
         clock: SimClock | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
@@ -41,16 +46,28 @@ class CircuitBreaker:
             raise ValueError(f"recovery_timeout must be >= 0: {recovery_timeout}")
         if half_open_probes < 1:
             raise ValueError(f"half_open_probes must be >= 1: {half_open_probes}")
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ValueError(f"probe_timeout must be > 0: {probe_timeout}")
         self.name = name
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self.half_open_probes = half_open_probes
+        #: How long an admitted half-open probe may stay unreported before
+        #: its slot is reclaimed (defaults to the recovery timeout).  A
+        #: probe whose caller crashed would otherwise hold the slot
+        #: forever, wedging the breaker in half-open.
+        self.probe_timeout = (
+            probe_timeout if probe_timeout is not None else recovery_timeout
+        )
         self.clock = clock or SimClock()
+        self.metrics = metrics
         self.transitions: list[tuple[float, str]] = []
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
-        self._probes_admitted = 0
+        #: Admission timestamps of half-open probes still awaiting an
+        #: outcome report; its length is the number of occupied slots.
+        self._probe_admissions: list[float] = []
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -68,11 +85,26 @@ class CircuitBreaker:
             and self.clock.now() - self._opened_at >= self.recovery_timeout
         ):
             self._transition(HALF_OPEN)
-            self._probes_admitted = 0
+            self._probe_admissions.clear()
+        if self._state == HALF_OPEN and self.probe_timeout > 0:
+            # Reclaim slots of abandoned probes (caller crashed or never
+            # reported); with every slot leaked the breaker would
+            # otherwise wedge in half-open, admitting no one.
+            now = self.clock.now()
+            alive = [t for t in self._probe_admissions if now - t < self.probe_timeout]
+            reclaimed = len(self._probe_admissions) - len(alive)
+            if reclaimed:
+                self._probe_admissions = alive
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "breaker.probes_reclaimed", reclaimed, breaker=self.name
+                    )
 
     def _transition(self, state: str) -> None:
         self._state = state
         self.transitions.append((self.clock.now(), state))
+        if self.metrics is not None:
+            self.metrics.inc("breaker.state_changes", breaker=self.name, state=state)
 
     # ------------------------------------------------------------------
     # Call gating
@@ -81,7 +113,9 @@ class CircuitBreaker:
         """Whether the caller may attempt the protected call right now.
 
         In half-open state only ``half_open_probes`` callers are admitted
-        until one of them reports an outcome.
+        until one of them reports an outcome; an admitted probe that
+        never reports is reclaimed after :attr:`probe_timeout` simulated
+        seconds so abandoned callers cannot wedge the breaker.
         """
         with self._lock:
             self._refresh()
@@ -89,8 +123,8 @@ class CircuitBreaker:
                 return True
             if self._state == OPEN:
                 return False
-            if self._probes_admitted < self.half_open_probes:
-                self._probes_admitted += 1
+            if len(self._probe_admissions) < self.half_open_probes:
+                self._probe_admissions.append(self.clock.now())
                 return True
             return False
 
@@ -99,6 +133,7 @@ class CircuitBreaker:
         with self._lock:
             self._refresh()
             self._consecutive_failures = 0
+            self._probe_admissions.clear()
             if self._state != CLOSED:
                 self._transition(CLOSED)
 
@@ -117,7 +152,7 @@ class CircuitBreaker:
 
     def _open(self) -> None:
         self._opened_at = self.clock.now()
-        self._probes_admitted = 0
+        self._probe_admissions.clear()
         self._transition(OPEN)
 
     def force_open(self) -> None:
@@ -130,8 +165,15 @@ class CircuitBreaker:
         """Close and forget failure history (operator action)."""
         with self._lock:
             self._consecutive_failures = 0
+            self._probe_admissions.clear()
             if self._state != CLOSED:
                 self._transition(CLOSED)
+
+    def outstanding_probes(self) -> int:
+        """Half-open probe slots currently held by unreported callers."""
+        with self._lock:
+            self._refresh()
+            return len(self._probe_admissions)
 
     def describe(self) -> dict[str, object]:
         with self._lock:
@@ -140,6 +182,7 @@ class CircuitBreaker:
                 "name": self.name,
                 "state": self._state,
                 "consecutive_failures": self._consecutive_failures,
+                "outstanding_probes": len(self._probe_admissions),
                 "transitions": list(self.transitions),
             }
 
@@ -157,11 +200,15 @@ class BreakerBoard:
         failure_threshold: int = 3,
         recovery_timeout: float = 30.0,
         half_open_probes: int = 1,
+        probe_timeout: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self.half_open_probes = half_open_probes
+        self.probe_timeout = probe_timeout
+        self.metrics = metrics
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
 
@@ -174,7 +221,9 @@ class BreakerBoard:
                     failure_threshold=self.failure_threshold,
                     recovery_timeout=self.recovery_timeout,
                     half_open_probes=self.half_open_probes,
+                    probe_timeout=self.probe_timeout,
                     clock=self.clock,
+                    metrics=self.metrics,
                 )
                 self._breakers[name] = breaker
             return breaker

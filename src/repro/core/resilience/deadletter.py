@@ -20,6 +20,7 @@ from typing import Any, Callable, TYPE_CHECKING
 from ...streams import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability import MetricsRegistry
     from ...streams import StreamStore
     from ..session import Session
 
@@ -41,10 +42,12 @@ class DeadLetterQueue:
         session: "Session",
         stream_name: str = "deadletter",
         producer: str = "DEAD_LETTER_QUEUE",
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.store = store
         self.session = session
         self.producer = producer
+        self.metrics = metrics
         self.stream = session.ensure_stream(stream_name, creator=producer)
 
     # ------------------------------------------------------------------
@@ -63,6 +66,8 @@ class DeadLetterQueue:
         fallback_agent: str | None = None,
     ) -> Message:
         """Park one failed work item with its failure metadata."""
+        if self.metrics is not None:
+            self.metrics.inc("deadletter.quarantined", agent=agent)
         return self.store.publish_data(
             self.stream.stream_id,
             {
@@ -124,6 +129,8 @@ class DeadLetterQueue:
                     producer=self.producer,
                 )
                 recovered.append(entry)
+        if self.metrics is not None and recovered:
+            self.metrics.inc("deadletter.replayed", len(recovered))
         return recovered
 
     def describe(self) -> dict[str, Any]:

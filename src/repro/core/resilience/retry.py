@@ -24,6 +24,7 @@ from ...errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...clock import SimClock
+    from ...observability import MetricsRegistry
     from ..budget import Budget
 
 
@@ -121,11 +122,14 @@ class RetryPolicy:
         key: str = "",
         clock: "SimClock | None" = None,
         budget: "Budget | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> float:
         """Apply the backoff for *attempt* to the clock/budget; returns it.
 
         A budget charge advances the shared clock itself, so only one of
-        the two is charged.
+        the two is charged.  With *metrics*, the retry and its backoff
+        are recorded (``agent.retries`` counter, ``retry.backoff_seconds``
+        histogram).
         """
         pause = self.delay(attempt, key)
         if pause > 0.0:
@@ -133,6 +137,9 @@ class RetryPolicy:
                 budget.charge(f"retry:{key or 'anonymous'}", latency=pause, note="backoff")
             elif clock is not None:
                 clock.advance(pause)
+        if metrics is not None:
+            metrics.inc("agent.retries")
+            metrics.observe("retry.backoff_seconds", pause)
         return pause
 
     def call(
@@ -141,6 +148,7 @@ class RetryPolicy:
         key: str = "",
         clock: "SimClock | None" = None,
         budget: "Budget | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> Any:
         """Run *fn* under this policy, backing off between attempts.
 
@@ -155,4 +163,4 @@ class RetryPolicy:
             except Exception as error:  # noqa: BLE001 - classified below
                 if not self.should_retry(error, attempt):
                     raise
-                self.charge_backoff(attempt, key, clock=clock, budget=budget)
+                self.charge_backoff(attempt, key, clock=clock, budget=budget, metrics=metrics)

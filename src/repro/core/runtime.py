@@ -19,6 +19,7 @@ from typing import Any
 
 from ..clock import SimClock
 from ..llm import ModelCatalog, UsageTracker
+from ..observability import Observability
 from ..streams import FlowTrace, StreamStore
 from .agent import Agent
 from .budget import Budget, Projection
@@ -42,13 +43,20 @@ class Blueprint:
         agent_registry: AgentRegistry | None = None,
         data_registry: DataRegistry | None = None,
         planner_model: str = "hr-ft",
+        observability: Observability | None = None,
     ) -> None:
         self.clock = clock or SimClock()
+        #: Tracing + metrics over the whole runtime; on by default because
+        #: it is the measurement substrate every perf decision reads from.
+        #: Pass ``Observability(clock, enabled=False)`` to strip it.
+        self.observability = observability or Observability(self.clock)
         self.store = StreamStore(self.clock)
+        self.store.observability = self.observability
         self.tracker = UsageTracker()
         self.catalog = catalog or ModelCatalog(clock=self.clock, tracker=self.tracker)
         if self.catalog.clock is None:
             self.catalog.clock = self.clock
+        self.catalog.observability = self.observability
         self.agent_registry = agent_registry or AgentRegistry()
         self.data_registry = data_registry or DataRegistry()
         self.sessions = SessionManager(self.store)
@@ -66,7 +74,12 @@ class Blueprint:
         return self.sessions.create(session_id)
 
     def budget(self, qos: QoSSpec | None = None, projection: Projection | None = None) -> Budget:
-        return Budget(qos=qos, clock=self.clock, projection=projection)
+        return Budget(
+            qos=qos,
+            clock=self.clock,
+            projection=projection,
+            metrics=self.observability.metrics,
+        )
 
     def context(self, session: Session, budget: Budget | None = None) -> AgentContext:
         return AgentContext(
@@ -77,6 +90,7 @@ class Blueprint:
             budget=budget,
             agent_registry=self.agent_registry,
             data_registry=self.data_registry,
+            observability=self.observability,
         )
 
     # ------------------------------------------------------------------
@@ -129,6 +143,10 @@ class Blueprint:
     def flow_trace(self) -> FlowTrace:
         return FlowTrace(self.store)
 
+    def trace_export(self) -> str:
+        """The canonical JSON artifact: span tree + metrics snapshot."""
+        return self.observability.export_json()
+
     def describe(self) -> dict[str, Any]:
         """Component inventory (the Figure-1 architecture view)."""
         return {
@@ -145,6 +163,11 @@ class Blueprint:
                 "agents": {
                     session_id: [agent.name for agent in agents]
                     for session_id, agents in self._attached.items()
+                },
+                "observability": {
+                    "enabled": self.observability.enabled,
+                    "spans": len(self.observability.tracer.spans()),
+                    "metrics": len(self.observability.metrics.snapshot()),
                 },
             },
             "usage": {

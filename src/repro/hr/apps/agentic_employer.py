@@ -54,6 +54,8 @@ class AgenticEmployerApp:
         self.session = self.blueprint.create_session("employer")
         self.budget = self.blueprint.budget(qos)
         database = self.enterprise.database
+        # SQL issued on behalf of this conversation lands in the same trace.
+        database.observability = self.blueprint.observability
         self.ae = AgenticEmployerAgent(database=database)
         # Three-sample self-consistency voting: the cheap classifier's
         # occasional misroutes (~20%) would otherwise derail whole turns.
@@ -126,3 +128,12 @@ class AgenticEmployerApp:
 
     def messages_since(self, marker: int) -> list[Message]:
         return self.blueprint.store.trace()[marker:]
+
+    @property
+    def observability(self):
+        """The conversation's tracer + metrics (`repro trace` reads this)."""
+        return self.blueprint.observability
+
+    def trace_export(self) -> str:
+        """Canonical JSON span-tree + metrics artifact for this session."""
+        return self.blueprint.trace_export()

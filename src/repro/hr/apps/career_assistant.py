@@ -94,6 +94,8 @@ class CareerAssistant:
         self.blueprint = Blueprint(data_registry=self.enterprise.registry)
         self.session = self.blueprint.create_session("career")
         self.budget = self.blueprint.budget(qos)
+        # SQL issued on behalf of this session lands in the same trace.
+        self.enterprise.database.observability = self.blueprint.observability
         self.blueprint.task_planner.register_template(JOB_SEARCH_TEMPLATE)
         self.blueprint.task_planner.register_template(SKILL_ADVICE_TEMPLATE)
         matcher = JobMatcher(self.enterprise.taxonomy)

@@ -86,6 +86,9 @@ class ModelCatalog:
         #: Transient-failure rate applied to clients when the caller does
         #: not name one — the chaos controller's LLM fault-injection knob.
         self.default_failure_rate = default_failure_rate
+        #: Optional tracing/metrics sink, propagated to every client
+        #: (settable after construction; the Blueprint wires its own).
+        self.observability = None
         self._specs: dict[str, ModelSpec] = {}
         self._clients: dict[str, SimulatedLLM] = {}
         self._lock = threading.Lock()
@@ -124,9 +127,14 @@ class ModelCatalog:
         with self._lock:
             cached = self._clients.get(name)
             if cached is not None and cached.failure_rate == failure_rate:
+                cached.observability = self.observability
                 return cached
             client = SimulatedLLM(
-                spec, clock=self.clock, tracker=self.tracker, failure_rate=failure_rate
+                spec,
+                clock=self.clock,
+                tracker=self.tracker,
+                failure_rate=failure_rate,
+                observability=self.observability,
             )
             self._clients[name] = client
             return client

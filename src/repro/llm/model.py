@@ -25,7 +25,7 @@ import hashlib
 import json
 import re
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from ..clock import SimClock
 from ..errors import ContextWindowExceededError, LLMError
 from . import knowledge
 from .tokenizer import count_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import Observability
 
 
 @dataclass(frozen=True)
@@ -149,6 +152,7 @@ class SimulatedLLM:
         tracker: UsageTracker | None = None,
         failure_rate: float = 0.0,
         seed: int = 0,
+        observability: "Observability | None" = None,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise LLMError(f"failure_rate must be in [0, 1]: {failure_rate}")
@@ -156,14 +160,58 @@ class SimulatedLLM:
         self.clock = clock
         self.tracker = tracker
         self.failure_rate = failure_rate
+        #: Optional tracing/metrics sink; each call opens an ``llm`` span
+        #: and records ``llm.calls``/``llm.tokens``/``llm.cost`` metrics.
+        self.observability = observability
         self._seed = seed
         self._call_index = 0
+        # Instrument handles, bound lazily per observability instance so
+        # each call pays dict increments instead of registry lookups
+        # (``observability`` is often assigned after construction).
+        self._span_name = f"llm:{spec.name}"
+        self._bound_obs: "Observability | None" = None
+        self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
+        self._h_latency = None
+
+    def _bind_instruments(self, obs: "Observability") -> None:
+        metrics = obs.metrics
+        name = self.spec.name
+        self._m_calls = metrics.bound_counter("llm.calls", model=name)
+        self._m_tokens = metrics.bound_counter("llm.tokens", model=name)
+        self._m_cost = metrics.bound_counter("llm.cost", model=name)
+        self._m_failures = metrics.bound_counter("llm.failures", model=name)
+        self._h_latency = metrics.histogram("llm.latency") if metrics.enabled else None
+        self._bound_obs = obs
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def complete(self, prompt: str, max_output_tokens: int = 512) -> LLMResponse:
         """Run one completion; raises on simulated transient failures."""
+        obs = self.observability
+        if obs is None:
+            return self._complete(prompt, max_output_tokens)
+        if obs is not self._bound_obs:
+            self._bind_instruments(obs)
+        with obs.span(self._span_name, kind="llm", model=self.spec.name) as span:
+            try:
+                response = self._complete(prompt, max_output_tokens)
+            except LLMError:
+                if self._m_failures is not None:
+                    self._m_failures.inc()
+                raise
+            usage = response.usage
+            span.set_attribute("input_tokens", usage.input_tokens)
+            span.set_attribute("output_tokens", usage.output_tokens)
+            span.set_attribute("cost", usage.cost)
+            if self._m_calls is not None:
+                self._m_calls.inc()
+                self._m_tokens.inc(usage.input_tokens + usage.output_tokens)
+                self._m_cost.inc(usage.cost)
+                self._h_latency.observe(usage.latency)
+            return response
+
+    def _complete(self, prompt: str, max_output_tokens: int = 512) -> LLMResponse:
         input_tokens = count_tokens(prompt)
         if input_tokens > self.spec.context_window:
             raise ContextWindowExceededError(

@@ -1,0 +1,89 @@
+"""Observability: plan-level tracing and metrics for the blueprint.
+
+The measurement substrate the ROADMAP's performance work builds on: a
+structured :class:`Tracer` (spans with parent/child links over
+plan -> node -> agent -> LLM-call / storage-query, stamped from the
+:class:`~repro.clock.SimClock` so traces are deterministic and
+replayable) and a :class:`MetricsRegistry` (counters, gauges, histograms
+with exact p50/p95/p99).
+
+:class:`Observability` bundles one tracer + one registry, which is the
+handle the runtime threads through agent contexts, the model catalog,
+the stream store, and databases.  Disable it wholesale with
+``Observability(enabled=False)`` — every instrumentation site then
+short-circuits, which is what the overhead benchmark measures against.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..clock import SimClock
+from .export import (
+    critical_path,
+    export_trace,
+    export_trace_json,
+    render_critical_path,
+    render_flamegraph,
+    render_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .span import Span, Tracer
+
+
+class Observability:
+    """One tracer and one metrics registry sharing a clock.
+
+    Example:
+        >>> obs = Observability()
+        >>> with obs.tracer.span("plan", kind="plan"):
+        ...     obs.metrics.inc("plan.started")
+        >>> obs.metrics.snapshot()["plan.started"]
+        1.0
+    """
+
+    def __init__(self, clock: SimClock | None = None, enabled: bool = True) -> None:
+        self.clock = clock or SimClock()
+        self.enabled = enabled
+        self.tracer = Tracer(self.clock, enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
+
+    # Convenience passthroughs so instrumented layers hold one handle.
+    def span(self, name: str, kind: str = "internal", **attributes: Any):
+        return self.tracer.span(name, kind=kind, **attributes)
+
+    def export(self) -> dict[str, Any]:
+        return export_trace(self.tracer, self.metrics)
+
+    def export_json(self) -> str:
+        return export_trace_json(self.tracer, self.metrics)
+
+    def flamegraph(self) -> str:
+        return render_flamegraph(self.tracer)
+
+    def critical_path_report(self) -> str:
+        return render_critical_path(self.tracer)
+
+    def metrics_report(self) -> str:
+        return render_metrics(self.metrics)
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "critical_path",
+    "export_trace",
+    "export_trace_json",
+    "render_critical_path",
+    "render_flamegraph",
+    "render_metrics",
+]

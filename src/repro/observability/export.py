@@ -1,0 +1,127 @@
+"""Trace exporters: JSON for machines, flamegraph/critical-path for eyes.
+
+The JSON export is the canonical artifact — sorted keys, no non-finite
+tokens (``json.dumps(..., allow_nan=False)`` enforces it), deterministic
+for seeded runs, so "same seed => byte-identical trace" can be asserted
+on the serialized string itself.
+
+The text views answer the two questions an operator asks of a plan trace:
+
+* **flamegraph** — where did the time go, hierarchically?
+* **critical path** — which single chain of spans bounds the latency?
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TYPE_CHECKING
+
+from .span import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+
+
+def export_trace(
+    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+) -> dict[str, Any]:
+    """Spans (creation order) plus an optional metric snapshot."""
+    payload: dict[str, Any] = {
+        "clock": tracer.clock.now(),
+        "spans": [span.to_dict() for span in tracer.spans()],
+    }
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    return payload
+
+
+def export_trace_json(
+    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+) -> str:
+    """The canonical byte-comparable artifact of one traced run."""
+    return json.dumps(
+        export_trace(tracer, metrics), sort_keys=True, allow_nan=False, default=str
+    )
+
+
+# ----------------------------------------------------------------------
+# Text views
+# ----------------------------------------------------------------------
+def _span_line(span: Span, depth: int, total: float) -> str:
+    share = f" {span.duration / total * 100.0:5.1f}%" if total > 0 else ""
+    flag = " !" + (span.error or "error") if span.status == "error" else ""
+    return (
+        f"{'  ' * depth}{span.name} [{span.kind}] "
+        f"{span.duration:.3f}s{share}{flag}"
+    )
+
+
+def render_flamegraph(tracer: Tracer) -> str:
+    """The span tree as indented text, each line with duration and share.
+
+    "Share" is the span's duration relative to the summed root durations,
+    which for nested simulated time reads like a flamegraph's width.
+    """
+    roots = tracer.roots()
+    total = sum(root.duration for root in roots)
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append(_span_line(span, depth, total))
+        for child in tracer.children(span.span_id):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def critical_path(tracer: Tracer, root: Span | None = None) -> list[Span]:
+    """The chain of spans that bounds the trace's end-to-end latency.
+
+    From the (longest) root, repeatedly descend into the child whose end
+    time is latest — under synchronous depth-first execution that child is
+    the one the parent was waiting on when it closed.
+    """
+    if root is None:
+        roots = tracer.roots()
+        if not roots:
+            return []
+        root = max(roots, key=lambda s: (s.duration, s.span_id))
+    path = [root]
+    node = root
+    while True:
+        children = tracer.children(node.span_id)
+        if not children:
+            return path
+        node = max(children, key=lambda s: (s.end or s.start, s.span_id))
+        path.append(node)
+
+
+def render_critical_path(tracer: Tracer) -> str:
+    """The critical path as text with per-hop self/total times."""
+    path = critical_path(tracer)
+    if not path:
+        return "(no spans recorded)"
+    total = path[0].duration
+    lines = [f"critical path ({total:.3f}s end-to-end):"]
+    for depth, span in enumerate(path):
+        child_time = sum(c.duration for c in tracer.children(span.span_id))
+        self_time = max(0.0, span.duration - child_time)
+        share = f" {span.duration / total * 100.0:5.1f}%" if total > 0 else ""
+        lines.append(
+            f"{'  ' * depth}-> {span.name} [{span.kind}] "
+            f"total={span.duration:.3f}s self={self_time:.3f}s{share}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: "MetricsRegistry") -> str:
+    """The snapshot as aligned ``name value`` lines (CLI and artifacts)."""
+    snapshot = metrics.snapshot()
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in snapshot)
+    return "\n".join(
+        f"{name.ljust(width)}  {value:g}" for name, value in snapshot.items()
+    )

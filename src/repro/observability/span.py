@@ -1,0 +1,313 @@
+"""Structured tracing: spans over the plan -> node -> agent -> call tree.
+
+A span is one timed unit of work.  The coordinator opens a ``plan`` span,
+each DAG node opens a ``node`` span under it, the driven agent opens an
+``agent`` span under that, and LLM completions / storage queries open leaf
+spans — so one case-study conversation dumps as a single tree whose shape
+*is* the execution.
+
+Spans are stamped from the shared :class:`~repro.clock.SimClock` and get
+sequential ids, so traces of a seeded run are deterministic and replay
+byte-for-byte — the same property the resilience subsystem guarantees for
+stream exports, extended to the instrumentation itself.
+
+Parenting is implicit: each thread keeps a stack of open spans, and a new
+span attaches under whatever is open on *its* thread (worker-pool agents
+start fresh roots rather than guessing a cross-thread parent).
+
+Everything here sits on the runtime's hottest paths, so the classes are
+slotted, spans act as their own context managers (no wrapper allocation),
+and ids stay integers until export renders them as ``sp00042``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from typing import Any
+
+from ..clock import SimClock
+
+
+def sanitize_value(value: Any) -> Any:
+    """Make one attribute JSON-safe and finite.
+
+    Non-finite floats become their string names (``"inf"``/``"nan"``) so
+    exports never carry tokens a strict JSON parser rejects; containers
+    are sanitized recursively; everything non-primitive is stringified.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): sanitize_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_value(v) for v in value]
+    return str(value)
+
+
+def render_span_id(span_id: int | None) -> str | None:
+    """The external form of a span id (``sp00042``)."""
+    return None if span_id is None else f"sp{span_id:05d}"
+
+
+class _ThreadState:
+    """A thread's innermost open span, plus the tracer's clock.
+
+    Open spans form a linked chain through ``Span._prev`` rather than an
+    explicit stack: opening a span is one pointer swap, closing it swaps
+    back.  Carrying the clock here lets ``Span.__exit__`` stamp the end
+    time without a back-reference to the tracer.
+    """
+
+    __slots__ = ("current", "clock")
+
+    def __init__(self) -> None:
+        self.current: Span | None = None
+
+
+class Span:
+    """One timed, attributed unit of work in the trace tree.
+
+    A span is its own context manager: ``__exit__`` stamps the end time,
+    records an in-flight exception as the span's error (and lets it
+    propagate), and pops the tracer's thread-local stack.
+    """
+
+    __slots__ = (
+        "span_id", "name", "kind", "parent_id", "start", "end",
+        "error", "attributes", "_state", "_prev",
+    )
+
+    def __init__(
+        self,
+        span_id: int = 0,
+        name: str = "",
+        kind: str = "internal",  # plan | node | agent | llm | storage | internal
+        parent_id: int | None = None,
+        start: float = 0.0,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.kind = kind
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.error: str | None = None
+        self.attributes = attributes if attributes is not None else {}
+        self._state: _ThreadState | None = None
+        self._prev: Span | None = None
+
+    @property
+    def status(self) -> str:
+        """``"error"`` once an error is recorded, else ``"ok"``."""
+        return "ok" if self.error is None else "error"
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from start to end (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def span_ref(self) -> str:
+        """The exported id string, e.g. ``sp00042``."""
+        return f"sp{self.span_id:05d}"
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        # str/int/bool need no sanitizing and cover nearly every call.
+        t = type(value)
+        if t is str or t is int or t is bool:
+            self.attributes[key] = value
+        else:
+            self.attributes[key] = sanitize_value(value)
+
+    def set_error(self, error: str) -> None:
+        self.error = error
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        state = self._state
+        if state is not None:
+            # Direct attribute read (see SimClock.now): this closes every
+            # span the runtime ever opens.
+            self.end = state.clock._now
+            if state.current is self:
+                state.current = self._prev
+            else:  # out-of-order close: also drop everything opened above
+                walk = state.current
+                while walk is not None and walk is not self:
+                    walk = walk._prev
+                if walk is self:
+                    state.current = self._prev
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.span_ref}, name={self.name!r}, kind={self.kind!r}, "
+            f"status={self.status!r}, duration={self.duration:.3f})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        # Attributes passed as ``start_span`` kwargs are stored raw (the
+        # hot path cannot afford a sanitizing loop per span); the export
+        # boundary is where the no-``Infinity``/``NaN`` guarantee holds.
+        return {
+            "span_id": self.span_ref,
+            "name": self.name,
+            "kind": self.kind,
+            "parent_id": render_span_id(self.parent_id),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": {k: sanitize_value(v) for k, v in self.attributes.items()},
+        }
+
+
+class NoopSpan(Span):
+    """The shared do-nothing span yielded while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_error(self, error: str) -> None:
+        pass
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+#: Shared singleton: a disabled tracing site costs one attribute check
+#: and no allocation.
+NOOP_SPAN = NoopSpan(name="noop")
+
+
+class Tracer:
+    """Creates, nests, and retains spans over a simulated clock.
+
+    Example:
+        >>> clock = SimClock()
+        >>> tracer = Tracer(clock)
+        >>> with tracer.span("plan", kind="plan") as outer:
+        ...     _ = clock.advance(1.0)
+        ...     with tracer.span("node", kind="node") as inner:
+        ...         _ = clock.advance(0.5)
+        >>> inner.parent_id == outer.span_id
+        True
+        >>> (outer.duration, inner.duration)
+        (1.5, 0.5)
+    """
+
+    def __init__(self, clock: SimClock | None = None, enabled: bool = True) -> None:
+        self.clock = clock or SimClock()
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        # itertools.count and list.append are atomic under the GIL, so
+        # span creation needs no lock of its own.
+        self._ids = itertools.count()
+        self._active = threading.local()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def _state(self) -> _ThreadState:
+        state = getattr(self._active, "state", None)
+        if state is None:
+            state = self._active.state = _ThreadState()
+            state.clock = self.clock
+        return state
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent_id: int | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span under the current thread's innermost open span.
+
+        The returned span is a context manager; ``with tracer.span(...)``
+        is the usual way to close it again.  When the tracer is disabled
+        the shared no-op span is returned (callers can still call
+        ``set_attribute`` on it, which discards) and nothing is recorded.
+
+        The body builds the span field-by-field rather than through
+        ``Span.__init__``, and attribute kwargs are stored raw (exports
+        sanitize): this runs for every traced unit of work, and every
+        extra call frame is measurable against the <5% overhead budget.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        state = getattr(self._active, "state", None)
+        if state is None:
+            state = self._active.state = _ThreadState()
+            state.clock = self.clock
+        parent = state.current
+        if parent_id is None and parent is not None:
+            parent_id = parent.span_id
+        span = Span.__new__(Span)
+        span.span_id = next(self._ids)
+        span.name = name
+        span.kind = kind
+        span.parent_id = parent_id
+        span.start = self.clock._now
+        span.end = None
+        span.error = None
+        span.attributes = attributes
+        span._state = state
+        span._prev = parent
+        state.current = span
+        self._spans.append(span)
+        return span
+
+    #: ``span`` is the context-manager spelling; both names open a span.
+    span = start_span
+
+    def end_span(self, span: Span) -> None:
+        """Close *span* explicitly (the context-manager exit does this)."""
+        span.__exit__(None, None, None)
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        return self._state().current
+
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Every span ever started, in creation order."""
+        return list(self._spans)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span_id: int) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span_id]
+
+    def find(self, name: str | None = None, kind: str | None = None) -> list[Span]:
+        """Spans matching a name and/or kind filter."""
+        return [
+            s
+            for s in self._spans
+            if (name is None or s.name == name) and (kind is None or s.kind == kind)
+        ]
+
+    def reset(self) -> None:
+        """Forget every span (tests and fresh benchmark phases)."""
+        self._spans = []
+        self._ids = itertools.count()
+        self._active = threading.local()

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable
+from typing import Any, Iterable, TYPE_CHECKING
 
 from ...errors import StorageError
 from ..schema import Column, ColumnType, TableSchema
 from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability import Observability
 
 
 class Database:
@@ -21,6 +24,10 @@ class Database:
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
+        #: Optional tracing/metrics sink: every :meth:`execute` then opens
+        #: a ``storage`` span and counts queries/rows (settable after
+        #: construction — applications wire their runtime's handle in).
+        self.observability: "Observability | None" = None
         self._tables: dict[str, Table] = {}
         self._lock = threading.RLock()
 
@@ -74,7 +81,16 @@ class Database:
         """Parse and execute a SQL statement against this database."""
         from .sql import execute_sql
 
-        return execute_sql(self, sql, parameters)
+        obs = self.observability
+        if obs is None:
+            return execute_sql(self, sql, parameters)
+        with obs.span(f"sql:{self.name}", kind="storage", database=self.name) as span:
+            result = execute_sql(self, sql, parameters)
+            span.set_attribute("statement_kind", result.statement_kind)
+            span.set_attribute("rows", len(result.rows))
+            obs.metrics.inc("storage.queries", database=self.name)
+            obs.metrics.inc("storage.rows", len(result.rows), database=self.name)
+            return result
 
     def query(self, sql: str, parameters: dict[str, Any] | None = None) -> list[dict[str, Any]]:
         """Execute a SELECT and return its rows."""

@@ -15,7 +15,7 @@ dispatch-depth guard catches accidental agent loops.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
 from ..clock import SimClock
 from ..errors import StreamError
@@ -23,6 +23,9 @@ from ..ids import IdGenerator
 from .message import Message, MessageKind, control_payload
 from .stream import Stream
 from .subscription import Subscription, SubscriberCallback, TagRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability import Observability
 
 
 class StreamStore:
@@ -37,6 +40,35 @@ class StreamStore:
         self._lock = threading.RLock()
         self._depth = 0
         self.max_dispatch_depth = 500
+        # Plain tallies, pulled into a metrics snapshot by the collector
+        # below: publishing is the hottest path in the runtime, so it
+        # must not pay a registry update per message.
+        self._message_counts: dict[str, int] = {}
+        self._delivery_count = 0
+        self._observability: "Observability | None" = None
+
+    @property
+    def observability(self) -> "Observability | None":
+        """Optional metrics sink (settable; the Blueprint wires its own).
+
+        Reports ``stream.messages`` per kind and ``stream.deliveries`` —
+        the fan-out factor the A2 scaling study cares about.
+        """
+        return self._observability
+
+    @observability.setter
+    def observability(self, value: "Observability | None") -> None:
+        if value is self._observability:
+            return
+        self._observability = value
+        if value is not None:
+            value.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, sink) -> None:
+        for kind, count in self._message_counts.items():
+            sink.inc("stream.messages", float(count), kind=kind)
+        if self._delivery_count:
+            sink.inc("stream.deliveries", float(self._delivery_count))
 
     # ------------------------------------------------------------------
     # Stream lifecycle
@@ -115,6 +147,8 @@ class StreamStore:
         stream.append(message)
         with self._lock:
             self._trace.append(message)
+            counts = self._message_counts
+            counts[kind.value] = counts.get(kind.value, 0) + 1
         self._dispatch(message)
         return message
 
@@ -195,6 +229,8 @@ class StreamStore:
                     f"dispatch depth exceeded {self.max_dispatch_depth} "
                     f"(agent loop?) on stream {message.stream_id!r}"
                 )
+            if targets:
+                self._delivery_count += len(targets)
             for subscription in targets:
                 subscription.callback(message)
         finally:

@@ -4,7 +4,11 @@ The headline property (an acceptance criterion for the resilience
 subsystem): running the *same* seeded chaos scenario twice produces
 byte-identical stream exports — every retry, breaker trip, fallback and
 dead-letter lands at the same trace position with the same timestamp.
+The observability subsystem extends the same guarantee to its own
+artifacts: the span-tree/metrics export is byte-identical too.
 """
+
+import json
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,24 +28,33 @@ from repro.core.resilience import (
 )
 from repro.core.session import SessionManager
 from repro.llm import ModelCatalog, UsageTracker
+from repro.observability import Observability
 from repro.streams import StreamStore
 from repro.streams.persistence import export_json
 
 
-def run_chaos_scenario(seed: int, fault_rate: float, plans: int) -> str:
-    """One seeded chaos run over a fresh world; returns the trace export."""
+def run_chaos_scenario(seed: int, fault_rate: float, plans: int) -> tuple[str, str]:
+    """One seeded chaos run over a fresh world.
+
+    Returns ``(stream_export, trace_export)`` — both must be
+    byte-identical across same-seed runs.
+    """
     clock = SimClock()
+    observability = Observability(clock)
     store = StreamStore(clock)
+    store.observability = observability
     session = SessionManager(store).create("chaos")
     catalog = ModelCatalog(clock=clock, tracker=UsageTracker())
-    budget = Budget(clock=clock)
+    catalog.observability = observability
+    budget = Budget(clock=clock, metrics=observability.metrics)
     chaos = ChaosController(
         ChaosSpec(agent_transient_rate=fault_rate), seed=seed, clock=clock
     )
 
     def context() -> AgentContext:
         return AgentContext(
-            store=store, session=session, clock=clock, catalog=catalog, budget=budget
+            store=store, session=session, clock=clock, catalog=catalog,
+            budget=budget, observability=observability,
         )
 
     def work(inputs):
@@ -58,7 +71,10 @@ def run_chaos_scenario(seed: int, fault_rate: float, plans: int) -> str:
     ).attach(context())
     coordinator = TaskCoordinator(
         retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.5, seed=seed),
-        breakers=BreakerBoard(clock=clock, failure_threshold=3, recovery_timeout=5.0),
+        breakers=BreakerBoard(
+            clock=clock, failure_threshold=3, recovery_timeout=5.0,
+            metrics=observability.metrics,
+        ),
     )
     coordinator.attach(context())
     for index in range(plans):
@@ -68,7 +84,7 @@ def run_chaos_scenario(seed: int, fault_rate: float, plans: int) -> str:
             "s1", "WORKER", {"X": Binding.const(index)}, fallback_agent="BACKUP"
         )
         coordinator.execute_plan(plan)
-    return export_json(store)
+    return export_json(store), observability.export_json()
 
 
 class TestChaosDeterminism:
@@ -82,6 +98,23 @@ class TestChaosDeterminism:
         first = run_chaos_scenario(seed, fault_rate, plans)
         second = run_chaos_scenario(seed, fault_rate, plans)
         assert first == second
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=1.0),
+        plans=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_trace_exports_byte_identical(self, seed, fault_rate, plans):
+        """The observability artifact obeys the same determinism contract
+        as the stream export — and never carries non-finite JSON tokens."""
+        _, first = run_chaos_scenario(seed, fault_rate, plans)
+        _, second = run_chaos_scenario(seed, fault_rate, plans)
+        assert first == second
+        assert "Infinity" not in first and "NaN" not in first
+        payload = json.loads(first)
+        assert payload["spans"]  # plans actually produced spans
+        assert any(s["kind"] == "plan" for s in payload["spans"])
 
     def test_different_seeds_diverge(self):
         """Sanity check that the property above is not vacuous: under heavy
