@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability examples artifacts all
+.PHONY: test bench reliability observability recovery examples artifacts all
 
 test:
 	pytest tests/
@@ -13,6 +13,10 @@ reliability:
 observability:
 	PYTHONPATH=src python -m pytest benchmarks/bench_tracing.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_observability.py tests/properties/test_chaos_properties.py -q
+
+recovery:
+	PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_recovery.py tests/properties/test_recovery_properties.py tests/properties/test_persistence_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

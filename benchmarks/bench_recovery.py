@@ -1,0 +1,310 @@
+"""A10 — crash recovery: kill/resume determinism and supervised handoff.
+
+Two scenarios over the write-ahead journal and recovery manager:
+
+* **barrier sweep** — a four-node pipeline under seeded agent chaos (with
+  classified retries) is hard-killed at *every* checkpoint barrier the
+  uninterrupted run crosses, then resumed from the journal by a fresh
+  coordinator over the same durable world.  Every resumed run must reach
+  ``completed`` (1.00 completion), export a byte-identical stream trace,
+  drive each agent exactly as many times as the uninterrupted run (zero
+  duplicate effects), and spend exactly the same budget (zero cost
+  overhead — replay is free).
+* **supervised handoff** — the coordinator lives in a container under a
+  :class:`Supervisor`; chaos kills it mid-plan via the journal's barrier
+  hook.  The supervisor restarts the container (without quarantining the
+  deliberate kills as a crash loop) and hands the incomplete plan to the
+  :class:`RecoveryManager`, which resumes it.  Every plan must end
+  ``completed`` in the journal.
+
+Failure leaves the journal/export JSON artifacts under
+``benchmarks/results/`` for CI upload.
+"""
+
+import hashlib
+import json
+from typing import Any
+
+from _artifacts import RESULTS_DIR, record, table
+
+from repro.core import (
+    AgentFactory,
+    Binding,
+    Blueprint,
+    ChaosController,
+    ChaosSpec,
+    Cluster,
+    FunctionAgent,
+    KillSwitch,
+    Parameter,
+    ResourceProfile,
+    RetryPolicy,
+    Supervisor,
+    TaskCoordinator,
+    TaskPlan,
+)
+from repro.errors import CoordinatorKilledError
+from repro.streams.persistence import export_json
+
+SEED = 42
+FAULT_RATE = 0.25
+N_SUPERVISED_PLANS = 12
+
+#: The four pipeline stages: (name, cost per activation, latency).
+STAGES = (
+    ("EXTRACT", 0.010, 0.4),
+    ("MATCH", 0.020, 0.7),
+    ("RANK", 0.015, 0.3),
+    ("PRESENT", 0.005, 0.2),
+)
+
+
+class BarrierCounter:
+    """Journal barrier hook that only counts the sites it crosses."""
+
+    def __init__(self) -> None:
+        self.sites: list[str] = []
+
+    def __call__(self, site: str) -> None:
+        self.sites.append(site)
+
+
+def _attach_stages(blueprint, session, budget, chaos, activations):
+    for name, cost, latency in STAGES:
+        def fn(inputs, name=name, cost=cost, latency=latency):
+            activations[name] = activations.get(name, 0) + 1
+            chaos.agent_fault(f"{name}|{inputs.get('IN')}")
+            budget.charge(f"agent:{name}", cost=cost, latency=latency)
+            return {"OUT": f"{name}({inputs.get('IN')})"}
+
+        FunctionAgent(
+            name, fn,
+            inputs=(Parameter("IN", "text"),),
+            outputs=(Parameter("OUT", "text"),),
+        ).attach(blueprint.context(session, budget))
+
+
+def _pipeline_plan(plan_id: str, query: str) -> TaskPlan:
+    plan = TaskPlan(plan_id, goal="four-stage pipeline")
+    previous = None
+    for name, _, _ in STAGES:
+        step_id = f"s_{name.lower()}"
+        binding = (
+            Binding.const(query) if previous is None
+            else Binding.from_node(previous, "OUT")
+        )
+        plan.add_step(step_id, name, {"IN": binding})
+        previous = step_id
+    return plan
+
+
+def run_sweep_scenario(
+    kill_at: int | None, seed: int = SEED, hook: Any = None
+) -> dict[str, Any]:
+    """One seeded run of the pipeline; optionally killed and resumed."""
+    blueprint = Blueprint()
+    session = blueprint.create_session("a10")
+    budget = blueprint.budget()
+    chaos = ChaosController(
+        ChaosSpec(agent_transient_rate=FAULT_RATE), seed=seed,
+        clock=blueprint.clock,
+    )
+    switch = KillSwitch(kill_at) if kill_at is not None else hook
+    journal = blueprint.journal(session, barrier_hook=switch)
+    activations: dict[str, int] = {}
+    _attach_stages(blueprint, session, budget, chaos, activations)
+
+    def new_coordinator():
+        coordinator = TaskCoordinator(
+            journal=journal,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.5, jitter=0.5, seed=seed
+            ),
+        )
+        coordinator.attach(blueprint.context(session, budget))
+        return coordinator
+
+    coordinator = new_coordinator()
+    resumed = False
+    try:
+        run = coordinator.execute_plan(_pipeline_plan("p1", f"query #{seed}"))
+    except CoordinatorKilledError:
+        coordinator.crash()  # process death: only durable state survives
+        manager = blueprint.recovery_manager(
+            session, coordinator=new_coordinator(), journal=journal
+        )
+        runs = manager.resume_incomplete(budget=budget)
+        assert len(runs) == 1
+        run = runs[0]
+        resumed = True
+    metrics = blueprint.observability.metrics.snapshot()
+    return {
+        "status": run.status,
+        "resumed": resumed,
+        "export": export_json(blueprint.store),
+        "cost": budget.spent_cost(),
+        "activations": dict(activations),
+        "replayed_effects": metrics.get("recovery.replayed_effects", 0.0),
+        "resumed_nodes": metrics.get("recovery.resumed_nodes", 0.0),
+        "barriers": switch.sites if isinstance(switch, BarrierCounter) else None,
+    }
+
+
+def _dump_artifact(name: str, payload: Any) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    if isinstance(payload, str):
+        path.write_text(payload, encoding="utf-8")
+    else:
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def test_a10_kill_resume_barrier_sweep(benchmark):
+    """Artifact: kill at every barrier -> 1.00 completion, 0 duplicates."""
+    counter = BarrierCounter()
+    baseline = run_sweep_scenario(kill_at=None, hook=counter)
+    assert baseline["status"] == "completed"
+    n_barriers = len(counter.sites)
+    assert n_barriers == 2 * len(STAGES)  # boundary + midnode per stage
+    _dump_artifact("a10_baseline_export.json", baseline["export"])
+
+    rows, completed = [], 0
+    for kill_at in range(n_barriers):
+        result = run_sweep_scenario(kill_at=kill_at)
+        identical = result["export"] == baseline["export"]
+        duplicates = sum(
+            result["activations"].get(n, 0) - baseline["activations"].get(n, 0)
+            for n, _, _ in STAGES
+        )
+        overhead = result["cost"] - baseline["cost"]
+        rows.append([
+            kill_at, counter.sites[kill_at], result["status"], identical,
+            int(result["resumed_nodes"]), int(result["replayed_effects"]),
+            duplicates, f"{overhead:+.4f}",
+        ])
+        if not identical or result["status"] != "completed":
+            _dump_artifact(f"a10_divergent_export_kill{kill_at}.json",
+                           result["export"])
+        completed += result["status"] == "completed"
+        assert result["status"] == "completed", f"kill_at={kill_at}"
+        assert identical, f"kill_at={kill_at}: export diverged"
+        assert duplicates == 0, f"kill_at={kill_at}: duplicate effects"
+        assert result["cost"] == baseline["cost"], f"kill_at={kill_at}"
+
+    digest = hashlib.md5(baseline["export"].encode("utf-8")).hexdigest()
+    record(
+        "a10_kill_resume_sweep",
+        "A10 — crash recovery barrier sweep "
+        f"(seed={SEED}, stages={len(STAGES)}, barriers={n_barriers}, "
+        f"agent transient rate={FAULT_RATE:.0%}, retries=3)\n"
+        + table(
+            ["kill at", "barrier site", "status", "byte-identical",
+             "resumed nodes", "replayed effects", "duplicate effects",
+             "cost overhead"],
+            rows,
+        )
+        + f"\ncompletion: {completed}/{n_barriers} = "
+        f"{completed / n_barriers:.2f}  baseline md5: {digest}",
+    )
+    assert completed == n_barriers  # 1.00 completion
+
+    benchmark(lambda: run_sweep_scenario(kill_at=3)["status"])
+
+
+def run_supervised_scenario(
+    n_plans: int = N_SUPERVISED_PLANS, seed: int = SEED,
+    plan_kill_rate: float = 0.15,
+) -> dict[str, Any]:
+    """Chaos-killed containerized coordinator under supervised recovery."""
+    blueprint = Blueprint()
+    session = blueprint.create_session("a10-supervised")
+    budget = blueprint.budget()
+    chaos = ChaosController(
+        ChaosSpec(plan_kill_rate=plan_kill_rate), seed=seed,
+        clock=blueprint.clock,
+    )
+    journal = blueprint.journal(session, barrier_hook=chaos.kill_during_plan)
+    activations: dict[str, int] = {}
+    _attach_stages(blueprint, session, budget, chaos, activations)
+
+    factory = AgentFactory()
+    factory.register(
+        "COORD", lambda **kw: TaskCoordinator(journal=journal, **kw)
+    )
+    cluster = Cluster("c")
+    cluster.add_node(ResourceProfile(cpu=4, gpu=0, memory_gb=8))
+    container = cluster.deploy(
+        "coordinator", factory,
+        lambda: blueprint.context(session, budget), (("COORD", {}),),
+    )
+    manager = blueprint.recovery_manager(
+        session,
+        coordinator=lambda: (
+            container.agents()[0] if container.agents() else None
+        ),
+        journal=journal,
+    )
+    supervisor = Supervisor(
+        cluster, clock=blueprint.clock, backoff_base=0.0,
+        crash_loop_window=5.0, recovery=manager,
+    )
+
+    kills = 0
+    for index in range(n_plans):
+        plan = _pipeline_plan(f"p{index}", f"query #{index}")
+        try:
+            container.agents()[0].execute_plan(plan)
+        except CoordinatorKilledError:
+            kills += 1
+            container.fail()  # the kill took the whole container down
+        while journal.terminal_status(plan.plan_id) is None:
+            blueprint.clock.advance(10.0)  # healthy uptime between deaths
+            try:
+                supervisor.tick()  # restart + hand the plan to recovery
+            except CoordinatorKilledError:
+                kills += 1
+                container.fail()
+    statuses = [journal.terminal_status(f"p{i}") for i in range(n_plans)]
+    return {
+        "completion": statuses.count("completed") / n_plans,
+        "kills": kills,
+        "plan_recoveries": supervisor.plan_recoveries,
+        "quarantined": list(supervisor.quarantined),
+        "export": export_json(blueprint.store),
+        "journal": journal.describe(),
+        "metrics": blueprint.observability.metrics.snapshot(),
+    }
+
+
+def test_a10_supervised_handoff(benchmark):
+    """Artifact: supervisor hands killed plans to recovery, 1.00 completion."""
+    result = run_supervised_scenario()
+    if result["completion"] < 1.0 or result["quarantined"]:
+        _dump_artifact("a10_supervised_export.json", result["export"])
+        _dump_artifact("a10_supervised_journal.json", result["journal"])
+    metrics = result["metrics"]
+    record(
+        "a10_supervised_handoff",
+        "A10 — supervised crash recovery handoff "
+        f"(seed={SEED}, plans={N_SUPERVISED_PLANS}, "
+        f"plan kill rate=15%/barrier)\n"
+        + table(
+            ["plans", "completion", "kills", "plan recoveries",
+             "resumed nodes", "replayed effects", "quarantined"],
+            [[
+                N_SUPERVISED_PLANS, f"{result['completion']:.2f}",
+                result["kills"], result["plan_recoveries"],
+                int(metrics.get("recovery.resumed_nodes", 0.0)),
+                int(metrics.get("recovery.replayed_effects", 0.0)),
+                len(result["quarantined"]),
+            ]],
+        ),
+    )
+    # Acceptance: every killed plan is recovered to completion, and the
+    # deliberate chaos kills never trip the crash-loop quarantine.
+    assert result["completion"] == 1.0
+    assert result["kills"] > 0  # the chaos actually struck
+    assert result["plan_recoveries"] >= 1
+    assert result["quarantined"] == []
+
+    benchmark(lambda: run_supervised_scenario(n_plans=3)["completion"])

@@ -59,6 +59,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "export")
     trace.add_argument("--output", default=None,
                        help="write to a file instead of stdout")
+
+    recover = commands.add_parser(
+        "recover",
+        help="inspect a journaled stream export for recoverable plans, or "
+             "run the kill/resume crash-recovery demo",
+    )
+    recover.add_argument("--export", dest="export_file", default=None,
+                         help="a stream export JSON file (see trace --format "
+                              "json) whose write-ahead journal to analyze")
+    recover.add_argument("--plan", default=None,
+                         help="with --export: detail one plan's snapshot")
+    recover.add_argument("--demo", action="store_true",
+                         help="run a deterministic kill/resume demo: execute "
+                              "a 3-node plan, kill the coordinator at a "
+                              "checkpoint barrier, resume from the journal, "
+                              "and compare against the uninterrupted run")
+    recover.add_argument("--kill", type=int, default=3,
+                         help="demo: 0-based checkpoint barrier to kill at")
+    recover.add_argument("--output", default=None,
+                         help="demo: also write the resumed run's stream "
+                              "export JSON to a file")
     return parser
 
 
@@ -154,6 +175,189 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+class _DemoWorld:
+    """The crash-recovery demo's world: everything durable in one place."""
+
+    def __init__(self, seed: int, barrier_hook=None):
+        from .clock import SimClock
+        from .core.budget import Budget
+        from .core.context import AgentContext
+        from .core.coordinator import TaskCoordinator
+        from .core.recovery import WriteAheadJournal
+        from .core.session import SessionManager
+        from .observability import Observability
+        from .streams import StreamStore
+
+        self.clock = SimClock()
+        self.observability = Observability(self.clock)
+        self.store = StreamStore(self.clock)
+        self.store.observability = self.observability
+        self.session = SessionManager(self.store).create("recovery-demo")
+        self.budget = Budget(clock=self.clock)
+        self.journal = WriteAheadJournal(
+            self.store,
+            session=self.session,
+            barrier_hook=barrier_hook,
+            metrics=self.observability.metrics,
+        )
+        self.seed = seed
+        for agent in self._make_agents():
+            agent.attach(self._context())
+        self._coordinator_cls = TaskCoordinator
+        self._context_cls = AgentContext
+        self.coordinator = self.new_coordinator()
+
+    def _context(self):
+        from .core.context import AgentContext
+
+        return AgentContext(
+            store=self.store,
+            session=self.session,
+            clock=self.clock,
+            budget=self.budget,
+            observability=self.observability,
+        )
+
+    def _make_agents(self):
+        from .core.agent import FunctionAgent
+        from .core.params import Parameter
+
+        budget, seed = self.budget, self.seed
+
+        def stage(name, cost, latency):
+            def fn(inputs):
+                budget.charge(f"agent:{name}", cost=cost, latency=latency)
+                return {"OUT": f"{name}[{seed}]({inputs.get('IN')})"}
+
+            return FunctionAgent(
+                name, fn,
+                inputs=(Parameter("IN", "text"),),
+                outputs=(Parameter("OUT", "text"),),
+            )
+
+        return [
+            stage("EXTRACT", 0.01, 0.4),
+            stage("MATCH", 0.02, 0.7),
+            stage("RANK", 0.01, 0.3),
+        ]
+
+    def new_coordinator(self):
+        coordinator = self._coordinator_cls(journal=self.journal)
+        coordinator.attach(self._context())
+        return coordinator
+
+    def plan(self):
+        from .core.plan import Binding, TaskPlan
+
+        plan = TaskPlan("demo-plan", goal="extract, match, rank")
+        plan.add_step("s1", "EXTRACT", {"IN": Binding.const(f"query#{self.seed}")})
+        plan.add_step("s2", "MATCH", {"IN": Binding.from_node("s1", "OUT")})
+        plan.add_step("s3", "RANK", {"IN": Binding.from_node("s2", "OUT")})
+        return plan
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    if args.export_file is None and not args.demo:
+        print("recover: pass --export FILE to analyze a journal, or --demo")
+        return 2
+    if args.export_file is not None:
+        return _recover_analyze(args)
+    return _recover_demo(args)
+
+
+def _recover_analyze(args: argparse.Namespace) -> int:
+    """Post-hoc journal analysis over a replayed stream export."""
+    from .core.recovery import JOURNAL_TAG, RecoveryManager, WriteAheadJournal
+    from .streams.persistence import replay_json
+
+    with open(args.export_file, "r", encoding="utf-8") as handle:
+        store = replay_json(handle.read())
+    journal_streams = sorted(
+        {m.stream_id for m in store.trace() if m.has_tag(JOURNAL_TAG)}
+    )
+    if not journal_streams:
+        print("no write-ahead journal records in this export")
+        return 1
+    report: dict = {"journals": []}
+    for stream_id in journal_streams:
+        journal = WriteAheadJournal.over_stream(store, stream_id)
+        manager = RecoveryManager(journal)
+        entry = manager.describe()
+        if args.plan is not None:
+            entry["plan_detail"] = manager.snapshot(args.plan).describe()
+        report["journals"].append(entry)
+    print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
+def _recover_demo(args: argparse.Namespace) -> int:
+    """Kill/resume demo: run, kill at a barrier, resume, compare."""
+    import hashlib
+
+    from .core.recovery import RecoveryManager
+    from .core.resilience import KillSwitch
+    from .errors import CoordinatorKilledError
+    from .streams.persistence import export_json
+
+    baseline = _DemoWorld(args.seed)
+    base_run = baseline.coordinator.execute_plan(baseline.plan())
+    base_export = export_json(baseline.store)
+
+    switch = KillSwitch(args.kill)
+    world = _DemoWorld(args.seed, barrier_hook=switch)
+    try:
+        run = world.coordinator.execute_plan(world.plan())
+    except CoordinatorKilledError:
+        world.coordinator.crash()  # the process is gone; only streams survive
+        world.coordinator = world.new_coordinator()
+        manager = RecoveryManager(world.journal, coordinator=world.coordinator)
+        runs = manager.resume_incomplete(budget=world.budget)
+        run = runs[0] if runs else None
+    resumed_export = export_json(world.store)
+    digest = hashlib.md5(resumed_export.encode("utf-8")).hexdigest()
+    base_digest = hashlib.md5(base_export.encode("utf-8")).hexdigest()
+
+    print(f"uninterrupted run: status={base_run.status} "
+          f"cost={baseline.budget.spent_cost():.4f}")
+    if switch.fired:
+        print(f"killed at barrier {args.kill} ({switch.fired_site}); "
+              f"resumed from the journal")
+    else:
+        print(f"barrier {args.kill} never reached "
+              f"({switch.seen} barriers total); run was uninterrupted")
+    if run is not None:
+        print(f"recovered run:     status={run.status} "
+              f"cost={world.budget.spent_cost():.4f} "
+              f"replayed_effects={run.replayed_effects}")
+    print(f"export digests:    baseline={base_digest}")
+    print(f"                   resumed ={digest}")
+    print(f"byte-identical:    {digest == base_digest}")
+    print()
+    print("== recovery metrics ==")
+    snapshot = world.observability.metrics.snapshot()
+    shown = False
+    for name in sorted(snapshot):
+        if name.startswith(("recovery.", "journal.")):
+            print(f"  {name} = {snapshot[name]}")
+            shown = True
+    if not shown:
+        print("  (none — nothing was recovered)")
+    recover_spans = [
+        s for s in world.observability.tracer.spans()
+        if s.name.startswith("recover:")
+    ]
+    if recover_spans:
+        print()
+        print("== recovery spans ==")
+        for span in recover_spans:
+            print(f"  {span.name} attrs={dict(span.attributes)}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(resumed_export + "\n")
+        print(f"\nresumed export written to {args.output}")
+    return 0 if digest == base_digest and (run is None or run.status == "completed") else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -162,6 +366,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": cmd_plan,
         "employer": cmd_employer,
         "trace": cmd_trace,
+        "recover": cmd_recover,
     }
     return handlers[args.command](args)
 

@@ -6,12 +6,21 @@ from .budget import Budget, Charge, Projection
 from .context import AgentContext
 from .coordinator import NodeFailure, PlanRun, TaskCoordinator
 from .deployment import Cluster, Container, ResourceProfile, Supervisor
+from .recovery import (
+    CompensationRegistry,
+    EffectTable,
+    RecoveredPlan,
+    RecoveryManager,
+    WriteAheadJournal,
+    idempotency_key,
+)
 from .resilience import (
     BreakerBoard,
     ChaosController,
     ChaosSpec,
     CircuitBreaker,
     DeadLetterQueue,
+    KillSwitch,
     RetryPolicy,
 )
 from .factory import AgentFactory
@@ -47,8 +56,15 @@ __all__ = [
     "ChaosController",
     "ChaosSpec",
     "CircuitBreaker",
+    "CompensationRegistry",
     "DeadLetterQueue",
+    "EffectTable",
+    "KillSwitch",
+    "RecoveredPlan",
+    "RecoveryManager",
     "RetryPolicy",
+    "WriteAheadJournal",
+    "idempotency_key",
     "Cluster",
     "Container",
     "ResourceProfile",

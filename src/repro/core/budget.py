@@ -116,6 +116,44 @@ class Budget:
             )
         return entry
 
+    def restore(
+        self,
+        entries: "list[dict[str, float | str | None]]",
+        started_at: float | None = None,
+    ) -> None:
+        """Replay journaled ledger entries into this (fresh) budget.
+
+        Crash recovery rebuilds a dead coordinator's budget from the
+        write-ahead journal: each entry is appended with its *original*
+        timestamp and the clock is **not** advanced — the shared durable
+        clock already moved when the charge was first paid, and advancing
+        it again would double-count latency on replay.  ``started_at``
+        rewinds the budget's epoch to the journaled plan start so
+        :meth:`elapsed_latency` spans the whole execution, not just the
+        post-crash tail.
+        """
+        with self._lock:
+            for raw in entries:
+                quality = raw.get("quality")
+                entry = Charge(
+                    source=str(raw.get("source", "restored")),
+                    cost=float(raw.get("cost", 0.0) or 0.0),
+                    latency=float(raw.get("latency", 0.0) or 0.0),
+                    quality=None if quality is None else float(quality),
+                    timestamp=float(raw.get("timestamp", 0.0) or 0.0),
+                    note=str(raw.get("note", "")),
+                )
+                self._charges.append(entry)
+                self._spent_cost += entry.cost
+                self._cost_by_source[entry.source] = (
+                    self._cost_by_source.get(entry.source, 0.0) + entry.cost
+                )
+                self._latency_by_source[entry.source] = (
+                    self._latency_by_source.get(entry.source, 0.0) + entry.latency
+                )
+            if started_at is not None:
+                self._start = started_at
+
     def _collect_metrics(self, sink: "CollectorSink") -> None:
         """Report the ledger into a metrics snapshot being assembled.
 

@@ -29,8 +29,8 @@ are for decentralized tag-triggered fan-out, where no one waits on them.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import asdict, dataclass, field
+from typing import Any, TYPE_CHECKING
 
 from ..errors import CoordinationError
 from ..streams import Instruction
@@ -40,7 +40,11 @@ from .params import Parameter
 from .plan.task_plan import TaskNode, TaskPlan
 from .planners.data_planner import DataPlanner
 from .qos import QoSSpec
+from .recovery import WriteAheadJournal, idempotency_key
 from .resilience import BreakerBoard, DeadLetterQueue, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recovery import RecoveredPlan
 
 
 @dataclass
@@ -76,6 +80,11 @@ class PlanRun:
     fallbacks: dict[str, str] = field(default_factory=dict)
     #: message ids of dead-letter entries quarantined by this run.
     dead_letters: list[str] = field(default_factory=list)
+    #: Whether this run resumed from a journal snapshot after a crash.
+    resumed: bool = False
+    #: node ids whose results were replayed from journaled effects
+    #: instead of re-executing (exactly-once under at-least-once).
+    replayed_effects: list[str] = field(default_factory=list)
 
     def outputs_of(self, node_id: str) -> dict[str, Any]:
         return self.node_outputs.get(node_id, {})
@@ -114,10 +123,12 @@ class TaskCoordinator(Agent):
         retry_policy: RetryPolicy | None = None,
         breakers: BreakerBoard | None = None,
         dead_letters: bool = True,
+        journal: WriteAheadJournal | None = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(**kwargs)
         self._data_planner = data_planner
+        self._journal = journal
         self._replan_on_violation = replan_on_violation
         self._replan_budget_factor = replan_budget_factor
         self._max_replans = max_replans
@@ -185,6 +196,11 @@ class TaskCoordinator(Agent):
     def breakers(self) -> BreakerBoard | None:
         return self._breakers
 
+    @property
+    def journal(self) -> WriteAheadJournal | None:
+        """The write-ahead journal, when crash recovery is enabled."""
+        return self._journal
+
     def dead_letter_queue(self) -> DeadLetterQueue:
         """The session's quarantine stream (created on first use so
         sessions that never fail keep their traces unchanged)."""
@@ -221,7 +237,11 @@ class TaskCoordinator(Agent):
     # Plan execution (also callable directly)
     # ------------------------------------------------------------------
     def execute_plan(
-        self, plan: TaskPlan, budget: Budget | None = None, _attempt: int = 0
+        self,
+        plan: TaskPlan,
+        budget: Budget | None = None,
+        _attempt: int = 0,
+        resume: "RecoveredPlan | None" = None,
     ) -> PlanRun:
         """Unroll and drive *plan*; returns the execution record.
 
@@ -229,15 +249,27 @@ class TaskCoordinator(Agent):
         coordinator re-executes once under an escalated budget (the
         paper's "prompt the user to confirm budget violations before
         proceeding", with the confirmation simulated as policy).
+
+        With *resume* (a journal snapshot), completed nodes are restored
+        instead of re-executed and the run picks up where the crashed
+        coordinator stopped — see :meth:`resume_plan`.
         """
         context = self._require_context()
         budget = budget or context.budget
         plan.validate()
         run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
+        if resume is not None:
+            run.resumed = True
+            run.node_outputs.update(resume.node_outputs)
+            run.executed.extend(resume.executed)
+            _attempt = resume.attempt
         self.runs.append(run)
         with context.span(
             f"plan:{plan.plan_id}", kind="plan", goal=plan.goal, attempt=_attempt
         ) as span:
+            if run.resumed:
+                span.set_attribute("resumed", True)
+                span.set_attribute("restored_nodes", len(resume.executed))
             # On a replan the returned run is the escalated re-execution's;
             # the span and metric describe *this* invocation's run.
             result = self._execute_plan_traced(plan, budget, run, _attempt)
@@ -249,11 +281,38 @@ class TaskCoordinator(Agent):
         tally[run.status] = tally.get(run.status, 0) + 1
         return result
 
+    def resume_plan(
+        self, snapshot: "RecoveredPlan", budget: Budget | None = None
+    ) -> PlanRun:
+        """Resume a crashed plan from its journal *snapshot*.
+
+        Nodes with a journaled completion record are restored outright (no
+        messages published, so the resumed stream trace continues the
+        uninterrupted one's byte-for-byte); the in-doubt node — effect
+        journaled but completion record lost to the crash — replays its
+        journaled result; everything after re-executes normally.
+        """
+        if snapshot.plan is None:
+            raise CoordinationError(
+                f"cannot resume plan {snapshot.plan_id!r}: no journaled plan payload"
+            )
+        return self.execute_plan(snapshot.plan, budget=budget, resume=snapshot)
+
     def _execute_plan_traced(
         self, plan: TaskPlan, budget: Budget | None, run: PlanRun, _attempt: int
     ) -> PlanRun:
-        """The plan-driving loop proper (wrapped in the plan span)."""
+        """The plan-driving loop proper (wrapped in the plan span).
+
+        With a journal attached, every node crosses two checkpoint
+        barriers — ``boundary:`` before it is scheduled and ``midnode:``
+        between its effect record and its completion record — the two
+        points where the chaos harness may kill the coordinator.  All
+        journal writes happen *before* the state they describe is acted
+        on (write-ahead), so a crash at either barrier is recoverable
+        with zero duplicate effects.
+        """
         context = self._require_context()
+        journal = self._journal
         # A control message addressed to an absent agent would dissolve
         # silently; require every planned agent to be in the session.
         participants = set(context.session.participants())
@@ -261,21 +320,79 @@ class TaskCoordinator(Agent):
         if absent:
             run.status = "failed"
             run.abort_reason = f"agents not present in session: {absent}"
+            if journal is not None and run.resumed:
+                journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
             return run
+        if journal is not None and not run.resumed:
+            journal.plan_started(
+                plan, qos=budget.qos if budget is not None else None, attempt=_attempt
+            )
         for node in plan.order():
+            if node.node_id in run.executed:
+                # Restored from the journal on resume: already completed
+                # (and journaled as such) before the crash — zero messages.
+                continue
+            if journal is not None:
+                journal.barrier(f"boundary:{run.plan_id}/{node.node_id}")
+                key = idempotency_key(
+                    run.plan_id, node.node_id, "execute", attempt=_attempt
+                )
+                effect = journal.effects.get(key)
+                if effect is not None:
+                    # The in-doubt node: its effect landed but the crash ate
+                    # its completion record.  Replay the journaled result
+                    # instead of re-executing (exactly-once effects).
+                    if not self._replay_effect(node, run, effect, journal):
+                        return run
+                    continue
             violation = budget.violation() if budget is not None else None
             if violation is not None:
                 self._abort(run, plan, f"budget violated on {violation}")
+                if journal is not None:
+                    journal.plan_finished(
+                        run.plan_id, "aborted", reason=run.abort_reason
+                    )
                 if self._replan_on_violation and _attempt < self._max_replans:
                     return self._replan(plan, budget, _attempt)
                 return run
+            if journal is not None:
+                journal.node_scheduled(run.plan_id, node.node_id, node.agent)
+            # The ledger marker sits before binding resolution so the
+            # effect record's charge slice covers the data planner too.
+            marker = len(budget.charges()) if budget is not None else 0
             try:
                 resolved = self._resolve_bindings(node, run)
             except CoordinationError as error:
                 run.status = "failed"
                 run.abort_reason = str(error)
+                if journal is not None:
+                    journal.plan_finished(
+                        run.plan_id, "failed", reason=run.abort_reason
+                    )
                 return run
+            if journal is not None:
+                journal.node_started(run.plan_id, node.node_id, node.agent)
             outputs = self._execute_node(node, resolved, run, budget)
+            if journal is not None:
+                failure = run.node_errors.get(node.node_id)
+                journal.effects.record(
+                    key,
+                    run.plan_id,
+                    node=node.node_id,
+                    outputs=outputs,
+                    failure=(
+                        asdict(failure)
+                        if failure is not None and outputs is None
+                        else None
+                    ),
+                    fallback=run.fallbacks.get(node.node_id),
+                    charges=(
+                        [asdict(c) for c in budget.charges()[marker:]]
+                        if budget is not None
+                        else []
+                    ),
+                )
+                journal.barrier(f"midnode:{run.plan_id}/{node.node_id}")
             if outputs is None:
                 run.status = "failed"
                 failure = run.node_errors.get(node.node_id)
@@ -283,11 +400,57 @@ class TaskCoordinator(Agent):
                 run.abort_reason = (
                     f"agent {node.agent} failed on node {node.node_id}{detail}"
                 )
+                if journal is not None:
+                    journal.plan_finished(
+                        run.plan_id, "failed", reason=run.abort_reason
+                    )
                 return run
             run.node_outputs[node.node_id] = outputs
             run.executed.append(node.node_id)
+            if journal is not None:
+                journal.node_completed(run.plan_id, node.node_id, outputs)
         run.status = "completed"
+        if journal is not None:
+            journal.plan_finished(run.plan_id, "completed")
         return run
+
+    def _replay_effect(
+        self,
+        node: TaskNode,
+        run: PlanRun,
+        effect: dict[str, Any],
+        journal: WriteAheadJournal,
+    ) -> bool:
+        """Restore one node from its journaled effect record.
+
+        Returns True when the plan should continue past the node, False
+        when the journaled attempt had (finally) failed — the replay then
+        fails the run the same way re-executing would have, without
+        re-driving the agent.  Either way the journal is brought to the
+        exact state an uninterrupted run would have produced.
+        """
+        context = self._require_context()
+        context.metric_inc("recovery.replayed_effects")
+        run.replayed_effects.append(node.node_id)
+        failure_payload = effect.get("failure")
+        if failure_payload is not None:
+            failure = NodeFailure(**failure_payload)
+            run.node_errors[node.node_id] = failure
+            run.status = "failed"
+            run.abort_reason = (
+                f"agent {node.agent} failed on node {node.node_id}: "
+                f"{failure.describe()}"
+            )
+            journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
+            return False
+        outputs = dict(effect.get("outputs") or {})
+        fallback = effect.get("fallback")
+        if fallback:
+            run.fallbacks[node.node_id] = fallback
+        run.node_outputs[node.node_id] = outputs
+        run.executed.append(node.node_id)
+        journal.node_completed(run.plan_id, node.node_id, outputs)
+        return True
 
     def _execute_node(
         self,

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
 from ..clock import SimClock
 from ..errors import DeploymentError
 from .agent import Agent
 from .context import AgentContext
 from .factory import AgentFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recovery import RecoveryManager
 
 ContextFactory = Callable[[], AgentContext]
 
@@ -129,10 +132,12 @@ class Container:
 
         Re-entrant: ``restarts`` counts *attempts* and is committed under
         the lock before starting, and a failed start leaves the container
-        ``failed`` so recovery can simply be tried again.
+        ``failed`` so recovery can simply be tried again.  A ``stopped``
+        container may also restart — that is how a quarantined container
+        returns to service after :meth:`Supervisor.release`.
         """
         with self._lock:
-            if self.state not in ("failed", "created"):
+            if self.state not in ("failed", "created", "stopped"):
                 raise DeploymentError(
                     f"cannot restart container {self.container_id} in state {self.state}"
                 )
@@ -273,6 +278,15 @@ class Supervisor:
     * **restart backoff** — with a clock, successive restart attempts are
       spaced exponentially (``backoff_base * multiplier^attempts``), so a
       crash-looping container does not consume every supervision pass.
+    * **crash-loop discrimination** — with a clock and a
+      ``crash_loop_window``, a container that ran for at least the window
+      since its last restart is treated as externally killed (a chaos
+      kill, a spot reclaim) rather than crash-looping: its attempt counter
+      resets before the restart is counted.  Only rapid-fire deaths —
+      uptime shorter than the window — accumulate toward quarantine.
+    * **plan recovery handoff** — with a :class:`RecoveryManager`, each
+      pass ends by resuming any journaled plans the crashed containers'
+      coordinators left incomplete, instead of dropping them.
     """
 
     def __init__(
@@ -283,6 +297,8 @@ class Supervisor:
         backoff_base: float = 1.0,
         backoff_multiplier: float = 2.0,
         backoff_max: float = 60.0,
+        crash_loop_window: float | None = None,
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
         if max_restarts < 1:
             raise DeploymentError(f"max_restarts must be >= 1: {max_restarts}")
@@ -292,11 +308,16 @@ class Supervisor:
         self.backoff_base = backoff_base
         self.backoff_multiplier = backoff_multiplier
         self.backoff_max = backoff_max
+        self.crash_loop_window = crash_loop_window
+        self.recovery = recovery
         self.recoveries = 0
+        #: Plan runs resumed through the recovery manager by tick().
+        self.plan_recoveries = 0
         #: Containers whose restart budget ran out, now stopped.
         self.quarantined: list[str] = []
         self._attempts: dict[str, int] = {}
         self._not_before: dict[str, float] = {}
+        self._last_restart_at: dict[str, float] = {}
 
     def probe(self, container: Container) -> bool:
         """Health-check one container; an unhealthy runner is failed."""
@@ -311,6 +332,25 @@ class Supervisor:
         return min(
             self.backoff_base * self.backoff_multiplier**attempts, self.backoff_max
         )
+
+    def release(self, container_id: str) -> None:
+        """Lift a quarantine: restore the container's restart eligibility.
+
+        The operator's intervention after fixing whatever crash-looped.
+        All supervision state for the container is reset — attempt
+        counter, backoff deadline, uptime bookkeeping — so it re-enters
+        service with a clean slate instead of inheriting the stale
+        counters that got it quarantined (it would otherwise be
+        re-quarantined on its first post-release failure).  The container
+        itself stays stopped; the caller (or the next failure path)
+        restarts it.
+        """
+        if container_id not in self.quarantined:
+            raise DeploymentError(f"container not quarantined: {container_id!r}")
+        self.quarantined.remove(container_id)
+        self._attempts.pop(container_id, None)
+        self._not_before.pop(container_id, None)
+        self._last_restart_at.pop(container_id, None)
 
     def tick(self) -> list[str]:
         """One supervision pass; returns the ids of restarted containers."""
@@ -328,12 +368,23 @@ class Supervisor:
             container_id = container.container_id
             if container_id in self.quarantined:
                 continue
+            now = self.clock.now() if self.clock is not None else None
             attempts = self._attempts.get(container_id, 0)
+            if (
+                attempts
+                and now is not None
+                and self.crash_loop_window is not None
+                and now - self._last_restart_at.get(container_id, now)
+                >= self.crash_loop_window
+            ):
+                # The container ran for at least the window before dying:
+                # an external kill, not a crash loop.  Forgive its history.
+                attempts = 0
+                self._not_before.pop(container_id, None)
             if attempts >= self.max_restarts:
                 container.stop()  # quarantine: stop thrashing
                 self.quarantined.append(container_id)
                 continue
-            now = self.clock.now() if self.clock is not None else None
             if now is not None and now < self._not_before.get(container_id, 0.0):
                 continue  # still backing off
             self._attempts[container_id] = attempts + 1
@@ -343,6 +394,13 @@ class Supervisor:
                 container.restart()
             except Exception:  # noqa: BLE001 - a failed restart is an attempt
                 continue
+            if now is not None:
+                self._last_restart_at[container_id] = now
             self.recoveries += 1
             restarted.append(container_id)
+        # Recovery handoff, last so restarted coordinators are back in the
+        # session: resume any journaled plans still incomplete.  (A re-kill
+        # during resume unwinds this tick; later ticks converge.)
+        if self.recovery is not None and self.recovery.has_incomplete():
+            self.plan_recoveries += len(self.recovery.resume_incomplete())
         return restarted

@@ -1,0 +1,27 @@
+"""Crash recovery: durable plan checkpointing, idempotent replay, and
+saga compensation.
+
+The coordinator write-ahead journals every plan-node lifecycle transition
+to a durable session stream; the :class:`EffectTable` makes node effects
+exactly-once under at-least-once execution; the :class:`RecoveryManager`
+reconstructs coordinator state from the journal after a process death,
+resumes only incomplete nodes, and runs saga compensations (reverse
+completion order) for plans abandoned past their budget.
+"""
+
+from .effects import EffectTable, idempotency_key
+from .journal import JOURNAL_TAG, TERMINAL_STATUSES, WriteAheadJournal
+from .manager import RecoveredPlan, RecoveryManager
+from .saga import Compensation, CompensationRegistry
+
+__all__ = [
+    "Compensation",
+    "CompensationRegistry",
+    "EffectTable",
+    "JOURNAL_TAG",
+    "RecoveredPlan",
+    "RecoveryManager",
+    "TERMINAL_STATUSES",
+    "WriteAheadJournal",
+    "idempotency_key",
+]

@@ -1,0 +1,115 @@
+"""Idempotency keys and the effect table: exactly-once effects under
+at-least-once execution.
+
+A crash-recovered coordinator re-drives its plan from the journal, which
+means any node may be *executed* more than once.  Side effects, however,
+must land exactly once: an LLM call must not be paid for twice, a storage
+write must not duplicate, a stream publish must not re-trigger consumers.
+The discipline is the standard one from durable workflow engines: every
+side-effecting operation carries a deterministic **idempotency key**, and
+its journaled result is consulted *before* re-executing — a replayed
+operation returns the journaled result instead of running again.
+
+The :class:`EffectTable` is a view over the write-ahead journal's
+``effect`` records, indexed by key.  Because the journal lives on the
+durable stream store, the table rebuilt after a crash sees every effect
+the dead coordinator recorded — which is exactly the set that must not
+re-execute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .journal import WriteAheadJournal
+
+
+def idempotency_key(plan_id: str, node_id: str, op: str, attempt: int = 0) -> str:
+    """Deterministic key for one side-effecting operation.
+
+    ``plan/node/op`` identifies the operation within a plan execution;
+    *attempt* namespaces replan escalations (attempt 0 omits the suffix so
+    keys stay stable for the common case), which keeps a replanned
+    re-execution from silently reusing the aborted attempt's effects.
+    """
+    base = f"{plan_id}/{node_id}/{op}"
+    if attempt:
+        return f"{base}#a{attempt}"
+    return base
+
+
+class EffectTable:
+    """Key -> journaled-result index over a journal's ``effect`` records.
+
+    Reads are incremental: the table keeps a cursor into the journal
+    stream and folds newly appended records into its index on each lookup,
+    so a long-lived coordinator pays O(new records), not O(history), per
+    node.  A table constructed over an existing journal stream (crash
+    recovery) starts its cursor at zero and therefore absorbs the entire
+    pre-crash history on first use.
+    """
+
+    EVENT = "effect"
+
+    def __init__(self, journal: "WriteAheadJournal") -> None:
+        self._journal = journal
+        self._index: dict[str, dict[str, Any]] = {}
+        self._offset = 0
+
+    def _refresh(self) -> None:
+        messages = self._journal.stream.read(self._offset)
+        self._offset += len(messages)
+        for message in messages:
+            payload = message.payload
+            if (
+                message.is_data
+                and isinstance(payload, dict)
+                and payload.get("event") == self.EVENT
+                and "key" in payload
+            ):
+                self._index[payload["key"]] = payload
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The journaled effect record for *key*, or None if never run."""
+        self._refresh()
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        self._refresh()
+        return len(self._index)
+
+    def keys(self) -> list[str]:
+        self._refresh()
+        return list(self._index)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, key: str, plan_id: str, **fields: Any) -> dict[str, Any]:
+        """Journal the result of a side-effecting operation under *key*."""
+        message = self._journal.record(self.EVENT, plan_id, key=key, **fields)
+        self._index[key] = message.payload
+        return message.payload
+
+    def execute(
+        self, key: str, plan_id: str, fn: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Run *fn* exactly once under *key*.
+
+        Returns ``(result, replayed)``: on a key hit the journaled result
+        is returned without calling *fn* (``replayed=True``); otherwise
+        *fn* runs and its result is journaled before returning.
+        """
+        hit = self.get(key)
+        if hit is not None:
+            return hit.get("result"), True
+        result = fn()
+        self.record(key, plan_id, result=result)
+        return result, False

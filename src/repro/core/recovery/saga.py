@@ -1,0 +1,41 @@
+"""Saga compensations: undoing committed steps of an abandoned plan.
+
+A plan that cannot be resumed — its budget is already violated, its QoS
+latency window has closed — still leaked side effects from the nodes that
+*did* complete before the crash.  The saga pattern's answer is a
+registered **compensation** per agent: a semantic undo (cancel the
+reservation, delete the draft, refund the hold) that the recovery manager
+runs for each completed node in *reverse completion order*, the same
+order a transaction log is rolled back, so later steps that depended on
+earlier ones are undone before their dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+#: A compensation undoes one completed node: ``fn(plan_id, node_id, outputs)``.
+Compensation = Callable[[str, str, dict[str, Any]], None]
+
+
+class CompensationRegistry:
+    """Per-agent semantic-undo handlers for saga rollback."""
+
+    def __init__(self) -> None:
+        self._by_agent: dict[str, Compensation] = {}
+
+    def register(self, agent_name: str, fn: Compensation) -> None:
+        """Register *fn* as the undo for nodes executed by *agent_name*."""
+        self._by_agent[agent_name] = fn
+
+    def for_agent(self, agent_name: str) -> Compensation | None:
+        return self._by_agent.get(agent_name)
+
+    def agents(self) -> list[str]:
+        return sorted(self._by_agent)
+
+    def __contains__(self, agent_name: str) -> bool:
+        return agent_name in self._by_agent
+
+    def __len__(self) -> int:
+        return len(self._by_agent)

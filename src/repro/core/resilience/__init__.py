@@ -16,7 +16,7 @@ primitives.  This package provides them:
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
-from .chaos import ChaosController, ChaosSpec
+from .chaos import ChaosController, ChaosSpec, KillSwitch
 from .deadletter import DEAD_LETTER_TAG, REPLAYED_TAG, DeadLetterQueue
 from .retry import RetryPolicy, classify_error, is_transient
 
@@ -28,6 +28,7 @@ __all__ = [
     "HALF_OPEN",
     "ChaosController",
     "ChaosSpec",
+    "KillSwitch",
     "DeadLetterQueue",
     "DEAD_LETTER_TAG",
     "REPLAYED_TAG",

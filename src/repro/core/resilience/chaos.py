@@ -48,6 +48,11 @@ class ChaosSpec:
         latency_spike_rate: probability per :meth:`maybe_spike` call of a
             latency spike.
         latency_spike_seconds: size of each spike in simulated seconds.
+        plan_kill_rate: probability per journal checkpoint barrier of
+            hard-killing the coordinator mid-plan (via
+            :meth:`kill_during_plan`, installed as the journal's barrier
+            hook) — raised as
+            :class:`~repro.errors.CoordinatorKilledError`.
     """
 
     container_kill_rate: float = 0.0
@@ -58,6 +63,7 @@ class ChaosSpec:
     agent_transient_rate: float = 0.0
     latency_spike_rate: float = 0.0
     latency_spike_seconds: float = 2.0
+    plan_kill_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -67,6 +73,7 @@ class ChaosSpec:
             "llm_burst_transient_rate",
             "agent_transient_rate",
             "latency_spike_rate",
+            "plan_kill_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -167,6 +174,25 @@ class ChaosController:
             self._record("agent_fault", key=key)
             raise TransientError(f"chaos-injected transient fault at {key}")
 
+    def kill_during_plan(self, site: str) -> None:
+        """Hard-kill the coordinator at a journal checkpoint barrier.
+
+        Install as the journal's ``barrier_hook``; *site* names the
+        barrier (``boundary:plan/node`` or ``midnode:plan/node``).  The
+        kill is :class:`~repro.errors.CoordinatorKilledError` — a
+        ``BaseException`` no runtime handler absorbs — so the whole plan
+        unwinds exactly as a process death would, leaving only durable
+        state behind.
+        """
+        from ...errors import CoordinatorKilledError
+
+        if (
+            self.spec.plan_kill_rate > 0
+            and self.roll(f"plankill|{site}") < self.spec.plan_kill_rate
+        ):
+            self._record("plan_kill", site=site)
+            raise CoordinatorKilledError(f"chaos kill at barrier {site}")
+
     def maybe_spike(self, key: str, budget: "Budget | None" = None) -> float:
         """Inject a latency spike (charged to the budget when given)."""
         if (
@@ -187,3 +213,37 @@ class ChaosController:
         for event in self.events:
             kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
         return {"seed": self.seed, "steps": self._steps, "events": kinds}
+
+
+class KillSwitch:
+    """One-shot deterministic coordinator kill at the Nth barrier.
+
+    Where :meth:`ChaosController.kill_during_plan` kills probabilistically,
+    the kill switch kills at exactly barrier ``kill_at`` (0-based count of
+    barriers crossed) — the primitive the kill/resume determinism suite
+    sweeps: *for every* barrier index, kill there, resume, and compare the
+    final export to the uninterrupted run's.  With ``kill_at`` beyond the
+    run's barrier count it never fires and the run is uninterrupted.
+    """
+
+    def __init__(self, kill_at: int) -> None:
+        self.kill_at = kill_at
+        #: Barriers crossed so far (== barrier index about to execute).
+        self.seen = 0
+        #: The site the switch fired at, or None while armed.
+        self.fired_site: str | None = None
+
+    @property
+    def fired(self) -> bool:
+        return self.fired_site is not None
+
+    def __call__(self, site: str) -> None:
+        from ...errors import CoordinatorKilledError
+
+        index = self.seen
+        self.seen += 1
+        if not self.fired and index == self.kill_at:
+            self.fired_site = site
+            raise CoordinatorKilledError(
+                f"kill switch fired at barrier {index} ({site})"
+            )

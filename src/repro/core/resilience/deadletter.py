@@ -15,6 +15,7 @@ set — the stream *is* the durable record.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, TYPE_CHECKING
 
 from ...streams import Message
@@ -49,6 +50,8 @@ class DeadLetterQueue:
         self.producer = producer
         self.metrics = metrics
         self.stream = session.ensure_stream(stream_name, creator=producer)
+        self._replay_lock = threading.Lock()
+        self._in_flight: set[str] = set()
 
     # ------------------------------------------------------------------
     # Quarantine
@@ -118,17 +121,35 @@ class DeadLetterQueue:
         replay marker (and disappear from :meth:`pending`); failing entries
         stay quarantined for the next replay.  Returns the acknowledged
         entries.
+
+        Replaying is guarded against the double-replay hazard: an entry is
+        claimed (under a lock, against both the acked set and entries other
+        replayers currently hold in flight) before its executor runs, so
+        concurrent or re-entrant ``replay()`` calls — an executor that
+        itself triggers a replay, two supervisors recovering at once —
+        cannot re-execute the same side-effecting work item twice.
         """
         recovered: list[Message] = []
         for entry in self.pending():
-            if executor(dict(entry.payload)):
-                self.store.publish_data(
-                    self.stream.stream_id,
-                    {"ref": entry.message_id},
-                    tags=(REPLAYED_TAG,),
-                    producer=self.producer,
-                )
-                recovered.append(entry)
+            with self._replay_lock:
+                if (
+                    entry.message_id in self._in_flight
+                    or entry.message_id in self.replayed_ids()
+                ):
+                    continue
+                self._in_flight.add(entry.message_id)
+            try:
+                if executor(dict(entry.payload)):
+                    self.store.publish_data(
+                        self.stream.stream_id,
+                        {"ref": entry.message_id},
+                        tags=(REPLAYED_TAG,),
+                        producer=self.producer,
+                    )
+                    recovered.append(entry)
+            finally:
+                with self._replay_lock:
+                    self._in_flight.discard(entry.message_id)
         if self.metrics is not None and recovered:
             self.metrics.inc("deadletter.replayed", len(recovered))
         return recovered

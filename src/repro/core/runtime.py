@@ -29,6 +29,7 @@ from .factory import AgentFactory
 from .planners.data_planner import DataPlanner
 from .planners.task_planner import TaskPlanner, TaskPlannerAgent
 from .qos import QoSSpec
+from .recovery import CompensationRegistry, RecoveryManager, WriteAheadJournal
 from .registries import AgentRegistry, DataRegistry
 from .session import Session, SessionManager
 
@@ -115,17 +116,58 @@ class Blueprint:
         session: Session,
         budget: Budget | None = None,
         user_stream: str | None = None,
+        journal: WriteAheadJournal | None = None,
     ) -> tuple[TaskPlannerAgent, TaskCoordinator]:
         """Bootstrap the standard orchestration pair for a session.
 
         *user_stream* names the stream plans read user input from
-        (defaults to the session's ``user`` stream).
+        (defaults to the session's ``user`` stream).  With *journal*
+        (see :meth:`journal`), the coordinator write-ahead journals plan
+        execution so crashed plans can be resumed.
         """
         planner_agent = TaskPlannerAgent(self.task_planner, user_stream=user_stream)
-        coordinator = TaskCoordinator(data_planner=self.data_planner)
+        coordinator = TaskCoordinator(data_planner=self.data_planner, journal=journal)
         self.attach(planner_agent, session, budget)
         self.attach(coordinator, session, budget)
         return planner_agent, coordinator
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def journal(
+        self, session: Session, barrier_hook: Any = None
+    ) -> WriteAheadJournal:
+        """A write-ahead journal on *session*'s durable ``journal`` stream.
+
+        Idempotent per session (the stream is ``ensure_stream``-ed), so a
+        coordinator recreated after a crash journals onto the same stream
+        the dead one wrote.
+        """
+        return WriteAheadJournal(
+            self.store,
+            session=session,
+            barrier_hook=barrier_hook,
+            metrics=self.observability.metrics,
+        )
+
+    def recovery_manager(
+        self,
+        session: Session,
+        coordinator: Any = None,
+        compensations: CompensationRegistry | None = None,
+        journal: WriteAheadJournal | None = None,
+    ) -> RecoveryManager:
+        """A recovery manager over *session*'s journal.
+
+        *coordinator* may be a live :class:`TaskCoordinator` or a
+        zero-argument factory returning the current one (the supervisor
+        pattern, where restarts replace the instance).
+        """
+        return RecoveryManager(
+            journal or self.journal(session),
+            coordinator=coordinator,
+            compensations=compensations,
+        )
 
     def agents_in(self, session: Session) -> list[Agent]:
         return list(self._attached.get(session.session_id, []))

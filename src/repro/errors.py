@@ -135,3 +135,17 @@ class DeploymentError(ReproError):
 
 class SessionError(ReproError):
     """A session operation failed (closed session, unknown agent, ...)."""
+
+
+class CoordinatorKilledError(BaseException):
+    """Simulated hard process death (SIGKILL) of the coordinator.
+
+    Deliberately *not* a :class:`ReproError` — not even an
+    :class:`Exception` — so that no ``except Exception`` handler anywhere
+    in the runtime (agent processors, retry policies, dispatch loops) can
+    absorb it.  It unwinds the whole synchronous call stack exactly as a
+    real process death would, leaving behind only the durable state: the
+    stream store (including the write-ahead journal), the clock, and the
+    id sequence.  Only crash-recovery harnesses — the chaos benchmarks,
+    the kill/resume property suite, and supervisors — catch it.
+    """

@@ -1,0 +1,548 @@
+"""Tests for crash recovery: the write-ahead journal, idempotent effect
+replay, the recovery manager, saga compensation, and the supervisor
+handoff.  The headline invariant throughout: a run killed at any
+checkpoint barrier and resumed from the journal ends byte-identical to an
+uninterrupted run, with zero duplicate effects."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.agent import FunctionAgent
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.coordinator import TaskCoordinator
+from repro.core.factory import AgentFactory
+from repro.core.deployment import Cluster, ResourceProfile, Supervisor
+from repro.core.params import Parameter
+from repro.core.plan import Binding, TaskPlan
+from repro.core.qos import QoSSpec
+from repro.core.recovery import (
+    CompensationRegistry,
+    EffectTable,
+    RecoveryManager,
+    WriteAheadJournal,
+    idempotency_key,
+)
+from repro.core.resilience import ChaosController, ChaosSpec, KillSwitch
+from repro.core.session import SessionManager
+from repro.errors import CoordinatorKilledError
+from repro.observability import Observability
+from repro.streams import StreamStore
+from repro.streams.persistence import export_json
+
+
+class World:
+    """A durable world: store, clock, session, budget, journal, agents.
+
+    Everything here survives a coordinator "process death" — exactly the
+    durable substrate (plus harness objects) a real deployment would have
+    in its streams database and wall clock.
+    """
+
+    def __init__(self, barrier_hook=None, agent_cost=0.01, agent_latency=0.5):
+        self.clock = SimClock()
+        self.observability = Observability(self.clock)
+        self.store = StreamStore(self.clock)
+        self.store.observability = self.observability
+        self.session = SessionManager(self.store).create("recovery")
+        self.budget = Budget(
+            qos=QoSSpec(max_cost=100.0, max_latency=1e9),
+            clock=self.clock,
+        )
+        self.journal = WriteAheadJournal(
+            self.store,
+            session=self.session,
+            barrier_hook=barrier_hook,
+            metrics=self.observability.metrics,
+        )
+        self.activations: dict[str, int] = {}
+        for name in ("A", "B", "C"):
+            self._stage(name, agent_cost, agent_latency).attach(self.context())
+        self.coordinator = self.new_coordinator()
+
+    def _stage(self, name, cost, latency):
+        def fn(inputs):
+            self.activations[name] = self.activations.get(name, 0) + 1
+            if cost or latency:
+                self.budget.charge(f"agent:{name}", cost=cost, latency=latency)
+            return {"OUT": f"{name}({inputs.get('IN')})"}
+
+        return FunctionAgent(
+            name, fn,
+            inputs=(Parameter("IN", "text"),),
+            outputs=(Parameter("OUT", "text"),),
+        )
+
+    def context(self):
+        return AgentContext(
+            store=self.store, session=self.session, clock=self.clock,
+            budget=self.budget, observability=self.observability,
+        )
+
+    def new_coordinator(self, **kwargs):
+        coordinator = TaskCoordinator(journal=self.journal, **kwargs)
+        coordinator.attach(self.context())
+        return coordinator
+
+    def crash_coordinator(self):
+        """Process death: the instance is gone; only durable state stays."""
+        self.coordinator.crash()
+        self.coordinator = self.new_coordinator()
+        return self.coordinator
+
+
+def three_step_plan(plan_id="p1"):
+    plan = TaskPlan(plan_id, goal="three steps")
+    plan.add_step("s1", "A", {"IN": Binding.const("x")})
+    plan.add_step("s2", "B", {"IN": Binding.from_node("s1", "OUT")})
+    plan.add_step("s3", "C", {"IN": Binding.from_node("s2", "OUT")})
+    return plan
+
+
+def run_killed(kill_at):
+    """Run the three-step plan, kill at barrier *kill_at*, resume."""
+    switch = KillSwitch(kill_at)
+    world = World(barrier_hook=switch)
+    try:
+        run = world.coordinator.execute_plan(three_step_plan())
+    except CoordinatorKilledError:
+        world.crash_coordinator()
+        manager = RecoveryManager(world.journal, coordinator=world.coordinator)
+        runs = manager.resume_incomplete(budget=world.budget)
+        assert len(runs) == 1
+        run = runs[0]
+    return world, run, switch
+
+
+# ----------------------------------------------------------------------
+# WriteAheadJournal
+# ----------------------------------------------------------------------
+class TestWriteAheadJournal:
+    def test_lifecycle_events_in_order(self):
+        world = World()
+        run = world.coordinator.execute_plan(three_step_plan())
+        assert run.status == "completed"
+        events = [e["event"] for e in world.journal.entries("p1")]
+        assert events[0] == "plan_started"
+        assert events[-1] == "plan_finished"
+        assert events[1:5] == [
+            "node_scheduled", "node_started", "effect", "node_completed",
+        ]
+        assert events.count("effect") == 3
+        assert events.count("node_completed") == 3
+
+    def test_plan_started_carries_plan_payload_and_qos(self):
+        world = World()
+        world.coordinator.execute_plan(three_step_plan())
+        started = world.journal.entries("p1")[0]
+        assert started["payload"]["plan_id"] == "p1"
+        assert started["qos"]["max_cost"] == 100.0
+        assert started["started_at"] == 0.0
+
+    def test_terminal_status_and_incomplete_plans(self):
+        world = World()
+        assert world.journal.incomplete_plans() == []
+        world.coordinator.execute_plan(three_step_plan())
+        assert world.journal.terminal_status("p1") == "completed"
+        assert world.journal.incomplete_plans() == []
+        # A crash mid-plan leaves the plan incomplete.
+        switch = KillSwitch(2)
+        world2 = World(barrier_hook=switch)
+        with pytest.raises(CoordinatorKilledError):
+            world2.coordinator.execute_plan(three_step_plan("p2"))
+        assert world2.journal.terminal_status("p2") is None
+        assert world2.journal.incomplete_plans() == ["p2"]
+
+    def test_plan_finished_rejects_unknown_status(self):
+        world = World()
+        with pytest.raises(ValueError):
+            world.journal.plan_finished("p1", "exploded")
+
+    def test_needs_session_or_stream(self):
+        store = StreamStore(SimClock())
+        with pytest.raises(ValueError):
+            WriteAheadJournal(store)
+
+    def test_rebuilt_journal_sees_same_history(self):
+        world = World()
+        world.coordinator.execute_plan(three_step_plan())
+        rebuilt = WriteAheadJournal.over_stream(
+            world.store, world.journal.stream.stream_id
+        )
+        assert rebuilt.entries() == world.journal.entries()
+        assert rebuilt.describe()["records"] == world.journal.describe()["records"]
+
+
+# ----------------------------------------------------------------------
+# Idempotency keys and the effect table
+# ----------------------------------------------------------------------
+class TestEffectTable:
+    def test_idempotency_key_derivation(self):
+        assert idempotency_key("p1", "s1", "execute") == "p1/s1/execute"
+        assert idempotency_key("p1", "s1", "execute", attempt=2) == "p1/s1/execute#a2"
+        # Replan attempts get their own keyspace.
+        assert idempotency_key("p1", "s1", "execute", 1) != idempotency_key(
+            "p1", "s1", "execute", 0
+        )
+
+    def test_execute_is_exactly_once(self):
+        world = World()
+        table = world.journal.effects
+        calls = {"n": 0}
+
+        def effectful():
+            calls["n"] += 1
+            return {"value": 41 + calls["n"]}
+
+        first, replayed = table.execute("p/s/op", "p", effectful)
+        assert (first, replayed) == ({"value": 42}, False)
+        again, replayed = table.execute("p/s/op", "p", effectful)
+        assert (again, replayed) == ({"value": 42}, True)
+        assert calls["n"] == 1
+
+    def test_rebuilt_table_absorbs_prior_history(self):
+        world = World()
+        world.journal.effects.record("k1", "p", result=1)
+        fresh = EffectTable(world.journal)
+        assert "k1" in fresh
+        assert fresh.get("k1")["result"] == 1
+        assert fresh.keys() == ["k1"]
+        assert len(fresh) == 1
+
+
+# ----------------------------------------------------------------------
+# Kill/resume determinism (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestKillResume:
+    def test_uninterrupted_run_has_no_barrier_hook_effect(self):
+        world = World()
+        run = world.coordinator.execute_plan(three_step_plan())
+        assert run.status == "completed"
+        assert run.resumed is False
+        assert run.replayed_effects == []
+
+    def test_every_barrier_kill_resumes_byte_identical(self):
+        baseline = World()
+        base_run = baseline.coordinator.execute_plan(three_step_plan())
+        assert base_run.status == "completed"
+        base_export = export_json(baseline.store)
+        base_cost = baseline.budget.spent_cost()
+        kill_at = 0
+        while True:
+            world, run, switch = run_killed(kill_at)
+            assert run.status == "completed"
+            assert export_json(world.store) == base_export
+            assert world.budget.spent_cost() == pytest.approx(base_cost)
+            # Zero duplicate effects: every agent activated exactly once.
+            assert world.activations == {"A": 1, "B": 1, "C": 1}
+            if not switch.fired:
+                assert world.activations == baseline.activations
+                break
+            kill_at += 1
+        assert kill_at == 6  # 3 nodes x (boundary + midnode) barriers
+
+    def test_midnode_kill_replays_effect_without_reexecution(self):
+        # Barrier 3 = midnode of s2: its effect is journaled, its
+        # completion record is not — the in-doubt node.
+        world, run, switch = run_killed(3)
+        assert switch.fired_site == "midnode:p1/s2"
+        assert run.resumed is True
+        assert run.replayed_effects == ["s2"]
+        assert world.activations["B"] == 1  # not re-executed
+        snapshot = world.observability.metrics.snapshot()
+        assert snapshot["recovery.replayed_effects"] == 1.0
+        assert snapshot["recovery.resumed_plans"] == 1.0
+
+    def test_boundary_kill_reschedules_node(self):
+        # Barrier 2 = boundary of s2: nothing journaled for s2 yet, so the
+        # resumed coordinator re-executes it (for the first time).
+        world, run, switch = run_killed(2)
+        assert switch.fired_site == "boundary:p1/s2"
+        assert run.replayed_effects == []
+        assert run.resumed is True
+        assert world.activations == {"A": 1, "B": 1, "C": 1}
+
+    def test_resume_emits_recovery_span_and_metrics(self):
+        world, run, _ = run_killed(4)
+        spans = [
+            s for s in world.observability.tracer.spans()
+            if s.name == "recover:p1"
+        ]
+        assert len(spans) == 1
+        assert spans[0].kind == "recovery"
+        snapshot = world.observability.metrics.snapshot()
+        assert snapshot["recovery.resumed_plans"] == 1.0
+        assert "recovery.resumed_nodes" in snapshot
+
+    def test_journaled_node_failure_replays_as_failure(self):
+        """A node that *failed* before the crash must fail identically on
+        resume — not get a second execution attempt."""
+        clock = SimClock()
+        store = StreamStore(clock)
+        session = SessionManager(store).create("recovery")
+        budget = Budget(clock=clock)
+        journal = WriteAheadJournal(store, session=session)
+        activations = {"n": 0}
+
+        def broken(inputs):
+            activations["n"] += 1
+            raise ValueError("permanently broken")
+
+        def context():
+            return AgentContext(
+                store=store, session=session, clock=clock, budget=budget
+            )
+
+        FunctionAgent(
+            "BROKEN", broken, inputs=(Parameter("IN", "text"),),
+            outputs=(Parameter("OUT", "text"),),
+        ).attach(context())
+        plan = TaskPlan("pf", goal="fails")
+        plan.add_step("s1", "BROKEN", {"IN": Binding.const("x")})
+
+        switch = KillSwitch(1)  # midnode of s1: failure effect journaled
+        journal.barrier_hook = switch
+        coordinator = TaskCoordinator(journal=journal, dead_letters=False)
+        coordinator.attach(context())
+        with pytest.raises(CoordinatorKilledError):
+            coordinator.execute_plan(plan)
+        assert activations["n"] == 1
+        coordinator.crash()
+        coordinator = TaskCoordinator(journal=journal, dead_letters=False)
+        coordinator.attach(context())
+        manager = RecoveryManager(journal, coordinator=coordinator)
+        run = manager.resume("pf", budget=budget)
+        assert run.status == "failed"
+        assert "permanently broken" in run.abort_reason
+        assert activations["n"] == 1  # the failure replayed; no re-run
+        assert journal.terminal_status("pf") == "failed"
+
+
+# ----------------------------------------------------------------------
+# RecoveryManager reconstruction and budgets
+# ----------------------------------------------------------------------
+class TestRecoveryManager:
+    def test_snapshot_reconstructs_state(self):
+        switch = KillSwitch(4)  # boundary of s3: s1+s2 completed
+        world = World(barrier_hook=switch)
+        with pytest.raises(CoordinatorKilledError):
+            world.coordinator.execute_plan(three_step_plan())
+        manager = RecoveryManager(world.journal)
+        snap = manager.snapshot("p1")
+        assert snap.incomplete
+        assert snap.executed == ["s1", "s2"]
+        assert snap.remaining_nodes() == ["s3"]
+        assert snap.node_outputs["s1"] == {"OUT": "A(x)"}
+        assert snap.plan.plan_id == "p1"
+        assert snap.qos["max_cost"] == 100.0
+        assert len(snap.charges) == 2
+        assert snap.describe()["nodes_completed"] == 2
+
+    def test_restore_budget_replays_charges_without_clock_advance(self):
+        switch = KillSwitch(4)
+        world = World(barrier_hook=switch)
+        with pytest.raises(CoordinatorKilledError):
+            world.coordinator.execute_plan(three_step_plan())
+        spent = world.budget.spent_cost()
+        now = world.clock.now()
+        manager = RecoveryManager(world.journal)
+        restored = manager.restore_budget(manager.snapshot("p1"), world.clock)
+        assert world.clock.now() == now  # replay did not advance time
+        assert restored.spent_cost() == pytest.approx(spent)
+        assert restored.qos.max_cost == 100.0
+        assert restored.by_source() == world.budget.by_source()
+        # The epoch rewound to the journaled plan start, so elapsed
+        # latency covers the pre-crash execution too.
+        assert restored.elapsed_latency() == pytest.approx(
+            world.budget.elapsed_latency()
+        )
+
+    def test_resume_on_terminal_or_unknown_plan_is_none(self):
+        world = World()
+        world.coordinator.execute_plan(three_step_plan())
+        manager = RecoveryManager(world.journal, coordinator=world.coordinator)
+        assert manager.resume("p1") is None  # terminal
+        assert manager.resume("nope") is None  # unknown
+        assert manager.resume_incomplete() == []
+        assert not manager.has_incomplete()
+
+    def test_coordinator_factory_is_consulted_per_resume(self):
+        world, _, _ = run_killed(0)
+        # Build a new incomplete plan, then resume through a factory.
+        switch = KillSwitch(2)
+        world2 = World(barrier_hook=switch)
+        with pytest.raises(CoordinatorKilledError):
+            world2.coordinator.execute_plan(three_step_plan())
+        world2.crash_coordinator()
+        manager = RecoveryManager(
+            world2.journal, coordinator=lambda: world2.coordinator
+        )
+        runs = manager.resume_incomplete(budget=world2.budget)
+        assert [r.status for r in runs] == ["completed"]
+
+    def test_resume_without_coordinator_is_none(self):
+        switch = KillSwitch(0)
+        world = World(barrier_hook=switch)
+        with pytest.raises(CoordinatorKilledError):
+            world.coordinator.execute_plan(three_step_plan())
+        manager = RecoveryManager(world.journal)
+        assert manager.resume("p1") is None
+        assert manager.has_incomplete()  # untouched
+
+
+# ----------------------------------------------------------------------
+# Saga compensation
+# ----------------------------------------------------------------------
+class TestSagaCompensation:
+    def make_abandoned_world(self):
+        """Kill after s1+s2 completed, with the budget already blown."""
+        switch = KillSwitch(4)
+        world = World(barrier_hook=switch, agent_cost=60.0)  # 2 x 60 > 100
+        with pytest.raises(CoordinatorKilledError):
+            world.coordinator.execute_plan(three_step_plan())
+        world.crash_coordinator()
+        return world
+
+    def test_compensations_run_in_reverse_completion_order(self):
+        world = self.make_abandoned_world()
+        undone = []
+        registry = CompensationRegistry()
+        for agent in ("A", "B", "C"):
+            registry.register(
+                agent,
+                lambda plan_id, node_id, outputs, agent=agent: undone.append(
+                    (agent, node_id, outputs)
+                ),
+            )
+        manager = RecoveryManager(
+            world.journal, coordinator=world.coordinator, compensations=registry
+        )
+        assert manager.resume("p1", budget=world.budget) is None  # abandoned
+        assert [(a, n) for a, n, _ in undone] == [("B", "s2"), ("A", "s1")]
+        assert undone[0][2] == {"OUT": "B(A(x))"}  # outputs handed to the undo
+        assert world.journal.terminal_status("p1") == "compensated"
+        assert not manager.has_incomplete()
+        snapshot = world.observability.metrics.snapshot()
+        assert snapshot["recovery.compensations"] == 2.0
+        events = [e["event"] for e in world.journal.entries("p1")]
+        assert events[-3:] == ["node_compensated", "node_compensated", "plan_finished"]
+
+    def test_agents_without_compensation_are_skipped(self):
+        world = self.make_abandoned_world()
+        undone = []
+        registry = CompensationRegistry()
+        registry.register("A", lambda p, n, o: undone.append(n))
+        manager = RecoveryManager(
+            world.journal, coordinator=world.coordinator, compensations=registry
+        )
+        manager.resume("p1", budget=world.budget)
+        assert undone == ["s1"]  # B has no undo; still closed out
+        assert world.journal.terminal_status("p1") == "compensated"
+
+    def test_registry_api(self):
+        registry = CompensationRegistry()
+        assert len(registry) == 0 and "A" not in registry
+        registry.register("A", lambda p, n, o: None)
+        assert "A" in registry and registry.agents() == ["A"]
+        assert registry.for_agent("B") is None
+
+
+# ----------------------------------------------------------------------
+# Supervisor interplay: chaos kills vs crash loops, recovery handoff
+# ----------------------------------------------------------------------
+class TestSupervisorRecovery:
+    def build_cluster(self, world):
+        factory = AgentFactory()
+        factory.register(
+            "COORD", lambda **kw: TaskCoordinator(journal=world.journal, **kw)
+        )
+        cluster = Cluster("c")
+        cluster.add_node(ResourceProfile(cpu=4, gpu=0, memory_gb=8))
+        container = cluster.deploy(
+            "coordinator", factory, world.context, (("COORD", {}),)
+        )
+        return cluster, container
+
+    def test_tick_hands_incomplete_plans_to_recovery(self):
+        switch = KillSwitch(3)
+        world = World(barrier_hook=switch)
+        cluster, container = self.build_cluster(world)
+        coordinator = container.agents()[0]
+        manager = RecoveryManager(
+            world.journal,
+            coordinator=lambda: (
+                container.agents()[0] if container.agents() else None
+            ),
+        )
+        supervisor = Supervisor(
+            cluster, clock=world.clock, backoff_base=0.0, recovery=manager
+        )
+        with pytest.raises(CoordinatorKilledError):
+            coordinator.execute_plan(three_step_plan())
+        container.fail()  # the kill took the whole container down
+        restarted = supervisor.tick()
+        assert restarted == [container.container_id]
+        assert supervisor.plan_recoveries == 1
+        assert world.journal.terminal_status("p1") == "completed"
+        assert world.activations["B"] == 1  # in-doubt effect replayed
+
+    def test_chaos_killed_container_is_not_quarantined(self):
+        """Restarts caused by deliberate chaos kills (long uptime between
+        deaths) must not trip the crash-loop quarantine."""
+        world = World()
+        cluster, container = self.build_cluster(world)
+        supervisor = Supervisor(
+            cluster, clock=world.clock, max_restarts=2, backoff_base=0.0,
+            crash_loop_window=5.0,
+        )
+        chaos = ChaosController(
+            ChaosSpec(container_kill_rate=1.0), seed=1, clock=world.clock
+        )
+        for _ in range(6):  # 3x the restart budget
+            chaos.strike_cluster(cluster)
+            assert supervisor.tick() == [container.container_id]
+            world.clock.advance(10.0)  # healthy uptime >> window
+        assert supervisor.quarantined == []
+        assert container.state == "running"
+
+    def test_true_crash_loop_is_still_quarantined(self):
+        world = World()
+        cluster, container = self.build_cluster(world)
+        supervisor = Supervisor(
+            cluster, clock=world.clock, max_restarts=2, backoff_base=0.0,
+            crash_loop_window=5.0,
+        )
+        for _ in range(3):
+            container.fail()
+            supervisor.tick()
+            world.clock.advance(0.1)  # rapid-fire deaths: uptime < window
+        assert supervisor.quarantined == [container.container_id]
+        assert container.state == "stopped"
+
+    def test_release_clears_quarantine_state(self):
+        world = World()
+        cluster, container = self.build_cluster(world)
+        supervisor = Supervisor(
+            cluster, clock=world.clock, max_restarts=1, backoff_base=0.0
+        )
+        container.fail()
+        supervisor.tick()  # restart budget spent
+        container.fail()
+        supervisor.tick()  # quarantined
+        assert supervisor.quarantined == [container.container_id]
+        supervisor.release(container.container_id)
+        assert supervisor.quarantined == []
+        container.restart()  # stopped -> running again
+        assert container.state == "running"
+        # Clean slate: the released container gets a fresh restart budget
+        # instead of being insta-quarantined on its next failure.
+        container.fail()
+        assert supervisor.tick() == [container.container_id]
+        assert supervisor.quarantined == []
+
+    def test_release_unknown_container_raises(self):
+        world = World()
+        cluster, _ = self.build_cluster(world)
+        supervisor = Supervisor(cluster)
+        with pytest.raises(Exception):
+            supervisor.release("nope")

@@ -499,6 +499,78 @@ class TestDeadLetters:
         assert queue.replay(lambda payload: False) == []
         assert len(queue.pending()) == 1
 
+    def test_reentrant_replay_cannot_double_replay(self, rig, store):
+        """Regression: an executor that itself triggers ``replay()``
+        (recovery code replaying during a supervision pass that is itself
+        inside a replay) must not re-execute the same entry twice."""
+        session, budget, context = rig
+        queue = DeadLetterQueue(store, session)
+        queue.quarantine(plan="p", node="n", agent="A", inputs={"X": 1}, error="x")
+        executions = []
+
+        def reentrant_executor(payload):
+            executions.append(payload["node"])
+            queue.replay(reentrant_executor)  # nested replay of the same queue
+            return True
+
+        recovered = queue.replay(reentrant_executor)
+        assert executions == ["n"]  # executed exactly once
+        assert len(recovered) == 1
+        assert len(queue.pending()) == 0
+        # The ack was published exactly once too (no duplicate markers).
+        acks = [m for m in queue.stream.messages() if m.has_tag("DEAD_LETTER_REPLAYED")]
+        assert len(acks) == 1
+
+    def test_concurrent_replay_cannot_double_replay(self, rig, store):
+        """Regression: two replayers draining the same queue concurrently
+        must execute each entry once between them."""
+        import threading
+
+        session, budget, context = rig
+        queue = DeadLetterQueue(store, session)
+        for node in ("a", "b", "c"):
+            queue.quarantine(plan="p", node=node, agent="A", inputs={}, error="x")
+        started = threading.Barrier(2)
+        executions = []
+        lock = threading.Lock()
+
+        def slow_executor(payload):
+            try:
+                # Rendezvous (briefly) to maximize replayer overlap; a
+                # lone replayer times out and proceeds alone.
+                started.wait(timeout=0.2)
+            except threading.BrokenBarrierError:
+                pass
+            with lock:
+                executions.append(payload["node"])
+            return True
+
+        threads = [
+            threading.Thread(target=queue.replay, args=(slow_executor,))
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(executions) == ["a", "b", "c"]  # once each, total
+        assert len(queue.pending()) == 0
+        acks = [m for m in queue.stream.messages() if m.has_tag("DEAD_LETTER_REPLAYED")]
+        assert len(acks) == 3
+
+    def test_failed_replay_releases_in_flight_claim(self, rig, store):
+        """An entry whose replay fails (or raises) must become replayable
+        again — the in-flight claim is released, not leaked."""
+        session, budget, context = rig
+        queue = DeadLetterQueue(store, session)
+        queue.quarantine(plan="p", node="n", agent="A", inputs={}, error="x")
+        assert queue.replay(lambda payload: False) == []
+        with pytest.raises(RuntimeError):
+            queue.replay(lambda payload: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert len(queue.pending()) == 1
+        assert len(queue.replay(lambda payload: True)) == 1
+        assert len(queue.pending()) == 0
+
     def test_pending_state_survives_queue_rebuild(self, rig, store):
         """Replay bookkeeping lives on the stream: a rebuilt queue sees the
         same pending set (the recovery story)."""

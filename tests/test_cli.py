@@ -52,3 +52,47 @@ class TestCLI:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRecoverCLI:
+    def test_recover_demo_kill_and_resume(self, capsys):
+        assert main(["recover", "--demo", "--kill", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "killed at barrier 3" in output
+        assert "resumed from the journal" in output
+        assert "byte-identical:    True" in output
+        assert "recovery.resumed_nodes" in output
+        assert "recovery.replayed_effects" in output
+        assert "recover:demo-plan" in output  # the recovery span
+
+    def test_recover_demo_kill_beyond_barriers_is_uninterrupted(self, capsys):
+        assert main(["recover", "--demo", "--kill", "99"]) == 0
+        output = capsys.readouterr().out
+        assert "never reached" in output
+        assert "byte-identical:    True" in output
+
+    def test_recover_export_analysis(self, capsys, tmp_path):
+        export_file = tmp_path / "export.json"
+        assert main([
+            "recover", "--demo", "--kill", "2", "--output", str(export_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "recover", "--export", str(export_file), "--plan", "demo-plan",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        journal = report["journals"][0]["journal"]
+        assert journal["plans"] == 1
+        assert journal["incomplete"] == []
+        detail = report["journals"][0]["plan_detail"]
+        assert detail["status"] == "completed"
+        assert detail["nodes_completed"] == 3
+
+    def test_recover_export_without_journal(self, capsys, tmp_path):
+        export_file = tmp_path / "empty.json"
+        export_file.write_text('{"clock": 0.0, "streams": [], "messages": []}')
+        assert main(["recover", "--export", str(export_file)]) == 1
+        assert "no write-ahead journal" in capsys.readouterr().out
+
+    def test_recover_requires_a_mode(self, capsys):
+        assert main(["recover"]) == 2
