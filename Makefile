@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery examples artifacts all
+.PHONY: test bench reliability observability recovery parallel examples artifacts all
 
 test:
 	pytest tests/
@@ -17,6 +17,10 @@ observability:
 recovery:
 	PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_recovery.py tests/properties/test_recovery_properties.py tests/properties/test_persistence_properties.py -q
+
+parallel:
+	PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_scheduler.py tests/llm/test_cache.py tests/properties/test_parallel_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

@@ -6,6 +6,7 @@ Usage:
     python -m repro plan "data scientist position in SF bay area"
     python -m repro employer --click 1 --say "how many applicants have python skills?"
     python -m repro trace --say "how many applicants have python skills?"
+    python -m repro run --parallel        # wave scheduler vs serial baseline
 """
 
 from __future__ import annotations
@@ -59,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "export")
     trace.add_argument("--output", default=None,
                        help="write to a file instead of stdout")
+
+    run = commands.add_parser(
+        "run",
+        help="execute the fan-out demo plan under the wave scheduler and "
+             "report its critical-path latency against the serial baseline",
+    )
+    mode = run.add_mutually_exclusive_group()
+    mode.add_argument("--parallel", dest="parallel", action="store_true",
+                      help="wave-parallel scheduling (default): independent "
+                           "nodes overlap; latency is the critical path")
+    mode.add_argument("--serial", dest="parallel", action="store_false",
+                      help="serial scheduling: latency is the node sum")
+    run.set_defaults(parallel=True)
 
     recover = commands.add_parser(
         "recover",
@@ -178,7 +192,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 class _DemoWorld:
     """The crash-recovery demo's world: everything durable in one place."""
 
-    def __init__(self, seed: int, barrier_hook=None):
+    def __init__(self, seed: int, barrier_hook=None, fanout: bool = False,
+                 parallel: bool = False):
         from .clock import SimClock
         from .core.budget import Budget
         from .core.context import AgentContext
@@ -201,6 +216,8 @@ class _DemoWorld:
             metrics=self.observability.metrics,
         )
         self.seed = seed
+        self.fanout = fanout
+        self.parallel = parallel
         for agent in self._make_agents():
             agent.attach(self._context())
         self._coordinator_cls = TaskCoordinator
@@ -222,38 +239,108 @@ class _DemoWorld:
         from .core.agent import FunctionAgent
         from .core.params import Parameter
 
-        budget, seed = self.budget, self.seed
+        budget, seed, fanout = self.budget, self.seed, self.fanout
 
         def stage(name, cost, latency):
             def fn(inputs):
                 budget.charge(f"agent:{name}", cost=cost, latency=latency)
-                return {"OUT": f"{name}[{seed}]({inputs.get('IN')})"}
+                bound = ",".join(str(v) for _, v in sorted(inputs.items()) if v)
+                return {"OUT": f"{name}[{seed}]({bound})"}
 
+            params = (Parameter("IN", "text"),)
+            if fanout:
+                # The fan-in node binds one output from every branch.
+                params += (
+                    Parameter("IN2", "text", required=False),
+                    Parameter("IN3", "text", required=False),
+                )
             return FunctionAgent(
                 name, fn,
-                inputs=(Parameter("IN", "text"),),
+                inputs=params,
                 outputs=(Parameter("OUT", "text"),),
             )
 
-        return [
+        stages = [
             stage("EXTRACT", 0.01, 0.4),
             stage("MATCH", 0.02, 0.7),
             stage("RANK", 0.01, 0.3),
         ]
+        if fanout:
+            stages += [stage("PROFILE", 0.01, 0.6), stage("SEARCH", 0.01, 0.5)]
+        return stages
 
     def new_coordinator(self):
-        coordinator = self._coordinator_cls(journal=self.journal)
+        coordinator = self._coordinator_cls(
+            journal=self.journal, parallel=self.parallel
+        )
         coordinator.attach(self._context())
         return coordinator
 
     def plan(self):
         from .core.plan import Binding, TaskPlan
 
+        if self.fanout:
+            plan = TaskPlan(
+                "fanout-plan", goal="extract, then match|profile|search, then rank"
+            )
+            plan.add_step("s1", "EXTRACT", {"IN": Binding.const(f"query#{self.seed}")})
+            plan.add_step("m1", "MATCH", {"IN": Binding.from_node("s1", "OUT")})
+            plan.add_step("m2", "PROFILE", {"IN": Binding.from_node("s1", "OUT")})
+            plan.add_step("m3", "SEARCH", {"IN": Binding.from_node("s1", "OUT")})
+            plan.add_step(
+                "s2", "RANK",
+                {
+                    "IN": Binding.from_node("m1", "OUT"),
+                    "IN2": Binding.from_node("m2", "OUT"),
+                    "IN3": Binding.from_node("m3", "OUT"),
+                },
+            )
+            return plan
         plan = TaskPlan("demo-plan", goal="extract, match, rank")
         plan.add_step("s1", "EXTRACT", {"IN": Binding.const(f"query#{self.seed}")})
         plan.add_step("s2", "MATCH", {"IN": Binding.from_node("s1", "OUT")})
         plan.add_step("s3", "RANK", {"IN": Binding.from_node("s2", "OUT")})
         return plan
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute the fan-out demo plan, wave-parallel by default.
+
+    The plan is a diamond — EXTRACT, then MATCH / PROFILE / SEARCH off the
+    same output, then a RANK fan-in — so the middle wave genuinely
+    overlaps and the critical path beats the serial sum.
+    """
+    world = _DemoWorld(args.seed, fanout=True, parallel=args.parallel)
+    plan = world.plan()
+    run = world.coordinator.execute_plan(plan)
+    elapsed = world.clock.now()
+
+    print(f"mode: {'parallel (wave scheduler)' if args.parallel else 'serial'}")
+    print("schedule:")
+    for index, wave in enumerate(plan.waves()):
+        print(f"  w{index}: {', '.join(node.node_id for node in wave)}")
+    print(f"status: {run.status}")
+    for node_id in sorted(run.node_outputs):
+        print(f"  {node_id} -> {run.node_outputs[node_id].get('OUT')}")
+    print(f"simulated latency: {elapsed:.2f}s   "
+          f"cost: ${world.budget.spent_cost():.4f}")
+    if args.parallel:
+        baseline = _DemoWorld(args.seed, fanout=True, parallel=False)
+        baseline.coordinator.execute_plan(baseline.plan())
+        serial = baseline.clock.now()
+        print(f"serial baseline:   {serial:.2f}s   "
+              f"speedup: {serial / elapsed:.2f}x")
+    snapshot = world.observability.metrics.snapshot()
+    scheduler_metrics = {
+        name: snapshot[name]
+        for name in sorted(snapshot)
+        if name.startswith("scheduler.")
+    }
+    if scheduler_metrics:
+        print("scheduler metrics:")
+        for name, value in scheduler_metrics.items():
+            print(f"  {name} = {value}")
+    return 0 if run.status == "completed" else 1
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -366,6 +453,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "plan": cmd_plan,
         "employer": cmd_employer,
         "trace": cmd_trace,
+        "run": cmd_run,
         "recover": cmd_recover,
     }
     return handlers[args.command](args)

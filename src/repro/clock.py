@@ -32,8 +32,15 @@ class SimClock:
     def now(self) -> float:
         """Current simulated time in seconds.
 
-        Lock-free: a float attribute read is atomic in CPython, and this
-        sits on every hot path (message stamps, span starts, charges).
+        Lock-free *read*: a float attribute read is atomic in CPython, and
+        this sits on every hot path (message stamps, span starts, charges).
+        That does NOT make read-modify-write sequences safe — ``advance``
+        interleaving with other writers is serialized by the lock, but a
+        caller computing ``now() + dt`` and writing it back would race.
+        Concurrent-branch latency accounting must therefore never sum onto
+        the clock directly: the wave scheduler routes it through a
+        :class:`~repro.core.scheduler.VirtualTimeline`, whose commit is a
+        single ``advance_to(max(branch ends))``.
         """
         return self._now
 
@@ -50,6 +57,23 @@ class SimClock:
         with self._lock:
             if timestamp > self._now:
                 self._now = timestamp
+            return self._now
+
+    def rebase(self, timestamp: float) -> float:
+        """Set the clock to *timestamp*, which may sit in the simulated past.
+
+        This is the one deliberate exception to monotonicity, reserved for
+        the wave scheduler's :class:`~repro.core.scheduler.VirtualTimeline`:
+        logically-concurrent plan branches each replay from their *ready*
+        time, so opening the next branch rewinds to that branch's start.
+        The timeline restores monotonicity at commit by advancing to the
+        maximum branch end (the critical path).  Everything else must use
+        :meth:`advance`/:meth:`advance_to`.
+        """
+        if timestamp < 0:
+            raise ValueError(f"cannot rebase clock before epoch: {timestamp}")
+        with self._lock:
+            self._now = float(timestamp)
             return self._now
 
 

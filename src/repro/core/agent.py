@@ -69,6 +69,9 @@ class Agent:
         #: Per-execution model-tier override (e.g. a plan node's fallback
         #: tier), threaded from EXECUTE_AGENT metadata into :meth:`complete`.
         self._model_override: str | None = None
+        #: Per-execution LLM-cache bypass, threaded the same way from a
+        #: ``no_cache`` plan into :meth:`complete`.
+        self._no_cache = False
         # _execute is the runtime's hottest path: the span name is
         # precomputed, and activation/failure metrics are pulled from the
         # plain counters above by a snapshot-time collector rather than
@@ -183,7 +186,7 @@ class Agent:
             inputs[param] = self._latest_payload(stream_id)
         metadata = {
             key: payload[key]
-            for key in ("node", "plan", "output_stream", "model")
+            for key in ("node", "plan", "output_stream", "model", "no_cache")
             if key in payload
         }
         self._spawn(inputs, metadata)
@@ -238,6 +241,7 @@ class Agent:
         context = self._require_context()
         self.activations += 1
         override = metadata.get("model")
+        no_cache = bool(metadata.get("no_cache"))
         span_attrs = {k: v for k, v in metadata.items() if k in ("node", "plan", "model")}
         with context.span(self._span_name, kind="agent", **span_attrs) as span:
             try:
@@ -245,6 +249,8 @@ class Agent:
                     inputs = validate_inputs(self.inputs, inputs, self.name)
                 if override:
                     self._model_override = override
+                if no_cache:
+                    self._no_cache = True
                 results = self.processor(inputs)
             except Exception as error:  # noqa: BLE001 - agents report, don't crash the bus
                 self.failures += 1
@@ -264,6 +270,8 @@ class Agent:
             finally:
                 if override:
                     self._model_override = None
+                if no_cache:
+                    self._no_cache = False
             if results is None:
                 return
             self._emit(results, metadata)
@@ -343,7 +351,7 @@ class Agent:
         def call() -> LLMResponse:
             client = context.catalog.client(name)
             before = context.clock.now()
-            response = client.complete(prompt)
+            response = client.complete(prompt, no_cache=self._no_cache)
             already_elapsed = context.clock.now() - before
             context.charge(
                 source=f"{self.name}/{response.model}",

@@ -42,6 +42,7 @@ from .planners.data_planner import DataPlanner
 from .qos import QoSSpec
 from .recovery import WriteAheadJournal, idempotency_key
 from .resilience import BreakerBoard, DeadLetterQueue, RetryPolicy
+from .scheduler import VirtualTimeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .recovery import RecoveredPlan
@@ -124,11 +125,19 @@ class TaskCoordinator(Agent):
         breakers: BreakerBoard | None = None,
         dead_letters: bool = True,
         journal: WriteAheadJournal | None = None,
+        parallel: bool = False,
         **kwargs: Any,
     ) -> None:
         super().__init__(**kwargs)
         self._data_planner = data_planner
         self._journal = journal
+        #: Wave-based parallel scheduling: independent DAG branches pay
+        #: the max of their simulated latencies (the critical path)
+        #: instead of the sum.  Overridable per call on execute_plan.
+        self._parallel = parallel
+        #: Plan-level LLM-cache bypass, threaded into EXECUTE_AGENT while
+        #: a ``no_cache`` plan is driving.
+        self._plan_no_cache = False
         self._replan_on_violation = replan_on_violation
         self._replan_budget_factor = replan_budget_factor
         self._max_replans = max_replans
@@ -242,6 +251,7 @@ class TaskCoordinator(Agent):
         budget: Budget | None = None,
         _attempt: int = 0,
         resume: "RecoveredPlan | None" = None,
+        parallel: bool | None = None,
     ) -> PlanRun:
         """Unroll and drive *plan*; returns the execution record.
 
@@ -253,9 +263,15 @@ class TaskCoordinator(Agent):
         With *resume* (a journal snapshot), completed nodes are restored
         instead of re-executed and the run picks up where the crashed
         coordinator stopped — see :meth:`resume_plan`.
+
+        With *parallel* (default: the coordinator's ``parallel`` setting),
+        the plan executes in dependency waves and simulated latency is
+        accounted as the critical path instead of the serial sum.
         """
         context = self._require_context()
         budget = budget or context.budget
+        if parallel is None:
+            parallel = self._parallel
         plan.validate()
         run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
         if resume is not None:
@@ -270,9 +286,11 @@ class TaskCoordinator(Agent):
             if run.resumed:
                 span.set_attribute("resumed", True)
                 span.set_attribute("restored_nodes", len(resume.executed))
+            if parallel:
+                span.set_attribute("scheduler", "parallel")
             # On a replan the returned run is the escalated re-execution's;
             # the span and metric describe *this* invocation's run.
-            result = self._execute_plan_traced(plan, budget, run, _attempt)
+            result = self._execute_plan_traced(plan, budget, run, _attempt, parallel)
             span.set_attribute("status", run.status)
             span.set_attribute("nodes_executed", len(run.executed))
             if run.status != "completed":
@@ -299,7 +317,12 @@ class TaskCoordinator(Agent):
         return self.execute_plan(snapshot.plan, budget=budget, resume=snapshot)
 
     def _execute_plan_traced(
-        self, plan: TaskPlan, budget: Budget | None, run: PlanRun, _attempt: int
+        self,
+        plan: TaskPlan,
+        budget: Budget | None,
+        run: PlanRun,
+        _attempt: int,
+        parallel: bool = False,
     ) -> PlanRun:
         """The plan-driving loop proper (wrapped in the plan span).
 
@@ -310,6 +333,15 @@ class TaskCoordinator(Agent):
         journal writes happen *before* the state they describe is acted
         on (write-ahead), so a crash at either barrier is recoverable
         with zero duplicate effects.
+
+        Serial mode drives ``plan.order()`` one node at a time.  Parallel
+        mode drives ``plan.waves()``: nodes in a wave are logically
+        concurrent, each executing on a :class:`VirtualTimeline` branch
+        that starts at the max of its predecessors' end times; the shared
+        clock lands on the plan's critical path at commit.  Execution
+        itself stays single-threaded (within a wave, nodes run in node-id
+        order), so results, budget charges, and the journal *set* are
+        identical to serial mode — only latency accounting differs.
         """
         context = self._require_context()
         journal = self._journal
@@ -327,92 +359,161 @@ class TaskCoordinator(Agent):
             journal.plan_started(
                 plan, qos=budget.qos if budget is not None else None, attempt=_attempt
             )
-        for node in plan.order():
-            if node.node_id in run.executed:
-                # Restored from the journal on resume: already completed
-                # (and journaled as such) before the crash — zero messages.
-                continue
-            if journal is not None:
-                journal.barrier(f"boundary:{run.plan_id}/{node.node_id}")
-                key = idempotency_key(
-                    run.plan_id, node.node_id, "execute", attempt=_attempt
-                )
-                effect = journal.effects.get(key)
-                if effect is not None:
-                    # The in-doubt node: its effect landed but the crash ate
-                    # its completion record.  Replay the journaled result
-                    # instead of re-executing (exactly-once effects).
-                    if not self._replay_effect(node, run, effect, journal):
+        schedule: list[list[TaskNode]]
+        if parallel:
+            schedule = plan.waves()
+        else:
+            schedule = [[node] for node in plan.order()]
+        timeline = VirtualTimeline(context.clock) if parallel else None
+        ends: dict[str, float] = {}
+        previous_no_cache = self._plan_no_cache
+        self._plan_no_cache = bool(plan.no_cache)
+        try:
+            for wave_index, wave in enumerate(schedule):
+                if timeline is not None:
+                    context.metric_inc("scheduler.waves")
+                for node in wave:
+                    if node.node_id in run.executed:
+                        # Restored from the journal on resume: already
+                        # completed (and journaled as such) before the
+                        # crash — zero messages, zero branch time.
+                        continue
+                    if timeline is not None:
+                        if len(wave) > 1:
+                            context.metric_inc("scheduler.parallel_nodes")
+                        ready = max(
+                            (
+                                ends[p]
+                                for p in node.upstream_nodes()
+                                if p in ends
+                            ),
+                            default=timeline.origin,
+                        )
+                        timeline.open(ready)
+                    try:
+                        verdict = self._drive_node(
+                            node,
+                            plan,
+                            run,
+                            budget,
+                            _attempt,
+                            wave=wave_index if parallel else None,
+                            concurrency=len(wave),
+                        )
+                    finally:
+                        if timeline is not None:
+                            ends[node.node_id] = timeline.close()
+                    if verdict == "replan":
+                        if timeline is not None:
+                            # Land the clock on this run's critical path
+                            # before the escalated re-execution starts its
+                            # own timeline.
+                            timeline.commit()
+                        return self._replan(plan, budget, _attempt)
+                    if verdict == "stop":
                         return run
-                    continue
-            violation = budget.violation() if budget is not None else None
-            if violation is not None:
-                self._abort(run, plan, f"budget violated on {violation}")
-                if journal is not None:
-                    journal.plan_finished(
-                        run.plan_id, "aborted", reason=run.abort_reason
-                    )
-                if self._replan_on_violation and _attempt < self._max_replans:
-                    return self._replan(plan, budget, _attempt)
-                return run
+            run.status = "completed"
             if journal is not None:
-                journal.node_scheduled(run.plan_id, node.node_id, node.agent)
-            # The ledger marker sits before binding resolution so the
-            # effect record's charge slice covers the data planner too.
-            marker = len(budget.charges()) if budget is not None else 0
-            try:
-                resolved = self._resolve_bindings(node, run)
-            except CoordinationError as error:
-                run.status = "failed"
-                run.abort_reason = str(error)
-                if journal is not None:
-                    journal.plan_finished(
-                        run.plan_id, "failed", reason=run.abort_reason
-                    )
-                return run
-            if journal is not None:
-                journal.node_started(run.plan_id, node.node_id, node.agent)
-            outputs = self._execute_node(node, resolved, run, budget)
-            if journal is not None:
-                failure = run.node_errors.get(node.node_id)
-                journal.effects.record(
-                    key,
-                    run.plan_id,
-                    node=node.node_id,
-                    outputs=outputs,
-                    failure=(
-                        asdict(failure)
-                        if failure is not None and outputs is None
-                        else None
-                    ),
-                    fallback=run.fallbacks.get(node.node_id),
-                    charges=(
-                        [asdict(c) for c in budget.charges()[marker:]]
-                        if budget is not None
-                        else []
-                    ),
-                )
-                journal.barrier(f"midnode:{run.plan_id}/{node.node_id}")
-            if outputs is None:
-                run.status = "failed"
-                failure = run.node_errors.get(node.node_id)
-                detail = f": {failure.describe()}" if failure else ""
-                run.abort_reason = (
-                    f"agent {node.agent} failed on node {node.node_id}{detail}"
-                )
-                if journal is not None:
-                    journal.plan_finished(
-                        run.plan_id, "failed", reason=run.abort_reason
-                    )
-                return run
-            run.node_outputs[node.node_id] = outputs
-            run.executed.append(node.node_id)
-            if journal is not None:
-                journal.node_completed(run.plan_id, node.node_id, outputs)
-        run.status = "completed"
+                journal.plan_finished(run.plan_id, "completed")
+            return run
+        finally:
+            self._plan_no_cache = previous_no_cache
+            if timeline is not None:
+                timeline.commit()
+
+    def _drive_node(
+        self,
+        node: TaskNode,
+        plan: TaskPlan,
+        run: PlanRun,
+        budget: Budget | None,
+        _attempt: int,
+        wave: int | None = None,
+        concurrency: int = 1,
+    ) -> str:
+        """Drive one scheduled node through barriers, budget, and execution.
+
+        Returns ``"ok"`` (node done, keep going), ``"stop"`` (run has
+        terminally failed or aborted), or ``"replan"`` (budget violated
+        and the policy allows an escalated re-execution).
+        """
+        context = self._require_context()
+        journal = self._journal
+        key = None
         if journal is not None:
-            journal.plan_finished(run.plan_id, "completed")
-        return run
+            journal.barrier(f"boundary:{run.plan_id}/{node.node_id}")
+            key = idempotency_key(
+                run.plan_id, node.node_id, "execute", attempt=_attempt
+            )
+            effect = journal.effects.get(key)
+            if effect is not None:
+                # The in-doubt node: its effect landed but the crash ate
+                # its completion record.  Replay the journaled result
+                # instead of re-executing (exactly-once effects).
+                if not self._replay_effect(node, run, effect, journal):
+                    return "stop"
+                return "ok"
+        violation = budget.violation() if budget is not None else None
+        if violation is not None:
+            self._abort(run, plan, f"budget violated on {violation}")
+            if journal is not None:
+                journal.plan_finished(run.plan_id, "aborted", reason=run.abort_reason)
+            if self._replan_on_violation and _attempt < self._max_replans:
+                return "replan"
+            return "stop"
+        if journal is not None:
+            journal.node_scheduled(run.plan_id, node.node_id, node.agent)
+        # The ledger marker sits before binding resolution so the
+        # effect record's charge slice covers the data planner too.
+        marker = len(budget.charges()) if budget is not None else 0
+        try:
+            resolved = self._resolve_bindings(node, run)
+        except CoordinationError as error:
+            run.status = "failed"
+            run.abort_reason = str(error)
+            if journal is not None:
+                journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
+            return "stop"
+        if journal is not None:
+            journal.node_started(run.plan_id, node.node_id, node.agent)
+        outputs = self._execute_node(
+            node, resolved, run, budget, wave=wave, concurrency=concurrency
+        )
+        if journal is not None:
+            failure = run.node_errors.get(node.node_id)
+            journal.effects.record(
+                key,
+                run.plan_id,
+                node=node.node_id,
+                outputs=outputs,
+                failure=(
+                    asdict(failure)
+                    if failure is not None and outputs is None
+                    else None
+                ),
+                fallback=run.fallbacks.get(node.node_id),
+                charges=(
+                    [asdict(c) for c in budget.charges()[marker:]]
+                    if budget is not None
+                    else []
+                ),
+            )
+            journal.barrier(f"midnode:{run.plan_id}/{node.node_id}")
+        if outputs is None:
+            run.status = "failed"
+            failure = run.node_errors.get(node.node_id)
+            detail = f": {failure.describe()}" if failure else ""
+            run.abort_reason = (
+                f"agent {node.agent} failed on node {node.node_id}{detail}"
+            )
+            if journal is not None:
+                journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
+            return "stop"
+        run.node_outputs[node.node_id] = outputs
+        run.executed.append(node.node_id)
+        if journal is not None:
+            journal.node_completed(run.plan_id, node.node_id, outputs)
+        return "ok"
 
     def _replay_effect(
         self,
@@ -458,11 +559,15 @@ class TaskCoordinator(Agent):
         resolved: dict[str, Any],
         run: PlanRun,
         budget: Budget | None,
+        wave: int | None = None,
+        concurrency: int = 1,
     ) -> dict[str, Any] | None:
         """Drive one node to success, through retries/breaker/fallback.
 
         Returns the node's outputs, or None when every route failed (the
-        work item is then dead-lettered).
+        work item is then dead-lettered).  Under the wave scheduler the
+        node's span carries its *wave* index and the wave's *concurrency*
+        (how many nodes were logically concurrent with it).
         """
         context = self._require_context()
         # The parent plan span already names the plan, so the node span
@@ -470,6 +575,9 @@ class TaskCoordinator(Agent):
         with context.span(
             f"node:{node.node_id}", kind="node", agent=node.agent
         ) as span:
+            if wave is not None:
+                span.set_attribute("wave", wave)
+                span.set_attribute("concurrency", concurrency)
             policy = self.retry_policy
             breaker = self._breakers.for_agent(node.agent) if self._breakers else None
             failure: NodeFailure | None = None
@@ -560,6 +668,8 @@ class TaskCoordinator(Agent):
         extra: dict[str, Any] = {}
         if model is not None:
             extra["model"] = model
+        if self._plan_no_cache:
+            extra["no_cache"] = True
         context.store.publish_control(
             context.session.session_stream.stream_id,
             Instruction.EXECUTE_AGENT,

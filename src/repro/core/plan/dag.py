@@ -89,6 +89,21 @@ class Dag:
         """Raise on structural problems (currently: cycles)."""
         self.topological_order()
 
+    def waves(self) -> list[list[Hashable]]:
+        """Dependency waves: antichains of logically-concurrent nodes.
+
+        Wave *i* holds the nodes whose longest incoming path has *i*
+        edges, so every predecessor sits in an earlier wave.  Within a
+        wave, ids sort by ``repr`` — the node-id tiebreak that keeps wave
+        execution (and journal) order deterministic.
+        """
+        from ..scheduler.waves import compute_waves
+
+        with self._lock:
+            nodes = list(self._nodes)
+            edges = sorted(self._edges, key=repr)
+        return [list(wave) for wave in compute_waves(nodes, edges).waves]
+
     def longest_path_length(self, weights: dict[Hashable, float] | None = None) -> float:
         """Critical-path length (node-weighted); used for latency estimates."""
         order = self.topological_order()

@@ -95,9 +95,11 @@ class DataOperator:
 class DataPlan:
     """An executable DAG of :class:`DataOperator`."""
 
-    def __init__(self, plan_id: str, goal: str = "") -> None:
+    def __init__(self, plan_id: str, goal: str = "", no_cache: bool = False) -> None:
         self.plan_id = plan_id
         self.goal = goal
+        #: Per-plan LLM-cache override (mirrors ``TaskPlan.no_cache``).
+        self.no_cache = no_cache
         self._operators: dict[str, DataOperator] = {}
         self._dag = Dag()
 
@@ -138,6 +140,12 @@ class DataPlan:
     def order(self) -> list[DataOperator]:
         return [self._operators[oid] for oid in self._dag.topological_order()]
 
+    def waves(self) -> list[list[DataOperator]]:
+        """Operators grouped into dependency waves (see :meth:`Dag.waves`)."""
+        return [
+            [self._operators[oid] for oid in wave] for wave in self._dag.waves()
+        ]
+
     def edges(self) -> list[tuple[str, str]]:
         return self._dag.edges()  # type: ignore[return-value]
 
@@ -167,6 +175,7 @@ class DataPlan:
         return {
             "plan_id": self.plan_id,
             "goal": self.goal,
+            "no_cache": self.no_cache,
             "operators": [
                 {
                     "op_id": operator.op_id,
@@ -193,7 +202,11 @@ class DataPlan:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "DataPlan":
-        plan = cls(payload["plan_id"], payload.get("goal", ""))
+        plan = cls(
+            payload["plan_id"],
+            payload.get("goal", ""),
+            no_cache=bool(payload.get("no_cache", False)),
+        )
         for spec in payload["operators"]:
             operator = plan.add_op(
                 spec["op_id"],

@@ -110,9 +110,13 @@ class TaskNode:
 class TaskPlan:
     """An executable DAG of :class:`TaskNode`."""
 
-    def __init__(self, plan_id: str, goal: str = "") -> None:
+    def __init__(self, plan_id: str, goal: str = "", no_cache: bool = False) -> None:
         self.plan_id = plan_id
         self.goal = goal
+        #: Per-plan LLM-cache override: plans that must exercise the real
+        #: model path every time (chaos/determinism suites, verification
+        #: reruns) set this so an enabled cache never short-circuits them.
+        self.no_cache = no_cache
         self._nodes: dict[str, TaskNode] = {}
         self._dag = Dag()
 
@@ -168,6 +172,12 @@ class TaskPlan:
         """Nodes in executable (topological) order."""
         return [self._nodes[nid] for nid in self._dag.topological_order()]
 
+    def waves(self) -> list[list[TaskNode]]:
+        """Nodes grouped into dependency waves (see :meth:`Dag.waves`)."""
+        return [
+            [self._nodes[nid] for nid in wave] for wave in self._dag.waves()
+        ]
+
     def validate(self, agent_names: set[str] | None = None) -> None:
         """Structural validation; optionally check agents exist."""
         self._dag.validate()
@@ -194,6 +204,7 @@ class TaskPlan:
         return {
             "plan_id": self.plan_id,
             "goal": self.goal,
+            "no_cache": self.no_cache,
             "nodes": [
                 {
                     "node_id": node.node_id,
@@ -220,7 +231,11 @@ class TaskPlan:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "TaskPlan":
-        plan = cls(payload["plan_id"], payload.get("goal", ""))
+        plan = cls(
+            payload["plan_id"],
+            payload.get("goal", ""),
+            no_cache=bool(payload.get("no_cache", False)),
+        )
         for node_payload in payload["nodes"]:
             bindings = {
                 param: Binding(**spec)

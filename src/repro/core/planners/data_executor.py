@@ -20,6 +20,7 @@ from ..budget import Budget
 from ..optimizer.cost_model import CostModel
 from ..plan.data_plan import DataOperator, DataPlan, Op
 from ..registries import DataRegistry
+from ..scheduler import VirtualTimeline
 
 
 @dataclass
@@ -71,36 +72,70 @@ class DataPlanExecutor:
         plan: DataPlan,
         budget: Budget | None = None,
         principal: str | None = None,
+        parallel: bool = False,
     ) -> ExecutionResult:
         """Run *plan*; returns per-operator outputs plus aggregate metrics.
 
         *principal* names the requesting agent for data-governance checks:
         ACL-protected sources raise :class:`AccessDeniedError` for
         unauthorized principals.
+
+        With *parallel*, independent operator branches execute on
+        :class:`VirtualTimeline` branches and ``result.latency`` is the
+        plan's **critical path** instead of the serial sum of operator
+        latencies; per-operator outputs, costs, and quality are identical
+        either way.
         """
         plan.validate()
         budget = budget or self._budget
+        clock = budget.clock if budget is not None else self._catalog.clock
         self._principal = principal
+        self._local.no_cache = plan.no_cache
         result = ExecutionResult(plan_id=plan.plan_id)
-        for operator in plan.order():
-            inputs = [result.outputs[op_id] for op_id in operator.inputs]
-            clock_before = budget.clock.now() if budget is not None else 0.0
-            value, cost, latency, quality = self._run(operator, inputs)
-            result.outputs[operator.op_id] = value
-            result.cost += cost
-            result.latency += latency
-            result.quality *= quality
-            if budget is not None:
-                # LLM clients sharing the budget's clock already advanced it
-                # during the call; charge only the latency shortfall so
-                # simulated time is never double-counted.
-                already_elapsed = budget.clock.now() - clock_before
-                budget.charge(
-                    source=f"data-plan/{operator.op.value}",
-                    cost=cost,
-                    latency=max(0.0, latency - already_elapsed),
-                    quality=quality,
-                )
+        timeline = (
+            VirtualTimeline(clock) if parallel and clock is not None else None
+        )
+        ends: dict[str, float] = {}
+        try:
+            for operator in plan.order():
+                inputs = [result.outputs[op_id] for op_id in operator.inputs]
+                if timeline is not None:
+                    ready = max(
+                        (ends[op_id] for op_id in operator.inputs if op_id in ends),
+                        default=timeline.origin,
+                    )
+                    timeline.open(ready)
+                clock_before = clock.now() if clock is not None else 0.0
+                value, cost, latency, quality = self._run(operator, inputs)
+                result.outputs[operator.op_id] = value
+                result.cost += cost
+                result.latency += latency
+                result.quality *= quality
+                if budget is not None:
+                    # LLM clients sharing the budget's clock already advanced
+                    # it during the call; charge only the latency shortfall so
+                    # simulated time is never double-counted.
+                    already_elapsed = budget.clock.now() - clock_before
+                    budget.charge(
+                        source=f"data-plan/{operator.op.value}",
+                        cost=cost,
+                        latency=max(0.0, latency - already_elapsed),
+                        quality=quality,
+                    )
+                elif timeline is not None:
+                    # No budget to advance the clock through: branch time
+                    # must still cover the operator's modeled latency.
+                    already_elapsed = clock.now() - clock_before
+                    clock.advance(max(0.0, latency - already_elapsed))
+                if timeline is not None:
+                    ends[operator.op_id] = timeline.close()
+        finally:
+            self._local.no_cache = False
+            if timeline is not None:
+                timeline.commit()
+        if timeline is not None:
+            # Aggregate latency is the critical path, not the serial sum.
+            result.latency = timeline.elapsed()
         # Re-key outputs so the final leaf is last even if insertion order
         # differed from leaf order (single-leaf plans are the common case).
         leaves = plan.leaves()
@@ -152,7 +187,9 @@ class DataPlanExecutor:
         if choice.model is None:
             raise PlanError(f"operator {operator.op_id!r} needs a model choice")
         client = self._catalog.client(choice.model)
-        response = client.complete(prompt)
+        response = client.complete(
+            prompt, no_cache=getattr(self._local, "no_cache", False)
+        )
         quality = client.spec.quality_for(response.domain)
         return response.structured, response.text, response.usage.cost, response.usage.latency, quality
 

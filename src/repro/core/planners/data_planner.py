@@ -365,8 +365,11 @@ class DataPlanner:
         plan: DataPlan,
         budget: Budget | None = None,
         principal: str | None = None,
+        parallel: bool = False,
     ) -> ExecutionResult:
-        return self.executor.execute(plan, budget=budget, principal=principal)
+        return self.executor.execute(
+            plan, budget=budget, principal=principal, parallel=parallel
+        )
 
     def run_job_query(
         self,

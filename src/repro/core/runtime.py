@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..clock import SimClock
-from ..llm import ModelCatalog, UsageTracker
+from ..llm import LLMCache, ModelCatalog, UsageTracker
 from ..observability import Observability
 from ..streams import FlowTrace, StreamStore
 from .agent import Agent
@@ -45,6 +45,7 @@ class Blueprint:
         data_registry: DataRegistry | None = None,
         planner_model: str = "hr-ft",
         observability: Observability | None = None,
+        llm_cache: LLMCache | bool = False,
     ) -> None:
         self.clock = clock or SimClock()
         #: Tracing + metrics over the whole runtime; on by default because
@@ -58,6 +59,16 @@ class Blueprint:
         if self.catalog.clock is None:
             self.catalog.clock = self.clock
         self.catalog.observability = self.observability
+        #: LLM result cache: opt-in (``llm_cache=True`` or a configured
+        #: :class:`~repro.llm.LLMCache`) so default runs keep byte-identical
+        #: traces and call-for-call chaos determinism.
+        if isinstance(llm_cache, LLMCache):
+            # isinstance, not truthiness: a configured-but-empty cache has
+            # len() == 0 and would be dropped by a bare ``if llm_cache``.
+            self.catalog.cache = llm_cache
+        elif llm_cache:
+            self.catalog.cache = LLMCache()
+        self.llm_cache = self.catalog.cache
         self.agent_registry = agent_registry or AgentRegistry()
         self.data_registry = data_registry or DataRegistry()
         self.sessions = SessionManager(self.store)
@@ -117,16 +128,21 @@ class Blueprint:
         budget: Budget | None = None,
         user_stream: str | None = None,
         journal: WriteAheadJournal | None = None,
+        parallel: bool = False,
     ) -> tuple[TaskPlannerAgent, TaskCoordinator]:
         """Bootstrap the standard orchestration pair for a session.
 
         *user_stream* names the stream plans read user input from
         (defaults to the session's ``user`` stream).  With *journal*
         (see :meth:`journal`), the coordinator write-ahead journals plan
-        execution so crashed plans can be resumed.
+        execution so crashed plans can be resumed.  With *parallel*, the
+        coordinator schedules plans in dependency waves and accounts
+        latency as the critical path.
         """
         planner_agent = TaskPlannerAgent(self.task_planner, user_stream=user_stream)
-        coordinator = TaskCoordinator(data_planner=self.data_planner, journal=journal)
+        coordinator = TaskCoordinator(
+            data_planner=self.data_planner, journal=journal, parallel=parallel
+        )
         self.attach(planner_agent, session, budget)
         self.attach(coordinator, session, budget)
         return planner_agent, coordinator

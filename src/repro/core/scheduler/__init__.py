@@ -1,0 +1,29 @@
+"""Wave-based parallel scheduling for plan DAGs.
+
+The paper's coordinator "optimizes plans for quality and cost", and its
+QoS machinery treats latency as a first-class objective — yet a DAG with
+two independent branches executed node-after-node pays the *sum* of the
+branch latencies instead of the *max*.  This package closes that gap for
+the simulated runtime:
+
+* :func:`compute_waves` partitions a plan DAG into dependency *waves*
+  (antichains): wave *i* holds exactly the nodes whose longest incoming
+  path has *i* edges, so every node's predecessors sit in earlier waves.
+* :class:`VirtualTimeline` accounts the simulated time of a wave's nodes
+  as logically concurrent *branches* over the shared
+  :class:`~repro.clock.SimClock`: each branch replays from its ready time
+  (``max`` over predecessor end times), and the timeline commits the
+  critical path — ``advance_to(max(branch ends))`` — rather than letting
+  branch latencies sum onto the clock.
+
+Execution stays single-threaded and deterministic: waves run in order,
+nodes within a wave run in node-id order (the journal-order tiebreak),
+and two runs of the same seed produce byte-identical traces and
+journals.  Only the *accounting* is concurrent, which is exactly what a
+simulated-latency runtime needs from parallelism.
+"""
+
+from .timeline import VirtualTimeline
+from .waves import WaveSchedule, compute_waves
+
+__all__ = ["VirtualTimeline", "WaveSchedule", "compute_waves"]

@@ -1,0 +1,106 @@
+"""Dependency-wave partitioning of plan DAGs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ...errors import PlanError
+
+
+@dataclass(frozen=True)
+class WaveSchedule:
+    """The wave decomposition of one DAG.
+
+    Attributes:
+        waves: node ids grouped by dependency depth; within a wave, ids
+            are sorted (by ``repr`` for mixed types) so execution — and
+            therefore journal — order is deterministic.
+    """
+
+    waves: tuple[tuple[Hashable, ...], ...] = field(default_factory=tuple)
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.waves)
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(wave) for wave in self.waves)
+
+    @property
+    def max_width(self) -> int:
+        """The widest wave: the plan's peak logical concurrency."""
+        return max((len(wave) for wave in self.waves), default=0)
+
+    @property
+    def parallel_nodes(self) -> int:
+        """Nodes that share a wave with at least one other node."""
+        return sum(len(wave) for wave in self.waves if len(wave) > 1)
+
+    def wave_of(self, node_id: Hashable) -> int:
+        for index, wave in enumerate(self.waves):
+            if node_id in wave:
+                return index
+        raise PlanError(f"node {node_id!r} is not in this schedule")
+
+    def describe(self) -> str:
+        lines = [
+            f"waves={self.wave_count} nodes={self.node_count} "
+            f"max_width={self.max_width}"
+        ]
+        for index, wave in enumerate(self.waves):
+            lines.append(f"  w{index}: {', '.join(str(n) for n in wave)}")
+        return "\n".join(lines)
+
+
+def compute_waves(
+    nodes: list[Hashable], edges: list[tuple[Hashable, Hashable]]
+) -> WaveSchedule:
+    """Partition a DAG into dependency waves.
+
+    A node's wave index is the length of its longest incoming path, so
+    wave *i* can only depend on waves ``< i`` — each wave is an antichain
+    whose members are logically concurrent.  Within a wave, node ids sort
+    by ``repr`` (the node-id tiebreak that keeps journal order
+    deterministic regardless of plan insertion order).
+
+    Raises :class:`~repro.errors.PlanError` on cycles.
+    """
+    predecessors: dict[Hashable, list[Hashable]] = {node: [] for node in nodes}
+    successors: dict[Hashable, list[Hashable]] = {node: [] for node in nodes}
+    in_degree: dict[Hashable, int] = {node: 0 for node in nodes}
+    for source, target in edges:
+        if source not in in_degree or target not in in_degree:
+            raise PlanError(f"edge references unknown node: {(source, target)!r}")
+        predecessors[target].append(source)
+        successors[source].append(target)
+        in_degree[target] += 1
+
+    depth: dict[Hashable, int] = {}
+    frontier = [node for node in nodes if in_degree[node] == 0]
+    remaining = dict(in_degree)
+    placed = 0
+    while frontier:
+        next_frontier: list[Hashable] = []
+        for node in frontier:
+            incoming = [depth[p] for p in predecessors[node]]
+            depth[node] = (max(incoming) + 1) if incoming else 0
+            placed += 1
+            for target in successors[node]:
+                remaining[target] -= 1
+                if remaining[target] == 0:
+                    next_frontier.append(target)
+        frontier = next_frontier
+    if placed != len(nodes):
+        leftover = sorted(set(nodes) - set(depth), key=repr)
+        raise PlanError(f"plan contains a cycle through: {leftover}")
+
+    if not depth:
+        return WaveSchedule(waves=())
+    waves: list[list[Hashable]] = [[] for _ in range(max(depth.values()) + 1)]
+    for node in nodes:
+        waves[depth[node]].append(node)
+    return WaveSchedule(
+        waves=tuple(tuple(sorted(wave, key=repr)) for wave in waves)
+    )

@@ -1,6 +1,7 @@
 """Simulated LLM substrate: tokenizer, knowledge, models, catalog, prompts."""
 
 from . import knowledge, prompts
+from .cache import CacheStats, LLMCache
 from .catalog import DEFAULT_SPECS, ModelCatalog
 from .model import LLMResponse, LLMUsage, ModelSpec, SimulatedLLM, UsageTracker
 from .tokenizer import count_tokens, tokenize, truncate_tokens
@@ -8,7 +9,9 @@ from .tokenizer import count_tokens, tokenize, truncate_tokens
 __all__ = [
     "knowledge",
     "prompts",
+    "CacheStats",
     "DEFAULT_SPECS",
+    "LLMCache",
     "ModelCatalog",
     "LLMResponse",
     "LLMUsage",

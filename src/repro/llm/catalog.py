@@ -12,6 +12,7 @@ import threading
 
 from ..clock import SimClock
 from ..errors import ModelNotFoundError
+from .cache import LLMCache
 from .model import ModelSpec, SimulatedLLM, UsageTracker
 
 #: Default model fleet (prices are per 1k tokens; latency in seconds).
@@ -80,6 +81,7 @@ class ModelCatalog:
         clock: SimClock | None = None,
         tracker: UsageTracker | None = None,
         default_failure_rate: float = 0.0,
+        cache: LLMCache | None = None,
     ) -> None:
         self.clock = clock
         self.tracker = tracker or UsageTracker()
@@ -89,6 +91,8 @@ class ModelCatalog:
         #: Optional tracing/metrics sink, propagated to every client
         #: (settable after construction; the Blueprint wires its own).
         self.observability = None
+        #: Optional shared result cache (opt-in; see :class:`LLMCache`).
+        self.cache = cache
         self._specs: dict[str, ModelSpec] = {}
         self._clients: dict[str, SimulatedLLM] = {}
         self._lock = threading.Lock()
@@ -127,6 +131,14 @@ class ModelCatalog:
         with self._lock:
             cached = self._clients.get(name)
             if cached is not None and cached.failure_rate == failure_rate:
+                # Rewire shared plumbing on EVERY fetch, not just at
+                # construction: the catalog's tracker, clock, result cache,
+                # or observability sink may have been swapped since this
+                # client was built, and a stale reference would silently
+                # record usage into the abandoned sink.
+                cached.clock = self.clock
+                cached.tracker = self.tracker
+                cached.cache = self.cache
                 cached.observability = self.observability
                 return cached
             client = SimulatedLLM(
@@ -135,6 +147,7 @@ class ModelCatalog:
                 tracker=self.tracker,
                 failure_rate=failure_rate,
                 observability=self.observability,
+                cache=self.cache,
             )
             self._clients[name] = client
             return client

@@ -36,6 +36,7 @@ from .tokenizer import count_tokens
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observability import Observability
+    from .cache import LLMCache
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ class LLMResponse:
     model: str
     structured: Any = None  # parsed form for task-directive answers
     domain: str = "general"  # knowledge domain the task drew on
+    cached: bool = False  # served from an LLMCache (usage is zeroed)
 
     def items(self) -> list[Any]:
         """Structured answer as a list (empty when not list-valued)."""
@@ -153,6 +155,7 @@ class SimulatedLLM:
         failure_rate: float = 0.0,
         seed: int = 0,
         observability: "Observability | None" = None,
+        cache: "LLMCache | None" = None,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise LLMError(f"failure_rate must be in [0, 1]: {failure_rate}")
@@ -163,6 +166,10 @@ class SimulatedLLM:
         #: Optional tracing/metrics sink; each call opens an ``llm`` span
         #: and records ``llm.calls``/``llm.tokens``/``llm.cost`` metrics.
         self.observability = observability
+        #: Optional result cache (normally the catalog's, shared by every
+        #: client).  Hits bypass the model entirely: no clock advance, no
+        #: tracker record, no failure roll, zero cost/latency.
+        self.cache = cache
         self._seed = seed
         self._call_index = 0
         # Instrument handles, bound lazily per observability instance so
@@ -171,6 +178,7 @@ class SimulatedLLM:
         self._span_name = f"llm:{spec.name}"
         self._bound_obs: "Observability | None" = None
         self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
+        self._m_cache_hits = self._m_cache_misses = None
         self._h_latency = None
 
     def _bind_instruments(self, obs: "Observability") -> None:
@@ -180,26 +188,59 @@ class SimulatedLLM:
         self._m_tokens = metrics.bound_counter("llm.tokens", model=name)
         self._m_cost = metrics.bound_counter("llm.cost", model=name)
         self._m_failures = metrics.bound_counter("llm.failures", model=name)
+        self._m_cache_hits = metrics.bound_counter("llm.cache.hits", model=name)
+        self._m_cache_misses = metrics.bound_counter("llm.cache.misses", model=name)
         self._h_latency = metrics.histogram("llm.latency") if metrics.enabled else None
         self._bound_obs = obs
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def complete(self, prompt: str, max_output_tokens: int = 512) -> LLMResponse:
-        """Run one completion; raises on simulated transient failures."""
+    def complete(
+        self, prompt: str, max_output_tokens: int = 512, no_cache: bool = False
+    ) -> LLMResponse:
+        """Run one completion; raises on simulated transient failures.
+
+        With a :attr:`cache` attached (and *no_cache* unset), a repeated
+        ``(model, prompt, max_output_tokens)`` call returns the memoized
+        response at zero cost and latency.  A hit is a pure short-circuit:
+        it skips the failure roll and does not consume a call index, so
+        enabling the cache changes which physical calls happen — runs that
+        must be call-for-call deterministic pass ``no_cache`` (plans do
+        this via ``plan.no_cache``).
+        """
+        cache = self.cache if not no_cache else None
+        hit = (
+            cache.get(self.spec.name, prompt, max_output_tokens)
+            if cache is not None
+            else None
+        )
         obs = self.observability
         if obs is None:
-            return self._complete(prompt, max_output_tokens)
+            if hit is not None:
+                return hit
+            response = self._complete(prompt, max_output_tokens)
+            if cache is not None:
+                cache.put(self.spec.name, prompt, max_output_tokens, response)
+            return response
         if obs is not self._bound_obs:
             self._bind_instruments(obs)
         with obs.span(self._span_name, kind="llm", model=self.spec.name) as span:
+            if hit is not None:
+                span.set_attribute("cached", True)
+                if self._m_cache_hits is not None:
+                    self._m_cache_hits.inc()
+                return hit
+            if cache is not None and self._m_cache_misses is not None:
+                self._m_cache_misses.inc()
             try:
                 response = self._complete(prompt, max_output_tokens)
             except LLMError:
                 if self._m_failures is not None:
                     self._m_failures.inc()
                 raise
+            if cache is not None:
+                cache.put(self.spec.name, prompt, max_output_tokens, response)
             usage = response.usage
             span.set_attribute("input_tokens", usage.input_tokens)
             span.set_attribute("output_tokens", usage.output_tokens)

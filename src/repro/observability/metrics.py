@@ -128,6 +128,17 @@ class Gauge:
         return {f"{self.name}{_render_labels(key)}": value for key, value in items}
 
 
+def _nearest_rank(p: float, n: int) -> int:
+    """1-based nearest-rank index: ``ceil(p/100 * n)``, clamped to [1, n].
+
+    Computed as ``ceil(p * n / 100 - eps)`` because the naive float product
+    can land epsilon *above* an exact integer and ceil one rank too high —
+    e.g. ``99.9 / 100 * 1000`` is 999.0000000000001, so p99.9 of 1000
+    observations would wrongly pick rank 1000 instead of 999.
+    """
+    return min(n, max(1, math.ceil(p * n / 100.0 - 1e-9)))
+
+
 class Histogram:
     """A distribution with exact nearest-rank percentiles.
 
@@ -157,8 +168,7 @@ class Histogram:
             if not self._observations:
                 return None
             ordered = sorted(self._observations)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return ordered[_nearest_rank(p, len(ordered)) - 1]
 
     def summary(self) -> dict[str, float]:
         """count/sum/min/max plus the p50/p95/p99 the scaling studies use."""
@@ -169,7 +179,7 @@ class Histogram:
         ordered = sorted(values)
 
         def rank(p: float) -> float:
-            return ordered[max(1, math.ceil(p / 100.0 * len(ordered))) - 1]
+            return ordered[_nearest_rank(p, len(ordered)) - 1]
 
         return {
             "count": len(ordered),

@@ -141,6 +141,45 @@ class TestHistogramPercentiles:
         with pytest.raises(ValueError):
             Histogram("h").percentile(101)
 
+    def test_single_observation_is_every_percentile(self):
+        histogram = Histogram("one")
+        histogram.observe(7.0)
+        for p in (0, 50, 95, 99, 99.9, 100):
+            assert histogram.percentile(p) == 7.0
+        summary = histogram.summary()
+        assert (summary["p50"], summary["p95"], summary["p99"]) == (7.0, 7.0, 7.0)
+
+    def test_two_observations_exact_ranks(self):
+        # Nearest-rank: ceil(p/100 * 2) — p50 is rank 1 (the lower value),
+        # anything above 50 is rank 2.
+        histogram = Histogram("two")
+        histogram.observe(10.0)
+        histogram.observe(20.0)
+        assert histogram.percentile(50) == 10.0
+        assert histogram.percentile(50.1) == 20.0
+        assert histogram.percentile(95) == 20.0
+        assert histogram.percentile(99) == 20.0
+        assert histogram.percentile(0) == 10.0
+        summary = histogram.summary()
+        assert (summary["p50"], summary["p95"], summary["p99"]) == (10.0, 20.0, 20.0)
+
+    def test_float_rank_never_rounds_up_past_exact_product(self):
+        # Regression: 99.9/100 * 1000 evaluates to 999.0000000000001 in
+        # floating point, so a naive ceil picked rank 1000 instead of the
+        # exact rank 999.
+        histogram = Histogram("fp")
+        for value in range(1, 1001):  # 1..1000
+            histogram.observe(float(value))
+        assert histogram.percentile(99.9) == 999.0
+        assert histogram.percentile(99) == 990.0
+        assert histogram.percentile(50) == 500.0
+
+    def test_float_rank_regression_n2000(self):
+        histogram = Histogram("fp2")
+        for value in range(1, 2001):  # 1..2000
+            histogram.observe(float(value))
+        assert histogram.percentile(99.9) == 1998.0
+
 
 class TestMetricsRegistry:
     def test_snapshot_is_sorted_and_label_flattened(self):

@@ -1,0 +1,318 @@
+"""Tests for the wave scheduler: waves, VirtualTimeline, parallel plans."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.agent import FunctionAgent
+from repro.core.params import Parameter
+from repro.core.plan import Binding, TaskPlan
+from repro.core.plan.data_plan import DataPlan, Op
+from repro.core.runtime import Blueprint
+from repro.core.scheduler import VirtualTimeline, WaveSchedule, compute_waves
+from repro.errors import PlanError
+
+
+# ----------------------------------------------------------------------
+# Wave partitioning
+# ----------------------------------------------------------------------
+class TestComputeWaves:
+    def test_linear_chain_is_one_node_per_wave(self):
+        schedule = compute_waves(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert schedule.waves == (("a",), ("b",), ("c",))
+        assert schedule.max_width == 1
+        assert schedule.parallel_nodes == 0
+
+    def test_diamond_fans_out_in_middle_wave(self):
+        schedule = compute_waves(
+            ["src", "left", "right", "sink"],
+            [("src", "left"), ("src", "right"), ("left", "sink"), ("right", "sink")],
+        )
+        assert schedule.waves == (("src",), ("left", "right"), ("sink",))
+        assert schedule.max_width == 2
+        assert schedule.parallel_nodes == 2
+        assert schedule.wave_of("right") == 1
+
+    def test_wave_index_is_longest_path_depth_not_earliest_ready(self):
+        # "late" could run in wave 1 (its only edge is from "root"), but its
+        # sibling path root->mid->join forces join into wave 2; waves are
+        # longest-path depths so every predecessor strictly precedes.
+        schedule = compute_waves(
+            ["root", "mid", "late", "join"],
+            [("root", "mid"), ("root", "late"), ("mid", "join"), ("late", "join")],
+        )
+        assert schedule.wave_of("late") == 1
+        assert schedule.wave_of("join") == 2
+
+    def test_within_wave_order_is_sorted_by_repr(self):
+        schedule = compute_waves(
+            ["r", "zeta", "alpha", "mid"],
+            [("r", "zeta"), ("r", "alpha"), ("r", "mid")],
+        )
+        assert schedule.waves[1] == ("alpha", "mid", "zeta")
+
+    def test_disconnected_nodes_share_wave_zero(self):
+        schedule = compute_waves(["x", "y"], [])
+        assert schedule.waves == (("x", "y"),)
+
+    def test_cycle_raises_plan_error(self):
+        with pytest.raises(PlanError):
+            compute_waves(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_unknown_node_in_wave_of_raises(self):
+        schedule = compute_waves(["a"], [])
+        with pytest.raises(PlanError):
+            schedule.wave_of("missing")
+
+    def test_describe_is_readable(self):
+        schedule = compute_waves(["a", "b"], [("a", "b")])
+        assert isinstance(schedule, WaveSchedule)
+        assert "w0: a" in schedule.describe()
+
+
+class TestPlanWaves:
+    def test_task_plan_waves_group_independent_nodes(self):
+        plan = TaskPlan("p", "diamond")
+        plan.add_step("n1", "A", {"V": Binding.const(1)})
+        plan.add_step("n2", "B", {"V": Binding.from_node("n1", "OUT")})
+        plan.add_step("n3", "C", {"V": Binding.from_node("n1", "OUT")})
+        plan.add_step("n4", "D", {"V": Binding.from_node("n2", "OUT")})
+        waves = plan.waves()
+        assert [[n.node_id for n in wave] for wave in waves] == [
+            ["n1"], ["n2", "n3"], ["n4"]
+        ]
+
+    def test_data_plan_waves(self):
+        plan = DataPlan("d", "branches")
+        plan.add_op("a", Op.DISCOVER, {"concept": "jobs"})
+        plan.add_op("b", Op.SUMMARIZE, inputs=("a",))
+        plan.add_op("c", Op.SUMMARIZE, inputs=("a",))
+        waves = plan.waves()
+        assert [[o.op_id for o in wave] for wave in waves] == [["a"], ["b", "c"]]
+
+
+# ----------------------------------------------------------------------
+# VirtualTimeline
+# ----------------------------------------------------------------------
+class TestVirtualTimeline:
+    def test_concurrent_branches_cost_the_max(self):
+        clock = SimClock()
+        timeline = VirtualTimeline(clock)
+        for latency in (1.0, 3.0, 2.0):
+            timeline.open(ready_at=timeline.origin)
+            clock.advance(latency)
+            timeline.close()
+        assert timeline.commit() == 3.0
+        assert clock.now() == 3.0
+        assert timeline.elapsed() == 3.0
+
+    def test_branch_ready_after_predecessor_accumulates(self):
+        clock = SimClock(start=5.0)
+        timeline = VirtualTimeline(clock)
+        timeline.open(ready_at=timeline.origin)
+        clock.advance(1.0)
+        first_end = timeline.close()
+        timeline.open(ready_at=first_end)
+        clock.advance(2.0)
+        timeline.close()
+        assert timeline.commit() == 8.0
+
+    def test_ready_before_origin_clamps_to_origin(self):
+        clock = SimClock(start=10.0)
+        timeline = VirtualTimeline(clock)
+        assert timeline.open(ready_at=2.0) == 10.0
+
+    def test_nested_open_rejected(self):
+        timeline = VirtualTimeline(SimClock())
+        timeline.open(ready_at=0.0)
+        with pytest.raises(RuntimeError):
+            timeline.open(ready_at=0.0)
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(RuntimeError):
+            VirtualTimeline(SimClock()).close()
+
+    def test_commit_with_open_branch_keeps_partial_time(self):
+        # A chaos kill mid-node leaves the branch open; commit must not
+        # lose the partial branch time.
+        clock = SimClock()
+        timeline = VirtualTimeline(clock)
+        timeline.open(ready_at=0.0)
+        clock.advance(0.7)
+        assert timeline.commit() == 0.7
+
+    def test_commit_is_idempotent(self):
+        clock = SimClock()
+        timeline = VirtualTimeline(clock)
+        timeline.open(ready_at=0.0)
+        clock.advance(1.0)
+        timeline.close()
+        assert timeline.commit() == 1.0
+        clock.advance(4.0)
+        # A later commit never rewinds a clock that moved past the horizon.
+        assert timeline.commit() == 5.0
+
+    def test_rebase_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().rebase(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Parallel plan execution end to end
+# ----------------------------------------------------------------------
+def build_world(parallel, latencies=None):
+    """A Blueprint session with a fan-out diamond of budget-charging agents."""
+    latencies = latencies or {
+        "EXTRACT": 0.4, "MATCH": 0.7, "PROFILE": 0.6, "SEARCH": 0.5, "RANK": 0.3
+    }
+    bp = Blueprint()
+    session = bp.create_session()
+    budget = bp.budget()
+
+    def stage(name, latency):
+        def fn(inputs, _latency=latency, _name=name):
+            budget.charge(f"agent:{_name}", cost=0.01, latency=_latency)
+            return {"OUT": f"{_name}({sorted(map(str, inputs.values()))})"}
+
+        return FunctionAgent(
+            name=name,
+            fn=fn,
+            inputs=(Parameter("IN", "text", required=False),),
+            outputs=(Parameter("OUT", "text"),),
+        )
+
+    for name, latency in latencies.items():
+        bp.attach(stage(name, latency), session, budget)
+    _, coordinator = bp.attach_planner_and_coordinator(
+        session, budget, parallel=parallel
+    )
+    return bp, session, budget, coordinator
+
+
+def diamond_plan():
+    plan = TaskPlan("diamond", "fan out then join")
+    plan.add_step("n_extract", "EXTRACT", {"IN": Binding.const("go")})
+    for middle in ("match", "profile", "search"):
+        plan.add_step(
+            f"n_{middle}", middle.upper(),
+            {"IN": Binding.from_node("n_extract", "OUT")},
+        )
+    plan.add_step("n_rank", "RANK", {"IN": Binding.from_node("n_match", "OUT")})
+    return plan
+
+
+class TestParallelExecution:
+    def test_serial_latency_is_the_sum(self):
+        bp, _, _, coordinator = build_world(parallel=False)
+        run = coordinator.execute_plan(diamond_plan())
+        assert run.status == "completed"
+        assert bp.clock.now() == pytest.approx(2.5)
+
+    def test_parallel_latency_is_the_critical_path(self):
+        bp, _, _, coordinator = build_world(parallel=True)
+        run = coordinator.execute_plan(diamond_plan())
+        assert run.status == "completed"
+        # EXTRACT 0.4 -> MATCH 0.7 (the widest branch) -> RANK 0.3
+        assert bp.clock.now() == pytest.approx(1.4)
+
+    def test_parallel_and_serial_agree_on_results(self):
+        _, _, _, serial = build_world(parallel=False)
+        _, _, _, wave = build_world(parallel=True)
+        run_serial = serial.execute_plan(diamond_plan())
+        run_parallel = wave.execute_plan(diamond_plan())
+        assert run_parallel.node_outputs == run_serial.node_outputs
+        assert sorted(run_parallel.executed) == sorted(run_serial.executed)
+
+    def test_serial_mode_regression_totals_unchanged(self):
+        """The accounting bugfix only reroutes *parallel* latency: a
+        serial run's budget totals stay exactly the pre-scheduler sums."""
+        bp, _, budget, coordinator = build_world(parallel=False)
+        coordinator.execute_plan(diamond_plan())
+        assert sum(c.latency for c in budget.charges()) == pytest.approx(2.5)
+        assert bp.clock.now() == pytest.approx(2.5)
+
+    def test_parallel_budget_charges_match_serial_charges(self):
+        _, _, budget_serial, serial = build_world(parallel=False)
+        _, _, budget_parallel, wave = build_world(parallel=True)
+        serial.execute_plan(diamond_plan())
+        wave.execute_plan(diamond_plan())
+        as_tuples = lambda b: sorted(
+            (c.source, c.cost, c.latency) for c in b.charges()
+        )
+        assert as_tuples(budget_parallel) == as_tuples(budget_serial)
+
+    def test_per_call_override_beats_constructor_default(self):
+        bp, _, _, coordinator = build_world(parallel=False)
+        run = coordinator.execute_plan(diamond_plan(), parallel=True)
+        assert run.status == "completed"
+        assert bp.clock.now() == pytest.approx(1.4)
+
+    def test_node_spans_carry_wave_and_concurrency(self):
+        bp, _, _, coordinator = build_world(parallel=True)
+        coordinator.execute_plan(diamond_plan())
+        spans = {
+            s.name: s.attributes
+            for s in bp.observability.tracer.spans()
+            if s.kind == "node"
+        }
+        assert spans["node:n_extract"]["wave"] == 0
+        assert spans["node:n_match"] == {
+            **spans["node:n_match"], "wave": 1, "concurrency": 3
+        }
+        assert spans["node:n_rank"]["wave"] == 2
+
+    def test_scheduler_metrics_counted(self):
+        bp, _, _, coordinator = build_world(parallel=True)
+        coordinator.execute_plan(diamond_plan())
+        snapshot = bp.observability.metrics.snapshot()
+        assert snapshot["scheduler.waves"] == 3.0
+        assert snapshot["scheduler.parallel_nodes"] == 3.0
+
+    def test_serial_mode_emits_no_scheduler_metrics(self):
+        bp, _, _, coordinator = build_world(parallel=False)
+        coordinator.execute_plan(diamond_plan())
+        snapshot = bp.observability.metrics.snapshot()
+        assert "scheduler.waves" not in snapshot
+
+    def test_parallel_node_spans_overlap_in_simulated_time(self):
+        bp, _, _, coordinator = build_world(parallel=True)
+        coordinator.execute_plan(diamond_plan())
+        spans = {
+            s.name: (s.start, s.end)
+            for s in bp.observability.tracer.spans()
+            if s.kind == "node"
+        }
+        match_start, match_end = spans["node:n_match"]
+        profile_start, profile_end = spans["node:n_profile"]
+        assert match_start == profile_start  # both ready at EXTRACT's end
+        assert match_end > profile_start and profile_end > match_start
+
+    def test_parallel_runs_are_byte_identical_across_seeds(self):
+        exports = []
+        for _ in range(2):
+            bp, _, _, coordinator = build_world(parallel=True)
+            coordinator.execute_plan(diamond_plan())
+            exports.append(bp.trace_export())
+        assert exports[0] == exports[1]
+
+
+class TestParallelDataPlans:
+    def test_fig7_branches_shrink_latency(self, enterprise):
+        from repro.core.planners.data_planner import DataPlanner
+
+        def run(parallel):
+            bp = Blueprint()
+            planner = DataPlanner(enterprise.registry, bp.catalog)
+            budget = bp.budget()
+            plan = planner.plan_job_query(
+                "software engineer jobs in western europe"
+            )
+            result = planner.execute(plan, budget=budget, parallel=parallel)
+            return result
+
+        serial = run(False)
+        parallel = run(True)
+        assert parallel.outputs.keys() == serial.outputs.keys()
+        assert parallel.cost == pytest.approx(serial.cost)
+        # The Fig. 7 plan has two independent branches before nl2q; the
+        # critical path is strictly shorter than the serial sum.
+        assert parallel.latency < serial.latency

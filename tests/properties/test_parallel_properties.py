@@ -1,0 +1,183 @@
+"""Property-based tests: wave scheduling changes *time*, nothing else.
+
+The acceptance criterion for the parallel scheduler: **for any seed,
+fault rate, and chaos kill point**, a plan executed with ``--parallel``
+produces the same node results, the same budget charges (as
+(source, cost, latency) multisets), and the same journal entry *set* as
+the serial run — only latency accounting (clock totals, span timestamps,
+wave attributes) may differ.  And parallel runs themselves are
+deterministic: two same-seed parallel runs export byte-identical traces
+and journals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimClock
+from repro.core.agent import FunctionAgent
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.coordinator import TaskCoordinator
+from repro.core.params import Parameter
+from repro.core.plan import Binding, TaskPlan
+from repro.core.recovery import RecoveryManager, WriteAheadJournal
+from repro.core.resilience import (
+    ChaosController,
+    ChaosSpec,
+    KillSwitch,
+    RetryPolicy,
+)
+from repro.core.session import SessionManager
+from repro.errors import CoordinatorKilledError
+from repro.streams import StreamStore
+from repro.streams.persistence import export_json
+
+
+def diamond_plan(seed: int) -> TaskPlan:
+    """Fan-out/fan-in: S1 -> (M1, M2, M3) -> S2 (two waves of real width)."""
+    plan = TaskPlan("pp", goal="diamond")
+    plan.add_step("s1", "A", {"IN": Binding.const(f"q{seed}")})
+    plan.add_step("m1", "B", {"IN": Binding.from_node("s1", "OUT")})
+    plan.add_step("m2", "C", {"IN": Binding.from_node("s1", "OUT")})
+    plan.add_step("m3", "D", {"IN": Binding.from_node("s1", "OUT")})
+    plan.add_step(
+        "s2", "E",
+        {"IN": Binding.from_node("m1", "OUT"), "IN2": Binding.from_node("m2", "OUT")},
+    )
+    return plan
+
+
+def run_scenario(seed: int, fault_rate: float, kill_at: int | None, parallel: bool):
+    """One seeded diamond run under agent chaos, optionally kill+resumed.
+
+    Returns ``(node_outputs, charge multiset, journal entry set, status,
+    store export, clock end)``.
+    """
+    clock = SimClock()
+    store = StreamStore(clock)
+    session = SessionManager(store).create("parallel-prop")
+    budget = Budget(clock=clock)
+    chaos = ChaosController(
+        ChaosSpec(agent_transient_rate=fault_rate), seed=seed, clock=clock
+    )
+    switch = KillSwitch(kill_at) if kill_at is not None else None
+    journal = WriteAheadJournal(store, session=session, barrier_hook=switch)
+
+    def context():
+        return AgentContext(store=store, session=session, clock=clock, budget=budget)
+
+    def stage(name, latency):
+        def fn(inputs):
+            chaos.agent_fault(f"{name}|{inputs.get('IN')}")
+            budget.charge(f"agent:{name}", cost=0.01, latency=latency)
+            bound = ",".join(str(v) for k, v in sorted(inputs.items()) if v)
+            return {"OUT": f"{name}({bound})"}
+
+        return FunctionAgent(
+            name, fn,
+            inputs=(
+                Parameter("IN", "text"),
+                Parameter("IN2", "text", required=False),
+            ),
+            outputs=(Parameter("OUT", "text"),),
+        )
+
+    for name, latency in (("A", 0.2), ("B", 0.5), ("C", 0.3), ("D", 0.4), ("E", 0.1)):
+        stage(name, latency).attach(context())
+
+    def new_coordinator():
+        coordinator = TaskCoordinator(
+            journal=journal,
+            parallel=parallel,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.5, jitter=0.5, seed=seed
+            ),
+        )
+        coordinator.attach(context())
+        return coordinator
+
+    coordinator = new_coordinator()
+    try:
+        run = coordinator.execute_plan(diamond_plan(seed))
+    except CoordinatorKilledError:
+        coordinator.crash()
+        manager = RecoveryManager(journal, coordinator=new_coordinator())
+        runs = manager.resume_incomplete(budget=budget)
+        assert len(runs) == 1
+        run = runs[0]
+    charges = sorted((c.source, c.cost, c.latency) for c in budget.charges())
+    journal_entries = {
+        _freeze(entry) for entry in journal.entries("pp")
+    }
+    return (
+        dict(run.node_outputs),
+        charges,
+        journal_entries,
+        run.status,
+        export_json(store),
+        clock.now(),
+    )
+
+
+def _freeze(value):
+    """Recursively hashable form of a journal entry payload.
+
+    Time fields are stripped: branch-local charge timestamps (and the
+    plan's start time) are exactly what parallel accounting is *allowed*
+    to change, while every other field must match the serial run.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            sorted(
+                (k, _freeze(v))
+                for k, v in value.items()
+                if k not in ("timestamp", "started_at")
+            )
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+class TestSerialParallelEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+        kill_at=st.one_of(st.none(), st.integers(min_value=0, max_value=11)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_equals_serial_up_to_time(self, seed, fault_rate, kill_at):
+        outputs_s, charges_s, journal_s, status_s, _, _ = run_scenario(
+            seed, fault_rate, kill_at, parallel=False
+        )
+        outputs_p, charges_p, journal_p, status_p, _, _ = run_scenario(
+            seed, fault_rate, kill_at, parallel=True
+        )
+        assert outputs_p == outputs_s
+        assert status_p == status_s
+        assert charges_p == charges_s
+        # Journal *sets* match: same records, only interleaving/time differs.
+        assert journal_p == journal_s
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+        kill_at=st.one_of(st.none(), st.integers(min_value=0, max_value=11)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_runs_are_deterministic(self, seed, fault_rate, kill_at):
+        first = run_scenario(seed, fault_rate, kill_at, parallel=True)
+        second = run_scenario(seed, fault_rate, kill_at, parallel=True)
+        # Byte-identical stream export: same messages, ids, timestamps.
+        assert first[4] == second[4]
+        assert first == second
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_clock_never_exceeds_serial(self, seed):
+        *_, serial_end = run_scenario(seed, 0.0, None, parallel=False)
+        *_, parallel_end = run_scenario(seed, 0.0, None, parallel=True)
+        assert parallel_end <= serial_end
+        # The diamond's middle wave really overlaps: 0.2+0.5+0.1 critical
+        # path vs 0.2+0.5+0.3+0.4+0.1 serial sum.
+        assert parallel_end < serial_end

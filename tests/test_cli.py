@@ -54,6 +54,43 @@ class TestCLI:
             main([])
 
 
+class TestRunCLI:
+    def test_run_parallel_is_default_and_reports_speedup(self, capsys):
+        assert main(["run"]) == 0
+        output = capsys.readouterr().out
+        assert "mode: parallel (wave scheduler)" in output
+        assert "w1: m1, m2, m3" in output
+        assert "simulated latency: 1.40s" in output
+        assert "serial baseline:   2.50s" in output
+        assert "speedup: 1.79x" in output
+        assert "scheduler.waves = 3.0" in output
+        assert "scheduler.parallel_nodes = 3.0" in output
+
+    def test_run_serial_sums_latencies(self, capsys):
+        assert main(["run", "--serial"]) == 0
+        output = capsys.readouterr().out
+        assert "mode: serial" in output
+        assert "simulated latency: 2.50s" in output
+        assert "speedup" not in output
+        assert "scheduler." not in output
+
+    def test_run_modes_agree_on_outputs(self, capsys):
+        main(["run", "--parallel"])
+        parallel_out = capsys.readouterr().out
+        main(["run", "--serial"])
+        serial_out = capsys.readouterr().out
+        pick = lambda text: sorted(
+            line for line in text.splitlines() if " -> " in line
+        )
+        assert pick(parallel_out) == pick(serial_out)
+        assert "cost: $0.0600" in parallel_out
+        assert "cost: $0.0600" in serial_out
+
+    def test_run_modes_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--parallel", "--serial"])
+
+
 class TestRecoverCLI:
     def test_recover_demo_kill_and_resume(self, capsys):
         assert main(["recover", "--demo", "--kill", "3"]) == 0

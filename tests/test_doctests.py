@@ -4,18 +4,22 @@ import doctest
 
 import repro.clock
 import repro.core.runtime
+import repro.core.scheduler.timeline
 import repro.core.triggering
 import repro.embedding.hashing
 import repro.ids
+import repro.llm.cache
 import repro.streams.message
 import repro.streams.subscription
 
 MODULES = (
     repro.clock,
     repro.core.runtime,
+    repro.core.scheduler.timeline,
     repro.core.triggering,
     repro.embedding.hashing,
     repro.ids,
+    repro.llm.cache,
     repro.streams.message,
     repro.streams.subscription,
 )
