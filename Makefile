@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery parallel examples artifacts all
+.PHONY: test bench reliability observability recovery parallel fleet examples artifacts all
 
 test:
 	pytest tests/
@@ -21,6 +21,10 @@ recovery:
 parallel:
 	PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_scheduler.py tests/llm/test_cache.py tests/properties/test_parallel_properties.py -q
+
+fleet:
+	PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_fleet.py tests/llm/test_capacity_singleflight.py tests/properties/test_fleet_properties.py tests/streams/test_dispatch_index.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

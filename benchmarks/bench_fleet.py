@@ -1,0 +1,190 @@
+"""A12 — fleet throughput: concurrent plans vs serial sessions.
+
+Eight Fig-6-style job-search plans (profile, then match | recommend,
+then rank — each stage an LLM call) run two ways:
+
+* **serial baseline** — one Blueprint, plans driven one after another
+  (each still wave-parallel internally): simulated makespan is the *sum*
+  of the per-plan critical paths.
+* **fleet** — ``Blueprint.run_fleet`` with ``max_inflight=4``, two
+  slots per model, and single-flight coalescing: makespan approaches
+  ``max(critical paths)`` plus queueing delay.
+
+The run must show **>= 3x** simulated-makespan improvement with the
+capacity limit honored (peak observed in-flight per model never above
+the slot count), and it emits ``benchmarks/BENCH_throughput.json`` —
+the checked-in throughput baseline CI gates on.
+
+The regression gate compares plans/sec in **simulated** time (plans
+divided by simulated makespan) against the baseline: that is the
+quantity the fleet scheduler exists to improve, and it is deterministic
+— the same code produces the same number on any machine, so the >20%
+gate never flaps on CI hardware speed.  Raw wall-clock plans/sec is
+recorded in the artifact for inspection but not gated: at this scale
+(~15 ms a run) it is dominated by process noise.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from _artifacts import record, table
+
+from repro.cli import _fleet_agents, _fleet_plan
+from repro.core.coordinator import TaskCoordinator
+from repro.core.fleet import FleetSubmission
+from repro.core.runtime import Blueprint
+
+PLANS = 8
+MAX_INFLIGHT = 4
+SLOTS = 2
+#: The acceptance floor: fleet simulated makespan must beat serial by this.
+MIN_SPEEDUP = 3.0
+#: Fail CI when normalized throughput drops more than this vs baseline.
+REGRESSION_TOLERANCE = 0.20
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_throughput.json"
+
+
+def run_serial() -> tuple[float, float]:
+    """(simulated makespan, wall seconds) for plans driven back to back."""
+    bp = Blueprint()
+    origin = bp.clock.now()
+    wall_start = time.perf_counter()
+    for index in range(PLANS):
+        session = bp.create_session()
+        for agent in _fleet_agents(bp.catalog, index):
+            bp.attach(agent, session)
+        coordinator = TaskCoordinator(data_planner=bp.data_planner, parallel=True)
+        bp.attach(coordinator, session)
+        run = coordinator.execute_plan(_fleet_plan(index))
+        assert run.status == "completed"
+    return bp.clock.now() - origin, time.perf_counter() - wall_start
+
+
+def run_fleet() -> tuple[Blueprint, "FleetResult", float]:
+    bp = Blueprint()
+    submissions = [
+        FleetSubmission(
+            plan=_fleet_plan(index), agents=_fleet_agents(bp.catalog, index)
+        )
+        for index in range(PLANS)
+    ]
+    wall_start = time.perf_counter()
+    result = bp.run_fleet(
+        submissions,
+        max_inflight=MAX_INFLIGHT,
+        single_flight=True,
+        capacity={name: SLOTS for name in bp.catalog.names()},
+    )
+    return bp, result, time.perf_counter() - wall_start
+
+
+def measure() -> dict:
+    # Best-of-3 wall timings: a single ~20ms run is too noisy to gate on.
+    serial_runs = [run_serial() for _ in range(3)]
+    serial_makespan = serial_runs[0][0]
+    serial_wall = min(wall for _, wall in serial_runs)
+    fleet_runs = [run_fleet() for _ in range(3)]
+    bp, result, _ = fleet_runs[0]
+    fleet_wall = min(wall for _, _, wall in fleet_runs)
+
+    assert len(result.completed()) == PLANS, [p.outcome for p in result.plans]
+    speedup = serial_makespan / result.makespan
+
+    capacity = bp.catalog.capacity
+    peaks = {m: capacity.max_concurrency(m) for m in capacity.models()}
+    assert all(peak <= SLOTS for peak in peaks.values()), peaks
+    cap_stats = capacity.stats()
+    flight_stats = bp.catalog.single_flight.stats()
+
+    return {
+        "plans": PLANS,
+        "max_inflight": MAX_INFLIGHT,
+        "slots": SLOTS,
+        "simulated": {
+            "serial_makespan": round(serial_makespan, 6),
+            "fleet_makespan": round(result.makespan, 6),
+            "speedup": round(speedup, 4),
+            # The gated throughput: deterministic on any machine.
+            "serial_plans_per_sec": round(PLANS / serial_makespan, 4),
+            "fleet_plans_per_sec": round(PLANS / result.makespan, 4),
+        },
+        "wall_clock": {
+            "serial_plans_per_sec": round(PLANS / serial_wall, 2),
+            "fleet_plans_per_sec": round(PLANS / fleet_wall, 2),
+        },
+        "capacity": {
+            "peak_inflight": peaks,
+            "queued_calls": cap_stats.queued,
+            "total_queue_wait": round(cap_stats.total_wait, 6),
+        },
+        "coalescing": {
+            "leaders": flight_stats.leaders,
+            "joins": flight_stats.joins,
+            "hit_rate": round(flight_stats.hit_rate, 4),
+            "saved_cost": round(flight_stats.saved_cost, 6),
+        },
+    }
+
+
+def test_a12_fleet_throughput():
+    """Artifact + baseline: fleet vs serial makespan and throughput."""
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    results = measure()
+
+    simulated = results["simulated"]
+    assert simulated["speedup"] >= MIN_SPEEDUP, (
+        f"fleet speedup {simulated['speedup']:.2f}x below the "
+        f"{MIN_SPEEDUP}x acceptance floor"
+    )
+
+    record(
+        "a12_fleet_throughput",
+        f"A12 — fleet throughput, {PLANS} Fig-6 plans "
+        f"(max_inflight={MAX_INFLIGHT}, slots={SLOTS})\n"
+        + table(
+            ["mode", "simulated makespan", "plans/sec (wall)"],
+            [
+                [
+                    "serial",
+                    f"{simulated['serial_makespan']:.2f}s",
+                    f"{results['wall_clock']['serial_plans_per_sec']:,}",
+                ],
+                [
+                    "fleet",
+                    f"{simulated['fleet_makespan']:.2f}s",
+                    f"{results['wall_clock']['fleet_plans_per_sec']:,}",
+                ],
+            ],
+        )
+        + f"\nspeedup: {simulated['speedup']:.2f}x (floor {MIN_SPEEDUP}x)"
+        + f"\ncapacity peaks: {results['capacity']['peak_inflight']}"
+        + f"\ncoalescing hit rate: {results['coalescing']['hit_rate']:.0%}",
+    )
+
+    # Regression gate against the checked-in baseline: simulated
+    # plans/sec is what the fleet scheduler buys, and it is a
+    # deterministic function of the code, so a drop means a real change.
+    if baseline is not None:
+        floor = 1.0 - REGRESSION_TOLERANCE
+        base_pps = baseline["simulated"]["fleet_plans_per_sec"]
+        fresh_pps = simulated["fleet_plans_per_sec"]
+        assert fresh_pps >= base_pps * floor, (
+            f"fleet plans/sec regressed >{REGRESSION_TOLERANCE:.0%}: "
+            f"{fresh_pps:.3f} vs baseline {base_pps:.3f} (simulated)"
+        )
+
+    BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_a12_fleet_determinism():
+    """Two fleet runs agree on every simulated quantity."""
+    _, first, _ = run_fleet()
+    _, second, _ = run_fleet()
+    assert first.makespan == second.makespan
+    assert [(p.plan_id, p.outcome, p.finished_at) for p in first.plans] == [
+        (p.plan_id, p.outcome, p.finished_at) for p in second.plans
+    ]

@@ -74,6 +74,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serial scheduling: latency is the node sum")
     run.set_defaults(parallel=True)
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="run N Fig-6-style plans concurrently on one shared virtual "
+             "timeline (admission control, per-model capacity, single-flight "
+             "coalescing) and report makespan vs the serial baseline",
+    )
+    fleet.add_argument("--plans", type=int, default=8,
+                       help="number of independent plans to submit")
+    fleet.add_argument("--max-inflight", type=int, default=4,
+                       help="plans executing concurrently; the rest queue")
+    fleet.add_argument("--max-backlog", type=int, default=None,
+                       help="backlog depth before submissions are rejected "
+                            "(default: unbounded)")
+    fleet.add_argument("--slots", type=int, default=4,
+                       help="per-model concurrency slots (0 = unlimited)")
+    fleet.add_argument("--no-single-flight", dest="single_flight",
+                       action="store_false",
+                       help="disable cross-plan coalescing of identical "
+                            "in-flight LLM calls")
+
     recover = commands.add_parser(
         "recover",
         help="inspect a journaled stream export for recoverable plans, or "
@@ -343,6 +363,156 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if run.status == "completed" else 1
 
 
+def _fleet_plan(index: int):
+    """One Fig-6-style plan: profile, then match | recommend, then rank."""
+    from .core.plan import Binding, TaskPlan
+
+    plan = TaskPlan(f"fleet-{index:02d}", goal=f"session {index} job search")
+    plan.add_step(
+        "profile", "PROFILER",
+        {"IN": Binding.const(f"candidate #{index}: data scientist in the bay area")},
+    )
+    plan.add_step("match", "MATCHER", {"IN": Binding.from_node("profile", "OUT")})
+    plan.add_step(
+        "recommend", "RECOMMENDER", {"IN": Binding.from_node("profile", "OUT")}
+    )
+    plan.add_step(
+        "rank", "RANKER",
+        {
+            "IN": Binding.from_node("match", "OUT"),
+            "IN2": Binding.from_node("recommend", "OUT"),
+        },
+    )
+    return plan
+
+
+def _fleet_agents(catalog, index: int):
+    """LLM-backed stages for one fleet session.
+
+    MATCHER and RECOMMENDER issue the *same* prompt in every session, so
+    overlapping plans coalesce those calls through the catalog's
+    single-flight; PROFILER and RANKER are session-specific.
+    """
+    from .core.agent import FunctionAgent
+    from .core.params import Parameter
+
+    def llm_stage(name, model, prompt_of):
+        def fn(inputs):
+            response = catalog.client(model).complete(prompt_of(inputs))
+            return {"OUT": response.text}
+
+        return FunctionAgent(
+            name, fn,
+            inputs=(
+                Parameter("IN", "text"),
+                Parameter("IN2", "text", required=False),
+            ),
+            outputs=(Parameter("OUT", "text"),),
+        )
+
+    return [
+        llm_stage(
+            "PROFILER", "mega-s",
+            lambda i: "TASK: EXTRACT\nFIELDS: title, location\n"
+                      f"TEXT: {i['IN']}",
+        ),
+        llm_stage(
+            "MATCHER", "mega-m",
+            lambda i: "TASK: RELATED_TITLES\nTITLE: data scientist",
+        ),
+        llm_stage(
+            "RECOMMENDER", "hr-ft",
+            lambda i: "TASK: LIST_SKILLS\nTITLE: data scientist",
+        ),
+        llm_stage(
+            "RANKER", "mega-s",
+            lambda i: f"TASK: SUMMARIZE\nTEXT: {i.get('IN', '')} | "
+                      f"{i.get('IN2', '')}",
+        ),
+    ]
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run N plans through the fleet scheduler; compare against serial."""
+    from .core.fleet import FleetSubmission
+    from .core.runtime import Blueprint
+
+    if args.plans < 1:
+        print("fleet: --plans must be >= 1")
+        return 2
+
+    # Serial baseline: the same plans, one Blueprint, driven one after
+    # another (each still wave-parallel *within* the plan).
+    serial_bp = Blueprint()
+    serial_start = serial_bp.clock.now()
+    for index in range(args.plans):
+        session = serial_bp.create_session()
+        for agent in _fleet_agents(serial_bp.catalog, index):
+            serial_bp.attach(agent, session)
+        from .core.coordinator import TaskCoordinator
+
+        coordinator = TaskCoordinator(
+            data_planner=serial_bp.data_planner, parallel=True
+        )
+        serial_bp.attach(coordinator, session)
+        coordinator.execute_plan(_fleet_plan(index))
+    serial_makespan = serial_bp.clock.now() - serial_start
+
+    fleet_bp = Blueprint()
+    capacity = {name: args.slots for name in fleet_bp.catalog.names()} if args.slots else None
+    submissions = [
+        FleetSubmission(
+            plan=_fleet_plan(index),
+            agents=_fleet_agents(fleet_bp.catalog, index),
+        )
+        for index in range(args.plans)
+    ]
+    result = fleet_bp.run_fleet(
+        submissions,
+        max_inflight=args.max_inflight,
+        max_backlog=args.max_backlog,
+        single_flight=args.single_flight,
+        capacity=capacity,
+    )
+
+    print(f"plans: {args.plans}   max in-flight: {args.max_inflight}   "
+          f"model slots: {args.slots or 'unlimited'}   "
+          f"single-flight: {'on' if args.single_flight else 'off'}")
+    print(f"admitted={result.admitted} queued={result.queued} "
+          f"rejected={result.rejected}")
+    print()
+    for p in result.plans:
+        if p.outcome == "rejected":
+            print(f"  {p.plan_id}: rejected (backlog full)")
+            continue
+        print(f"  {p.plan_id}: {p.outcome}  admitted@{p.admitted_at:.2f}s  "
+              f"finished@{p.finished_at:.2f}s  queue_wait={p.queue_wait:.2f}s")
+    print()
+    print(f"fleet makespan:   {result.makespan:.2f}s (simulated)")
+    print(f"serial baseline:  {serial_makespan:.2f}s")
+    if result.makespan > 0:
+        print(f"speedup:          {serial_makespan / result.makespan:.2f}x")
+    if fleet_bp.catalog.capacity is not None:
+        print("capacity (peak in-flight per model, limit "
+              f"{args.slots}):")
+        for model in fleet_bp.catalog.capacity.models():
+            peak = fleet_bp.catalog.capacity.max_concurrency(model)
+            print(f"  {model}: {peak}")
+        stats = fleet_bp.catalog.capacity.stats()
+        print(f"  queued calls: {stats.queued}/{stats.reservations} "
+              f"(total wait {stats.total_wait:.2f}s)")
+    if fleet_bp.catalog.single_flight is not None:
+        flights = fleet_bp.catalog.single_flight.stats()
+        print(f"single-flight: {flights.joins} joins / "
+              f"{flights.leaders} leaders "
+              f"(hit rate {flights.hit_rate:.0%}, "
+              f"saved ${flights.saved_cost:.5f} and "
+              f"{flights.saved_latency:.2f}s model time)")
+    completed = len(result.completed())
+    expected = result.admitted
+    return 0 if completed == expected else 1
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     if args.export_file is None and not args.demo:
         print("recover: pass --export FILE to analyze a journal, or --demo")
@@ -454,6 +624,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "employer": cmd_employer,
         "trace": cmd_trace,
         "run": cmd_run,
+        "fleet": cmd_fleet,
         "recover": cmd_recover,
     }
     return handlers[args.command](args)

@@ -101,6 +101,255 @@ class PlanRun:
         return bool(self.fallbacks)
 
 
+class PlanExecution:
+    """One plan's wave-stepped execution state machine.
+
+    Wraps the coordinator's wave loop as an explicit stepper: each
+    :meth:`step` drives one dependency wave to completion.  The plain
+    ``execute_plan`` path steps it in a tight loop — messages, journal
+    writes, and charges are identical to the pre-stepper loop — while the
+    fleet runtime round-robins ``step()`` across many admitted plans over
+    one *shared* :class:`VirtualTimeline`, which turns N plans' total
+    simulated makespan from the sum of their critical paths into their
+    max plus contention.
+
+    Ownership is split so both paths stay correct:
+
+    * ``owns_timeline`` — the plain path creates a fresh timeline per
+      plan and commits it when done; fleet executions borrow the shared
+      one and must NOT commit it (the fleet does, once, at the end).
+    * ``owns_span`` — the plain path's span is managed by
+      ``execute_plan``'s ``with`` block; fleet executions carry their
+      own admission-opened span, suspended between steps and finalized
+      (status attributes, end stamp at the plan's own critical path)
+      when the plan concludes.
+    """
+
+    def __init__(
+        self,
+        coordinator: "TaskCoordinator",
+        plan: TaskPlan,
+        run: PlanRun,
+        budget: Budget | None,
+        attempt: int,
+        *,
+        parallel: bool,
+        timeline: VirtualTimeline | None,
+        owns_timeline: bool = True,
+        span: Any = None,
+        owns_span: bool = False,
+        start_at: float | None = None,
+    ) -> None:
+        self.coordinator = coordinator
+        self.plan = plan
+        self.run = run
+        self.budget = budget
+        self.attempt = attempt
+        self.timeline = timeline
+        self.owns_timeline = owns_timeline
+        self.span = span
+        self._owns_span = owns_span
+        self._parallel = parallel
+        if parallel:
+            self._schedule: list[list[TaskNode]] = plan.waves()
+        else:
+            self._schedule = [[node] for node in plan.order()]
+        context = coordinator._require_context()
+        obs = context.observability
+        self._tracer = obs.tracer if obs is not None else None
+        if start_at is not None:
+            self.start_at = float(start_at)
+        elif timeline is not None:
+            self.start_at = timeline.origin
+        else:
+            self.start_at = context.clock.now()
+        self._ends: dict[str, float] = {}
+        self._wave_index = 0
+        self.finished = False
+        self.result: PlanRun | None = None
+
+    @property
+    def plan_end(self) -> float:
+        """This plan's own critical path end (its branch ends' max)."""
+        if not self._ends:
+            return self.start_at
+        return max(self._ends.values())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def admit(self) -> bool:
+        """Validate participants and journal the admission record.
+
+        Returns False when the plan cannot run (an absent agent); the
+        run is then already marked failed and, for span-owning (fleet)
+        executions, concluded.
+        """
+        coordinator = self.coordinator
+        context = coordinator._require_context()
+        journal = coordinator._journal
+        run = self.run
+        # A control message addressed to an absent agent would dissolve
+        # silently; require every planned agent to be in the session.
+        participants = set(context.session.participants())
+        absent = sorted({n.agent for n in self.plan.nodes()} - participants)
+        if absent:
+            run.status = "failed"
+            run.abort_reason = f"agents not present in session: {absent}"
+            if journal is not None and run.resumed:
+                journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
+            self._conclude(run)
+            return False
+        if journal is not None and not run.resumed:
+            journal.plan_started(
+                self.plan,
+                qos=self.budget.qos if self.budget is not None else None,
+                attempt=self.attempt,
+            )
+        return True
+
+    def step(self) -> bool:
+        """Execute the next wave; returns True while more work remains.
+
+        A span-owning execution re-enters its suspended plan span for the
+        duration of the step, so node/agent/llm spans opened inside
+        parent correctly even when steps of many plans interleave.
+        """
+        if self.finished:
+            return False
+        if self._owns_span and self.span is not None and self._tracer is not None:
+            with self._tracer.use(self.span):
+                self._step_wave()
+        else:
+            self._step_wave()
+        return not self.finished
+
+    def close(self) -> None:
+        """Commit an owned timeline (idempotent; safe after a crash)."""
+        if self.owns_timeline and self.timeline is not None:
+            self.timeline.commit()
+
+    def abandon(self, error: str) -> None:
+        """Record a crash that cut this execution short (chaos kill).
+
+        Closes a span-owning execution's span with the error at the
+        current clock — the same stamp the plain path's ``with`` block
+        leaves when the exception unwinds through it.  No status tally:
+        a crashed run never concluded.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        self.result = self.run
+        if self._owns_span and self.span is not None:
+            self.span.set_error(error)
+            self.span.__exit__(None, None, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _step_wave(self) -> None:
+        coordinator = self.coordinator
+        context = coordinator._require_context()
+        run = self.run
+        timeline = self.timeline
+        if self._wave_index >= len(self._schedule):
+            self._complete()
+            return
+        wave = self._schedule[self._wave_index]
+        wave_index = self._wave_index
+        self._wave_index += 1
+        # The plan-level cache bypass is coordinator state read by
+        # _attempt_node; swap it per step so interleaved plans with
+        # different no_cache settings never leak into each other.
+        previous_no_cache = coordinator._plan_no_cache
+        coordinator._plan_no_cache = bool(self.plan.no_cache)
+        try:
+            if timeline is not None:
+                context.metric_inc("scheduler.waves")
+            for node in wave:
+                if node.node_id in run.executed:
+                    # Restored from the journal on resume: already
+                    # completed (and journaled as such) before the
+                    # crash — zero messages, zero branch time.
+                    continue
+                if timeline is not None:
+                    if len(wave) > 1:
+                        context.metric_inc("scheduler.parallel_nodes")
+                    ready = max(
+                        (
+                            self._ends[p]
+                            for p in node.upstream_nodes()
+                            if p in self._ends
+                        ),
+                        default=self.start_at,
+                    )
+                    timeline.open(ready, owner=run.plan_id)
+                try:
+                    verdict = coordinator._drive_node(
+                        node,
+                        self.plan,
+                        run,
+                        self.budget,
+                        self.attempt,
+                        wave=wave_index if self._parallel else None,
+                        concurrency=len(wave),
+                    )
+                finally:
+                    if timeline is not None:
+                        self._ends[node.node_id] = timeline.close()
+                if verdict == "replan":
+                    if timeline is not None and self.owns_timeline:
+                        # Land the clock on this run's critical path
+                        # before the escalated re-execution starts its
+                        # own timeline.  (A fleet execution's shared
+                        # timeline is committed by the fleet instead;
+                        # the escalated run executes inline within this
+                        # step, non-interleaved.)
+                        timeline.commit()
+                    self._conclude(
+                        coordinator._replan(self.plan, self.budget, self.attempt)
+                    )
+                    return
+                if verdict == "stop":
+                    self._conclude(run)
+                    return
+            if self._wave_index >= len(self._schedule):
+                self._complete()
+        finally:
+            coordinator._plan_no_cache = previous_no_cache
+
+    def _complete(self) -> None:
+        run = self.run
+        run.status = "completed"
+        journal = self.coordinator._journal
+        if journal is not None:
+            journal.plan_finished(run.plan_id, "completed")
+        self._conclude(run)
+
+    def _conclude(self, result: PlanRun) -> None:
+        self.finished = True
+        self.result = result
+        if self._owns_span and self.span is not None:
+            self._finalize_span()
+
+    def _finalize_span(self) -> None:
+        run = self.run
+        coordinator = self.coordinator
+        context = coordinator._require_context()
+        # Stamp the span end at this plan's own critical path — the same
+        # instant the plain path's timeline.commit lands the clock on.
+        context.clock.rebase(self.plan_end)
+        span = self.span
+        span.set_attribute("status", run.status)
+        span.set_attribute("nodes_executed", len(run.executed))
+        if run.status != "completed":
+            span.set_error(run.abort_reason or run.status)
+        span.__exit__(None, None, None)
+        tally = coordinator._plan_status_tally
+        tally[run.status] = tally.get(run.status, 0) + 1
+
+
 class TaskCoordinator(Agent):
     """Executes task plans by streaming instructions to agents."""
 
@@ -342,84 +591,87 @@ class TaskCoordinator(Agent):
         itself stays single-threaded (within a wave, nodes run in node-id
         order), so results, budget charges, and the journal *set* are
         identical to serial mode — only latency accounting differs.
+
+        The loop itself lives in :class:`PlanExecution`; here it is
+        stepped to completion in one go.  The fleet runtime steps the
+        same machine interleaved with other plans (:meth:`begin_plan`).
         """
         context = self._require_context()
-        journal = self._journal
-        # A control message addressed to an absent agent would dissolve
-        # silently; require every planned agent to be in the session.
-        participants = set(context.session.participants())
-        absent = sorted({n.agent for n in plan.nodes()} - participants)
-        if absent:
-            run.status = "failed"
-            run.abort_reason = f"agents not present in session: {absent}"
-            if journal is not None and run.resumed:
-                journal.plan_finished(run.plan_id, "failed", reason=run.abort_reason)
-            return run
-        if journal is not None and not run.resumed:
-            journal.plan_started(
-                plan, qos=budget.qos if budget is not None else None, attempt=_attempt
-            )
-        schedule: list[list[TaskNode]]
-        if parallel:
-            schedule = plan.waves()
-        else:
-            schedule = [[node] for node in plan.order()]
         timeline = VirtualTimeline(context.clock) if parallel else None
-        ends: dict[str, float] = {}
-        previous_no_cache = self._plan_no_cache
-        self._plan_no_cache = bool(plan.no_cache)
-        try:
-            for wave_index, wave in enumerate(schedule):
-                if timeline is not None:
-                    context.metric_inc("scheduler.waves")
-                for node in wave:
-                    if node.node_id in run.executed:
-                        # Restored from the journal on resume: already
-                        # completed (and journaled as such) before the
-                        # crash — zero messages, zero branch time.
-                        continue
-                    if timeline is not None:
-                        if len(wave) > 1:
-                            context.metric_inc("scheduler.parallel_nodes")
-                        ready = max(
-                            (
-                                ends[p]
-                                for p in node.upstream_nodes()
-                                if p in ends
-                            ),
-                            default=timeline.origin,
-                        )
-                        timeline.open(ready)
-                    try:
-                        verdict = self._drive_node(
-                            node,
-                            plan,
-                            run,
-                            budget,
-                            _attempt,
-                            wave=wave_index if parallel else None,
-                            concurrency=len(wave),
-                        )
-                    finally:
-                        if timeline is not None:
-                            ends[node.node_id] = timeline.close()
-                    if verdict == "replan":
-                        if timeline is not None:
-                            # Land the clock on this run's critical path
-                            # before the escalated re-execution starts its
-                            # own timeline.
-                            timeline.commit()
-                        return self._replan(plan, budget, _attempt)
-                    if verdict == "stop":
-                        return run
-            run.status = "completed"
-            if journal is not None:
-                journal.plan_finished(run.plan_id, "completed")
+        execution = PlanExecution(
+            self,
+            plan,
+            run,
+            budget,
+            _attempt,
+            parallel=parallel,
+            timeline=timeline,
+            owns_timeline=True,
+        )
+        if not execution.admit():
             return run
+        try:
+            while execution.step():
+                pass
         finally:
-            self._plan_no_cache = previous_no_cache
-            if timeline is not None:
-                timeline.commit()
+            execution.close()
+        return execution.result if execution.result is not None else run
+
+    def begin_plan(
+        self,
+        plan: TaskPlan,
+        budget: Budget | None = None,
+        timeline: VirtualTimeline | None = None,
+        start_at: float | None = None,
+        attempt: int = 0,
+    ) -> PlanExecution:
+        """Admit *plan* for stepped execution on a shared *timeline*.
+
+        The fleet entrypoint: validates the plan, opens its plan span
+        (suspended between steps), writes the journal admission record,
+        and returns a :class:`PlanExecution` the fleet scheduler
+        interleaves with other plans' via ``step()``.  The caller owns
+        the shared timeline's commit; the execution owns its span.
+        *start_at* is the plan's simulated admission time — branch ready
+        times default to it, so a plan admitted from the backlog starts
+        after the plan whose completion freed its slot.
+        """
+        if timeline is None:
+            raise CoordinationError(
+                "begin_plan requires a shared timeline; use execute_plan "
+                "for standalone runs"
+            )
+        context = self._require_context()
+        budget = budget or context.budget
+        plan.validate()
+        run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
+        self.runs.append(run)
+        span = context.span(
+            f"plan:{plan.plan_id}", kind="plan", goal=plan.goal, attempt=attempt
+        )
+        span.__enter__()
+        span.set_attribute("scheduler", "fleet")
+        obs = context.observability
+        tracer = obs.tracer if obs is not None else None
+        if tracer is not None:
+            tracer.suspend(span)
+        execution = PlanExecution(
+            self,
+            plan,
+            run,
+            budget,
+            attempt,
+            parallel=True,
+            timeline=timeline,
+            owns_timeline=False,
+            span=span,
+            owns_span=True,
+            start_at=start_at,
+        )
+        # On admission failure the execution is already concluded (run
+        # failed, span finalized); the fleet collects it as finished.
+        execution.admit()
+        return execution
 
     def _drive_node(
         self,

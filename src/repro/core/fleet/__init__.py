@@ -1,0 +1,24 @@
+"""Fleet execution: concurrent multi-plan scheduling.
+
+One :class:`FleetScheduler` interleaves the wave steppers of many
+admitted plans over a shared virtual timeline, with admission control
+(max in-flight plans, FIFO backlog), per-model concurrency limits, and
+single-flight LLM coalescing supplied by the shared catalog.  See
+DESIGN.md §10 for the execution semantics.
+"""
+
+from .scheduler import (
+    FleetEntry,
+    FleetPlanResult,
+    FleetResult,
+    FleetScheduler,
+    FleetSubmission,
+)
+
+__all__ = [
+    "FleetEntry",
+    "FleetPlanResult",
+    "FleetResult",
+    "FleetScheduler",
+    "FleetSubmission",
+]

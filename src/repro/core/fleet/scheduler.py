@@ -1,0 +1,294 @@
+"""Deterministic multi-plan scheduling over one shared virtual timeline.
+
+The blueprint is an *enterprise* architecture — many users, many
+concurrent sessions — but a single :class:`~repro.core.coordinator.
+TaskCoordinator` drives one plan at a time, so N sessions' simulated
+makespan is the **sum** of N critical paths.  The fleet scheduler
+interleaves the wave steppers of up to ``max_inflight`` admitted plans
+over one shared :class:`~repro.core.scheduler.VirtualTimeline`:
+
+* **Round-robin stepping.**  Each round steps every unfinished in-flight
+  plan one dependency wave, in admission order.  Execution stays
+  single-threaded; concurrency is simulated-time concurrency (each node
+  runs on its own timeline branch), so runs are deterministic — the same
+  submission order produces byte-identical streams, journals, and
+  charges every time.
+
+* **Admission control.**  At most ``max_inflight`` plans run at once;
+  excess submissions wait in a FIFO backlog (at most ``max_backlog``
+  deep, unbounded when None) and are admitted at the simulated instant
+  the plan whose completion freed their slot ended.  Overflow beyond the
+  backlog is rejected outright.  Counters: ``fleet.admitted`` /
+  ``fleet.queued`` / ``fleet.rejected``; per-plan admission waits feed
+  the ``fleet.queue_wait`` histogram.
+
+* **Shared contention.**  Because every plan's LLM calls reserve slots
+  against the catalog's shared :class:`~repro.llm.ModelCapacity` and
+  coalesce through its shared :class:`~repro.llm.SingleFlight`, the
+  fleet's makespan approaches ``max(critical paths)`` plus queueing
+  delay — the quantity ``benchmarks/bench_fleet.py`` measures against
+  serial execution.
+
+Crash semantics match the plain path: an exception unwinding out of a
+step (a chaos kill) closes the dying plan's span with the error, leaves
+other in-flight spans open (the process "crashed"), and the shared
+timeline still commits — per-plan journals remain resumable through the
+ordinary :class:`~repro.core.recovery.RecoveryManager` machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence, TYPE_CHECKING
+
+from ...clock import SimClock
+from ...observability.span import NOOP_SPAN
+from ..budget import Budget
+from ..coordinator import PlanExecution, PlanRun, TaskCoordinator
+from ..plan.task_plan import TaskPlan
+from ..qos import QoSSpec
+from ..scheduler import VirtualTimeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability import Observability
+    from ..agent import Agent
+
+
+@dataclass
+class FleetSubmission:
+    """One plan offered to :meth:`Blueprint.run_fleet`.
+
+    *agents* are attached to the plan's dedicated session before the
+    coordinator (every planned agent must be a session participant);
+    *qos* builds the plan's budget (None = unmetered).
+    """
+
+    plan: TaskPlan
+    agents: Sequence["Agent"] = ()
+    qos: QoSSpec | None = None
+
+
+@dataclass
+class FleetEntry:
+    """A submission prepared for scheduling: plan + its session's driver."""
+
+    plan: TaskPlan
+    coordinator: TaskCoordinator
+    budget: Budget | None = None
+
+
+@dataclass
+class FleetPlanResult:
+    """Outcome of one submitted plan."""
+
+    plan_id: str
+    #: ``completed`` / ``failed`` / ``aborted`` (the run's status), or
+    #: ``rejected`` when admission control never ran the plan.
+    outcome: str
+    run: PlanRun | None
+    #: Simulated admission instant (None when rejected).
+    admitted_at: float | None
+    #: Simulated end of the plan's own critical path (None when rejected).
+    finished_at: float | None
+    #: Simulated seconds spent in the backlog before admission.
+    queue_wait: float = 0.0
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet run."""
+
+    origin: float
+    #: Simulated seconds from fleet start to the shared timeline horizon
+    #: — ≈ max(per-plan critical paths) + contention, vs the serial sum.
+    makespan: float
+    plans: list[FleetPlanResult] = field(default_factory=list)
+    admitted: int = 0
+    queued: int = 0
+    rejected: int = 0
+
+    def completed(self) -> list[FleetPlanResult]:
+        return [p for p in self.plans if p.outcome == "completed"]
+
+    def runs(self) -> list[PlanRun]:
+        return [p.run for p in self.plans if p.run is not None]
+
+
+class _Active:
+    """One in-flight plan: its entry, stepper, and admission bookkeeping."""
+
+    __slots__ = ("index", "entry", "execution", "admitted_at")
+
+    def __init__(
+        self, index: int, entry: FleetEntry, execution: PlanExecution, admitted_at: float
+    ) -> None:
+        self.index = index
+        self.entry = entry
+        self.execution = execution
+        self.admitted_at = admitted_at
+
+
+class FleetScheduler:
+    """Round-robins plan-wave steppers over a shared timeline."""
+
+    def __init__(
+        self,
+        timeline: VirtualTimeline,
+        clock: SimClock,
+        max_inflight: int = 4,
+        max_backlog: int | None = None,
+        observability: "Observability | None" = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
+        if max_backlog is not None and max_backlog < 0:
+            raise ValueError(f"max_backlog must be >= 0: {max_backlog}")
+        self._timeline = timeline
+        self._clock = clock
+        self._max_inflight = max_inflight
+        self._max_backlog = max_backlog
+        self._observability = observability
+
+    def run(self, entries: Sequence[FleetEntry]) -> FleetResult:
+        """Drive every entry to an outcome; returns the aggregate result."""
+        obs = self._observability
+        metrics = (
+            obs.metrics if obs is not None and obs.metrics.enabled else None
+        )
+        origin = self._timeline.origin
+        results: dict[int, FleetPlanResult] = {}
+        counts = {"admitted": 0, "queued": 0, "rejected": 0}
+        span = (
+            obs.span(
+                "fleet",
+                kind="fleet",
+                plans=len(entries),
+                max_inflight=self._max_inflight,
+            )
+            if obs is not None
+            else NOOP_SPAN
+        )
+        with span:
+            inflight: list[_Active] = []
+            backlog: deque[tuple[int, FleetEntry]] = deque()
+            # Intake in submission order: fill the in-flight window, then
+            # the backlog, then reject (deterministic FIFO).
+            for index, entry in enumerate(entries):
+                if len(inflight) < self._max_inflight:
+                    inflight.append(
+                        self._admit(index, entry, origin, metrics, counts)
+                    )
+                elif (
+                    self._max_backlog is None or len(backlog) < self._max_backlog
+                ):
+                    backlog.append((index, entry))
+                    counts["queued"] += 1
+                    if metrics is not None:
+                        metrics.inc("fleet.queued")
+                else:
+                    counts["rejected"] += 1
+                    if metrics is not None:
+                        metrics.inc("fleet.rejected")
+                    results[index] = FleetPlanResult(
+                        plan_id=entry.plan.plan_id,
+                        outcome="rejected",
+                        run=None,
+                        admitted_at=None,
+                        finished_at=None,
+                    )
+            try:
+                while inflight:
+                    for active in inflight:
+                        execution = active.execution
+                        if execution.finished:
+                            continue
+                        try:
+                            execution.step()
+                        except BaseException as error:
+                            # The dying plan's span closes with the error
+                            # (as the plain path's ``with`` would); other
+                            # plans' spans stay open — the process
+                            # "crashed" mid-fleet.
+                            execution.abandon(
+                                f"{type(error).__name__}: {error}"
+                            )
+                            raise
+                    done = [a for a in inflight if a.execution.finished]
+                    # Free slots in simulated completion order (ties by
+                    # admission index) so backlog admission times are
+                    # deterministic and physically sensible.
+                    done.sort(key=lambda a: (a.execution.plan_end, a.index))
+                    for active in done:
+                        inflight.remove(active)
+                        results[active.index] = self._result_of(active, origin)
+                        if backlog:
+                            index, entry = backlog.popleft()
+                            inflight.append(
+                                self._admit(
+                                    index,
+                                    entry,
+                                    active.execution.plan_end,
+                                    metrics,
+                                    counts,
+                                )
+                            )
+            finally:
+                # Land the shared clock on the fleet's critical path —
+                # idempotent and kill-safe, exactly like the plain
+                # path's per-plan commit.
+                self._timeline.commit()
+            makespan = self._timeline.horizon - origin
+            span.set_attribute("makespan", makespan)
+            span.set_attribute("admitted", counts["admitted"])
+            span.set_attribute("queued", counts["queued"])
+            span.set_attribute("rejected", counts["rejected"])
+            return FleetResult(
+                origin=origin,
+                makespan=makespan,
+                plans=[results[i] for i in sorted(results)],
+                admitted=counts["admitted"],
+                queued=counts["queued"],
+                rejected=counts["rejected"],
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        index: int,
+        entry: FleetEntry,
+        at: float,
+        metrics,
+        counts: dict[str, int],
+    ) -> _Active:
+        # Rebase to the admission instant so the journal's plan_started
+        # stamp (and everything else admission touches) reads it — a
+        # backlog plan starts when its slot freed, not wherever the last
+        # branch left the clock.
+        self._clock.rebase(at)
+        execution = entry.coordinator.begin_plan(
+            entry.plan,
+            budget=entry.budget,
+            timeline=self._timeline,
+            start_at=at,
+        )
+        counts["admitted"] += 1
+        if metrics is not None:
+            metrics.inc("fleet.admitted")
+            metrics.histogram("fleet.queue_wait").observe(
+                at - self._timeline.origin
+            )
+        return _Active(index, entry, execution, at)
+
+    def _result_of(self, active: _Active, origin: float) -> FleetPlanResult:
+        run = active.execution.result
+        return FleetPlanResult(
+            plan_id=active.entry.plan.plan_id,
+            outcome=run.status if run is not None else "failed",
+            run=run,
+            admitted_at=active.admitted_at,
+            finished_at=active.execution.plan_end,
+            queue_wait=active.admitted_at - origin,
+        )

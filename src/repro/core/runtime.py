@@ -15,10 +15,10 @@ Example:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from ..clock import SimClock
-from ..llm import LLMCache, ModelCatalog, UsageTracker
+from ..llm import LLMCache, ModelCapacity, ModelCatalog, SingleFlight, UsageTracker
 from ..observability import Observability
 from ..streams import FlowTrace, StreamStore
 from .agent import Agent
@@ -26,6 +26,9 @@ from .budget import Budget, Projection
 from .context import AgentContext
 from .coordinator import TaskCoordinator
 from .factory import AgentFactory
+from .fleet import FleetEntry, FleetResult, FleetScheduler, FleetSubmission
+from .plan.task_plan import TaskPlan
+from .scheduler import VirtualTimeline
 from .planners.data_planner import DataPlanner
 from .planners.task_planner import TaskPlanner, TaskPlannerAgent
 from .qos import QoSSpec
@@ -146,6 +149,72 @@ class Blueprint:
         self.attach(planner_agent, session, budget)
         self.attach(coordinator, session, budget)
         return planner_agent, coordinator
+
+    # ------------------------------------------------------------------
+    # Fleet execution
+    # ------------------------------------------------------------------
+    def run_fleet(
+        self,
+        submissions: Sequence["TaskPlan | FleetSubmission"],
+        max_inflight: int = 4,
+        max_backlog: int | None = None,
+        journal: bool = True,
+        single_flight: bool = True,
+        capacity: "ModelCapacity | dict[str, int] | None" = None,
+    ) -> FleetResult:
+        """Run many plans concurrently on one shared virtual timeline.
+
+        Each submission gets its own session, coordinator, and (with
+        *journal*) write-ahead journal stream, so crash recovery works
+        per plan exactly as in single-plan runs.  Up to *max_inflight*
+        plans execute at once, round-robined wave by wave; the rest wait
+        in a FIFO backlog of at most *max_backlog* (unbounded when None)
+        or are rejected.  With *single_flight*, timeline-overlapping
+        identical LLM calls across plans coalesce into one; *capacity*
+        (a :class:`~repro.llm.ModelCapacity` or a ``{model: slots}``
+        mapping) bounds per-model concurrency, queueing excess calls with
+        deterministic delay.
+
+        Plain :class:`TaskPlan` submissions run unbudgeted with no extra
+        agents; wrap in :class:`~repro.core.fleet.FleetSubmission` to
+        attach agents and a QoS budget.
+        """
+        if single_flight and self.catalog.single_flight is None:
+            self.catalog.single_flight = SingleFlight()
+        if capacity is not None:
+            self.catalog.capacity = (
+                capacity
+                if isinstance(capacity, ModelCapacity)
+                else ModelCapacity(dict(capacity))
+            )
+        entries: list[FleetEntry] = []
+        for item in submissions:
+            sub = (
+                item
+                if isinstance(item, FleetSubmission)
+                else FleetSubmission(plan=item)
+            )
+            session = self.create_session()
+            plan_journal = self.journal(session) if journal else None
+            coordinator = TaskCoordinator(
+                data_planner=self.data_planner, journal=plan_journal, parallel=True
+            )
+            budget = self.budget(sub.qos) if sub.qos is not None else None
+            for agent in sub.agents:
+                self.attach(agent, session, budget)
+            self.attach(coordinator, session, budget)
+            entries.append(
+                FleetEntry(plan=sub.plan, coordinator=coordinator, budget=budget)
+            )
+        timeline = VirtualTimeline(self.clock)
+        scheduler = FleetScheduler(
+            timeline,
+            self.clock,
+            max_inflight=max_inflight,
+            max_backlog=max_backlog,
+            observability=self.observability,
+        )
+        return scheduler.run(entries)
 
     # ------------------------------------------------------------------
     # Crash recovery

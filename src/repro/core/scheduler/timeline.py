@@ -45,6 +45,10 @@ class VirtualTimeline:
         self.origin = clock.now()
         self._horizon = self.origin
         self._branch_open = False
+        self._branch_owner: str | None = None
+        #: Per-owner critical paths: a timeline shared by a fleet of
+        #: plans tracks each plan's own horizon alongside the global one.
+        self._owner_horizons: dict[str, float] = {}
 
     @property
     def horizon(self) -> float:
@@ -55,17 +59,32 @@ class VirtualTimeline:
         """Critical-path seconds accounted so far."""
         return self._horizon - self.origin
 
-    def open(self, ready_at: float) -> float:
+    def horizon_of(self, owner: str) -> float:
+        """Latest branch end recorded for *owner* (its critical path).
+
+        Owners that never opened a branch sit at the timeline origin.
+        """
+        return self._owner_horizons.get(owner, self.origin)
+
+    def owners(self) -> list[str]:
+        """Every owner that has opened a branch, sorted."""
+        return sorted(self._owner_horizons)
+
+    def open(self, ready_at: float, owner: str | None = None) -> float:
         """Start a branch at *ready_at* (clamped to the plan origin).
 
         Branches do not nest: plan nodes are the unit of concurrency, and
-        any sub-plans a node runs belong to that node's branch.
+        any sub-plans a node runs belong to that node's branch.  *owner*
+        attributes the branch to one plan when several share the timeline
+        (fleet execution); its ends accrue to :meth:`horizon_of` as well
+        as the global horizon.
         """
         if self._branch_open:
             raise RuntimeError("a timeline branch is already open")
         start = max(float(ready_at), self.origin)
         self._clock.rebase(start)
         self._branch_open = True
+        self._branch_owner = owner
         return start
 
     def close(self) -> float:
@@ -75,7 +94,11 @@ class VirtualTimeline:
         end = self._clock.now()
         if end > self._horizon:
             self._horizon = end
+        owner = self._branch_owner
+        if owner is not None and end > self._owner_horizons.get(owner, self.origin):
+            self._owner_horizons[owner] = end
         self._branch_open = False
+        self._branch_owner = None
         return end
 
     def commit(self) -> float:

@@ -2,21 +2,27 @@
 
 from . import knowledge, prompts
 from .cache import CacheStats, LLMCache
+from .capacity import CapacityStats, ModelCapacity
 from .catalog import DEFAULT_SPECS, ModelCatalog
 from .model import LLMResponse, LLMUsage, ModelSpec, SimulatedLLM, UsageTracker
+from .singleflight import FlightStats, SingleFlight
 from .tokenizer import count_tokens, tokenize, truncate_tokens
 
 __all__ = [
     "knowledge",
     "prompts",
     "CacheStats",
+    "CapacityStats",
     "DEFAULT_SPECS",
+    "FlightStats",
     "LLMCache",
+    "ModelCapacity",
     "ModelCatalog",
     "LLMResponse",
     "LLMUsage",
     "ModelSpec",
     "SimulatedLLM",
+    "SingleFlight",
     "UsageTracker",
     "count_tokens",
     "tokenize",

@@ -13,7 +13,9 @@ import threading
 from ..clock import SimClock
 from ..errors import ModelNotFoundError
 from .cache import LLMCache
+from .capacity import ModelCapacity
 from .model import ModelSpec, SimulatedLLM, UsageTracker
+from .singleflight import SingleFlight
 
 #: Default model fleet (prices are per 1k tokens; latency in seconds).
 DEFAULT_SPECS: tuple[ModelSpec, ...] = (
@@ -82,6 +84,8 @@ class ModelCatalog:
         tracker: UsageTracker | None = None,
         default_failure_rate: float = 0.0,
         cache: LLMCache | None = None,
+        capacity: ModelCapacity | None = None,
+        single_flight: SingleFlight | None = None,
     ) -> None:
         self.clock = clock
         self.tracker = tracker or UsageTracker()
@@ -93,6 +97,12 @@ class ModelCatalog:
         self.observability = None
         #: Optional shared result cache (opt-in; see :class:`LLMCache`).
         self.cache = cache
+        #: Optional per-model concurrency limits shared by every client
+        #: (opt-in; the fleet runtime wires one — see :class:`ModelCapacity`).
+        self.capacity = capacity
+        #: Optional cross-plan single-flight coalescing shared by every
+        #: client (opt-in; see :class:`SingleFlight`).
+        self.single_flight = single_flight
         self._specs: dict[str, ModelSpec] = {}
         self._clients: dict[str, SimulatedLLM] = {}
         self._lock = threading.Lock()
@@ -139,6 +149,8 @@ class ModelCatalog:
                 cached.clock = self.clock
                 cached.tracker = self.tracker
                 cached.cache = self.cache
+                cached.capacity = self.capacity
+                cached.single_flight = self.single_flight
                 cached.observability = self.observability
                 return cached
             client = SimulatedLLM(
@@ -148,6 +160,8 @@ class ModelCatalog:
                 failure_rate=failure_rate,
                 observability=self.observability,
                 cache=self.cache,
+                capacity=self.capacity,
+                single_flight=self.single_flight,
             )
             self._clients[name] = client
             return client

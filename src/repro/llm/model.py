@@ -37,6 +37,8 @@ from .tokenizer import count_tokens
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observability import Observability
     from .cache import LLMCache
+    from .capacity import ModelCapacity
+    from .singleflight import SingleFlight
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,7 @@ class LLMResponse:
     structured: Any = None  # parsed form for task-directive answers
     domain: str = "general"  # knowledge domain the task drew on
     cached: bool = False  # served from an LLMCache (usage is zeroed)
+    coalesced: bool = False  # joined an in-flight call (usage = residual wait)
 
     def items(self) -> list[Any]:
         """Structured answer as a list (empty when not list-valued)."""
@@ -156,6 +159,8 @@ class SimulatedLLM:
         seed: int = 0,
         observability: "Observability | None" = None,
         cache: "LLMCache | None" = None,
+        capacity: "ModelCapacity | None" = None,
+        single_flight: "SingleFlight | None" = None,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise LLMError(f"failure_rate must be in [0, 1]: {failure_rate}")
@@ -170,16 +175,23 @@ class SimulatedLLM:
         #: client).  Hits bypass the model entirely: no clock advance, no
         #: tracker record, no failure roll, zero cost/latency.
         self.cache = cache
+        #: Optional per-model slot limits (normally the catalog's, shared
+        #: by every client).  Needs a clock: queue waits are simulated time.
+        self.capacity = capacity
+        #: Optional cross-plan coalescing of timeline-overlapping identical
+        #: calls (normally the catalog's).  Needs a clock too.
+        self.single_flight = single_flight
         self._seed = seed
         self._call_index = 0
+        self._last_queue_wait = 0.0
         # Instrument handles, bound lazily per observability instance so
         # each call pays dict increments instead of registry lookups
         # (``observability`` is often assigned after construction).
         self._span_name = f"llm:{spec.name}"
         self._bound_obs: "Observability | None" = None
         self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
-        self._m_cache_hits = self._m_cache_misses = None
-        self._h_latency = None
+        self._m_cache_hits = self._m_cache_misses = self._m_coalesced = None
+        self._h_latency = self._h_queue_wait = None
 
     def _bind_instruments(self, obs: "Observability") -> None:
         metrics = obs.metrics
@@ -190,7 +202,11 @@ class SimulatedLLM:
         self._m_failures = metrics.bound_counter("llm.failures", model=name)
         self._m_cache_hits = metrics.bound_counter("llm.cache.hits", model=name)
         self._m_cache_misses = metrics.bound_counter("llm.cache.misses", model=name)
+        self._m_coalesced = metrics.bound_counter("llm.coalesced", model=name)
         self._h_latency = metrics.histogram("llm.latency") if metrics.enabled else None
+        self._h_queue_wait = (
+            metrics.histogram("llm.queue_wait") if metrics.enabled else None
+        )
         self._bound_obs = obs
 
     # ------------------------------------------------------------------
@@ -219,6 +235,9 @@ class SimulatedLLM:
         if obs is None:
             if hit is not None:
                 return hit
+            joined = self._try_join(prompt, max_output_tokens, no_cache)
+            if joined is not None:
+                return joined
             response = self._complete(prompt, max_output_tokens)
             if cache is not None:
                 cache.put(self.spec.name, prompt, max_output_tokens, response)
@@ -233,6 +252,13 @@ class SimulatedLLM:
                 return hit
             if cache is not None and self._m_cache_misses is not None:
                 self._m_cache_misses.inc()
+            joined = self._try_join(prompt, max_output_tokens, no_cache)
+            if joined is not None:
+                span.set_attribute("coalesced", True)
+                span.set_attribute("residual_wait", joined.usage.latency)
+                if self._m_coalesced is not None:
+                    self._m_coalesced.inc()
+                return joined
             try:
                 response = self._complete(prompt, max_output_tokens)
             except LLMError:
@@ -245,12 +271,37 @@ class SimulatedLLM:
             span.set_attribute("input_tokens", usage.input_tokens)
             span.set_attribute("output_tokens", usage.output_tokens)
             span.set_attribute("cost", usage.cost)
+            if self._last_queue_wait > 0:
+                span.set_attribute("queue_wait", self._last_queue_wait)
             if self._m_calls is not None:
                 self._m_calls.inc()
                 self._m_tokens.inc(usage.input_tokens + usage.output_tokens)
                 self._m_cost.inc(usage.cost)
                 self._h_latency.observe(usage.latency)
+                if self._h_queue_wait is not None and self._last_queue_wait > 0:
+                    self._h_queue_wait.observe(self._last_queue_wait)
             return response
+
+    def _try_join(
+        self, prompt: str, max_output_tokens: int, no_cache: bool
+    ) -> LLMResponse | None:
+        """Attach to an in-flight identical call, paying only the residual.
+
+        Coalescing is a timeline concept: it needs a clock to know *when*
+        this call starts, and ``no_cache`` bypasses it just like the cache
+        (determinism suites need every physical call to happen).
+        """
+        if no_cache or self.single_flight is None or self.clock is None:
+            return None
+        joined = self.single_flight.join(
+            self.spec.name, prompt, max_output_tokens, self.clock.now()
+        )
+        if joined is None:
+            return None
+        response, residual = joined
+        if residual > 0:
+            self.clock.advance(residual)
+        return response
 
     def _complete(self, prompt: str, max_output_tokens: int = 512) -> LLMResponse:
         input_tokens = count_tokens(prompt)
@@ -275,17 +326,35 @@ class SimulatedLLM:
             cost=self.spec.cost_of(input_tokens, output_tokens),
             latency=self.spec.latency_of(input_tokens, output_tokens),
         )
+        self._last_queue_wait = 0.0
+        start = self.clock.now() if self.clock is not None else 0.0
+        if self.capacity is not None and self.clock is not None:
+            actual = self.capacity.reserve(self.spec.name, start, usage.latency)
+            self._last_queue_wait = actual - start
+            if self._last_queue_wait > 0:
+                self.clock.advance(self._last_queue_wait)
+            start = actual
         if self.clock is not None:
             self.clock.advance(usage.latency)
         if self.tracker is not None:
             self.tracker.record(self.spec.name, usage)
-        return LLMResponse(
+        response = LLMResponse(
             text=text,
             usage=usage,
             model=self.spec.name,
             structured=structured,
             domain=domain,
         )
+        if self.single_flight is not None and self.clock is not None:
+            self.single_flight.record(
+                self.spec.name,
+                prompt,
+                max_output_tokens,
+                start,
+                start + usage.latency,
+                response,
+            )
+        return response
 
     # ------------------------------------------------------------------
     # Task routing

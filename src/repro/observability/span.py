@@ -196,6 +196,43 @@ class NoopSpan(Span):
 NOOP_SPAN = NoopSpan(name="noop")
 
 
+class _SpanScope:
+    """Re-enters a suspended span for one scope (see :meth:`Tracer.use`)."""
+
+    __slots__ = ("_tracer", "_span", "_saved", "_saved_prev", "_noop")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._noop = not tracer.enabled or span is NOOP_SPAN
+
+    def __enter__(self) -> Span:
+        if self._noop:
+            return self._span
+        state = self._tracer._state()
+        self._saved = state.current
+        self._saved_prev = self._span._prev
+        self._span._prev = self._saved
+        state.current = self._span
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._noop:
+            return False
+        state = self._tracer._state()
+        # The span may have been closed inside the scope (its final
+        # step): Span.__exit__ already popped it, so only restore when
+        # it is still on the chain.
+        walk = state.current
+        while walk is not None and walk is not self._span:
+            walk = walk._prev
+        if walk is self._span:
+            state.current = self._saved
+        if self._span.end is None:
+            self._span._prev = self._saved_prev
+        return False
+
+
 class Tracer:
     """Creates, nests, and retains spans over a simulated clock.
 
@@ -284,6 +321,34 @@ class Tracer:
     def current(self) -> Span | None:
         """The innermost open span on the calling thread, if any."""
         return self._state().current
+
+    def suspend(self, span: Span) -> None:
+        """Detach *span* from the open-span chain without closing it.
+
+        The fleet runtime opens one plan span per admitted plan but
+        interleaves their execution: a suspended span stays open (no end
+        stamp) while other plans' spans take the stack, and re-enters via
+        :meth:`use` for each of its execution steps.  Anything opened
+        above *span* is detached with it (there should be nothing).
+        """
+        if not self.enabled or span is NOOP_SPAN:
+            return
+        state = self._state()
+        walk = state.current
+        while walk is not None and walk is not span:
+            walk = walk._prev
+        if walk is span:
+            state.current = span._prev
+
+    def use(self, span: Span) -> "_SpanScope":
+        """Context manager making a suspended *span* current again.
+
+        New spans opened inside the scope parent under *span*; on exit
+        the previous chain is restored.  Closing *span* inside the scope
+        (its final step) is safe — ``Span.__exit__`` already handles
+        popping, and the scope detects it.
+        """
+        return _SpanScope(self, span)
 
     # ------------------------------------------------------------------
     # Trace access

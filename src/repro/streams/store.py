@@ -31,12 +31,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class StreamStore:
     """In-process streams database with pub/sub and full observability."""
 
+    #: Characters that make a stream pattern a glob rather than a literal.
+    _GLOB_CHARS = frozenset("*?[")
+
     def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock or SimClock()
         self._ids = IdGenerator()
         self._streams: dict[str, Stream] = {}
         self._subscriptions: dict[str, Subscription] = {}
+        # Dispatch index: rather than testing every subscription against
+        # every message (O(subscriptions) per publish), candidates come
+        # from an exact-stream table (literal patterns), a tag table
+        # (glob patterns with include tags — they can only match messages
+        # carrying one of those tags), and a catch-all side list (glob
+        # patterns with no include tags).  ``wants()`` still runs on each
+        # candidate, so the index only has to be complete, not precise.
+        self._exact_subs: dict[str, dict[str, Subscription]] = {}
+        self._tagged_wildcards: dict[str, dict[str, Subscription]] = {}
+        self._catchall_wildcards: dict[str, Subscription] = {}
+        # Global insertion sequence, so merged candidates are delivered
+        # in the same order a linear scan of ``_subscriptions`` would.
+        self._sub_order: dict[str, int] = {}
+        self._sub_counter = 0
         self._trace: list[Message] = []
+        # Incremental trace indexes, appended at publish time so
+        # ``trace_by_tag`` / ``trace_by_producer`` never re-scan the log.
+        self._trace_by_tag: dict[str, list[Message]] = {}
+        self._trace_by_producer: dict[str, list[Message]] = {}
         self._lock = threading.RLock()
         self._depth = 0
         self.max_dispatch_depth = 500
@@ -147,6 +168,9 @@ class StreamStore:
         stream.append(message)
         with self._lock:
             self._trace.append(message)
+            for tag in message.tags:
+                self._trace_by_tag.setdefault(tag, []).append(message)
+            self._trace_by_producer.setdefault(message.producer, []).append(message)
             counts = self._message_counts
             counts[kind.value] = counts.get(kind.value, 0) + 1
         self._dispatch(message)
@@ -196,17 +220,81 @@ class StreamStore:
         )
         with self._lock:
             self._subscriptions[subscription.subscription_id] = subscription
+            self._index_subscription(subscription)
         return subscription
 
     def unsubscribe(self, subscription_id: str) -> None:
         with self._lock:
             subscription = self._subscriptions.pop(subscription_id, None)
+            if subscription is not None:
+                self._unindex_subscription(subscription)
         if subscription is not None:
             subscription.active = False
 
     def subscriptions(self) -> list[Subscription]:
         with self._lock:
             return list(self._subscriptions.values())
+
+    def _index_subscription(self, subscription: Subscription) -> None:
+        """File *subscription* under the index bucket(s) it can match from.
+
+        Caller holds the lock.
+        """
+        sub_id = subscription.subscription_id
+        self._sub_counter += 1
+        self._sub_order[sub_id] = self._sub_counter
+        pattern = subscription.stream_pattern
+        if not self._GLOB_CHARS.intersection(pattern):
+            self._exact_subs.setdefault(pattern, {})[sub_id] = subscription
+        elif subscription.tag_rule.include:
+            for tag in subscription.tag_rule.include:
+                self._tagged_wildcards.setdefault(tag, {})[sub_id] = subscription
+        else:
+            self._catchall_wildcards[sub_id] = subscription
+
+    def _unindex_subscription(self, subscription: Subscription) -> None:
+        """Remove *subscription* from every index bucket.  Caller holds the lock."""
+        sub_id = subscription.subscription_id
+        self._sub_order.pop(sub_id, None)
+        pattern = subscription.stream_pattern
+        if not self._GLOB_CHARS.intersection(pattern):
+            bucket = self._exact_subs.get(pattern)
+            if bucket is not None:
+                bucket.pop(sub_id, None)
+                if not bucket:
+                    del self._exact_subs[pattern]
+        elif subscription.tag_rule.include:
+            for tag in subscription.tag_rule.include:
+                bucket = self._tagged_wildcards.get(tag)
+                if bucket is not None:
+                    bucket.pop(sub_id, None)
+                    if not bucket:
+                        del self._tagged_wildcards[tag]
+        else:
+            self._catchall_wildcards.pop(sub_id, None)
+
+    def _candidates(self, message: Message) -> list[Subscription]:
+        """Every subscription that *could* want the message, in insertion order.
+
+        Caller holds the lock.  Complete by construction: a literal
+        pattern only matches its own stream; a glob with include tags
+        only matches messages carrying one of them; everything else is
+        in the catch-all list.  May over-approximate (``wants()`` is the
+        final word), never under-approximate.
+        """
+        merged: dict[str, Subscription] = {}
+        exact = self._exact_subs.get(message.stream_id)
+        if exact:
+            merged.update(exact)
+        for tag in message.tags:
+            tagged = self._tagged_wildcards.get(tag)
+            if tagged:
+                merged.update(tagged)
+        merged.update(self._catchall_wildcards)
+        if len(merged) > 1:
+            order = self._sub_order
+            return sorted(merged.values(), key=lambda s: order[s.subscription_id])
+        return list(merged.values())
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -222,7 +310,7 @@ class StreamStore:
         with self._lock:
             self._depth += 1
             depth = self._depth
-            targets = [s for s in self._subscriptions.values() if s.wants(message)]
+            targets = [s for s in self._candidates(message) if s.wants(message)]
         try:
             if depth > self.max_dispatch_depth:
                 raise StreamError(
@@ -246,10 +334,14 @@ class StreamStore:
             return list(self._trace)
 
     def trace_by_tag(self, tag: str) -> list[Message]:
-        return [m for m in self.trace() if m.has_tag(tag)]
+        """Messages carrying *tag*, in publish order (indexed, no scan)."""
+        with self._lock:
+            return list(self._trace_by_tag.get(tag, ()))
 
     def trace_by_producer(self, producer: str) -> list[Message]:
-        return [m for m in self.trace() if m.producer == producer]
+        """Messages from *producer*, in publish order (indexed, no scan)."""
+        with self._lock:
+            return list(self._trace_by_producer.get(producer, ()))
 
     def stats(self) -> dict[str, Any]:
         """Counts for dashboards and benches."""

@@ -1,0 +1,169 @@
+"""Tests for model concurrency limits and single-flight coalescing."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.llm import (
+    LLMResponse,
+    LLMUsage,
+    ModelCapacity,
+    ModelSpec,
+    SimulatedLLM,
+    SingleFlight,
+)
+
+
+def spec(**overrides):
+    defaults = dict(
+        name="cap-model",
+        tier="m",
+        quality=1.0,
+        cost_per_1k_input=0.01,
+        cost_per_1k_output=0.02,
+        latency_base=1.0,
+        latency_per_token=0.0,
+        context_window=4000,
+    )
+    defaults.update(overrides)
+    return ModelSpec(**defaults)
+
+
+class TestModelCapacity:
+    def test_under_limit_starts_immediately(self):
+        capacity = ModelCapacity({"m": 2})
+        assert capacity.reserve("m", 0.0, 1.0) == 0.0
+        assert capacity.reserve("m", 0.0, 1.0) == 0.0
+
+    def test_over_limit_queues_to_next_free_slot(self):
+        capacity = ModelCapacity({"m": 2})
+        capacity.reserve("m", 0.0, 1.0)
+        capacity.reserve("m", 0.0, 2.0)
+        # Third call waits for the 1.0 end; fourth for the 2.0 end.
+        assert capacity.reserve("m", 0.0, 1.0) == 1.0
+        assert capacity.reserve("m", 0.0, 1.0) == 2.0
+
+    def test_half_open_intervals_hand_off_exactly(self):
+        capacity = ModelCapacity({"m": 1})
+        capacity.reserve("m", 0.0, 1.0)
+        # [0,1) frees the slot *at* 1.0.
+        assert capacity.reserve("m", 1.0, 1.0) == 1.0
+
+    def test_out_of_order_reservations_never_overbook(self):
+        # Timeline branches rebase the clock, so reservations arrive in
+        # execution order, not time order.  The invariant must hold anyway.
+        capacity = ModelCapacity({"m": 2})
+        starts = [capacity.reserve("m", t, 1.0) for t in (5.0, 0.0, 5.5, 0.2, 5.1)]
+        assert capacity.max_concurrency("m") <= 2
+        # The two early calls fit untouched; the three around t=5 queue.
+        assert starts[1] == 0.0 and starts[3] == 0.2
+
+    def test_unlimited_model_records_but_never_queues(self):
+        capacity = ModelCapacity({"m": 1})
+        for _ in range(5):
+            assert capacity.reserve("other", 0.0, 1.0) == 0.0
+        assert capacity.max_concurrency("other") == 5
+        assert capacity.stats().queued == 0
+
+    def test_default_slots_apply_to_unknown_models(self):
+        capacity = ModelCapacity(default_slots=1)
+        capacity.reserve("anything", 0.0, 1.0)
+        assert capacity.reserve("anything", 0.0, 1.0) == 1.0
+
+    def test_stats_and_validation(self):
+        with pytest.raises(ValueError):
+            ModelCapacity({"m": 0})
+        with pytest.raises(ValueError):
+            ModelCapacity(default_slots=-1)
+        capacity = ModelCapacity({"m": 1})
+        capacity.reserve("m", 0.0, 1.0)
+        capacity.reserve("m", 0.0, 1.0)
+        stats = capacity.stats()
+        assert stats.reservations == 2
+        assert stats.queued == 1
+        assert stats.total_wait == stats.max_wait == 1.0
+        assert stats.queue_rate == 0.5
+
+
+def leader_response(latency=2.0, cost=0.05):
+    usage = LLMUsage(10, 5, cost=cost, latency=latency)
+    return LLMResponse("answer", usage, model="m")
+
+
+class TestSingleFlight:
+    def test_join_mid_flight_pays_residual_only(self):
+        flight = SingleFlight()
+        flight.record("m", "p", 512, start=0.0, end=2.0, response=leader_response())
+        joined, residual = flight.join("m", "p", 512, now=0.5)
+        assert residual == 1.5
+        assert joined.coalesced
+        assert joined.text == "answer"
+        assert joined.usage.cost == 0.0
+        assert joined.usage.latency == residual
+
+    def test_no_join_outside_flight_window(self):
+        flight = SingleFlight()
+        flight.record("m", "p", 512, start=1.0, end=2.0, response=leader_response())
+        assert flight.join("m", "p", 512, now=0.5) is None  # before start
+        assert flight.join("m", "p", 512, now=2.0) is None  # at/after end
+        assert flight.join("m", "other", 512, now=1.5) is None
+        assert flight.join("m", "p", 256, now=1.5) is None
+
+    def test_stats_track_savings(self):
+        flight = SingleFlight()
+        flight.record("m", "p", 512, start=0.0, end=2.0, response=leader_response())
+        flight.join("m", "p", 512, now=0.5)
+        stats = flight.stats()
+        assert (stats.leaders, stats.joins, stats.entries) == (1, 1, 1)
+        assert stats.saved_cost == 0.05
+        assert stats.saved_latency == pytest.approx(0.5)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_bound(self):
+        flight = SingleFlight(max_entries=2)
+        for i in range(3):
+            flight.record("m", f"p{i}", 512, 0.0, 9.0, leader_response())
+        assert len(flight) == 2
+        assert flight.join("m", "p0", 512, now=1.0) is None
+        assert flight.join("m", "p2", 512, now=1.0) is not None
+
+
+class TestSimulatedLLMIntegration:
+    def test_capacity_queues_and_charges_wait_on_clock(self):
+        clock = SimClock()
+        capacity = ModelCapacity({"cap-model": 1})
+        llm = SimulatedLLM(spec(), clock=clock, capacity=capacity)
+        first = llm.complete("TASK: ECHO one")
+        assert clock.now() == pytest.approx(first.usage.latency)
+        # Rewind to simulate a concurrent branch starting at t=0.
+        clock.rebase(0.0)
+        second = llm.complete("TASK: ECHO two")
+        # Queue wait (first call's full latency) + own model latency.
+        assert clock.now() == pytest.approx(
+            first.usage.latency + second.usage.latency
+        )
+        # usage.latency stays model-only: the wait is clock time, not cost.
+        assert capacity.stats().queued == 1
+
+    def test_single_flight_joins_concurrent_identical_call(self):
+        clock = SimClock()
+        flight = SingleFlight()
+        llm = SimulatedLLM(spec(), clock=clock, single_flight=flight)
+        leader = llm.complete("TASK: ECHO hello")
+        end = clock.now()
+        clock.rebase(end / 2)
+        joined = llm.complete("TASK: ECHO hello")
+        assert joined.coalesced
+        assert joined.text == leader.text
+        assert joined.usage.cost == 0.0
+        # The joiner lands exactly at the leader's completion instant.
+        assert clock.now() == pytest.approx(end)
+
+    def test_no_cache_bypasses_single_flight(self):
+        clock = SimClock()
+        flight = SingleFlight()
+        llm = SimulatedLLM(spec(), clock=clock, single_flight=flight)
+        llm.complete("TASK: ECHO hello")
+        clock.rebase(0.1)
+        again = llm.complete("TASK: ECHO hello", no_cache=True)
+        assert not again.coalesced
+        assert flight.stats().joins == 0

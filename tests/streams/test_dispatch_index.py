@@ -1,0 +1,160 @@
+"""Regression tests for indexed dispatch and incremental trace indexes.
+
+The store replaced its O(all-subscriptions) dispatch scan with an
+exact-stream / tagged-wildcard / catch-all index, and its trace query
+re-scans with per-tag and per-producer indexes built at publish time.
+These tests prove both yield *identical* results to the reference
+linear scans they replaced — same targets, same delivery order.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.streams import StreamStore
+
+
+@pytest.fixture
+def store():
+    return StreamStore(SimClock())
+
+
+def scan_targets(store, message):
+    """The pre-index reference: linear scan in subscription order."""
+    return [s for s in store.subscriptions() if s.wants(message)]
+
+
+class TestDispatchIndexEquivalence:
+    def make_subscribers(self, store, log):
+        """A spread of subscription shapes across every index bucket."""
+        def recorder(name):
+            return lambda message: log.append((name, message.message_id))
+
+        store.subscribe("exact-a", recorder("exact-a"), stream_pattern="a")
+        store.subscribe("glob-tag", recorder("glob-tag"), include_tags=["SQL"])
+        store.subscribe("catch-all", recorder("catch-all"))
+        store.subscribe("exact-b", recorder("exact-b"), stream_pattern="b")
+        store.subscribe(
+            "glob-prefix", recorder("glob-prefix"), stream_pattern="a*"
+        )
+        store.subscribe(
+            "glob-excl",
+            recorder("glob-excl"),
+            include_tags=["SQL", "DOC"],
+            exclude_tags=["DRAFT"],
+        )
+
+    def test_targets_match_linear_scan(self, store):
+        log = []
+        self.make_subscribers(store, log)
+        for sid in ("a", "b", "ab"):
+            store.create_stream(sid)
+        cases = [
+            ("a", []),
+            ("a", ["SQL"]),
+            ("b", ["DOC"]),
+            ("ab", ["SQL", "DRAFT"]),
+            ("ab", []),
+            ("b", ["SQL", "DOC"]),
+        ]
+        for stream_id, tags in cases:
+            message = store.publish_data(stream_id, "x", tags=tags)
+            expected = [s.subscriber for s in scan_targets(store, message)]
+            delivered = [name for name, mid in log if mid == message.message_id]
+            assert delivered == expected, (stream_id, tags)
+
+    def test_multi_tag_candidate_delivered_once(self, store):
+        store.create_stream("s")
+        hits = []
+        store.subscribe("both", hits.append, include_tags=["A", "B"])
+        store.publish_data("s", 1, tags=["A", "B"])
+        assert len(hits) == 1
+
+    def test_delivery_order_is_subscription_order(self, store):
+        store.create_stream("s")
+        order = []
+        # Interleave bucket kinds so a bucket-by-bucket walk would differ.
+        store.subscribe("w1", lambda m: order.append("w1"))
+        store.subscribe("e1", lambda m: order.append("e1"), stream_pattern="s")
+        store.subscribe("t1", lambda m: order.append("t1"), include_tags=["T"])
+        store.subscribe("e2", lambda m: order.append("e2"), stream_pattern="s")
+        store.subscribe("w2", lambda m: order.append("w2"))
+        store.publish_data("s", 1, tags=["T"])
+        assert order == ["w1", "e1", "t1", "e2", "w2"]
+
+    def test_unsubscribe_cleans_every_bucket(self, store):
+        store.create_stream("s")
+        subs = [
+            store.subscribe("e", lambda m: None, stream_pattern="s"),
+            store.subscribe("t", lambda m: None, include_tags=["T"]),
+            store.subscribe("w", lambda m: None),
+        ]
+        for sub in subs:
+            store.unsubscribe(sub.subscription_id)
+        assert store._exact_subs == {}
+        assert store._tagged_wildcards == {}
+        assert store._catchall_wildcards == {}
+        assert store._sub_order == {}
+        hits = []
+        store.subscribe("later", hits.append)
+        store.publish_data("s", 1, tags=["T"])
+        assert len(hits) == 1
+
+    def test_randomized_equivalence(self, store):
+        rng = random.Random(7)
+        streams = ["alpha", "beta", "gamma/one", "gamma/two"]
+        tags = ["SQL", "DOC", "IMG", "DRAFT"]
+        for sid in streams:
+            store.create_stream(sid)
+        log = []
+        for i in range(40):
+            pattern = rng.choice(streams + ["*", "gamma/*", "?lpha", "*a"])
+            include = rng.sample(tags, rng.randint(0, 2))
+            exclude = rng.sample(tags, rng.randint(0, 1))
+            store.subscribe(
+                f"sub{i}",
+                (lambda name: lambda m: log.append((name, m.message_id)))(f"sub{i}"),
+                stream_pattern=pattern,
+                include_tags=include,
+                exclude_tags=exclude,
+            )
+        for _ in range(60):
+            message = store.publish_data(
+                rng.choice(streams), "x", tags=rng.sample(tags, rng.randint(0, 3))
+            )
+            expected = [s.subscriber for s in scan_targets(store, message)]
+            delivered = [n for n, mid in log if mid == message.message_id]
+            assert delivered == expected
+
+
+class TestTraceIndexEquivalence:
+    def fill(self, store):
+        store.create_stream("s")
+        for i in range(50):
+            store.publish_data(
+                "s",
+                i,
+                tags=[f"T{i % 3}"] + (["X"] if i % 7 == 0 else []),
+                producer=f"p{i % 4}" if i % 5 else "",
+            )
+
+    def test_trace_by_tag_matches_scan(self, store):
+        self.fill(store)
+        for tag in ("T0", "T1", "T2", "X", "missing"):
+            assert store.trace_by_tag(tag) == [
+                m for m in store.trace() if m.has_tag(tag)
+            ]
+
+    def test_trace_by_producer_matches_scan(self, store):
+        self.fill(store)
+        for producer in ("p0", "p1", "p2", "p3", "", "missing"):
+            assert store.trace_by_producer(producer) == [
+                m for m in store.trace() if m.producer == producer
+            ]
+
+    def test_indexes_preserve_publish_order(self, store):
+        self.fill(store)
+        trace_order = {m.message_id: i for i, m in enumerate(store.trace())}
+        positions = [trace_order[m.message_id] for m in store.trace_by_tag("T1")]
+        assert positions == sorted(positions)

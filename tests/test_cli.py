@@ -133,3 +133,31 @@ class TestRecoverCLI:
 
     def test_recover_requires_a_mode(self, capsys):
         assert main(["recover"]) == 2
+
+
+class TestFleetCommand:
+    def test_fleet_reports_speedup_and_contention(self, capsys):
+        assert main([
+            "fleet", "--plans", "4", "--max-inflight", "2", "--slots", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "admitted=4 queued=2 rejected=0" in output
+        assert "fleet makespan:" in output
+        assert "serial baseline:" in output
+        assert "speedup:" in output
+        assert "single-flight:" in output
+        fleet = float(output.split("fleet makespan:")[1].split("s")[0])
+        serial = float(output.split("serial baseline:")[1].split("s")[0])
+        assert fleet < serial
+
+    def test_fleet_backlog_overflow_rejects(self, capsys):
+        assert main([
+            "fleet", "--plans", "3", "--max-inflight", "1",
+            "--max-backlog", "1", "--slots", "0",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "rejected=1" in output
+        assert "rejected (backlog full)" in output
+
+    def test_fleet_validates_plan_count(self, capsys):
+        assert main(["fleet", "--plans", "0"]) == 2
