@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery parallel fleet examples artifacts all
+.PHONY: test bench reliability observability recovery parallel fleet overload examples artifacts all
 
 test:
 	pytest tests/
@@ -25,6 +25,10 @@ parallel:
 fleet:
 	PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_fleet.py tests/llm/test_capacity_singleflight.py tests/properties/test_fleet_properties.py tests/streams/test_dispatch_index.py -q
+
+overload:
+	PYTHONPATH=src python -m pytest benchmarks/bench_overload.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/core/test_overload.py tests/properties/test_overload_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

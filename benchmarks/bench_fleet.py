@@ -110,9 +110,14 @@ def measure() -> dict:
             "serial_plans_per_sec": round(PLANS / serial_makespan, 4),
             "fleet_plans_per_sec": round(PLANS / result.makespan, 4),
         },
+        # ROADMAP open item 1 tracks this section: the fleet must
+        # eventually win in wall-clock time too, not just simulated.
         "wall_clock": {
+            "serial_seconds": round(serial_wall, 4),
+            "fleet_seconds": round(fleet_wall, 4),
             "serial_plans_per_sec": round(PLANS / serial_wall, 2),
             "fleet_plans_per_sec": round(PLANS / fleet_wall, 2),
+            "fleet_speedup": round(serial_wall / fleet_wall, 4),
         },
         "capacity": {
             "peak_inflight": peaks,
@@ -146,16 +151,18 @@ def test_a12_fleet_throughput():
         f"A12 — fleet throughput, {PLANS} Fig-6 plans "
         f"(max_inflight={MAX_INFLIGHT}, slots={SLOTS})\n"
         + table(
-            ["mode", "simulated makespan", "plans/sec (wall)"],
+            ["mode", "simulated makespan", "plans/sec (sim)", "plans/sec (wall)"],
             [
                 [
                     "serial",
                     f"{simulated['serial_makespan']:.2f}s",
+                    f"{simulated['serial_plans_per_sec']:,}",
                     f"{results['wall_clock']['serial_plans_per_sec']:,}",
                 ],
                 [
                     "fleet",
                     f"{simulated['fleet_makespan']:.2f}s",
+                    f"{simulated['fleet_plans_per_sec']:,}",
                     f"{results['wall_clock']['fleet_plans_per_sec']:,}",
                 ],
             ],

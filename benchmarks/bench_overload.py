@@ -1,0 +1,216 @@
+"""A13 — overload control: QoS admission + brownout vs naive FIFO.
+
+One seeded open-loop traffic trace (three tenants, ~1.2M simulated
+users, a 20s surge window at ~2x the fleet's service rate) served two
+ways:
+
+* **controlled** — ``Blueprint.run_traffic`` with the QoS admission
+  controller (weighted-fair tiers, per-tenant token buckets, queue
+  deadlines) and the brownout controller (model downshift, optional-node
+  pruning, lowest-tier shedding, hysteretic recovery).
+* **naive FIFO** — the PR-5 bounded FIFO backlog, blind to tiers: the
+  ablation.
+
+The gate is the paper's overload story: under the same surge the
+controlled fleet must hold tier-0 completion at **1.00** and tier-0 p99
+arrival-to-completion latency within the **6.0s SLO** with shedding
+confined to the lowest tier, while the naive FIFO run must violate
+*both* tier-0 gates — proving the control plane, not spare capacity, is
+what protects the contracted tenant.
+
+Everything gated is simulated-time and seed-deterministic: the same
+code produces byte-identical numbers on any machine, so the checked-in
+``benchmarks/BENCH_overload.json`` baseline never flaps on CI hardware.
+"""
+
+import json
+from pathlib import Path
+
+from _artifacts import record, table
+
+from repro.core.overload.demo import (
+    TIER0_LATENCY_SLO,
+    demo_admission,
+    demo_brownout,
+    demo_submission,
+    demo_traffic,
+    tier_summary,
+)
+from repro.core.runtime import Blueprint
+
+SEED = 7
+HORIZON = 60.0
+MAX_INFLIGHT = 4
+#: Backlog bound for the naive ablation (the PR-5 default shape).
+NAIVE_BACKLOG = 12
+#: Fail CI when a gated quantity drifts more than this vs baseline.
+REGRESSION_TOLERANCE = 0.20
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_overload.json"
+
+
+def run_controlled() -> tuple[Blueprint, "FleetResult"]:
+    bp = Blueprint()
+    result = bp.run_traffic(
+        demo_traffic(seed=SEED, horizon=HORIZON),
+        demo_submission,
+        max_inflight=MAX_INFLIGHT,
+        admission=demo_admission(),
+        brownout=demo_brownout(metrics=bp.observability.metrics),
+        single_flight=False,
+    )
+    return bp, result
+
+
+def run_naive() -> tuple[Blueprint, "FleetResult"]:
+    bp = Blueprint()
+    result = bp.run_traffic(
+        demo_traffic(seed=SEED, horizon=HORIZON),
+        demo_submission,
+        max_inflight=MAX_INFLIGHT,
+        max_backlog=NAIVE_BACKLOG,
+        single_flight=False,
+    )
+    return bp, result
+
+
+def _mode_digest(result) -> dict:
+    summary = tier_summary(result)
+    return {
+        "offered": len(result.plans),
+        "admitted": result.admitted,
+        "rejected_by": dict(sorted(result.rejected_by.items())),
+        "tiers": {
+            str(tier): {
+                "offered": stats["offered"],
+                "completed": stats["completed"],
+                "completion": round(stats["completion"], 4),
+                "p50_latency": round(stats["p50_latency"], 4),
+                "p99_latency": round(stats["p99_latency"], 4),
+                "rejected": stats["rejected"],
+            }
+            for tier, stats in summary.items()
+        },
+    }
+
+
+def measure() -> dict:
+    controlled_bp, controlled = run_controlled()
+    _, naive = run_naive()
+    snapshot = controlled_bp.observability.metrics.snapshot()
+    overload_counters = {
+        name: snapshot[name]
+        for name in sorted(snapshot)
+        if name.startswith("overload.") and not name.endswith("_level")
+    }
+    return {
+        "seed": SEED,
+        "horizon": HORIZON,
+        "max_inflight": MAX_INFLIGHT,
+        "tier0_latency_slo": TIER0_LATENCY_SLO,
+        "controlled": _mode_digest(controlled),
+        "naive_fifo": _mode_digest(naive),
+        "overload_counters": overload_counters,
+    }
+
+
+def _shed_confined_to_lowest(digest: dict) -> bool:
+    tiers = digest["tiers"]
+    lowest = max(tiers)
+    return all(
+        "shed" not in stats["rejected"]
+        for tier, stats in tiers.items()
+        if tier != lowest
+    )
+
+
+def test_a13_overload_control():
+    """Artifact + gates: surge SLO held by QoS control, broken by FIFO."""
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    results = measure()
+
+    controlled = results["controlled"]
+    naive = results["naive_fifo"]
+    c0 = controlled["tiers"]["0"]
+    n0 = naive["tiers"]["0"]
+
+    # The acceptance gates: tier 0 is untouchable under control...
+    assert c0["completion"] == 1.0, c0
+    assert c0["p99_latency"] <= TIER0_LATENCY_SLO, c0
+    assert _shed_confined_to_lowest(controlled), controlled["tiers"]
+    # ...and the naive FIFO ablation violates both tier-0 gates.
+    assert n0["completion"] < 1.0, n0
+    assert n0["p99_latency"] > TIER0_LATENCY_SLO, n0
+
+    def rows(digest):
+        return [
+            [
+                tier,
+                f"{stats['completed']}/{stats['offered']}",
+                f"{stats['completion']:.0%}",
+                f"{stats['p99_latency']:.2f}s",
+                ", ".join(
+                    f"{k}={v}" for k, v in sorted(stats["rejected"].items())
+                )
+                or "-",
+            ]
+            for tier, stats in digest["tiers"].items()
+        ]
+
+    record(
+        "a13_overload_control",
+        f"A13 — overload control, seed {SEED}: {controlled['offered']} "
+        f"arrivals over {HORIZON:.0f}s with a 2x surge window "
+        f"(tier-0 SLO: completion 1.00, p99 <= {TIER0_LATENCY_SLO:.1f}s)\n\n"
+        "controlled (QoS admission + brownout):\n"
+        + table(["tier", "done", "completion", "p99", "rejected"],
+                rows(controlled))
+        + "\n\nnaive FIFO ablation "
+        f"(max_backlog={NAIVE_BACKLOG}, tier-blind):\n"
+        + table(["tier", "done", "completion", "p99", "rejected"],
+                rows(naive))
+        + "\n\noverload counters: "
+        + json.dumps(results["overload_counters"]),
+    )
+
+    # Regression gate: all gated quantities are deterministic, so drift
+    # beyond tolerance means the control plane's behavior changed.
+    if baseline is not None:
+        base0 = baseline["controlled"]["tiers"]["0"]
+        assert c0["completion"] >= base0["completion"], (
+            f"tier-0 completion regressed: {c0['completion']} vs "
+            f"baseline {base0['completion']}"
+        )
+        ceiling = base0["p99_latency"] * (1.0 + REGRESSION_TOLERANCE)
+        assert c0["p99_latency"] <= ceiling, (
+            f"tier-0 p99 regressed >{REGRESSION_TOLERANCE:.0%}: "
+            f"{c0['p99_latency']:.3f}s vs baseline "
+            f"{base0['p99_latency']:.3f}s"
+        )
+        base_goodput = sum(
+            t["completed"] for t in baseline["controlled"]["tiers"].values()
+        )
+        goodput = sum(t["completed"] for t in controlled["tiers"].values())
+        floor = base_goodput * (1.0 - REGRESSION_TOLERANCE)
+        assert goodput >= floor, (
+            f"fleet goodput regressed >{REGRESSION_TOLERANCE:.0%}: "
+            f"{goodput} completed vs baseline {base_goodput}"
+        )
+
+    BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_a13_overload_determinism():
+    """Same seed, same trace: two runs agree on every gated quantity."""
+    _, first = run_controlled()
+    _, second = run_controlled()
+    assert _mode_digest(first) == _mode_digest(second)
+    assert [
+        (p.plan_id, p.outcome, p.rejection_reason, p.finished_at)
+        for p in first.plans
+    ] == [
+        (p.plan_id, p.outcome, p.rejection_reason, p.finished_at)
+        for p in second.plans
+    ]

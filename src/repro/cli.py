@@ -94,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable cross-plan coalescing of identical "
                             "in-flight LLM calls")
 
+    surge = commands.add_parser(
+        "surge",
+        help="serve a seeded open-loop traffic surge (three QoS tiers, one "
+             "2x overload window) through admission control and brownout "
+             "degradation, and report per-tier completion and latency "
+             "against the tier-0 SLO",
+    )
+    surge.add_argument("--horizon", type=float, default=60.0,
+                       help="simulated seconds of offered traffic")
+    surge.add_argument("--scale", type=float, default=1.0,
+                       help="multiply every tenant's offered rate")
+    surge.add_argument("--max-inflight", type=int, default=4,
+                       help="plans executing concurrently; the rest queue")
+    surge.add_argument("--naive", action="store_true",
+                       help="ablation: PR-5 bounded FIFO backlog instead of "
+                            "QoS admission + brownout (expected to violate "
+                            "the tier-0 gates)")
+
     recover = commands.add_parser(
         "recover",
         help="inspect a journaled stream export for recoverable plans, or "
@@ -513,6 +531,97 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if completed == expected else 1
 
 
+def cmd_surge(args: argparse.Namespace) -> int:
+    """Open-loop overload demo: QoS control plane vs the FIFO ablation."""
+    from .core.overload.brownout import LEVEL_NAMES
+    from .core.overload.demo import (
+        TIER0_LATENCY_SLO,
+        demo_admission,
+        demo_brownout,
+        demo_submission,
+        demo_traffic,
+        tier_summary,
+    )
+    from .core.runtime import Blueprint
+
+    bp = Blueprint()
+    traffic = demo_traffic(
+        seed=args.seed, horizon=args.horizon, scale=args.scale
+    )
+    if args.naive:
+        admission = None
+        brownout = None
+        max_backlog = 12
+    else:
+        admission = demo_admission()
+        brownout = demo_brownout(metrics=bp.observability.metrics)
+        max_backlog = None
+    result = bp.run_traffic(
+        traffic,
+        demo_submission,
+        max_inflight=args.max_inflight,
+        max_backlog=max_backlog,
+        admission=admission,
+        brownout=brownout,
+        single_flight=False,
+    )
+
+    shape = traffic.describe()
+    mode = "naive-fifo (ablation)" if args.naive else "qos + brownout"
+    print(f"mode: {mode}   seed: {args.seed}   "
+          f"horizon: {args.horizon:.0f}s   max in-flight: {args.max_inflight}")
+    print(f"tenants: {shape['tenants']} ({shape['users']:,} simulated users, "
+          f"offered {shape['offered_rate']:.2f} plans/s steady)")
+    for start, end, mult in shape["surge_windows"]:
+        print(f"surge window: {start:.0f}s-{end:.0f}s at x{mult:.1f} offered load")
+    print(f"offered: {len(result.plans)}   admitted: {result.admitted}   "
+          f"queued: {result.queued}   rejected: {result.rejected}")
+    print()
+
+    summary = tier_summary(result)
+    names = {0: "enterprise", 1: "standard", 2: "batch"}
+    for tier, stats in summary.items():
+        rejected = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(stats["rejected"].items())
+        ) or "none"
+        print(f"  tier {tier} ({names.get(tier, '?'):10s}): "
+              f"{stats['completed']}/{stats['offered']} completed "
+              f"({stats['completion']:.0%})  "
+              f"p50={stats['p50_latency']:.2f}s p99={stats['p99_latency']:.2f}s  "
+              f"rejected: {rejected}")
+    print()
+
+    if brownout is not None and brownout.transitions:
+        print("brownout transitions (time, level, queue depth):")
+        for at, old, new, depth in brownout.transitions:
+            arrow = "^" if new > old else "v"
+            print(f"  {at:7.2f}s  {LEVEL_NAMES[old]} -> {LEVEL_NAMES[new]} "
+                  f"{arrow} (depth {depth})")
+        snapshot = bp.observability.metrics.snapshot()
+        for name in sorted(snapshot):
+            if name.startswith("overload."):
+                print(f"  {name} = {snapshot[name]}")
+        print()
+
+    tier0 = summary.get(0, {"completion": 1.0, "p99_latency": 0.0})
+    completion_ok = tier0["completion"] >= 1.0
+    latency_ok = tier0["p99_latency"] <= TIER0_LATENCY_SLO
+    shed_tiers = {
+        tier for tier, stats in summary.items() if "shed" in stats["rejected"]
+    }
+    shed_ok = shed_tiers <= {max(summary)} if summary else True
+    print(f"tier-0 completion 1.00: {'PASS' if completion_ok else 'FAIL'} "
+          f"({tier0['completion']:.2f})")
+    print(f"tier-0 p99 <= {TIER0_LATENCY_SLO:.1f}s SLO: "
+          f"{'PASS' if latency_ok else 'FAIL'} ({tier0['p99_latency']:.2f}s)")
+    print(f"shedding confined to lowest tier: "
+          f"{'PASS' if shed_ok else 'FAIL'}")
+    if args.naive:
+        return 0  # the ablation is expected to fail its gates
+    return 0 if completion_ok and latency_ok and shed_ok else 1
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     if args.export_file is None and not args.demo:
         print("recover: pass --export FILE to analyze a journal, or --demo")
@@ -625,6 +734,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": cmd_trace,
         "run": cmd_run,
         "fleet": cmd_fleet,
+        "surge": cmd_surge,
         "recover": cmd_recover,
     }
     return handlers[args.command](args)

@@ -472,20 +472,31 @@ class TaskCoordinator(Agent):
     def replay_dead_letters(self) -> int:
         """Re-execute pending dead letters; returns how many recovered.
 
-        Each entry is re-driven through the normal ``EXECUTE_AGENT`` path
-        with its originally resolved inputs; successes are acknowledged on
-        the stream and removed from the pending set.
+        Node-level entries are re-driven through the normal
+        ``EXECUTE_AGENT`` path with their originally resolved inputs.
+        Whole-plan entries — plans the fleet's admission queue expired
+        before they ever ran (``QueueDeadlineExpired``) — carry their
+        serialized plan and are re-executed end to end; the journal's
+        idempotency machinery makes a second replay a no-op.  Successes
+        are acknowledged on the stream and leave the pending set.
         """
         queue = self.dead_letter_queue()
 
         def executor(payload: dict[str, Any]) -> bool:
+            inputs = payload.get("inputs", {})
+            if (
+                payload.get("error_type") == "QueueDeadlineExpired"
+                and "plan" in inputs
+            ):
+                run = self.execute_plan(TaskPlan.from_payload(inputs["plan"]))
+                return run.status == "completed"
             node = TaskNode(
                 node_id=payload["node"],
                 agent=payload["agent"],
                 fallback_agent=payload.get("fallback_agent"),
             )
             outputs, failure = self._attempt_node(
-                node, payload.get("inputs", {}), node.agent, None
+                node, inputs, node.agent, None
             )
             return failure is None and outputs is not None
 

@@ -2,13 +2,17 @@
 
 One :class:`FleetScheduler` interleaves the wave steppers of many
 admitted plans over a shared virtual timeline, with admission control
-(max in-flight plans, FIFO backlog), per-model concurrency limits, and
+(max in-flight plans, FIFO backlog for batch runs; QoS-tiered weighted
+fairness, rate limits, and queue deadlines for open-loop runs — see
+:mod:`repro.core.overload`), per-model concurrency limits, and
 single-flight LLM coalescing supplied by the shared catalog.  See
-DESIGN.md §10 for the execution semantics.
+DESIGN.md §10 for the execution semantics and §11 for the overload
+control plane.
 """
 
 from .scheduler import (
     FleetEntry,
+    FleetOffer,
     FleetPlanResult,
     FleetResult,
     FleetScheduler,
@@ -17,6 +21,7 @@ from .scheduler import (
 
 __all__ = [
     "FleetEntry",
+    "FleetOffer",
     "FleetPlanResult",
     "FleetResult",
     "FleetScheduler",

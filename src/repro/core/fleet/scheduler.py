@@ -53,6 +53,7 @@ from ..scheduler import VirtualTimeline
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...observability import Observability
     from ..agent import Agent
+    from ..overload import AdmissionController, BrownoutController, FifoAdmission
 
 
 @dataclass
@@ -61,12 +62,17 @@ class FleetSubmission:
 
     *agents* are attached to the plan's dedicated session before the
     coordinator (every planned agent must be a session participant);
-    *qos* builds the plan's budget (None = unmetered).
+    *qos* builds the plan's budget (None = unmetered).  *tenant* /
+    *tier* feed the overload control plane (rate limits, weighted-fair
+    admission, shed eligibility); the defaults keep single-tenant runs
+    unchanged.
     """
 
     plan: TaskPlan
     agents: Sequence["Agent"] = ()
     qos: QoSSpec | None = None
+    tenant: str = "default"
+    tier: int = 0
 
 
 @dataclass
@@ -76,6 +82,21 @@ class FleetEntry:
     plan: TaskPlan
     coordinator: TaskCoordinator
     budget: Budget | None = None
+    tenant: str = "default"
+    tier: int = 0
+
+
+@dataclass
+class FleetOffer:
+    """One open-loop submission: an entry plus its arrival instant.
+
+    ``arrival`` is absolute simulated time (at or after the shared
+    timeline's origin) — normally the trace time of an
+    :class:`~repro.core.overload.Arrival` shifted onto the clock.
+    """
+
+    entry: FleetEntry
+    arrival: float
 
 
 @dataclass
@@ -93,6 +114,14 @@ class FleetPlanResult:
     finished_at: float | None
     #: Simulated seconds spent in the backlog before admission.
     queue_wait: float = 0.0
+    #: Why admission refused the plan: ``backlog_full`` / ``rate_limited``
+    #: / ``shed`` / ``deadline_expired`` (None unless ``rejected``).
+    rejection_reason: str | None = None
+    tenant: str = "default"
+    tier: int = 0
+    #: Open-loop arrival instant (equals ``admitted_at - queue_wait``
+    #: for admitted plans; batch runs use the fleet origin).
+    arrived_at: float | None = None
 
 
 @dataclass
@@ -107,6 +136,8 @@ class FleetResult:
     admitted: int = 0
     queued: int = 0
     rejected: int = 0
+    #: Rejections by typed reason (sums to ``rejected``).
+    rejected_by: dict[str, int] = field(default_factory=dict)
 
     def completed(self) -> list[FleetPlanResult]:
         return [p for p in self.plans if p.outcome == "completed"]
@@ -114,19 +145,31 @@ class FleetResult:
     def runs(self) -> list[PlanRun]:
         return [p.run for p in self.plans if p.run is not None]
 
+    def by_tier(self) -> dict[int, list[FleetPlanResult]]:
+        tiers: dict[int, list[FleetPlanResult]] = {}
+        for plan in self.plans:
+            tiers.setdefault(plan.tier, []).append(plan)
+        return {tier: tiers[tier] for tier in sorted(tiers)}
+
 
 class _Active:
     """One in-flight plan: its entry, stepper, and admission bookkeeping."""
 
-    __slots__ = ("index", "entry", "execution", "admitted_at")
+    __slots__ = ("index", "entry", "execution", "admitted_at", "arrived_at")
 
     def __init__(
-        self, index: int, entry: FleetEntry, execution: PlanExecution, admitted_at: float
+        self,
+        index: int,
+        entry: FleetEntry,
+        execution: PlanExecution,
+        admitted_at: float,
+        arrived_at: float | None = None,
     ) -> None:
         self.index = index
         self.entry = entry
         self.execution = execution
         self.admitted_at = admitted_at
+        self.arrived_at = arrived_at
 
 
 class FleetScheduler:
@@ -139,6 +182,8 @@ class FleetScheduler:
         max_inflight: int = 4,
         max_backlog: int | None = None,
         observability: "Observability | None" = None,
+        admission: "AdmissionController | FifoAdmission | None" = None,
+        brownout: "BrownoutController | None" = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
@@ -149,6 +194,12 @@ class FleetScheduler:
         self._max_inflight = max_inflight
         self._max_backlog = max_backlog
         self._observability = observability
+        #: Open-loop admission gate (see :meth:`run_offers`); None builds
+        #: a plain FIFO gate bounded by ``max_backlog`` — the pre-overload
+        #: behavior, kept as the benchmark ablation.
+        self._admission = admission
+        #: Optional graceful-degradation state machine for open-loop runs.
+        self._brownout = brownout
 
     def run(self, entries: Sequence[FleetEntry]) -> FleetResult:
         """Drive every entry to an outcome; returns the aggregate result."""
@@ -189,13 +240,21 @@ class FleetScheduler:
                 else:
                     counts["rejected"] += 1
                     if metrics is not None:
-                        metrics.inc("fleet.rejected")
+                        metrics.inc(
+                            "fleet.rejected",
+                            reason="backlog_full",
+                            tenant=entry.tenant,
+                        )
                     results[index] = FleetPlanResult(
                         plan_id=entry.plan.plan_id,
                         outcome="rejected",
                         run=None,
                         admitted_at=None,
                         finished_at=None,
+                        rejection_reason="backlog_full",
+                        tenant=entry.tenant,
+                        tier=entry.tier,
+                        arrived_at=origin,
                     )
             try:
                 while inflight:
@@ -250,6 +309,245 @@ class FleetScheduler:
                 admitted=counts["admitted"],
                 queued=counts["queued"],
                 rejected=counts["rejected"],
+                rejected_by=(
+                    {"backlog_full": counts["rejected"]}
+                    if counts["rejected"]
+                    else {}
+                ),
+            )
+
+    def run_offers(self, offers: Sequence[FleetOffer]) -> FleetResult:
+        """Drive an open-loop arrival stream through tiered admission.
+
+        Unlike :meth:`run` (a fixed batch, all present at the origin),
+        offers land at their own simulated arrival instants and flow
+        through the overload control plane:
+
+        1. **Intake** — at each scheduling instant, arrivals up to that
+           instant hit the admission gate: the brownout controller may
+           shed sheddable tiers at the door, the tenant's token bucket
+           may refuse (``rate_limited``), the backlog may be full
+           (``backlog_full``); otherwise the offer queues.
+        2. **Expiry** — queued entries whose tier deadline passed are
+           quarantined on their session's dead-letter stream
+           (``deadline_expired``) instead of running hopelessly stale.
+        3. **Fill** — free slots drain the queues by weighted fairness;
+           the brownout controller degrades each admitted plan (model
+           downshift, optional-node pruning) per its current level.
+
+        Scheduling instants are the fleet origin, every plan completion,
+        and — whenever slots are free and nothing is queued — each next
+        arrival itself, so free capacity never idles past offered work.
+        Everything is deterministic: same offers, same decisions, same
+        bytes.  With no admission controller configured the gate is the
+        PR-5 FIFO backlog, which is exactly the naive ablation the
+        overload benchmark measures against.
+        """
+        from ..overload import FifoAdmission
+
+        obs = self._observability
+        metrics = (
+            obs.metrics if obs is not None and obs.metrics.enabled else None
+        )
+        origin = self._timeline.origin
+        gate = (
+            self._admission
+            if self._admission is not None
+            else FifoAdmission(self._max_backlog)
+        )
+        brownout = self._brownout
+        results: dict[int, FleetPlanResult] = {}
+        counts = {"admitted": 0, "queued": 0, "rejected": 0}
+        rejected_by: dict[str, int] = {}
+        pending: deque[tuple[int, FleetOffer]] = deque(
+            sorted(enumerate(offers), key=lambda pair: (pair[1].arrival, pair[0]))
+        )
+        span = (
+            obs.span(
+                "fleet",
+                kind="fleet",
+                plans=len(offers),
+                max_inflight=self._max_inflight,
+                mode="open-loop",
+            )
+            if obs is not None
+            else NOOP_SPAN
+        )
+        with span:
+            inflight: list[_Active] = []
+
+            def reject(index: int, offer: FleetOffer, reason: str, at: float) -> None:
+                counts["rejected"] += 1
+                rejected_by[reason] = rejected_by.get(reason, 0) + 1
+                if metrics is not None:
+                    metrics.inc(
+                        "fleet.rejected", reason=reason, tenant=offer.entry.tenant
+                    )
+                results[index] = FleetPlanResult(
+                    plan_id=offer.entry.plan.plan_id,
+                    outcome="rejected",
+                    run=None,
+                    admitted_at=None,
+                    finished_at=None,
+                    rejection_reason=reason,
+                    tenant=offer.entry.tenant,
+                    tier=offer.entry.tier,
+                    arrived_at=offer.arrival,
+                )
+
+            def intake(upto: float) -> None:
+                while pending and pending[0][1].arrival <= upto:
+                    index, offer = pending.popleft()
+                    entry = offer.entry
+                    if brownout is not None and brownout.should_shed(
+                        entry.tier, gate.sheddable(entry.tier)
+                    ):
+                        brownout.record_shed(
+                            entry.plan.plan_id, entry.tenant, entry.tier, offer.arrival
+                        )
+                        reject(index, offer, "shed", offer.arrival)
+                        continue
+                    verdict = gate.offer(
+                        (index, offer), entry.tenant, entry.tier, offer.arrival
+                    )
+                    if verdict != gate.QUEUED:
+                        reject(index, offer, verdict, offer.arrival)
+
+            def expire(at: float) -> None:
+                for item, tenant, _tier, arrival in gate.expire(at):
+                    index, offer = item
+                    entry = offer.entry
+                    # Park the stale plan on its session's dead-letter
+                    # stream — replayable once pressure drains, exactly
+                    # like a node that exhausted its retries.  Rebase
+                    # first so the quarantine message is stamped at the
+                    # expiry instant.
+                    self._clock.rebase(at)
+                    entry.coordinator.dead_letter_queue().quarantine(
+                        plan=entry.plan.plan_id,
+                        node="<backlog>",
+                        agent="<fleet>",
+                        inputs={"plan": entry.plan.to_payload()},
+                        error=(
+                            "queue deadline expired after waiting "
+                            f"{at - arrival:.3f}s in the fleet backlog"
+                        ),
+                        error_type="QueueDeadlineExpired",
+                        transient=True,
+                    )
+                    if metrics is not None:
+                        metrics.inc("overload.expired", tenant=tenant)
+                    reject(index, offer, "deadline_expired", at)
+
+            def fill(at: float) -> None:
+                while len(inflight) < self._max_inflight:
+                    popped = gate.pop(at)
+                    if popped is None:
+                        return
+                    (index, offer), _tenant, tier, arrival = popped
+                    entry = offer.entry
+                    start = max(at, arrival)
+                    plan, actions = (
+                        brownout.admit_plan(entry.plan, tier, start)
+                        if brownout is not None
+                        else (entry.plan, {})
+                    )
+                    if plan is not entry.plan:
+                        entry = FleetEntry(
+                            plan=plan,
+                            coordinator=entry.coordinator,
+                            budget=entry.budget,
+                            tenant=entry.tenant,
+                            tier=entry.tier,
+                        )
+                    if start > arrival:
+                        counts["queued"] += 1
+                        if metrics is not None:
+                            metrics.inc("fleet.queued")
+                    active = self._admit(
+                        index, entry, start, metrics, counts, arrived_at=arrival
+                    )
+                    if actions:
+                        plan_span = active.execution.span
+                        plan_span.set_attribute("brownout_level", actions["level"])
+                        if "downshifted" in actions:
+                            plan_span.set_attribute(
+                                "downshifted",
+                                ",".join(
+                                    f"{a}->{b}"
+                                    for a, b in actions["downshifted"].items()
+                                ),
+                            )
+                        if "pruned" in actions:
+                            plan_span.set_attribute(
+                                "pruned", ",".join(actions["pruned"])
+                            )
+                    inflight.append(active)
+
+            def on_event(at: float) -> None:
+                intake(at)
+                expire(at)
+                if brownout is not None:
+                    brownout.observe(gate.depth(), at)
+                fill(at)
+
+            on_event(origin)
+            try:
+                while inflight or pending or gate.depth():
+                    if not inflight:
+                        if pending:
+                            # Idle fleet: jump to the next arrival.
+                            on_event(pending[0][1].arrival)
+                            continue
+                        # Queued entries with every slot free should have
+                        # drained via fill(); never spin on a stuck gate.
+                        break
+                    # Free slots never idle past offered work: with the
+                    # queues empty, pull the next arrivals in at their own
+                    # instants until the window fills.
+                    while (
+                        pending
+                        and gate.depth() == 0
+                        and len(inflight) < self._max_inflight
+                    ):
+                        on_event(pending[0][1].arrival)
+                    for active in inflight:
+                        execution = active.execution
+                        if execution.finished:
+                            continue
+                        try:
+                            execution.step()
+                        except BaseException as error:
+                            execution.abandon(f"{type(error).__name__}: {error}")
+                            raise
+                    done = [a for a in inflight if a.execution.finished]
+                    done.sort(key=lambda a: (a.execution.plan_end, a.index))
+                    for active in done:
+                        inflight.remove(active)
+                        results[active.index] = self._result_of(active, origin)
+                        on_event(active.execution.plan_end)
+            finally:
+                self._timeline.commit()
+            makespan = self._timeline.horizon - origin
+            span.set_attribute("makespan", makespan)
+            span.set_attribute("admitted", counts["admitted"])
+            span.set_attribute("queued", counts["queued"])
+            span.set_attribute("rejected", counts["rejected"])
+            for reason in sorted(rejected_by):
+                span.set_attribute(f"rejected_{reason}", rejected_by[reason])
+            if brownout is not None:
+                span.set_attribute("brownout_level", brownout.level)
+                span.set_attribute(
+                    "brownout_transitions", len(brownout.transitions)
+                )
+            return FleetResult(
+                origin=origin,
+                makespan=makespan,
+                plans=[results[i] for i in sorted(results)],
+                admitted=counts["admitted"],
+                queued=counts["queued"],
+                rejected=counts["rejected"],
+                rejected_by=rejected_by,
             )
 
     # ------------------------------------------------------------------
@@ -262,6 +560,7 @@ class FleetScheduler:
         at: float,
         metrics,
         counts: dict[str, int],
+        arrived_at: float | None = None,
     ) -> _Active:
         # Rebase to the admission instant so the journal's plan_started
         # stamp (and everything else admission touches) reads it — a
@@ -277,18 +576,25 @@ class FleetScheduler:
         counts["admitted"] += 1
         if metrics is not None:
             metrics.inc("fleet.admitted")
-            metrics.histogram("fleet.queue_wait").observe(
-                at - self._timeline.origin
+            # Batch runs measure waits from the fleet origin; open-loop
+            # runs from each plan's own arrival instant.
+            wait_base = (
+                arrived_at if arrived_at is not None else self._timeline.origin
             )
-        return _Active(index, entry, execution, at)
+            metrics.histogram("fleet.queue_wait").observe(at - wait_base)
+        return _Active(index, entry, execution, at, arrived_at=arrived_at)
 
     def _result_of(self, active: _Active, origin: float) -> FleetPlanResult:
         run = active.execution.result
+        arrived = active.arrived_at if active.arrived_at is not None else origin
         return FleetPlanResult(
             plan_id=active.entry.plan.plan_id,
             outcome=run.status if run is not None else "failed",
             run=run,
             admitted_at=active.admitted_at,
             finished_at=active.execution.plan_end,
-            queue_wait=active.admitted_at - origin,
+            queue_wait=active.admitted_at - arrived,
+            tenant=active.entry.tenant,
+            tier=active.entry.tier,
+            arrived_at=arrived,
         )

@@ -1,0 +1,37 @@
+"""Overload control plane: traffic, tiered admission, brownout.
+
+Production serving defends itself in three layers, and this package
+provides each as a deterministic, seed-stable component the fleet
+scheduler threads together (see DESIGN.md §11):
+
+* :mod:`~repro.core.overload.traffic` — open-loop arrival generation:
+  per-tenant Poisson/diurnal processes, surge windows, chaos surges.
+* :mod:`~repro.core.overload.admission` — per-tenant token buckets,
+  weighted-fair tier queues, queue deadlines (plus the naive FIFO gate
+  kept as the benchmark ablation).
+* :mod:`~repro.core.overload.brownout` — hysteretic degradation: model
+  downshift, optional-node pruning, lowest-tier shedding.
+"""
+
+from .admission import AdmissionController, FifoAdmission, TierPolicy, TokenBucket
+from .brownout import (
+    BrownoutController,
+    BrownoutSpec,
+    DEFAULT_DOWNSHIFT,
+    LEVEL_NAMES,
+)
+from .traffic import Arrival, TenantSpec, TrafficGenerator
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "BrownoutController",
+    "BrownoutSpec",
+    "DEFAULT_DOWNSHIFT",
+    "FifoAdmission",
+    "LEVEL_NAMES",
+    "TenantSpec",
+    "TierPolicy",
+    "TokenBucket",
+    "TrafficGenerator",
+]

@@ -1,0 +1,205 @@
+"""Brownout control: graceful degradation under sustained overload.
+
+When offered load exceeds capacity, an enterprise serving stack does not
+fail uniformly — it *browns out*: sheds optional work first, cheapens
+what it keeps, and protects its highest-QoS traffic to the end.  The
+:class:`BrownoutController` is that state machine for the fleet.  It
+watches backlog depth at every scheduling instant and moves through four
+levels:
+
+====  ============  ====================================================
+0     normal        nothing degraded
+1     downshift     non-protected plans' model hints rewrite one tier
+                    cheaper (PR 1's model-routing path does the rest)
+2     degrade       level 1, plus nodes marked ``optional`` are pruned
+                    from admitted plans
+3     shed          levels 1–2, plus arrivals on sheddable tiers are
+                    rejected outright with a typed ``shed`` verdict
+====  ============  ====================================================
+
+Transitions are **hysteretic**: the depth that enters a level is higher
+than the depth that exits it (``enter_depths[i] > exit_depths[i]``), so
+the controller does not flap when the backlog oscillates around a
+threshold.  Every transition and per-plan decision is appended to a
+decision log — the artifact the determinism property test compares
+byte-for-byte across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability import MetricsRegistry
+    from ..plan.task_plan import TaskPlan
+
+#: Default model downshift map: each catalog tier steps to the next
+#: cheaper one; the floor tier and domain fine-tunes stay put.
+DEFAULT_DOWNSHIFT: Mapping[str, str] = {
+    "mega-xl": "mega-m",
+    "mega-m": "mega-s",
+    "mega-s": "mega-nano",
+}
+
+LEVEL_NAMES = ("normal", "downshift", "degrade", "shed")
+
+
+@dataclass(frozen=True)
+class BrownoutSpec:
+    """Thresholds and degradation knobs for the brownout state machine.
+
+    ``enter_depths[i]`` is the backlog depth at which level ``i + 1``
+    engages; ``exit_depths[i]`` the depth at which it releases.  Both
+    must be non-decreasing and each exit strictly below its enter —
+    that gap is the hysteresis band.
+    """
+
+    enter_depths: tuple[int, int, int] = (8, 16, 32)
+    exit_depths: tuple[int, int, int] = (4, 10, 24)
+    protect_tier: int = 0
+    downshift: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_DOWNSHIFT)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.enter_depths) != 3 or len(self.exit_depths) != 3:
+            raise ValueError("brownout specs take exactly three levels")
+        for i in range(3):
+            if self.exit_depths[i] >= self.enter_depths[i]:
+                raise ValueError(
+                    "exit depth must sit below enter depth (hysteresis): "
+                    f"level {i + 1} has exit {self.exit_depths[i]} >= "
+                    f"enter {self.enter_depths[i]}"
+                )
+        if list(self.enter_depths) != sorted(self.enter_depths):
+            raise ValueError(f"enter_depths must be non-decreasing: {self.enter_depths}")
+        if list(self.exit_depths) != sorted(self.exit_depths):
+            raise ValueError(f"exit_depths must be non-decreasing: {self.exit_depths}")
+
+
+class BrownoutController:
+    """Hysteretic overload level tracking plus per-plan degradation."""
+
+    def __init__(
+        self,
+        spec: BrownoutSpec | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.spec = spec or BrownoutSpec()
+        self.metrics = metrics
+        self.level = 0
+        #: ``(at, old_level, new_level, depth)`` per transition.
+        self.transitions: list[tuple[float, int, int, int]] = []
+        #: Every degradation decision, in decision order — the byte-level
+        #: determinism artifact.
+        self.decisions: list[dict[str, Any]] = []
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES[self.level]
+
+    # ------------------------------------------------------------------
+    # Signal input
+    # ------------------------------------------------------------------
+    def observe(self, depth: int, at: float) -> int:
+        """Update the level from the backlog depth at instant *at*."""
+        old = self.level
+        level = self.level
+        while level < 3 and depth >= self.spec.enter_depths[level]:
+            level += 1
+        while level > 0 and depth <= self.spec.exit_depths[level - 1]:
+            level -= 1
+        if level != old:
+            self.level = level
+            self.transitions.append((at, old, level, depth))
+            if self.metrics is not None:
+                self.metrics.inc(
+                    "overload.brownout_transitions",
+                    direction="up" if level > old else "down",
+                    level=LEVEL_NAMES[level],
+                )
+                self.metrics.gauge("overload.brownout_level").set(level)
+        return self.level
+
+    # ------------------------------------------------------------------
+    # Degradation decisions
+    # ------------------------------------------------------------------
+    def should_shed(self, tier: int, sheddable: bool) -> bool:
+        """Whether an arrival on *tier* is dropped at the door right now."""
+        return (
+            self.level >= 3
+            and sheddable
+            and tier > self.spec.protect_tier
+        )
+
+    def record_shed(self, plan_id: str, tenant: str, tier: int, at: float) -> None:
+        self.decisions.append(
+            {
+                "at": at,
+                "action": "shed",
+                "plan": plan_id,
+                "tenant": tenant,
+                "tier": tier,
+                "level": self.level,
+            }
+        )
+        if self.metrics is not None:
+            self.metrics.inc("overload.shed", tenant=tenant)
+
+    def admit_plan(
+        self, plan: "TaskPlan", tier: int, at: float
+    ) -> tuple["TaskPlan", dict[str, Any]]:
+        """Degrade *plan* per the current level; returns (plan, actions).
+
+        Protected tiers pass through untouched at every level.  The
+        returned actions dict is empty when nothing changed (the common
+        case, so callers can skip span attributes cheaply).
+        """
+        if self.level == 0 or tier <= self.spec.protect_tier:
+            return plan, {}
+        model_map = self.spec.downshift if self.level >= 1 else None
+        drop_optional = self.level >= 2
+        pruned = (
+            sorted(n.node_id for n in plan.nodes() if n.optional)
+            if drop_optional
+            else []
+        )
+        downshifted = sorted(
+            {
+                node.model
+                for node in plan.nodes()
+                if model_map and node.model in model_map
+            }
+        )
+        if not downshifted and not pruned:
+            return plan, {}
+        derived = plan.derived(model_map=model_map, drop_optional=drop_optional)
+        actions: dict[str, Any] = {"level": self.level}
+        if downshifted:
+            actions["downshifted"] = {m: model_map[m] for m in downshifted}
+        if pruned:
+            actions["pruned"] = pruned
+        self.decisions.append(
+            {
+                "at": at,
+                "action": "degrade",
+                "plan": plan.plan_id,
+                "tier": tier,
+                **actions,
+            }
+        )
+        if self.metrics is not None:
+            if downshifted:
+                self.metrics.inc("overload.downshifted")
+            if pruned:
+                self.metrics.inc("overload.pruned", len(pruned))
+        return derived, actions
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "level": self.level,
+            "level_name": self.level_name,
+            "transitions": len(self.transitions),
+            "decisions": len(self.decisions),
+        }

@@ -1,0 +1,242 @@
+"""The canonical overload scenario: three tenants, one surge.
+
+Shared by ``repro surge`` and ``benchmarks/bench_overload.py`` so the CLI
+demo and the gated benchmark exercise the same workload:
+
+* ``enterprise`` (tier 0) — the contracted, latency-SLO tenant; modest
+  steady rate, never rate-limited, never shed, never expired.
+* ``standard`` (tier 1) — mid-tier traffic; downshiftable and prunable
+  under brownout, bounded queue wait.
+* ``batch`` (tier 2) — elastic bulk traffic; rate-limited, short queue
+  deadline, and sheddable — the load the fleet drops first.
+
+Each arrival becomes a three-stage plan (intake → enrich → resolve) whose
+stages call the shared catalog through :meth:`Agent.complete`, so the
+plan-node ``model`` hints — and therefore the brownout controller's
+downshift rewrites — take effect through PR 1's model-routing path.  The
+``enrich`` stage is marked ``optional``: at brownout level 2+ it is
+pruned, shortening the degraded plans' critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..agent import Agent
+from ..fleet import FleetSubmission
+from ..params import Parameter
+from ..plan import Binding, TaskPlan
+from .admission import AdmissionController, TierPolicy
+from .brownout import BrownoutController, BrownoutSpec
+from .traffic import Arrival, TenantSpec, TrafficGenerator
+
+#: Tier policies for the scenario (see the module docstring).
+DEMO_TIERS: dict[int, TierPolicy] = {
+    0: TierPolicy(weight=6.0),
+    1: TierPolicy(weight=3.0, rate=1.5, burst=6.0, max_queue_wait=20.0),
+    2: TierPolicy(
+        weight=1.0, rate=1.2, burst=5.0, max_queue_wait=10.0, sheddable=True
+    ),
+}
+
+#: Simulated seconds from arrival to completion the tier-0 contract allows.
+TIER0_LATENCY_SLO = 6.0
+
+
+def demo_tenants(scale: float = 1.0) -> list[TenantSpec]:
+    """The three tenant populations, rates scaled by *scale*.
+
+    Populations are deliberately large (hundreds of thousands of users
+    at tiny per-user rates) — the generator only ever sees the product,
+    which is what lets the same machinery model millions of users.
+    """
+    return [
+        TenantSpec(
+            name="enterprise", tier=0, users=60_000, rate_per_user=5e-6 * scale
+        ),
+        TenantSpec(
+            name="standard",
+            tier=1,
+            users=300_000,
+            rate_per_user=2e-6 * scale,
+            pattern="diurnal",
+            diurnal_period=120.0,
+            diurnal_amplitude=0.3,
+        ),
+        TenantSpec(
+            name="batch", tier=2, users=800_000, rate_per_user=1e-6 * scale
+        ),
+    ]
+
+
+def demo_traffic(
+    seed: int = 0,
+    horizon: float = 60.0,
+    surge: tuple[float, float, float] | None = (20.0, 40.0, 2.4),
+    scale: float = 1.0,
+    chaos: Any = None,
+) -> TrafficGenerator:
+    """The scenario's arrival trace: steady load plus one surge window.
+
+    The default window multiplies offered load to roughly 2× the fleet's
+    service rate — the regime the overload benchmark gates on.  Pass
+    ``surge=None`` for steady traffic, or *chaos* (a
+    :class:`~repro.core.resilience.ChaosController` with ``surge_rate``
+    set) for probabilistic surges instead of a scripted window.
+    """
+    return TrafficGenerator(
+        demo_tenants(scale),
+        seed=seed,
+        horizon=horizon,
+        surges=[surge] if surge is not None else [],
+        chaos=chaos,
+    )
+
+
+def demo_admission(max_backlog: int | None = None) -> AdmissionController:
+    return AdmissionController(tiers=dict(DEMO_TIERS), max_backlog=max_backlog)
+
+
+def demo_brownout(metrics: Any = None) -> BrownoutController:
+    return BrownoutController(
+        BrownoutSpec(enter_depths=(6, 12, 20), exit_depths=(3, 8, 14)),
+        metrics=metrics,
+    )
+
+
+class StageAgent(Agent):
+    """One LLM-backed plan stage routed through :meth:`Agent.complete`.
+
+    Unlike a :class:`~repro.core.agent.FunctionAgent` closing over a
+    fixed catalog client, this subclass resolves its model per call —
+    explicit argument, then the driving plan node's ``model`` hint, then
+    the default — which is exactly the seam the brownout controller's
+    downshift rewrites.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        default_model: str,
+        template: Callable[[dict[str, Any]], str],
+        inputs: tuple[Parameter, ...],
+    ) -> None:
+        self.name = name
+        super().__init__()
+        self.inputs = inputs
+        self.outputs = (Parameter("OUT", "text"),)
+        self.default_model = default_model
+        self._template = template
+
+    def processor(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        return {"OUT": self.complete(self._template(inputs)).text}
+
+
+def demo_agents() -> list[Agent]:
+    """Fresh stage agents for one submission's session."""
+    return [
+        StageAgent(
+            "INTAKE",
+            "mega-s",
+            lambda i: f"TASK: EXTRACT\nFIELDS: intent\nTEXT: {i['IN']}",
+            inputs=(Parameter("IN", "text"),),
+        ),
+        StageAgent(
+            "ENRICH",
+            "mega-m",
+            lambda i: f"TASK: RELATED_TITLES\nTITLE: {i['IN'][:40]}",
+            inputs=(Parameter("IN", "text"),),
+        ),
+        StageAgent(
+            "RESOLVE",
+            "mega-s",
+            lambda i: (
+                f"TASK: SUMMARIZE\nTEXT: {i['IN']} | {i.get('CONTEXT', '')}"
+            ),
+            inputs=(
+                Parameter("IN", "text"),
+                Parameter("CONTEXT", "text", required=False),
+            ),
+        ),
+    ]
+
+
+def demo_plan(arrival: Arrival) -> TaskPlan:
+    """Intake → enrich (optional) → resolve, with per-tier model hints."""
+    plan = TaskPlan(
+        f"{arrival.tenant}-{arrival.index:04d}",
+        goal=f"serve {arrival.tenant} request {arrival.index}",
+    )
+    plan.add_step(
+        "intake",
+        "INTAKE",
+        {"IN": Binding.const(f"request #{arrival.index} from {arrival.tenant}")},
+        model="mega-s",
+    )
+    plan.add_step(
+        "enrich",
+        "ENRICH",
+        {"IN": Binding.from_node("intake", "OUT")},
+        model="mega-m",
+        optional=True,
+    )
+    plan.add_step(
+        "resolve",
+        "RESOLVE",
+        {
+            "IN": Binding.from_node("intake", "OUT"),
+            "CONTEXT": Binding.from_node("enrich", "OUT"),
+        },
+        model="mega-m" if arrival.tier == 0 else "mega-s",
+    )
+    return plan
+
+
+def demo_submission(arrival: Arrival) -> FleetSubmission:
+    """The factory :meth:`Blueprint.run_traffic` maps arrivals through."""
+    return FleetSubmission(
+        plan=demo_plan(arrival),
+        agents=demo_agents(),
+        tenant=arrival.tenant,
+        tier=arrival.tier,
+    )
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def tier_summary(result: Any) -> dict[int, dict[str, Any]]:
+    """Per-tier offered/completed/latency/rejection digest of a fleet run.
+
+    Latency is arrival-to-completion (``finished_at - arrived_at``), the
+    quantity the tier-0 SLO is written against — it includes queue wait,
+    unlike the plan's own critical path.
+    """
+    summary: dict[int, dict[str, Any]] = {}
+    for tier, plans in result.by_tier().items():
+        completed = [p for p in plans if p.outcome == "completed"]
+        latencies = sorted(
+            p.finished_at - p.arrived_at
+            for p in completed
+            if p.finished_at is not None and p.arrived_at is not None
+        )
+        rejected: dict[str, int] = {}
+        for p in plans:
+            if p.rejection_reason is not None:
+                rejected[p.rejection_reason] = (
+                    rejected.get(p.rejection_reason, 0) + 1
+                )
+        summary[tier] = {
+            "offered": len(plans),
+            "completed": len(completed),
+            "completion": (len(completed) / len(plans)) if plans else 1.0,
+            "p50_latency": _quantile(latencies, 0.50),
+            "p99_latency": _quantile(latencies, 0.99),
+            "rejected": rejected,
+        }
+    return summary

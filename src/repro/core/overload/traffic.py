@@ -1,0 +1,240 @@
+"""Open-loop traffic generation: seeded per-tenant arrival processes.
+
+A production fleet does not receive a fixed batch of plans — it receives
+an *open-loop* arrival stream whose rate is set by the outside world, not
+by the system's completion rate.  That distinction is what makes overload
+possible at all: a closed-loop benchmark self-throttles, an open-loop one
+keeps offering load while the backlog grows.
+
+:class:`TrafficGenerator` produces a deterministic arrival trace over the
+simulated timeline from per-tenant specs: each tenant is a population of
+``users`` issuing requests at ``rate_per_user`` per simulated second,
+optionally modulated by a diurnal sinusoid, explicit surge windows, and
+the chaos controller's ``surge`` fault.  Counts per (tenant, bucket) are
+Poisson draws inverted from hashed uniforms — the same ``seed|key``
+digest scheme as :class:`~repro.core.resilience.ChaosController.roll` —
+so the same seed always yields the byte-identical trace regardless of
+how many other random consumers run beside it.
+
+Populations scale to millions of simulated users without enumerating
+them: only the aggregate rate ``users * rate_per_user`` matters, and
+bucket counts for large rates come from a normal approximation to the
+Poisson (still a pure function of the seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.chaos import ChaosController
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's population and arrival pattern.
+
+    ``tier`` is the tenant's QoS class (0 = highest); admission maps it
+    to a :class:`~repro.core.overload.TierPolicy`.  ``pattern`` is
+    ``"poisson"`` (stationary) or ``"diurnal"`` (sinusoidal rate swing of
+    ``diurnal_amplitude`` around the mean over ``diurnal_period``).
+    """
+
+    name: str
+    tier: int = 1
+    users: int = 1000
+    rate_per_user: float = 0.001
+    pattern: str = "poisson"
+    diurnal_period: float = 86400.0
+    diurnal_amplitude: float = 0.5
+    diurnal_phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.users < 0:
+            raise ValueError(f"users must be >= 0: {self.users}")
+        if self.rate_per_user < 0:
+            raise ValueError(f"rate_per_user must be >= 0: {self.rate_per_user}")
+        if self.pattern not in ("poisson", "diurnal"):
+            raise ValueError(f"unknown arrival pattern: {self.pattern!r}")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1]: {self.diurnal_amplitude}"
+            )
+
+    @property
+    def offered_rate(self) -> float:
+        """Mean aggregate arrivals per simulated second."""
+        return self.users * self.rate_per_user
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at simulated time *t* (pattern applied)."""
+        rate = self.offered_rate
+        if self.pattern == "diurnal" and self.diurnal_period > 0:
+            phase = 2.0 * math.pi * (t / self.diurnal_period + self.diurnal_phase)
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(phase)
+        return max(0.0, rate)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One plan request landing on the fleet at a simulated instant."""
+
+    time: float
+    tenant: str
+    tier: int
+    index: int
+    #: Traffic multiplier in force when this arrival was generated (> 1
+    #: during a surge window or chaos surge) — purely diagnostic.
+    multiplier: float = 1.0
+
+
+def _probit(u: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    u = min(max(u, 1e-12), 1.0 - 1e-12)
+    a = (-39.69683028665376, 220.9460984245205, -275.9285104469687,
+         138.3577518672690, -30.66479806614716, 2.506628277459239)
+    b = (-54.47609879822406, 161.5858368580409, -155.6989798598866,
+         66.80131188771972, -13.28068155288572)
+    c = (-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+         -2.549732539343734, 4.374664141464968, 2.938163982698783)
+    d = (0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+         3.754408661907416)
+    plow, phigh = 0.02425, 1 - 0.02425
+    if u < plow:
+        q = math.sqrt(-2 * math.log(u))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if u > phigh:
+        q = math.sqrt(-2 * math.log(1 - u))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = u - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+def _poisson(u: float, lam: float) -> int:
+    """Poisson draw by inverting CDF at *u*; normal approx for large λ.
+
+    The switch at λ = 64 keeps the inversion loop short while the
+    approximation error is far below one arrival per bucket at that
+    scale — and either branch is a pure function of (u, λ), so the trace
+    stays seed-deterministic across population sizes.
+    """
+    if lam <= 0:
+        return 0
+    if lam > 64.0:
+        return max(0, int(round(lam + math.sqrt(lam) * _probit(u))))
+    k = 0
+    p = math.exp(-lam)
+    cumulative = p
+    while u > cumulative and k < 10_000:
+        k += 1
+        p *= lam / k
+        cumulative += p
+    return k
+
+
+class TrafficGenerator:
+    """Seeded open-loop arrival trace over the simulated timeline.
+
+    Arrivals are generated bucket by bucket over ``[0, horizon)``:
+    per-tenant counts are Poisson in the tenant's instantaneous rate
+    (pattern × surge windows × chaos surge), and each arrival's offset
+    within its bucket is an independent uniform draw.  Times are
+    relative to the trace origin; the fleet runtime shifts them onto the
+    shared clock at submission.
+
+    *surges* are explicit ``(start, end, multiplier)`` windows — the
+    deterministic overload scenario benchmarks script.  *chaos* injects
+    probabilistic surges instead: the generator steps the controller
+    once per bucket and applies :meth:`~repro.core.resilience.
+    ChaosController.traffic_multiplier`.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantSpec],
+        seed: int = 0,
+        horizon: float = 60.0,
+        bucket: float = 1.0,
+        surges: Sequence[tuple[float, float, float]] = (),
+        chaos: "ChaosController | None" = None,
+    ) -> None:
+        self.tenants = list(tenants)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0: {horizon}")
+        if bucket <= 0:
+            raise ValueError(f"bucket must be > 0: {bucket}")
+        names = [t.name for t in self.tenants]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+        for start, end, multiplier in surges:
+            if end <= start:
+                raise ValueError(f"empty surge window: ({start}, {end})")
+            if multiplier < 0:
+                raise ValueError(f"surge multiplier must be >= 0: {multiplier}")
+        self.seed = seed
+        self.horizon = horizon
+        self.bucket = bucket
+        self.surges = list(surges)
+        self.chaos = chaos
+
+    def _roll(self, key: str) -> float:
+        digest = hashlib.md5(f"{self.seed}|{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
+    def window_multiplier(self, t: float) -> float:
+        """Product of explicit surge windows covering instant *t*."""
+        factor = 1.0
+        for start, end, multiplier in self.surges:
+            if start <= t < end:
+                factor *= multiplier
+        return factor
+
+    def generate(self) -> list[Arrival]:
+        """The full arrival trace, sorted by (time, tenant), indexed."""
+        raw: list[tuple[float, str, int, float]] = []
+        buckets = int(math.ceil(self.horizon / self.bucket))
+        for bi in range(buckets):
+            t0 = bi * self.bucket
+            width = min(self.bucket, self.horizon - t0)
+            mid = t0 + width / 2.0
+            chaos_mult = 1.0
+            if self.chaos is not None:
+                self.chaos.step()
+                chaos_mult = self.chaos.traffic_multiplier()
+            bucket_mult = self.window_multiplier(mid) * chaos_mult
+            for tenant in self.tenants:
+                lam = tenant.rate_at(mid) * bucket_mult * width
+                count = _poisson(self._roll(f"count|{tenant.name}|{bi}"), lam)
+                for k in range(count):
+                    offset = self._roll(f"offset|{tenant.name}|{bi}|{k}")
+                    raw.append(
+                        (t0 + offset * width, tenant.name, tenant.tier, bucket_mult)
+                    )
+        raw.sort(key=lambda item: (item[0], item[1]))
+        return [
+            Arrival(time=t, tenant=name, tier=tier, index=i, multiplier=mult)
+            for i, (t, name, tier, mult) in enumerate(raw)
+        ]
+
+    def describe(self) -> dict:
+        offered = {t.name: t.offered_rate for t in self.tenants}
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "bucket": self.bucket,
+            "tenants": len(self.tenants),
+            "users": sum(t.users for t in self.tenants),
+            "offered_rate": sum(offered.values()),
+            "offered_by_tenant": offered,
+            "surge_windows": list(self.surges),
+        }

@@ -88,6 +88,10 @@ class TaskNode:
     * ``model`` / ``fallback_model`` — LLM tier hints threaded into the
       (fallback) agent's ``complete`` calls, so a fallback can also mean
       "same agent logic, cheaper model".
+    * ``optional`` — a non-essential enrichment node the brownout
+      controller may prune under overload.  Its outputs must only feed
+      *non-required* downstream parameters: pruning drops the node and
+      every binding that referenced it.
     """
 
     node_id: str
@@ -98,6 +102,7 @@ class TaskNode:
     fallback_agent: str | None = None
     model: str | None = None
     fallback_model: str | None = None
+    optional: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline is not None and self.deadline <= 0:
@@ -143,6 +148,7 @@ class TaskPlan:
         fallback_agent: str | None = None,
         model: str | None = None,
         fallback_model: str | None = None,
+        optional: bool = False,
     ) -> TaskNode:
         return self.add(
             TaskNode(
@@ -154,6 +160,7 @@ class TaskPlan:
                 fallback_agent=fallback_agent,
                 model=model,
                 fallback_model=fallback_model,
+                optional=optional,
             )
         )
 
@@ -189,6 +196,52 @@ class TaskPlan:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    def derived(
+        self,
+        model_map: Mapping[str, str] | None = None,
+        drop_optional: bool = False,
+    ) -> "TaskPlan":
+        """A degraded copy of this plan (same id, goal, and cache policy).
+
+        *model_map* rewrites each node's explicit ``model`` /
+        ``fallback_model`` hints (unmapped names pass through) — the
+        brownout controller's model-tier downshift.  With *drop_optional*,
+        nodes marked ``optional`` are pruned along with every binding
+        that referenced them; by the :class:`TaskNode` contract those
+        bindings only fed non-required parameters, so the remaining DAG
+        stays executable.  With neither option the copy is structurally
+        identical.
+        """
+        model_map = dict(model_map or {})
+        plan = TaskPlan(self.plan_id, self.goal, no_cache=self.no_cache)
+        dropped = (
+            {n.node_id for n in self.nodes() if n.optional}
+            if drop_optional
+            else set()
+        )
+        for node in self.order():
+            if node.node_id in dropped:
+                continue
+            bindings = {
+                param: binding
+                for param, binding in node.bindings.items()
+                if binding.node is None or binding.node not in dropped
+            }
+            plan.add_step(
+                node.node_id,
+                node.agent,
+                bindings,
+                node.description,
+                deadline=node.deadline,
+                fallback_agent=node.fallback_agent,
+                model=model_map.get(node.model, node.model),
+                fallback_model=model_map.get(
+                    node.fallback_model, node.fallback_model
+                ),
+                optional=node.optional,
+            )
+        return plan
+
     def render(self) -> str:
         """Readable rendering matching Figure 6's shape."""
         lines = [f"TaskPlan {self.plan_id}: {self.goal}"]
@@ -214,6 +267,7 @@ class TaskPlan:
                     "fallback_agent": node.fallback_agent,
                     "model": node.model,
                     "fallback_model": node.fallback_model,
+                    "optional": node.optional,
                     "bindings": {
                         param: {
                             "value": binding.value,
@@ -250,5 +304,6 @@ class TaskPlan:
                 fallback_agent=node_payload.get("fallback_agent"),
                 model=node_payload.get("model"),
                 fallback_model=node_payload.get("fallback_model"),
+                optional=bool(node_payload.get("optional", False)),
             )
         return plan

@@ -53,6 +53,14 @@ class ChaosSpec:
             :meth:`kill_during_plan`, installed as the journal's barrier
             hook) — raised as
             :class:`~repro.errors.CoordinatorKilledError`.
+        surge_rate: probability per step that a traffic surge starts —
+            the overload analogue of an LLM brownout.  The traffic
+            generator steps the controller once per arrival bucket and
+            multiplies every tenant's offered rate by
+            :meth:`traffic_multiplier` while the surge lasts.
+        surge_length: steps a traffic surge lasts.
+        surge_multiplier: factor applied to offered traffic during a
+            surge (>= 1).
     """
 
     container_kill_rate: float = 0.0
@@ -64,6 +72,9 @@ class ChaosSpec:
     latency_spike_rate: float = 0.0
     latency_spike_seconds: float = 2.0
     plan_kill_rate: float = 0.0
+    surge_rate: float = 0.0
+    surge_length: int = 5
+    surge_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -74,10 +85,15 @@ class ChaosSpec:
             "agent_transient_rate",
             "latency_spike_rate",
             "plan_kill_rate",
+            "surge_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]: {rate}")
+        if self.surge_multiplier < 1.0:
+            raise ValueError(
+                f"surge_multiplier must be >= 1: {self.surge_multiplier}"
+            )
 
 
 class ChaosController:
@@ -96,6 +112,7 @@ class ChaosController:
         self._counters: dict[str, int] = {}
         self._steps = 0
         self._burst_remaining = 0
+        self._surge_remaining = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -116,12 +133,14 @@ class ChaosController:
     # Scenario stepping
     # ------------------------------------------------------------------
     def step(self) -> int:
-        """Advance the scenario one step; manages LLM brownout state."""
+        """Advance one step; manages LLM brownout and traffic surge state."""
         with self._lock:
             self._steps += 1
             steps = self._steps
             if self._burst_remaining > 0:
                 self._burst_remaining -= 1
+            if self._surge_remaining > 0:
+                self._surge_remaining -= 1
         if (
             self._burst_remaining == 0
             and self.spec.llm_burst_rate > 0
@@ -130,17 +149,39 @@ class ChaosController:
             with self._lock:
                 self._burst_remaining = self.spec.llm_burst_length
             self._record("llm_burst", length=self.spec.llm_burst_length)
+        if (
+            self._surge_remaining == 0
+            and self.spec.surge_rate > 0
+            and self.roll("surge") < self.spec.surge_rate
+        ):
+            with self._lock:
+                self._surge_remaining = self.spec.surge_length
+            self._record(
+                "traffic_surge",
+                length=self.spec.surge_length,
+                multiplier=self.spec.surge_multiplier,
+            )
         return steps
 
     def in_burst(self) -> bool:
         with self._lock:
             return self._burst_remaining > 0
 
+    def in_surge(self) -> bool:
+        with self._lock:
+            return self._surge_remaining > 0
+
     def current_llm_rate(self) -> float:
         """Effective LLM transient rate at this step (base or brownout)."""
         if self.in_burst():
             return self.spec.llm_burst_transient_rate
         return self.spec.llm_transient_rate
+
+    def traffic_multiplier(self) -> float:
+        """Offered-traffic factor at this step (``surge_multiplier`` or 1)."""
+        if self.in_surge():
+            return self.spec.surge_multiplier
+        return 1.0
 
     # ------------------------------------------------------------------
     # Fault sites

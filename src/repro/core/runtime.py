@@ -26,7 +26,8 @@ from .budget import Budget, Projection
 from .context import AgentContext
 from .coordinator import TaskCoordinator
 from .factory import AgentFactory
-from .fleet import FleetEntry, FleetResult, FleetScheduler, FleetSubmission
+from .fleet import FleetEntry, FleetOffer, FleetResult, FleetScheduler, FleetSubmission
+from .overload import Arrival, TrafficGenerator
 from .plan.task_plan import TaskPlan
 from .scheduler import VirtualTimeline
 from .planners.data_planner import DataPlanner
@@ -179,33 +180,8 @@ class Blueprint:
         agents; wrap in :class:`~repro.core.fleet.FleetSubmission` to
         attach agents and a QoS budget.
         """
-        if single_flight and self.catalog.single_flight is None:
-            self.catalog.single_flight = SingleFlight()
-        if capacity is not None:
-            self.catalog.capacity = (
-                capacity
-                if isinstance(capacity, ModelCapacity)
-                else ModelCapacity(dict(capacity))
-            )
-        entries: list[FleetEntry] = []
-        for item in submissions:
-            sub = (
-                item
-                if isinstance(item, FleetSubmission)
-                else FleetSubmission(plan=item)
-            )
-            session = self.create_session()
-            plan_journal = self.journal(session) if journal else None
-            coordinator = TaskCoordinator(
-                data_planner=self.data_planner, journal=plan_journal, parallel=True
-            )
-            budget = self.budget(sub.qos) if sub.qos is not None else None
-            for agent in sub.agents:
-                self.attach(agent, session, budget)
-            self.attach(coordinator, session, budget)
-            entries.append(
-                FleetEntry(plan=sub.plan, coordinator=coordinator, budget=budget)
-            )
+        self._wire_fleet_contention(single_flight, capacity)
+        entries = [self._prepare_entry(item, journal) for item in submissions]
         timeline = VirtualTimeline(self.clock)
         scheduler = FleetScheduler(
             timeline,
@@ -215,6 +191,105 @@ class Blueprint:
             observability=self.observability,
         )
         return scheduler.run(entries)
+
+    def run_traffic(
+        self,
+        traffic: "TrafficGenerator | Sequence[Arrival]",
+        submission_factory: Any,
+        max_inflight: int = 4,
+        max_backlog: int | None = None,
+        admission: Any = None,
+        brownout: Any = None,
+        journal: bool = True,
+        single_flight: bool = True,
+        capacity: "ModelCapacity | dict[str, int] | None" = None,
+    ) -> FleetResult:
+        """Serve an open-loop arrival stream through the overload plane.
+
+        *traffic* is a :class:`~repro.core.overload.TrafficGenerator`
+        (its trace is generated here) or a pre-built arrival sequence;
+        *submission_factory* maps each
+        :class:`~repro.core.overload.Arrival` to a
+        :class:`~repro.core.fleet.FleetSubmission` (or a bare
+        :class:`TaskPlan`).  Arrival times are relative to the trace
+        origin and are shifted onto the shared clock at submission.
+
+        *admission* is an
+        :class:`~repro.core.overload.AdmissionController` (None = the
+        PR-5 FIFO backlog bounded by *max_backlog* — the naive
+        ablation); *brownout* an optional
+        :class:`~repro.core.overload.BrownoutController`.  Everything
+        else matches :meth:`run_fleet`.
+        """
+        self._wire_fleet_contention(single_flight, capacity)
+        arrivals = (
+            traffic.generate()
+            if isinstance(traffic, TrafficGenerator)
+            else list(traffic)
+        )
+        origin = self.clock.now()
+        offers = []
+        for arrival in arrivals:
+            sub = submission_factory(arrival)
+            if not isinstance(sub, FleetSubmission):
+                sub = FleetSubmission(
+                    plan=sub, tenant=arrival.tenant, tier=arrival.tier
+                )
+            offers.append(
+                FleetOffer(
+                    entry=self._prepare_entry(sub, journal),
+                    arrival=origin + arrival.time,
+                )
+            )
+        timeline = VirtualTimeline(self.clock)
+        scheduler = FleetScheduler(
+            timeline,
+            self.clock,
+            max_inflight=max_inflight,
+            max_backlog=max_backlog,
+            observability=self.observability,
+            admission=admission,
+            brownout=brownout,
+        )
+        return scheduler.run_offers(offers)
+
+    def _wire_fleet_contention(
+        self,
+        single_flight: bool,
+        capacity: "ModelCapacity | dict[str, int] | None",
+    ) -> None:
+        if single_flight and self.catalog.single_flight is None:
+            self.catalog.single_flight = SingleFlight()
+        if capacity is not None:
+            self.catalog.capacity = (
+                capacity
+                if isinstance(capacity, ModelCapacity)
+                else ModelCapacity(dict(capacity))
+            )
+
+    def _prepare_entry(
+        self, item: "TaskPlan | FleetSubmission", journal: bool
+    ) -> FleetEntry:
+        """One submission's session, coordinator, budget, and agents."""
+        sub = (
+            item if isinstance(item, FleetSubmission) else FleetSubmission(plan=item)
+        )
+        session = self.create_session()
+        plan_journal = self.journal(session) if journal else None
+        coordinator = TaskCoordinator(
+            data_planner=self.data_planner, journal=plan_journal, parallel=True
+        )
+        budget = self.budget(sub.qos) if sub.qos is not None else None
+        for agent in sub.agents:
+            self.attach(agent, session, budget)
+        self.attach(coordinator, session, budget)
+        return FleetEntry(
+            plan=sub.plan,
+            coordinator=coordinator,
+            budget=budget,
+            tenant=sub.tenant,
+            tier=sub.tier,
+        )
 
     # ------------------------------------------------------------------
     # Crash recovery

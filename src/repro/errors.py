@@ -62,6 +62,18 @@ class LLMError(ReproError):
     transient = True
 
 
+class CapacityExceededError(LLMError):
+    """A model's slot queue is too deep: the call was refused, not queued.
+
+    Raised by :class:`~repro.llm.ModelCapacity` when a reservation's
+    deterministic queue wait would exceed the configured
+    ``max_queue_wait`` — the simulated analogue of a 429 with
+    ``Retry-After``.  Transient by design: the retry policy backs the
+    caller off and the reservation is attempted again once pressure
+    drains.
+    """
+
+
 class ModelNotFoundError(LLMError):
     """A model name was not present in the model catalog."""
 

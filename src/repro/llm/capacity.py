@@ -30,6 +30,8 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from ..errors import CapacityExceededError
+
 
 @dataclass(frozen=True)
 class CapacityStats:
@@ -39,6 +41,8 @@ class CapacityStats:
     queued: int
     total_wait: float
     max_wait: float
+    #: Reservations refused because their wait exceeded ``max_queue_wait``.
+    rejected: int = 0
 
     @property
     def queue_rate(self) -> float:
@@ -82,20 +86,29 @@ class ModelCapacity:
         self,
         slots: Mapping[str, int] | None = None,
         default_slots: int | None = None,
+        max_queue_wait: float | None = None,
     ) -> None:
         for model, limit in (slots or {}).items():
             if limit <= 0:
                 raise ValueError(f"capacity for {model!r} must be > 0: {limit}")
         if default_slots is not None and default_slots <= 0:
             raise ValueError(f"default_slots must be > 0: {default_slots}")
+        if max_queue_wait is not None and max_queue_wait < 0:
+            raise ValueError(f"max_queue_wait must be >= 0: {max_queue_wait}")
         self._slots = dict(slots or {})
         self._default_slots = default_slots
+        #: Queue-depth bound in simulated seconds: a reservation whose
+        #: deterministic wait would exceed this raises
+        #: :class:`~repro.errors.CapacityExceededError` instead of
+        #: queueing (None = queue unboundedly, the pre-overload default).
+        self.max_queue_wait = max_queue_wait
         self._intervals: dict[str, list[tuple[float, float]]] = {}
         self._lock = threading.Lock()
         self._reservations = 0
         self._queued = 0
         self._total_wait = 0.0
         self._max_wait = 0.0
+        self._rejected = 0
 
     def limit_for(self, model: str) -> int | None:
         """The model's slot count, or None when unlimited."""
@@ -126,8 +139,18 @@ class ModelCapacity:
                     if _max_overlap(intervals, t, t + duration) < limit:
                         actual = t
                         break
-            intervals.append((actual, actual + duration))
             wait = actual - start
+            if self.max_queue_wait is not None and wait > self.max_queue_wait:
+                # Refuse rather than queue: nothing is recorded, so the
+                # slot the caller would have waited for stays claimable
+                # by whoever retries first (deterministically, since
+                # reservation order is execution order).
+                self._rejected += 1
+                raise CapacityExceededError(
+                    f"model {model!r} queue wait {wait:.3f}s exceeds "
+                    f"max_queue_wait {self.max_queue_wait:.3f}s"
+                )
+            intervals.append((actual, actual + duration))
             self._reservations += 1
             if wait > 0:
                 self._queued += 1
@@ -164,6 +187,7 @@ class ModelCapacity:
                 queued=self._queued,
                 total_wait=self._total_wait,
                 max_wait=self._max_wait,
+                rejected=self._rejected,
             )
 
     def clear(self) -> None:

@@ -1,0 +1,416 @@
+"""Unit tests for the overload control plane: traffic, admission, brownout."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.agent import FunctionAgent
+from repro.core.budget import Budget
+from repro.core.context import AgentContext
+from repro.core.coordinator import TaskCoordinator
+from repro.core.fleet import FleetEntry, FleetOffer, FleetScheduler
+from repro.core.overload import (
+    AdmissionController,
+    Arrival,
+    BrownoutController,
+    BrownoutSpec,
+    FifoAdmission,
+    TenantSpec,
+    TierPolicy,
+    TokenBucket,
+    TrafficGenerator,
+)
+from repro.core.params import Parameter
+from repro.core.plan import Binding, TaskPlan
+from repro.core.recovery import WriteAheadJournal
+from repro.core.resilience import ChaosController, ChaosSpec
+from repro.core.scheduler import VirtualTimeline
+from repro.core.session import SessionManager
+from repro.observability import Observability
+from repro.streams import StreamStore
+
+
+class TestTrafficGenerator:
+    def test_same_seed_byte_identical_trace(self):
+        tenants = [TenantSpec("a", tier=0, users=100, rate_per_user=0.02)]
+        first = TrafficGenerator(tenants, seed=11, horizon=20.0).generate()
+        second = TrafficGenerator(tenants, seed=11, horizon=20.0).generate()
+        assert first == second
+        assert TrafficGenerator(tenants, seed=12, horizon=20.0).generate() != first
+
+    def test_trace_sorted_and_indexed(self):
+        tenants = [
+            TenantSpec("a", tier=0, users=100, rate_per_user=0.05),
+            TenantSpec("b", tier=1, users=100, rate_per_user=0.05),
+        ]
+        arrivals = TrafficGenerator(tenants, seed=3, horizon=30.0).generate()
+        assert arrivals
+        times = [(a.time, a.tenant) for a in arrivals]
+        assert times == sorted(times)
+        assert [a.index for a in arrivals] == list(range(len(arrivals)))
+        assert all(0.0 <= a.time < 30.0 for a in arrivals)
+
+    def test_millions_of_users_without_enumeration(self):
+        # 5M users at 1e-5 req/s each = 50 arrivals/s aggregate; the
+        # generator only ever sees the product, so this is instant.
+        tenants = [TenantSpec("mega", users=5_000_000, rate_per_user=1e-5)]
+        arrivals = TrafficGenerator(tenants, seed=1, horizon=10.0).generate()
+        expected = 5_000_000 * 1e-5 * 10.0
+        assert expected * 0.8 <= len(arrivals) <= expected * 1.2
+
+    def test_diurnal_pattern_modulates_rate(self):
+        spec = TenantSpec(
+            "d", users=1000, rate_per_user=0.01,
+            pattern="diurnal", diurnal_period=100.0, diurnal_amplitude=0.5,
+        )
+        # sin peaks a quarter period in, dips at three quarters.
+        assert spec.rate_at(25.0) == pytest.approx(15.0)
+        assert spec.rate_at(75.0) == pytest.approx(5.0)
+        assert spec.offered_rate == pytest.approx(10.0)
+
+    def test_surge_window_multiplies_offered_load(self):
+        tenants = [TenantSpec("s", users=1000, rate_per_user=0.002)]
+        gen = TrafficGenerator(
+            tenants, seed=5, horizon=60.0, surges=[(20.0, 40.0, 3.0)]
+        )
+        assert gen.window_multiplier(30.0) == 3.0
+        assert gen.window_multiplier(10.0) == 1.0
+        arrivals = gen.generate()
+        inside = [a for a in arrivals if 20.0 <= a.time < 40.0]
+        outside = [a for a in arrivals if not 20.0 <= a.time < 40.0]
+        # The window is half the outside duration but 3x the rate.
+        assert len(inside) > len(outside)
+        assert all(a.multiplier == 3.0 for a in inside)
+
+    def test_chaos_surge_fault_raises_traffic(self):
+        chaos = ChaosController(
+            ChaosSpec(surge_rate=1.0, surge_length=3, surge_multiplier=4.0),
+            seed=9,
+        )
+        tenants = [TenantSpec("c", users=1000, rate_per_user=0.005)]
+        arrivals = TrafficGenerator(
+            tenants, seed=9, horizon=10.0, chaos=chaos
+        ).generate()
+        assert chaos.in_surge() or chaos.events  # the fault fired
+        assert any(e["kind"] == "traffic_surge" for e in chaos.events)
+        assert any(a.multiplier == 4.0 for a in arrivals)
+
+    def test_chaos_surge_multiplier_outside_surge_is_one(self):
+        chaos = ChaosController(ChaosSpec(surge_rate=0.0), seed=1)
+        chaos.step()
+        assert not chaos.in_surge()
+        assert chaos.traffic_multiplier() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([], horizon=0.0)
+        with pytest.raises(ValueError):
+            TrafficGenerator([TenantSpec("x"), TenantSpec("x")])
+        with pytest.raises(ValueError):
+            TenantSpec("bad", pattern="weekly")
+        with pytest.raises(ValueError):
+            ChaosSpec(surge_multiplier=0.5)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst exhausted
+        assert bucket.try_take(1.0)      # one second refills one token
+        assert not bucket.try_take(1.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.try_take(0.0)
+        for _ in range(2):
+            assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_non_monotonic_timestamps_never_refund(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(5.0)
+        # An out-of-order earlier call must not mint tokens.
+        assert not bucket.try_take(2.0)
+        assert bucket.try_take(6.0)
+
+
+class TestAdmissionController:
+    def test_rate_limit_rejects_beyond_bucket(self):
+        gate = AdmissionController(
+            tiers={1: TierPolicy(rate=1.0, burst=2.0)}
+        )
+        verdicts = [gate.offer(i, "t", 1, 0.0) for i in range(3)]
+        assert verdicts == ["queued", "queued", "rate_limited"]
+        assert gate.depth() == 2
+
+    def test_bounded_backlog_rejects_when_full(self):
+        gate = AdmissionController(max_backlog=1)
+        assert gate.offer("a", "t", 0, 0.0) == AdmissionController.QUEUED
+        assert gate.offer("b", "t", 0, 0.0) == AdmissionController.BACKLOG_FULL
+
+    def test_weighted_fair_pop_order(self):
+        # Tier 0 at weight 3 must receive three slots per tier-1 slot.
+        gate = AdmissionController(
+            tiers={0: TierPolicy(weight=3.0), 1: TierPolicy(weight=1.0)}
+        )
+        for i in range(6):
+            gate.offer(f"a{i}", "a", 0, 0.0)
+            gate.offer(f"b{i}", "b", 1, 0.0)
+        popped = []
+        while (entry := gate.pop(0.0)) is not None:
+            popped.append(entry[2])
+        assert popped[:8] == [0, 0, 0, 1, 0, 0, 0, 1]
+        assert popped.count(0) == 6 and popped.count(1) == 6
+
+    def test_expire_sweeps_stale_entries_and_pop_skips_them(self):
+        gate = AdmissionController(
+            tiers={2: TierPolicy(max_queue_wait=1.0)}
+        )
+        gate.offer("stale", "t", 2, 0.0)
+        gate.offer("fresh", "t", 2, 5.0)
+        expired = gate.expire(5.0)
+        assert [(item, tenant, tier) for item, tenant, tier, _ in expired] == [
+            ("stale", "t", 2)
+        ]
+        assert gate.depth() == 1
+        assert gate.pop(5.0)[0] == "fresh"
+        assert gate.pop(5.0) is None
+
+    def test_fifo_ablation_matches_interface(self):
+        gate = FifoAdmission(max_backlog=2)
+        assert gate.offer("a", "t", 0, 0.0) == FifoAdmission.QUEUED
+        assert gate.offer("b", "t", 1, 1.0) == FifoAdmission.QUEUED
+        assert gate.offer("c", "t", 2, 2.0) == FifoAdmission.BACKLOG_FULL
+        assert gate.expire(100.0) == []
+        assert not gate.sheddable(2)
+        assert gate.pop(0.0)[0] == "a"
+        assert gate.pop(0.0)[0] == "b"
+
+
+def degradable_plan() -> TaskPlan:
+    plan = TaskPlan("deg", goal="degradable")
+    plan.add_step("core", "A", {"IN": Binding.const("x")}, model="mega-m")
+    plan.add_step(
+        "extra", "B", {"IN": Binding.from_node("core", "OUT")},
+        model="mega-xl", optional=True,
+    )
+    plan.add_step(
+        "final", "C",
+        {
+            "IN": Binding.from_node("core", "OUT"),
+            "CTX": Binding.from_node("extra", "OUT"),
+        },
+        model="mega-s",
+    )
+    return plan
+
+
+class TestBrownoutController:
+    def test_spec_requires_hysteresis_gap(self):
+        with pytest.raises(ValueError):
+            BrownoutSpec(enter_depths=(8, 16, 32), exit_depths=(8, 10, 24))
+        with pytest.raises(ValueError):
+            BrownoutSpec(enter_depths=(16, 8, 32), exit_depths=(4, 5, 24))
+
+    def test_hysteretic_transitions(self):
+        ctl = BrownoutController(
+            BrownoutSpec(enter_depths=(8, 16, 32), exit_depths=(4, 10, 24))
+        )
+        assert ctl.observe(9, at=1.0) == 1
+        assert ctl.observe(7, at=2.0) == 1   # inside the hysteresis band
+        assert ctl.observe(4, at=3.0) == 0   # exits at the lower threshold
+        assert ctl.observe(40, at=4.0) == 3  # multi-level jump up
+        assert ctl.observe(24, at=5.0) == 2  # and back down, level by level
+        assert ctl.observe(10, at=6.0) == 1
+        assert ctl.observe(0, at=7.0) == 0
+        assert [(old, new) for _, old, new, _ in ctl.transitions] == [
+            (0, 1), (1, 0), (0, 3), (3, 2), (2, 1), (1, 0)
+        ]
+
+    def test_shed_only_at_top_level_on_sheddable_tiers(self):
+        ctl = BrownoutController(
+            BrownoutSpec(enter_depths=(1, 2, 3), exit_depths=(0, 1, 2))
+        )
+        ctl.observe(3, at=0.0)
+        assert ctl.level == 3
+        assert ctl.should_shed(2, sheddable=True)
+        assert not ctl.should_shed(2, sheddable=False)
+        assert not ctl.should_shed(0, sheddable=True)  # protected tier
+        ctl.observe(0, at=1.0)
+        assert not ctl.should_shed(2, sheddable=True)
+
+    def test_admit_plan_downshifts_then_prunes(self):
+        ctl = BrownoutController(
+            BrownoutSpec(enter_depths=(1, 2, 3), exit_depths=(0, 1, 2))
+        )
+        ctl.observe(1, at=0.0)  # level 1: downshift only
+        derived, actions = ctl.admit_plan(degradable_plan(), tier=1, at=0.0)
+        assert actions["downshifted"] == {
+            "mega-m": "mega-s", "mega-s": "mega-nano", "mega-xl": "mega-m"
+        }
+        assert "pruned" not in actions
+        assert {n.node_id: n.model for n in derived.nodes()} == {
+            "core": "mega-s", "extra": "mega-m", "final": "mega-nano"
+        }
+        ctl.observe(2, at=1.0)  # level 2: downshift + prune optional
+        derived, actions = ctl.admit_plan(degradable_plan(), tier=1, at=1.0)
+        assert actions["pruned"] == ["extra"]
+        assert [n.node_id for n in derived.nodes()] == ["core", "final"]
+        assert all(
+            binding.node != "extra"
+            for node in derived.nodes()
+            for binding in node.bindings.values()
+        )
+
+    def test_protected_tier_never_degraded(self):
+        ctl = BrownoutController(
+            BrownoutSpec(enter_depths=(1, 2, 3), exit_depths=(0, 1, 2))
+        )
+        ctl.observe(3, at=0.0)
+        plan = degradable_plan()
+        derived, actions = ctl.admit_plan(plan, tier=0, at=0.0)
+        assert derived is plan and actions == {}
+
+
+class TestDerivedPlan:
+    def test_optional_round_trips_through_payload(self):
+        plan = degradable_plan()
+        clone = TaskPlan.from_payload(plan.to_payload())
+        assert {n.node_id: n.optional for n in clone.nodes()} == {
+            "core": False, "extra": True, "final": False
+        }
+
+    def test_derived_keeps_identity_and_rewrites_models(self):
+        plan = degradable_plan()
+        derived = plan.derived(model_map={"mega-m": "mega-s"})
+        assert derived.plan_id == plan.plan_id
+        assert {n.node_id: n.model for n in derived.nodes()} == {
+            "core": "mega-s", "extra": "mega-xl", "final": "mega-s"
+        }
+        # The original is untouched.
+        assert {n.node_id: n.model for n in plan.nodes()} == {
+            "core": "mega-m", "extra": "mega-xl", "final": "mega-s"
+        }
+
+
+# ----------------------------------------------------------------------
+# Open-loop fleet integration: typed rejections, deadlines, DLQ replay
+# ----------------------------------------------------------------------
+
+def make_timed_entry(
+    store, clock, plan_id, latency=2.0, tenant="t", tier=1, journal=False
+):
+    """One single-node fleet entry whose agent takes *latency* seconds."""
+    session = SessionManager(store).create(f"session-{plan_id}")
+    budget = Budget(clock=clock)
+    context = AgentContext(
+        store=store, session=session, clock=clock, budget=budget
+    )
+
+    def fn(inputs):
+        budget.charge("agent:SLOW", cost=0.01, latency=latency)
+        return {"OUT": f"done({inputs['IN']})"}
+
+    FunctionAgent(
+        "SLOW", fn,
+        inputs=(Parameter("IN", "text"),),
+        outputs=(Parameter("OUT", "text"),),
+    ).attach(context)
+    wal = WriteAheadJournal(store, session=session) if journal else None
+    coordinator = TaskCoordinator(parallel=True, journal=wal)
+    coordinator.attach(context)
+    plan = TaskPlan(plan_id, goal="timed")
+    plan.add_step("n0", "SLOW", {"IN": Binding.const("go")})
+    return FleetEntry(
+        plan=plan, coordinator=coordinator, budget=budget,
+        tenant=tenant, tier=tier,
+    )
+
+
+class TestOpenLoopFleet:
+    def test_rejection_reasons_typed_and_counted_per_tenant(self):
+        clock = SimClock()
+        store = StreamStore(clock)
+        observability = Observability(clock=clock)
+        gate = AdmissionController(
+            tiers={1: TierPolicy(rate=0.001, burst=1.0)}
+        )
+        offers = [
+            FleetOffer(
+                entry=make_timed_entry(
+                    store, clock, f"p{i}", latency=1.0, tenant=f"ten{i % 2}"
+                ),
+                arrival=0.0,
+            )
+            for i in range(4)
+        ]
+        scheduler = FleetScheduler(
+            VirtualTimeline(clock), clock, max_inflight=4,
+            observability=observability, admission=gate,
+        )
+        result = scheduler.run_offers(offers)
+        # Burst 1: the first offer per tenant queues, the second is
+        # rate-limited with a typed reason on its per-plan result.
+        rejected = [p for p in result.plans if p.outcome == "rejected"]
+        assert {p.rejection_reason for p in rejected} == {"rate_limited"}
+        assert sorted(p.tenant for p in rejected) == ["ten0", "ten1"]
+        assert result.rejected_by == {"rate_limited": 2}
+        snapshot = observability.metrics.snapshot()
+        assert snapshot["fleet.rejected{reason=rate_limited,tenant=ten0}"] == 1.0
+        assert snapshot["fleet.rejected{reason=rate_limited,tenant=ten1}"] == 1.0
+
+    def test_deadline_expired_backlog_lands_in_dlq(self):
+        clock = SimClock()
+        store = StreamStore(clock)
+        gate = AdmissionController(
+            tiers={1: TierPolicy(max_queue_wait=0.5)}
+        )
+        running = make_timed_entry(store, clock, "running", latency=2.0)
+        stale = make_timed_entry(store, clock, "stale", latency=2.0)
+        scheduler = FleetScheduler(
+            VirtualTimeline(clock), clock, max_inflight=1, admission=gate
+        )
+        result = scheduler.run_offers(
+            [FleetOffer(running, arrival=0.0), FleetOffer(stale, arrival=0.0)]
+        )
+        by_id = {p.plan_id: p for p in result.plans}
+        assert by_id["running"].outcome == "completed"
+        assert by_id["stale"].outcome == "rejected"
+        assert by_id["stale"].rejection_reason == "deadline_expired"
+        pending = stale.coordinator.dead_letter_queue().pending()
+        assert len(pending) == 1
+        payload = pending[0].payload
+        assert payload["error_type"] == "QueueDeadlineExpired"
+        assert payload["node"] == "<backlog>"
+        assert payload["inputs"]["plan"]["plan_id"] == "stale"
+
+    def test_dlq_replay_runs_expired_plan_with_zero_duplicate_effects(self):
+        clock = SimClock()
+        store = StreamStore(clock)
+        gate = AdmissionController(
+            tiers={1: TierPolicy(max_queue_wait=0.5)}
+        )
+        running = make_timed_entry(store, clock, "running", latency=2.0)
+        stale = make_timed_entry(store, clock, "stale", latency=2.0, journal=True)
+        scheduler = FleetScheduler(
+            VirtualTimeline(clock), clock, max_inflight=1, admission=gate
+        )
+        scheduler.run_offers(
+            [FleetOffer(running, arrival=0.0), FleetOffer(stale, arrival=0.0)]
+        )
+        assert stale.budget.spent_cost() == 0.0  # never ran
+
+        recovered = stale.coordinator.replay_dead_letters()
+        assert recovered == 1
+        assert stale.coordinator.dead_letter_queue().pending() == []
+        cost_after_replay = stale.budget.spent_cost()
+        assert cost_after_replay == pytest.approx(0.01)  # ran exactly once
+
+        # A second replay finds nothing pending; re-executing the plan
+        # itself replays the journaled effect instead of re-running it.
+        assert stale.coordinator.replay_dead_letters() == 0
+        rerun = stale.coordinator.execute_plan(stale.plan)
+        assert rerun.status == "completed"
+        assert rerun.replayed_effects == ["n0"]
+        assert stale.budget.spent_cost() == pytest.approx(cost_after_replay)

@@ -167,3 +167,44 @@ class TestSimulatedLLMIntegration:
         again = llm.complete("TASK: ECHO hello", no_cache=True)
         assert not again.coalesced
         assert flight.stats().joins == 0
+
+
+class TestMaxQueueWait:
+    """Regression: bounded queue wait rejects instead of queueing forever."""
+
+    def test_wait_beyond_bound_raises_transient_capacity_error(self):
+        from repro.core.resilience.retry import is_transient
+        from repro.errors import CapacityExceededError, LLMError
+
+        capacity = ModelCapacity({"m": 1}, max_queue_wait=0.5)
+        capacity.reserve("m", 0.0, 2.0)
+        with pytest.raises(CapacityExceededError) as exc:
+            capacity.reserve("m", 0.0, 1.0)  # would wait 2.0s > 0.5s
+        # A simulated 429: an LLMError the retry policy classifies
+        # retryable, so callers back off and try again automatically.
+        assert isinstance(exc.value, LLMError)
+        assert exc.value.transient
+        assert is_transient(exc.value)
+        assert capacity.stats().rejected == 1
+
+    def test_wait_within_bound_still_queues(self):
+        capacity = ModelCapacity({"m": 1}, max_queue_wait=5.0)
+        capacity.reserve("m", 0.0, 2.0)
+        assert capacity.reserve("m", 0.0, 1.0) == 2.0
+        assert capacity.stats().rejected == 0
+
+    def test_rejected_call_does_not_hold_the_slot(self):
+        from repro.errors import CapacityExceededError
+
+        capacity = ModelCapacity({"m": 1}, max_queue_wait=0.5)
+        capacity.reserve("m", 0.0, 2.0)
+        with pytest.raises(CapacityExceededError):
+            capacity.reserve("m", 0.0, 1.0)
+        # The slot frees at 2.0 and is immediately claimable: the
+        # rejected reservation left nothing behind.
+        assert capacity.reserve("m", 2.0, 1.0) == 2.0
+        assert capacity.max_concurrency("m") == 1
+
+    def test_validates_bound(self):
+        with pytest.raises(ValueError):
+            ModelCapacity({"m": 1}, max_queue_wait=-0.1)
