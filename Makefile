@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery parallel fleet overload examples artifacts all
+.PHONY: test bench reliability observability recovery parallel fleet engine overload examples artifacts all
 
 test:
 	pytest tests/
@@ -25,6 +25,9 @@ parallel:
 fleet:
 	PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_fleet.py tests/llm/test_capacity_singleflight.py tests/properties/test_fleet_properties.py tests/streams/test_dispatch_index.py -q
+
+engine:
+	PYTHONPATH=src python -m pytest tests/core/test_engine.py tests/properties/test_parallel_properties.py tests/properties/test_fleet_properties.py -q
 
 overload:
 	PYTHONPATH=src python -m pytest benchmarks/bench_overload.py --benchmark-disable

@@ -19,9 +19,20 @@ The regression gate compares plans/sec in **simulated** time (plans
 divided by simulated makespan) against the baseline: that is the
 quantity the fleet scheduler exists to improve, and it is deterministic
 — the same code produces the same number on any machine, so the >20%
-gate never flaps on CI hardware speed.  Raw wall-clock plans/sec is
-recorded in the artifact for inspection but not gated: at this scale
-(~15 ms a run) it is dominated by process noise.
+gate never flaps on CI hardware speed.  Raw wall-clock plans/sec for
+the default serial backend is recorded in the artifact for inspection
+but not gated: at this scale (~15 ms a run) it is dominated by process
+noise.
+
+The **engine** section gates wall-clock for real: a larger workload
+(16 plans, 8 in flight) with ``wall_latency_scale`` set, so every
+simulated LLM call actually blocks its thread for a proportional real
+duration.  Under the serial backend those sleeps serialize; under the
+thread backend wave siblings and in-flight plans overlap them, so
+wall-clock plans/sec must beat serial (median of 5 runs — large sleeps
+dominate scheduler overhead, which keeps the gate stable on slow CI
+hardware; the sleeps release the GIL, so the gate holds even on one
+core).
 """
 
 import json
@@ -42,6 +53,17 @@ SLOTS = 2
 MIN_SPEEDUP = 3.0
 #: Fail CI when normalized throughput drops more than this vs baseline.
 REGRESSION_TOLERANCE = 0.20
+
+# -- engine wall-clock section -------------------------------------------
+ENGINE_PLANS = 16
+ENGINE_INFLIGHT = 8
+#: Real seconds slept per simulated LLM-latency second: large enough that
+#: thread overlap dominates scheduler overhead, small enough to keep the
+#: bench under a few seconds.
+WALL_SCALE = 0.005
+#: The concurrency acceptance floor: the thread backend's wall-clock
+#: plans/sec must beat the serial backend's on the identical workload.
+MIN_WALL_SPEEDUP = 1.0
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_throughput.json"
 
@@ -78,6 +100,60 @@ def run_fleet() -> tuple[Blueprint, "FleetResult", float]:
         capacity={name: SLOTS for name in bp.catalog.names()},
     )
     return bp, result, time.perf_counter() - wall_start
+
+
+def run_engine(backend: str) -> tuple[float, float]:
+    """(simulated makespan, wall seconds) for the engine workload.
+
+    Identical submissions either way — only the execution backend
+    differs, so wall-clock is the only quantity allowed to move.
+    """
+    bp = Blueprint()
+    bp.catalog.wall_latency_scale = WALL_SCALE
+    submissions = [
+        FleetSubmission(
+            plan=_fleet_plan(index), agents=_fleet_agents(bp.catalog, index)
+        )
+        for index in range(ENGINE_PLANS)
+    ]
+    wall_start = time.perf_counter()
+    result = bp.run_fleet(
+        submissions,
+        max_inflight=ENGINE_INFLIGHT,
+        single_flight=False,
+        backend=backend,
+    )
+    wall = time.perf_counter() - wall_start
+    assert len(result.completed()) == ENGINE_PLANS, [
+        p.outcome for p in result.plans
+    ]
+    return result.makespan, wall
+
+
+def measure_engine() -> dict:
+    """Median-of-5 wall timings for serial vs thread backends."""
+    serial_runs = [run_engine("serial") for _ in range(5)]
+    thread_runs = [run_engine("threads") for _ in range(5)]
+    serial_makespan = serial_runs[0][0]
+    thread_makespan = thread_runs[0][0]
+    serial_wall = sorted(wall for _, wall in serial_runs)[2]
+    thread_wall = sorted(wall for _, wall in thread_runs)[2]
+    # Result identity: the backend moves wall-clock, never simulated time.
+    assert abs(thread_makespan - serial_makespan) < 1e-9, (
+        thread_makespan,
+        serial_makespan,
+    )
+    return {
+        "plans": ENGINE_PLANS,
+        "max_inflight": ENGINE_INFLIGHT,
+        "wall_latency_scale": WALL_SCALE,
+        "simulated_makespan": round(serial_makespan, 6),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "threads_wall_seconds": round(thread_wall, 4),
+        "serial_plans_per_sec": round(ENGINE_PLANS / serial_wall, 2),
+        "threads_plans_per_sec": round(ENGINE_PLANS / thread_wall, 2),
+        "wall_speedup": round(serial_wall / thread_wall, 4),
+    }
 
 
 def measure() -> dict:
@@ -139,11 +215,18 @@ def test_a12_fleet_throughput():
         json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
     )
     results = measure()
+    results["engine"] = engine = measure_engine()
 
     simulated = results["simulated"]
     assert simulated["speedup"] >= MIN_SPEEDUP, (
         f"fleet speedup {simulated['speedup']:.2f}x below the "
         f"{MIN_SPEEDUP}x acceptance floor"
+    )
+    # The tentpole gate: with real per-call blocking, the thread backend
+    # must finish the identical workload in less wall time than serial.
+    assert engine["wall_speedup"] > MIN_WALL_SPEEDUP, (
+        f"thread backend wall speedup {engine['wall_speedup']:.2f}x does "
+        f"not beat serial (floor {MIN_WALL_SPEEDUP}x)"
     )
 
     record(
@@ -169,7 +252,11 @@ def test_a12_fleet_throughput():
         )
         + f"\nspeedup: {simulated['speedup']:.2f}x (floor {MIN_SPEEDUP}x)"
         + f"\ncapacity peaks: {results['capacity']['peak_inflight']}"
-        + f"\ncoalescing hit rate: {results['coalescing']['hit_rate']:.0%}",
+        + f"\ncoalescing hit rate: {results['coalescing']['hit_rate']:.0%}"
+        + f"\nengine wall-clock ({ENGINE_PLANS} plans, scale {WALL_SCALE}): "
+        + f"threads {engine['threads_wall_seconds']:.3f}s vs serial "
+        + f"{engine['serial_wall_seconds']:.3f}s "
+        + f"({engine['wall_speedup']:.2f}x, floor {MIN_WALL_SPEEDUP}x)",
     )
 
     # Regression gate against the checked-in baseline: simulated

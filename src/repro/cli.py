@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 from typing import Sequence
 
 from .core.qos import QoSSpec
@@ -93,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false",
                        help="disable cross-plan coalescing of identical "
                             "in-flight LLM calls")
+    fleet.add_argument("--backend", choices=("serial", "threads"),
+                       default="serial",
+                       help="execution backend: serial (deterministic, "
+                            "byte-identical traces) or threads (wave nodes "
+                            "and fleet rounds on real worker threads)")
+    fleet.add_argument("--wall-scale", type=float, default=0.0,
+                       help="real seconds slept per simulated LLM latency "
+                            "second (models blocking I/O; lets the threads "
+                            "backend show a wall-clock speedup)")
 
     surge = commands.add_parser(
         "surge",
@@ -462,7 +472,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     # Serial baseline: the same plans, one Blueprint, driven one after
     # another (each still wave-parallel *within* the plan).
     serial_bp = Blueprint()
+    serial_bp.catalog.wall_latency_scale = args.wall_scale
     serial_start = serial_bp.clock.now()
+    serial_wall_start = time.perf_counter()
     for index in range(args.plans):
         session = serial_bp.create_session()
         for agent in _fleet_agents(serial_bp.catalog, index):
@@ -475,8 +487,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         serial_bp.attach(coordinator, session)
         coordinator.execute_plan(_fleet_plan(index))
     serial_makespan = serial_bp.clock.now() - serial_start
+    serial_wall = time.perf_counter() - serial_wall_start
 
     fleet_bp = Blueprint()
+    fleet_bp.catalog.wall_latency_scale = args.wall_scale
     capacity = {name: args.slots for name in fleet_bp.catalog.names()} if args.slots else None
     submissions = [
         FleetSubmission(
@@ -485,17 +499,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
         for index in range(args.plans)
     ]
+    fleet_wall_start = time.perf_counter()
     result = fleet_bp.run_fleet(
         submissions,
         max_inflight=args.max_inflight,
         max_backlog=args.max_backlog,
         single_flight=args.single_flight,
         capacity=capacity,
+        backend=args.backend,
     )
+    fleet_wall = time.perf_counter() - fleet_wall_start
 
     print(f"plans: {args.plans}   max in-flight: {args.max_inflight}   "
           f"model slots: {args.slots or 'unlimited'}   "
-          f"single-flight: {'on' if args.single_flight else 'off'}")
+          f"single-flight: {'on' if args.single_flight else 'off'}   "
+          f"backend: {args.backend}")
     print(f"admitted={result.admitted} queued={result.queued} "
           f"rejected={result.rejected}")
     print()
@@ -510,6 +528,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     print(f"serial baseline:  {serial_makespan:.2f}s")
     if result.makespan > 0:
         print(f"speedup:          {serial_makespan / result.makespan:.2f}x")
+    print(f"wall clock:       fleet {fleet_wall:.3f}s vs serial "
+          f"{serial_wall:.3f}s"
+          + (f"  ({serial_wall / fleet_wall:.2f}x)" if fleet_wall > 0 else ""))
     if fleet_bp.catalog.capacity is not None:
         print("capacity (peak in-flight per model, limit "
               f"{args.slots}):")

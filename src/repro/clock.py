@@ -28,6 +28,11 @@ class SimClock:
             raise ValueError(f"clock cannot start in the past: {start}")
         self._now = float(start)
         self._lock = threading.Lock()
+        # Thread-local branch overlay (see branch_begin): only consulted
+        # once a concurrent backend has engaged it, so the serial hot
+        # path pays a single attribute check.
+        self._branches = threading.local()
+        self._threaded = False
 
     def now(self) -> float:
         """Current simulated time in seconds.
@@ -40,20 +45,41 @@ class SimClock:
         Concurrent-branch latency accounting must therefore never sum onto
         the clock directly: the wave scheduler routes it through a
         :class:`~repro.core.scheduler.VirtualTimeline`, whose commit is a
-        single ``advance_to(max(branch ends))``.
+        single ``advance_to(max(branch ends))``.  Under the thread backend
+        each worker additionally runs inside a *branch overlay*
+        (:meth:`branch_begin`), so its reads and advances touch only
+        thread-local time and the shared value changes exclusively through
+        locked ``advance_to`` commits.
         """
+        if self._threaded:
+            local = getattr(self._branches, "now", None)
+            if local is not None:
+                return local
         return self._now
 
     def advance(self, seconds: float) -> float:
         """Advance the clock by *seconds* and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock backwards: {seconds}")
+        if self._threaded:
+            local = getattr(self._branches, "now", None)
+            if local is not None:
+                local += seconds
+                self._branches.now = local
+                return local
         with self._lock:
             self._now += seconds
             return self._now
 
     def advance_to(self, timestamp: float) -> float:
         """Advance the clock to *timestamp* if it is in the future."""
+        if self._threaded:
+            local = getattr(self._branches, "now", None)
+            if local is not None:
+                if timestamp > local:
+                    self._branches.now = timestamp
+                    return timestamp
+                return local
         with self._lock:
             if timestamp > self._now:
                 self._now = timestamp
@@ -72,9 +98,48 @@ class SimClock:
         """
         if timestamp < 0:
             raise ValueError(f"cannot rebase clock before epoch: {timestamp}")
+        if self._threaded:
+            local = getattr(self._branches, "now", None)
+            if local is not None:
+                self._branches.now = float(timestamp)
+                return float(timestamp)
         with self._lock:
             self._now = float(timestamp)
             return self._now
+
+    # ------------------------------------------------------------------
+    # Branch overlay (thread backend)
+    # ------------------------------------------------------------------
+    def branch_begin(self, start: float) -> float:
+        """Enter a thread-local timeline branch starting at *start*.
+
+        The thread backend's replacement for ``VirtualTimeline.open``'s
+        shared rebase: every read/advance/rebase on the calling thread is
+        served from a private overlay until :meth:`branch_end`, so
+        concurrent branches never see (or disturb) each other's time.
+        The shared value still only moves through locked ``advance_to``
+        commits.  Branches do not nest (mirroring the timeline's
+        single-open-branch rule).
+        """
+        if getattr(self._branches, "now", None) is not None:
+            raise RuntimeError("a clock branch is already open on this thread")
+        self._threaded = True
+        self._branches.now = float(start)
+        return float(start)
+
+    def branch_end(self) -> float:
+        """Leave the calling thread's branch; returns its end time."""
+        local = getattr(self._branches, "now", None)
+        if local is None:
+            raise RuntimeError("no clock branch is open on this thread")
+        self._branches.now = None
+        return local
+
+    def branch_active(self) -> bool:
+        """Whether the calling thread is inside a branch overlay."""
+        return (
+            self._threaded and getattr(self._branches, "now", None) is not None
+        )
 
 
 class Stopwatch:

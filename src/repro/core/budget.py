@@ -22,6 +22,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observability import MetricsRegistry
     from ..observability.metrics import CollectorSink
 
+#: The calling thread's active charge-attribution key (see
+#: :meth:`Budget.scoped`).  Module-level thread-local, like the id scope:
+#: one scope covers every budget the task charges.
+_CHARGE_SCOPE = threading.local()
+
+
+class _ChargeScope:
+    """Context manager attributing this thread's charges to one owner."""
+
+    __slots__ = ("_key", "_saved")
+
+    def __init__(self, key: str) -> None:
+        self._key = key
+
+    def __enter__(self) -> "_ChargeScope":
+        self._saved = getattr(_CHARGE_SCOPE, "key", None)
+        _CHARGE_SCOPE.key = self._key
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _CHARGE_SCOPE.key = self._saved
+        return False
+
 
 @dataclass(frozen=True)
 class Charge:
@@ -59,6 +82,7 @@ class Budget:
         self.projection = projection or Projection()
         self.metrics = metrics
         self._charges: list[Charge] = []
+        self._scoped_charges: dict[str, list[Charge]] = {}
         self._spent_cost = 0.0
         self._cost_by_source: dict[str, float] = {}
         self._latency_by_source: dict[str, float] = {}
@@ -107,6 +131,9 @@ class Budget:
                 note=note,
             )
             self._charges.append(entry)
+            scope = getattr(_CHARGE_SCOPE, "key", None)
+            if scope is not None:
+                self._scoped_charges.setdefault(scope, []).append(entry)
             self._spent_cost += cost
             self._cost_by_source[source] = (
                 self._cost_by_source.get(source, 0.0) + cost
@@ -115,6 +142,26 @@ class Budget:
                 self._latency_by_source.get(source, 0.0) + latency
             )
         return entry
+
+    def scoped(self, key: str) -> _ChargeScope:
+        """Attribute this thread's charges to *key* for one scope.
+
+        The concurrent backend wraps each node task in a scope so the
+        journal's effect record can slice out exactly that node's charges
+        (:meth:`charges_of`) — the serial ledger-position marker is
+        meaningless once other nodes append to the ledger concurrently.
+        """
+        return _ChargeScope(key)
+
+    def charges_of(self, key: str) -> list[Charge]:
+        """Ledger entries recorded under ``scoped(key)``, in charge order."""
+        with self._lock:
+            return list(self._scoped_charges.get(key, ()))
+
+    @staticmethod
+    def current_scope() -> str | None:
+        """The calling thread's active charge-attribution key, if any."""
+        return getattr(_CHARGE_SCOPE, "key", None)
 
     def restore(
         self,

@@ -36,6 +36,7 @@ from ..errors import CoordinationError
 from ..streams import Instruction
 from .agent import Agent
 from .budget import Budget
+from .engine import SERIAL, ExecutionBackend
 from .params import Parameter
 from .plan.task_plan import TaskNode, TaskPlan
 from .planners.data_planner import DataPlanner
@@ -139,6 +140,7 @@ class PlanExecution:
         span: Any = None,
         owns_span: bool = False,
         start_at: float | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.coordinator = coordinator
         self.plan = plan
@@ -147,6 +149,7 @@ class PlanExecution:
         self.attempt = attempt
         self.timeline = timeline
         self.owns_timeline = owns_timeline
+        self.backend: ExecutionBackend = backend if backend is not None else SERIAL
         self.span = span
         self._owns_span = owns_span
         self._parallel = parallel
@@ -248,10 +251,28 @@ class PlanExecution:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def ready_time(self, node: TaskNode) -> float:
+        """A node's branch start: the max of its predecessors' ends."""
+        return max(
+            (self._ends[p] for p in node.upstream_nodes() if p in self._ends),
+            default=self.start_at,
+        )
+
+    def drive(self, node: TaskNode, wave_index: int, wave_len: int) -> str:
+        """Drive one node (backend entry point); returns its verdict."""
+        return self.coordinator._drive_node(
+            node,
+            self.plan,
+            self.run,
+            self.budget,
+            self.attempt,
+            wave=wave_index if self._parallel else None,
+            concurrency=wave_len,
+        )
+
     def _step_wave(self) -> None:
         coordinator = self.coordinator
         context = coordinator._require_context()
-        run = self.run
         timeline = self.timeline
         if self._wave_index >= len(self._schedule):
             self._complete()
@@ -261,59 +282,35 @@ class PlanExecution:
         self._wave_index += 1
         # The plan-level cache bypass is coordinator state read by
         # _attempt_node; swap it per step so interleaved plans with
-        # different no_cache settings never leak into each other.
+        # different no_cache settings never leak into each other.  (Each
+        # fleet submission has its own coordinator, and a coordinator
+        # steps at most one wave at a time, so this stays race-free even
+        # on the thread backend.)
         previous_no_cache = coordinator._plan_no_cache
         coordinator._plan_no_cache = bool(self.plan.no_cache)
         try:
             if timeline is not None:
                 context.metric_inc("scheduler.waves")
-            for node in wave:
-                if node.node_id in run.executed:
-                    # Restored from the journal on resume: already
-                    # completed (and journaled as such) before the
-                    # crash — zero messages, zero branch time.
-                    continue
-                if timeline is not None:
-                    if len(wave) > 1:
-                        context.metric_inc("scheduler.parallel_nodes")
-                    ready = max(
-                        (
-                            self._ends[p]
-                            for p in node.upstream_nodes()
-                            if p in self._ends
-                        ),
-                        default=self.start_at,
-                    )
-                    timeline.open(ready, owner=run.plan_id)
-                try:
-                    verdict = coordinator._drive_node(
-                        node,
-                        self.plan,
-                        run,
-                        self.budget,
-                        self.attempt,
-                        wave=wave_index if self._parallel else None,
-                        concurrency=len(wave),
-                    )
-                finally:
-                    if timeline is not None:
-                        self._ends[node.node_id] = timeline.close()
-                if verdict == "replan":
-                    if timeline is not None and self.owns_timeline:
-                        # Land the clock on this run's critical path
-                        # before the escalated re-execution starts its
-                        # own timeline.  (A fleet execution's shared
-                        # timeline is committed by the fleet instead;
-                        # the escalated run executes inline within this
-                        # step, non-interleaved.)
-                        timeline.commit()
-                    self._conclude(
-                        coordinator._replan(self.plan, self.budget, self.attempt)
-                    )
-                    return
-                if verdict == "stop":
-                    self._conclude(run)
-                    return
+            # The backend owns HOW the wave's nodes execute (in order on
+            # this thread, or fanned across a pool); verdict semantics
+            # are shared: first non-ok verdict wins the wave.
+            verdict = self.backend.run_wave(self, wave, wave_index)
+            if verdict == "replan":
+                if timeline is not None and self.owns_timeline:
+                    # Land the clock on this run's critical path
+                    # before the escalated re-execution starts its
+                    # own timeline.  (A fleet execution's shared
+                    # timeline is committed by the fleet instead;
+                    # the escalated run executes inline within this
+                    # step, non-interleaved.)
+                    timeline.commit()
+                self._conclude(
+                    coordinator._replan(self.plan, self.budget, self.attempt)
+                )
+                return
+            if verdict == "stop":
+                self._conclude(self.run)
+                return
             if self._wave_index >= len(self._schedule):
                 self._complete()
         finally:
@@ -339,13 +336,24 @@ class PlanExecution:
         context = coordinator._require_context()
         # Stamp the span end at this plan's own critical path — the same
         # instant the plain path's timeline.commit lands the clock on.
-        context.clock.rebase(self.plan_end)
-        span = self.span
-        span.set_attribute("status", run.status)
-        span.set_attribute("nodes_executed", len(run.executed))
-        if run.status != "completed":
-            span.set_error(run.abort_reason or run.status)
-        span.__exit__(None, None, None)
+        # On a concurrent backend this runs on a worker thread, so the
+        # stamp goes through a clock branch instead of rebasing the
+        # shared clock out from under sibling plans.
+        branched = self.backend.concurrent and not context.clock.branch_active()
+        if branched:
+            context.clock.branch_begin(self.plan_end)
+        else:
+            context.clock.rebase(self.plan_end)
+        try:
+            span = self.span
+            span.set_attribute("status", run.status)
+            span.set_attribute("nodes_executed", len(run.executed))
+            if run.status != "completed":
+                span.set_error(run.abort_reason or run.status)
+            span.__exit__(None, None, None)
+        finally:
+            if branched:
+                context.clock.branch_end()
         tally = coordinator._plan_status_tally
         tally[run.status] = tally.get(run.status, 0) + 1
 
@@ -583,6 +591,7 @@ class TaskCoordinator(Agent):
         run: PlanRun,
         _attempt: int,
         parallel: bool = False,
+        backend: ExecutionBackend | None = None,
     ) -> PlanRun:
         """The plan-driving loop proper (wrapped in the plan span).
 
@@ -618,6 +627,7 @@ class TaskCoordinator(Agent):
             parallel=parallel,
             timeline=timeline,
             owns_timeline=True,
+            backend=backend,
         )
         if not execution.admit():
             return run
@@ -635,6 +645,7 @@ class TaskCoordinator(Agent):
         timeline: VirtualTimeline | None = None,
         start_at: float | None = None,
         attempt: int = 0,
+        backend: ExecutionBackend | None = None,
     ) -> PlanExecution:
         """Admit *plan* for stepped execution on a shared *timeline*.
 
@@ -678,6 +689,7 @@ class TaskCoordinator(Agent):
             span=span,
             owns_span=True,
             start_at=start_at,
+            backend=backend,
         )
         # On admission failure the execution is already concluded (run
         # failed, span finalized); the fleet collects it as finished.
@@ -728,6 +740,11 @@ class TaskCoordinator(Agent):
             journal.node_scheduled(run.plan_id, node.node_id, node.agent)
         # The ledger marker sits before binding resolution so the
         # effect record's charge slice covers the data planner too.
+        # Under the thread backend, concurrent nodes append to the ledger
+        # interleaved and a positional slice would capture other nodes'
+        # charges; the backend wraps each node in a charge scope and the
+        # effect record reads that scope's entries instead.
+        scope = Budget.current_scope() if budget is not None else None
         marker = len(budget.charges()) if budget is not None else 0
         try:
             resolved = self._resolve_bindings(node, run)
@@ -756,7 +773,14 @@ class TaskCoordinator(Agent):
                 ),
                 fallback=run.fallbacks.get(node.node_id),
                 charges=(
-                    [asdict(c) for c in budget.charges()[marker:]]
+                    [
+                        asdict(c)
+                        for c in (
+                            budget.charges_of(scope)
+                            if scope is not None
+                            else budget.charges()[marker:]
+                        )
+                    ]
                     if budget is not None
                     else []
                 ),
@@ -977,11 +1001,22 @@ class TaskCoordinator(Agent):
         neither outputs nor an error is an empty success only if it is
         still subscribed (alive); a crashed agent's silence is a transient
         failure, not a success.
+
+        The trace is the store-wide arrival log: under the thread backend
+        other sessions' plans append to it concurrently, and node ids
+        repeat across plans (every diamond plan has an ``m1``).  Matching
+        is therefore restricted to this coordinator's session streams —
+        all named ``{session_id}:...`` — which is a no-op for the serial
+        path (the marker slice already contains only this session's
+        messages there).
         """
         context = self._require_context()
+        session_prefix = f"{context.session.session_id}:"
         outputs: dict[str, Any] = {}
         failure: NodeFailure | None = None
         for message in context.store.trace()[marker:]:
+            if not message.stream_id.startswith(session_prefix):
+                continue
             if message.is_data and message.metadata.get("node") == node_id:
                 param = message.metadata.get("param")
                 if param:

@@ -1,0 +1,17 @@
+"""Concurrency execution backends for the wave stepper and fleet."""
+
+from .backend import (
+    SERIAL,
+    ExecutionBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+
+__all__ = [
+    "SERIAL",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "resolve_backend",
+]

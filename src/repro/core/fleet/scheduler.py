@@ -46,6 +46,7 @@ from ...clock import SimClock
 from ...observability.span import NOOP_SPAN
 from ..budget import Budget
 from ..coordinator import PlanExecution, PlanRun, TaskCoordinator
+from ..engine import SERIAL, ExecutionBackend
 from ..plan.task_plan import TaskPlan
 from ..qos import QoSSpec
 from ..scheduler import VirtualTimeline
@@ -184,6 +185,7 @@ class FleetScheduler:
         observability: "Observability | None" = None,
         admission: "AdmissionController | FifoAdmission | None" = None,
         brownout: "BrownoutController | None" = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1: {max_inflight}")
@@ -191,6 +193,12 @@ class FleetScheduler:
             raise ValueError(f"max_backlog must be >= 0: {max_backlog}")
         self._timeline = timeline
         self._clock = clock
+        #: How in-flight plans' steps execute: the serial backend steps
+        #: them in admission order on this thread (deterministic,
+        #: byte-identical); a concurrent backend overlaps the round's
+        #: steps on real threads.  Each round is still a barrier, so
+        #: completion handling and backlog admission stay on this thread.
+        self._backend: ExecutionBackend = backend if backend is not None else SERIAL
         self._max_inflight = max_inflight
         self._max_backlog = max_backlog
         self._observability = observability
@@ -258,21 +266,15 @@ class FleetScheduler:
                     )
             try:
                 while inflight:
-                    for active in inflight:
-                        execution = active.execution
-                        if execution.finished:
-                            continue
-                        try:
-                            execution.step()
-                        except BaseException as error:
-                            # The dying plan's span closes with the error
-                            # (as the plain path's ``with`` would); other
-                            # plans' spans stay open — the process
-                            # "crashed" mid-fleet.
-                            execution.abandon(
-                                f"{type(error).__name__}: {error}"
-                            )
-                            raise
+                    # One round: every unfinished in-flight plan advances
+                    # one wave.  The serial backend steps them in
+                    # admission order (a crash — the dying plan's span
+                    # closing with the error, as the plain path's ``with``
+                    # would — re-raises immediately); the thread backend
+                    # overlaps them and re-raises after the round barrier.
+                    self._backend.step_round(
+                        [a.execution for a in inflight if not a.execution.finished]
+                    )
                     done = [a for a in inflight if a.execution.finished]
                     # Free slots in simulated completion order (ties by
                     # admission index) so backlog admission times are
@@ -511,15 +513,9 @@ class FleetScheduler:
                         and len(inflight) < self._max_inflight
                     ):
                         on_event(pending[0][1].arrival)
-                    for active in inflight:
-                        execution = active.execution
-                        if execution.finished:
-                            continue
-                        try:
-                            execution.step()
-                        except BaseException as error:
-                            execution.abandon(f"{type(error).__name__}: {error}")
-                            raise
+                    self._backend.step_round(
+                        [a.execution for a in inflight if not a.execution.finished]
+                    )
                     done = [a for a in inflight if a.execution.finished]
                     done.sort(key=lambda a: (a.execution.plan_end, a.index))
                     for active in done:
@@ -572,6 +568,7 @@ class FleetScheduler:
             budget=entry.budget,
             timeline=self._timeline,
             start_at=at,
+            backend=self._backend,
         )
         counts["admitted"] += 1
         if metrics is not None:

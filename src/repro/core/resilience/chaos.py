@@ -273,6 +273,11 @@ class KillSwitch:
         self.seen = 0
         #: The site the switch fired at, or None while armed.
         self.fired_site: str | None = None
+        # Under the thread backend, wave siblings cross barriers
+        # concurrently; the count-and-compare must be atomic or the
+        # switch can skip its index (two threads reading the same
+        # ``seen``) and never fire.
+        self._lock = threading.Lock()
 
     @property
     def fired(self) -> bool:
@@ -281,10 +286,12 @@ class KillSwitch:
     def __call__(self, site: str) -> None:
         from ...errors import CoordinatorKilledError
 
-        index = self.seen
-        self.seen += 1
-        if not self.fired and index == self.kill_at:
+        with self._lock:
+            index = self.seen
+            self.seen += 1
+            if self.fired or index != self.kill_at:
+                return
             self.fired_site = site
-            raise CoordinatorKilledError(
-                f"kill switch fired at barrier {index} ({site})"
-            )
+        raise CoordinatorKilledError(
+            f"kill switch fired at barrier {index} ({site})"
+        )

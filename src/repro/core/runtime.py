@@ -25,6 +25,7 @@ from .agent import Agent
 from .budget import Budget, Projection
 from .context import AgentContext
 from .coordinator import TaskCoordinator
+from .engine import ExecutionBackend, SERIAL, resolve_backend
 from .factory import AgentFactory
 from .fleet import FleetEntry, FleetOffer, FleetResult, FleetScheduler, FleetSubmission
 from .overload import Arrival, TrafficGenerator
@@ -162,6 +163,7 @@ class Blueprint:
         journal: bool = True,
         single_flight: bool = True,
         capacity: "ModelCapacity | dict[str, int] | None" = None,
+        backend: "str | ExecutionBackend" = "serial",
     ) -> FleetResult:
         """Run many plans concurrently on one shared virtual timeline.
 
@@ -179,8 +181,18 @@ class Blueprint:
         Plain :class:`TaskPlan` submissions run unbudgeted with no extra
         agents; wrap in :class:`~repro.core.fleet.FleetSubmission` to
         attach agents and a QoS budget.
+
+        *backend* selects the execution backend: ``"serial"`` (default;
+        single-threaded, byte-identical deterministic traces) or
+        ``"threads"`` (wave nodes and fleet rounds run on real worker
+        threads — result-identical, wall-clock faster when agent work
+        blocks).  An :class:`~repro.core.engine.ExecutionBackend`
+        instance may be passed directly (the caller then owns its
+        lifecycle); string-built thread backends are closed on return.
         """
         self._wire_fleet_contention(single_flight, capacity)
+        engine = resolve_backend(backend)
+        owns_backend = isinstance(backend, str) and engine is not SERIAL
         entries = [self._prepare_entry(item, journal) for item in submissions]
         timeline = VirtualTimeline(self.clock)
         scheduler = FleetScheduler(
@@ -189,8 +201,13 @@ class Blueprint:
             max_inflight=max_inflight,
             max_backlog=max_backlog,
             observability=self.observability,
+            backend=engine,
         )
-        return scheduler.run(entries)
+        try:
+            return scheduler.run(entries)
+        finally:
+            if owns_backend:
+                engine.close()
 
     def run_traffic(
         self,
@@ -203,6 +220,7 @@ class Blueprint:
         journal: bool = True,
         single_flight: bool = True,
         capacity: "ModelCapacity | dict[str, int] | None" = None,
+        backend: "str | ExecutionBackend" = "serial",
     ) -> FleetResult:
         """Serve an open-loop arrival stream through the overload plane.
 
@@ -241,6 +259,8 @@ class Blueprint:
                     arrival=origin + arrival.time,
                 )
             )
+        engine = resolve_backend(backend)
+        owns_backend = isinstance(backend, str) and engine is not SERIAL
         timeline = VirtualTimeline(self.clock)
         scheduler = FleetScheduler(
             timeline,
@@ -250,8 +270,13 @@ class Blueprint:
             observability=self.observability,
             admission=admission,
             brownout=brownout,
+            backend=engine,
         )
-        return scheduler.run_offers(offers)
+        try:
+            return scheduler.run_offers(offers)
+        finally:
+            if owns_backend:
+                engine.close()
 
     def _wire_fleet_contention(
         self,

@@ -22,6 +22,8 @@ is a lock-free read, not a synchronization point.
 
 from __future__ import annotations
 
+import threading
+
 from ...clock import SimClock
 
 
@@ -49,6 +51,9 @@ class VirtualTimeline:
         #: Per-owner critical paths: a timeline shared by a fleet of
         #: plans tracks each plan's own horizon alongside the global one.
         self._owner_horizons: dict[str, float] = {}
+        # Guards horizon merges: the thread backend records branch ends
+        # from worker threads (see :meth:`record`).
+        self._merge_lock = threading.Lock()
 
     @property
     def horizon(self) -> float:
@@ -92,13 +97,27 @@ class VirtualTimeline:
         if not self._branch_open:
             raise RuntimeError("no timeline branch is open")
         end = self._clock.now()
-        if end > self._horizon:
-            self._horizon = end
         owner = self._branch_owner
-        if owner is not None and end > self._owner_horizons.get(owner, self.origin):
-            self._owner_horizons[owner] = end
         self._branch_open = False
         self._branch_owner = None
+        return self.record(end, owner=owner)
+
+    def record(self, end: float, owner: str | None = None) -> float:
+        """Merge a finished branch's *end* into the horizons; returns it.
+
+        The thread backend's entry point: workers run their branches on a
+        clock overlay (no :meth:`open`/:meth:`close` pairing, which would
+        serialize on the shared rebase) and merge each end here.  Safe
+        under concurrent callers — merges are locked, and the horizon only
+        ever ratchets upward.
+        """
+        with self._merge_lock:
+            if end > self._horizon:
+                self._horizon = end
+            if owner is not None and end > self._owner_horizons.get(
+                owner, self.origin
+            ):
+                self._owner_horizons[owner] = end
         return end
 
     def commit(self) -> float:

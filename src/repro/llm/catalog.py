@@ -103,6 +103,11 @@ class ModelCatalog:
         #: Optional cross-plan single-flight coalescing shared by every
         #: client (opt-in; see :class:`SingleFlight`).
         self.single_flight = single_flight
+        #: Real seconds slept per simulated latency second, propagated to
+        #: every client (0.0 = fully simulated; the thread backend's
+        #: wall-clock benchmark sets a small scale so LLM calls actually
+        #: block and the pool has something to overlap).
+        self.wall_latency_scale = 0.0
         self._specs: dict[str, ModelSpec] = {}
         self._clients: dict[str, SimulatedLLM] = {}
         self._lock = threading.Lock()
@@ -152,6 +157,7 @@ class ModelCatalog:
                 cached.capacity = self.capacity
                 cached.single_flight = self.single_flight
                 cached.observability = self.observability
+                cached.wall_latency_scale = self.wall_latency_scale
                 return cached
             client = SimulatedLLM(
                 spec,
@@ -163,6 +169,7 @@ class ModelCatalog:
                 capacity=self.capacity,
                 single_flight=self.single_flight,
             )
+            client.wall_latency_scale = self.wall_latency_scale
             self._clients[name] = client
             return client
 

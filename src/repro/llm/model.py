@@ -24,6 +24,8 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence, TYPE_CHECKING
 
@@ -124,20 +126,26 @@ class UsageTracker:
     cost: float = 0.0
     latency: float = 0.0
     per_model: dict[str, dict[str, float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, model: str, usage: LLMUsage) -> None:
-        self.calls += 1
-        self.input_tokens += usage.input_tokens
-        self.output_tokens += usage.output_tokens
-        self.cost += usage.cost
-        self.latency += usage.latency
-        bucket = self.per_model.setdefault(
-            model, {"calls": 0, "cost": 0.0, "latency": 0.0, "tokens": 0}
-        )
-        bucket["calls"] += 1
-        bucket["cost"] += usage.cost
-        bucket["latency"] += usage.latency
-        bucket["tokens"] += usage.input_tokens + usage.output_tokens
+        # Read-modify-write tallies; clients on pool threads record
+        # concurrently under the thread backend.
+        with self._lock:
+            self.calls += 1
+            self.input_tokens += usage.input_tokens
+            self.output_tokens += usage.output_tokens
+            self.cost += usage.cost
+            self.latency += usage.latency
+            bucket = self.per_model.setdefault(
+                model, {"calls": 0, "cost": 0.0, "latency": 0.0, "tokens": 0}
+            )
+            bucket["calls"] += 1
+            bucket["cost"] += usage.cost
+            bucket["latency"] += usage.latency
+            bucket["tokens"] += usage.input_tokens + usage.output_tokens
 
 
 _DIRECTIVE_RE = re.compile(r"^([A-Z_]+):\s*(.*)$")
@@ -183,7 +191,14 @@ class SimulatedLLM:
         self.single_flight = single_flight
         self._seed = seed
         self._call_index = 0
-        self._last_queue_wait = 0.0
+        self._call_lock = threading.Lock()
+        #: Real seconds slept per simulated latency second (default 0:
+        #: fully simulated time).  The thread backend's benchmarks set a
+        #: small scale so calls genuinely block — an I/O-bound stand-in
+        #: the pool can overlap (``time.sleep`` releases the GIL).
+        self.wall_latency_scale = 0.0
+        # Per-thread: concurrent callers must not read each other's waits.
+        self._queue_wait_tls = threading.local()
         # Instrument handles, bound lazily per observability instance so
         # each call pays dict increments instead of registry lookups
         # (``observability`` is often assigned after construction).
@@ -192,6 +207,14 @@ class SimulatedLLM:
         self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
         self._m_cache_hits = self._m_cache_misses = self._m_coalesced = None
         self._h_latency = self._h_queue_wait = None
+
+    @property
+    def _last_queue_wait(self) -> float:
+        return getattr(self._queue_wait_tls, "value", 0.0)
+
+    @_last_queue_wait.setter
+    def _last_queue_wait(self, value: float) -> None:
+        self._queue_wait_tls.value = value
 
     def _bind_instruments(self, obs: "Observability") -> None:
         metrics = obs.metrics
@@ -310,13 +333,15 @@ class SimulatedLLM:
                 f"prompt of {input_tokens} tokens exceeds context window "
                 f"{self.spec.context_window} of {self.spec.name}"
             )
-        self._call_index += 1
+        with self._call_lock:
+            self._call_index += 1
+            call_index = self._call_index
         if self.failure_rate > 0:
-            failure_roll = self._rng(prompt, salt=f"fail-{self._call_index}").random()
+            failure_roll = self._rng(prompt, salt=f"fail-{call_index}").random()
             if failure_roll < self.failure_rate:
                 raise LLMError(
                     f"simulated transient failure from {self.spec.name} "
-                    f"(call {self._call_index})"
+                    f"(call {call_index})"
                 )
         text, structured, domain = self._answer(prompt)
         output_tokens = min(count_tokens(text), max_output_tokens)
@@ -336,6 +361,11 @@ class SimulatedLLM:
             start = actual
         if self.clock is not None:
             self.clock.advance(usage.latency)
+        if self.wall_latency_scale > 0:
+            # Block for real: the simulated latency becomes actual wall
+            # time, which is what makes the thread backend's overlap
+            # measurable (and the serial backend's lack of it).
+            time.sleep(usage.latency * self.wall_latency_scale)
         if self.tracker is not None:
             self.tracker.record(self.spec.name, usage)
         response = LLMResponse(

@@ -139,9 +139,10 @@ class Span:
             self.error = f"{exc_type.__name__}: {exc}"
         state = self._state
         if state is not None:
-            # Direct attribute read (see SimClock.now): this closes every
-            # span the runtime ever opens.
-            self.end = state.clock._now
+            # ``now()`` rather than ``_now``: under the thread backend the
+            # closing thread may sit inside a clock branch overlay, and
+            # the end stamp must be branch-local time.
+            self.end = state.clock.now()
             if state.current is self:
                 state.current = self._prev
             else:  # out-of-order close: also drop everything opened above
@@ -233,6 +234,40 @@ class _SpanScope:
         return False
 
 
+class _AdoptScope:
+    """Makes a span current on *another* thread (see :meth:`Tracer.adopt`).
+
+    Unlike :class:`_SpanScope` it never touches ``span._prev``: the span
+    stays owned by (and chained on) its opening thread, while the adopting
+    worker only points its own thread-local ``current`` at it so children
+    opened there parent correctly.  Several workers may adopt the same
+    span concurrently.
+    """
+
+    __slots__ = ("_tracer", "_span", "_saved", "_noop")
+
+    def __init__(self, tracer: "Tracer", span: "Span | None") -> None:
+        self._tracer = tracer
+        self._span = span
+        self._noop = not tracer.enabled or span is None or span is NOOP_SPAN
+
+    def __enter__(self) -> "Span | None":
+        if self._noop:
+            return self._span
+        state = self._tracer._state()
+        self._saved = state.current
+        state.current = self._span
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._noop:
+            return False
+        state = self._tracer._state()
+        if state.current is self._span:
+            state.current = self._saved
+        return False
+
+
 class Tracer:
     """Creates, nests, and retains spans over a simulated clock.
 
@@ -301,7 +336,7 @@ class Tracer:
         span.name = name
         span.kind = kind
         span.parent_id = parent_id
-        span.start = self.clock._now
+        span.start = self.clock.now()
         span.end = None
         span.error = None
         span.attributes = attributes
@@ -349,6 +384,19 @@ class Tracer:
         popping, and the scope detects it.
         """
         return _SpanScope(self, span)
+
+    def adopt(self, span: "Span | None") -> "_AdoptScope":
+        """Context manager parenting new spans under *span* cross-thread.
+
+        The explicit span-context transfer for pool workers: the active
+        chain is thread-local, so a span opened on a worker thread would
+        otherwise silently lose its parent.  The backend captures the
+        parent span on the scheduling thread and each worker adopts it —
+        spans it opens nest under *span* without mutating the parent's
+        own (concurrently shared) chain links.  ``adopt(None)`` is a
+        no-op scope, so callers need not special-case rootless work.
+        """
+        return _AdoptScope(self, span)
 
     # ------------------------------------------------------------------
     # Trace access

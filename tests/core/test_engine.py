@@ -1,0 +1,414 @@
+"""Execution backends and the thread-safety primitives under them.
+
+Covers the concurrency contract directly:
+
+* SimClock branch overlays — per-thread private time over the shared
+  clock, plus an N-thread ``advance_to`` stress asserting commits only
+  ever ratchet the clock forward.
+* VirtualTimeline.record — lock-protected horizon merges from workers.
+* id_scope — owner-qualified id sequences immune to interleaving.
+* Tracer.adopt — explicit cross-thread span-context transfer (a node
+  span opened on a pool thread parents under its plan span).
+* Budget.scoped — per-node charge attribution across threads.
+* Backend resolution and the thread backend end to end (fleet smoke,
+  result equality with serial).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.budget import Budget
+from repro.core.engine import (
+    SERIAL,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.core.fleet import FleetSubmission
+from repro.core.runtime import Blueprint
+from repro.core.scheduler import VirtualTimeline
+from repro.ids import IdGenerator, current_id_scope, id_scope
+from repro.observability.span import Tracer
+
+
+# ----------------------------------------------------------------------
+# SimClock branches
+# ----------------------------------------------------------------------
+class TestClockBranches:
+    def test_branch_is_private_to_thread(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.branch_begin(3.0)
+        assert clock.now() == 3.0
+        clock.advance(2.0)
+        assert clock.now() == 5.0
+
+        seen: list[float] = []
+        worker = threading.Thread(target=lambda: seen.append(clock.now()))
+        worker.start()
+        worker.join()
+        # The other thread reads the shared clock, not this branch.
+        assert seen == [10.0]
+        assert clock.branch_end() == 5.0
+        assert clock.now() == 10.0
+
+    def test_branch_advance_to_and_rebase_stay_local(self):
+        clock = SimClock()
+        clock.advance(8.0)
+        clock.branch_begin(1.0)
+        clock.advance_to(4.0)
+        assert clock.now() == 4.0
+        clock.advance_to(2.0)  # advance_to never rewinds, branch or not
+        assert clock.now() == 4.0
+        clock.rebase(0.5)  # rebase may rewind, branch-locally
+        assert clock.now() == 0.5
+        clock.branch_end()
+        assert clock.now() == 8.0
+
+    def test_nested_branch_rejected(self):
+        clock = SimClock()
+        clock.branch_begin(0.0)
+        try:
+            with pytest.raises(RuntimeError):
+                clock.branch_begin(1.0)
+        finally:
+            clock.branch_end()
+
+    def test_branch_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            SimClock().branch_end()
+
+    def test_branch_active(self):
+        clock = SimClock()
+        assert not clock.branch_active()
+        clock.branch_begin(1.0)
+        assert clock.branch_active()
+        clock.branch_end()
+        assert not clock.branch_active()
+
+    def test_advance_to_stress_monotonic_commits(self):
+        """N threads hammering advance_to: the clock only moves forward.
+
+        The satellite-3 audit rule made concrete: every read-modify-write
+        on shared time must go through ``advance_to`` (atomic max), and
+        under arbitrary interleaving the observed clock never decreases
+        and lands exactly on the largest committed target.
+        """
+        clock = SimClock()
+        observed: list[list[float]] = [[] for _ in range(8)]
+        targets = [
+            [float(i * 17 % 101) + worker for i in range(200)]
+            for worker in range(8)
+        ]
+
+        def hammer(worker: int) -> None:
+            for target in targets[worker]:
+                observed[worker].append(clock.advance_to(target))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+
+        for series in observed:
+            assert series == sorted(series)  # per-thread monotone
+        top = max(t for series in targets for t in series)
+        assert clock.now() == top
+
+    def test_serial_semantics_unchanged(self):
+        """The overlay is inert until a branch is opened: plain clocks
+        behave exactly as before (lock-free reads, shared writes)."""
+        clock = SimClock(start=5.0)
+        assert clock.advance(1.5) == 6.5
+        assert clock.advance_to(6.0) == 6.5
+        assert clock.rebase(2.0) == 2.0
+        assert clock.now() == 2.0
+
+
+# ----------------------------------------------------------------------
+# VirtualTimeline.record
+# ----------------------------------------------------------------------
+class TestTimelineRecord:
+    def test_record_merges_like_close(self):
+        clock = SimClock()
+        timeline = VirtualTimeline(clock)
+        timeline.record(4.0, owner="a")
+        timeline.record(2.5, owner="b")
+        timeline.record(3.0, owner="a")
+        assert timeline.horizon == 4.0
+        assert timeline.horizon_of("a") == 4.0
+        assert timeline.horizon_of("b") == 2.5
+        assert timeline.commit() == 4.0
+        assert clock.now() == 4.0
+
+    def test_concurrent_records(self):
+        clock = SimClock()
+        timeline = VirtualTimeline(clock)
+        ends = [[float(i % 50) + worker * 0.01 for i in range(300)] for worker in range(6)]
+
+        def merge(worker: int) -> None:
+            for end in ends[worker]:
+                timeline.record(end, owner=f"w{worker}")
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(merge, range(6)))
+        expected = max(e for series in ends for e in series)
+        assert timeline.horizon == expected
+        for worker in range(6):
+            assert timeline.horizon_of(f"w{worker}") == max(ends[worker])
+
+
+# ----------------------------------------------------------------------
+# id scopes
+# ----------------------------------------------------------------------
+class TestIdScopes:
+    def test_unscoped_numbering_unchanged(self):
+        ids = IdGenerator()
+        assert ids.next("msg") == "msg-000001"
+        assert ids.next("msg") == "msg-000002"
+        assert ids.next("stream") == "stream-000001"
+
+    def test_scoped_ids_are_owner_qualified(self):
+        ids = IdGenerator()
+        ids.next("msg")
+        with id_scope("p1.m1"):
+            assert current_id_scope() == "p1.m1"
+            assert ids.next("msg") == "msg-p1.m1-000001"
+            assert ids.next("msg") == "msg-p1.m1-000002"
+        assert current_id_scope() is None
+        # The unscoped sequence never saw the scoped draws.
+        assert ids.next("msg") == "msg-000002"
+
+    def test_scopes_nest_and_restore(self):
+        ids = IdGenerator()
+        with id_scope("outer"):
+            with id_scope("inner"):
+                assert ids.next("msg") == "msg-inner-000001"
+            assert ids.next("msg") == "msg-outer-000001"
+
+    def test_interleaving_cannot_change_scoped_ids(self):
+        """The bug this kills: two owners racing one global counter get
+        arrival-order ids (``msg-000042``); with scopes, each owner's ids
+        depend only on its own draw count, whatever the interleaving."""
+        ids = IdGenerator()
+        results: dict[str, list[str]] = {}
+
+        def draw(owner: str) -> None:
+            with id_scope(owner):
+                results[owner] = [ids.next("msg") for _ in range(50)]
+
+        threads = [
+            threading.Thread(target=draw, args=(f"plan-{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for owner, drawn in results.items():
+            assert drawn == [
+                f"msg-{owner}-{i:06d}" for i in range(1, 51)
+            ]
+
+
+# ----------------------------------------------------------------------
+# cross-thread span adoption
+# ----------------------------------------------------------------------
+class TestTracerAdopt:
+    def test_pool_thread_span_parents_under_plan_span(self):
+        """Satellite-1 regression: Tracer state is thread-local, so a
+        node span opened on a pool thread used to become a root.  With
+        ``adopt``, it parents under the plan span captured by the
+        scheduling thread."""
+        tracer = Tracer(SimClock())
+        plan_span = tracer.start_span("plan:pp", kind="plan")
+
+        def open_node() -> int:
+            with tracer.adopt(plan_span):
+                with tracer.start_span("node:m1", kind="node") as node:
+                    pass
+            return node.span_id
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            node_id = pool.submit(open_node).result()
+        plan_span.__exit__(None, None, None)
+
+        node = next(s for s in tracer.spans() if s.span_id == node_id)
+        assert node.parent_id == plan_span.span_id
+        # Adoption never mutated the parent's own chain: the plan span
+        # closed normally on its opening thread.
+        assert plan_span.end is not None
+
+    def test_adopt_restores_previous_context(self):
+        tracer = Tracer(SimClock())
+        with tracer.start_span("outer") as outer:
+            other = tracer.start_span("other")
+            tracer.suspend(other)
+            with tracer.adopt(other):
+                assert tracer.current() is other
+            assert tracer.current() is outer
+            other.__exit__(None, None, None)
+
+    def test_adopt_none_is_noop(self):
+        tracer = Tracer(SimClock())
+        with tracer.adopt(None):
+            with tracer.start_span("root") as span:
+                pass
+        assert span.parent_id is None
+
+
+# ----------------------------------------------------------------------
+# budget charge scopes
+# ----------------------------------------------------------------------
+class TestBudgetScopes:
+    def test_scoped_charges_attributed(self):
+        budget = Budget(clock=SimClock())
+        budget.charge("setup", cost=1.0)
+        with budget.scoped("pp.m1"):
+            assert Budget.current_scope() == "pp.m1"
+            budget.charge("llm", cost=2.0)
+            budget.charge("llm", cost=3.0)
+        assert Budget.current_scope() is None
+        assert [c.cost for c in budget.charges_of("pp.m1")] == [2.0, 3.0]
+        assert len(budget.charges()) == 3  # the global ledger sees all
+
+    def test_concurrent_scopes_never_bleed(self):
+        budget = Budget(clock=SimClock())
+
+        def spend(owner: str) -> None:
+            with budget.scoped(owner):
+                for i in range(40):
+                    budget.charge(owner, cost=0.25, latency=0.01)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(spend, [f"n{i}" for i in range(4)]))
+        for i in range(4):
+            mine = budget.charges_of(f"n{i}")
+            assert len(mine) == 40
+            assert all(c.source == f"n{i}" for c in mine)
+        assert budget.spent_cost() == pytest.approx(4 * 40 * 0.25)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_none_and_serial_share_the_singleton(self):
+        assert resolve_backend(None) is SERIAL
+        assert resolve_backend("serial") is SERIAL
+        assert isinstance(SERIAL, SerialBackend)
+        assert not SERIAL.concurrent
+
+    def test_threads_builds_fresh_instances(self):
+        first = resolve_backend("threads")
+        second = resolve_backend("threads")
+        try:
+            assert isinstance(first, ThreadBackend)
+            assert first is not second
+            assert first.concurrent
+        finally:
+            first.close()
+            second.close()
+
+    def test_instances_pass_through(self):
+        backend = ThreadBackend()
+        try:
+            assert resolve_backend(backend) is backend
+        finally:
+            backend.close()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("asyncio")
+
+    def test_close_is_idempotent(self):
+        backend = ThreadBackend()
+        backend.close()
+        backend.close()
+
+
+def _workload(blueprint: Blueprint, plans: int) -> list[FleetSubmission]:
+    from repro.cli import _fleet_agents, _fleet_plan
+
+    return [
+        FleetSubmission(
+            plan=_fleet_plan(index),
+            agents=_fleet_agents(blueprint.catalog, index),
+        )
+        for index in range(plans)
+    ]
+
+
+class TestThreadBackendFleet:
+    def test_thread_fleet_matches_serial_results(self):
+        def run(backend: str):
+            blueprint = Blueprint()
+            result = blueprint.run_fleet(
+                _workload(blueprint, 6),
+                max_inflight=3,
+                single_flight=False,
+                backend=backend,
+            )
+            return {
+                p.plan_id: (
+                    p.outcome,
+                    {k: v for k, v in sorted(p.run.node_outputs.items())}
+                    if p.run is not None
+                    else None,
+                )
+                for p in result.plans
+            }, result.makespan
+
+        serial, serial_makespan = run("serial")
+        threaded, thread_makespan = run("threads")
+        assert serial == threaded
+        assert thread_makespan == pytest.approx(serial_makespan)
+
+    def test_node_spans_parent_under_plan_spans(self):
+        blueprint = Blueprint()
+        blueprint.run_fleet(
+            _workload(blueprint, 4),
+            max_inflight=4,
+            single_flight=False,
+            backend="threads",
+        )
+        tracer = blueprint.observability.tracer
+        plan_ids = {s.span_id for s in tracer.find(kind="plan")}
+        node_spans = tracer.find(kind="node")
+        assert node_spans
+        assert all(s.parent_id in plan_ids for s in node_spans)
+
+    def test_thread_backend_closes_after_string_run(self):
+        """run_fleet built the backend from a name, so it must not leak
+        worker threads past the call."""
+        before = {t.name for t in threading.enumerate()}
+        blueprint = Blueprint()
+        blueprint.run_fleet(
+            _workload(blueprint, 3),
+            max_inflight=3,
+            single_flight=False,
+            backend="threads",
+        )
+        lingering = {
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("engine-")
+        } - before
+        assert not lingering
+
+
+class TestProfileHarness:
+    def test_profile_buckets_cover_hot_paths(self):
+        from repro.core.engine.profile import profile_fleet
+
+        report = profile_fleet(plans=2, backend="serial")
+        assert report["total"] > 0
+        assert set(report["buckets"]) == {
+            "spans", "metrics", "journal", "streams", "llm", "scheduling",
+        }
+        # The workload exercises every bucket.
+        assert all(v >= 0.0 for v in report["buckets"].values())
+        assert report["buckets"]["llm"] > 0
+        assert report["buckets"]["scheduling"] > 0

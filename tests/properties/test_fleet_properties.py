@@ -18,6 +18,14 @@ Acceptance criteria for fleet execution:
   (no capacity limits, no coalescing), each plan's outputs, finish time,
   and the fleet makespan are functions of the plan alone — permuting the
   submission order changes nothing but message interleaving.
+
+* **Thread backend is result-identical.**  The same seeds × fault rates
+  × kill points driven through :class:`ThreadBackend` produce the same
+  node outputs, statuses, charge multisets, and journal entry sets as
+  serial — only event *order* (store arrival, id numbering scheme, span
+  interleaving) may differ.  A failed wave is the one defined
+  divergence: serial stops at the first failing node, thread mode has
+  already started its siblings, so serial's executed set is a subset.
 """
 
 from hypothesis import given, settings
@@ -28,6 +36,7 @@ from repro.core.agent import FunctionAgent
 from repro.core.budget import Budget
 from repro.core.context import AgentContext
 from repro.core.coordinator import TaskCoordinator
+from repro.core.engine import ThreadBackend
 from repro.core.fleet import FleetEntry, FleetScheduler, FleetSubmission
 from repro.core.params import Parameter
 from repro.core.plan import Binding, TaskPlan
@@ -60,13 +69,20 @@ def diamond_plan(seed: int) -> TaskPlan:
     return plan
 
 
-def run_scenario(seed: int, fault_rate: float, kill_at: int | None, fleet: bool):
+def run_scenario(
+    seed: int,
+    fault_rate: float,
+    kill_at: int | None,
+    fleet: bool,
+    backend=None,
+):
     """One seeded diamond run under agent chaos, optionally kill+resumed.
 
     With *fleet*, the plan goes through a one-slot :class:`FleetScheduler`
-    on a shared timeline; otherwise ``execute_plan`` drives it directly.
-    Everything else — store, session, journal, chaos, retries — is
-    identical, so the outputs must be too.
+    on a shared timeline (stepping waves via *backend* when given);
+    otherwise ``execute_plan`` drives it directly.  Everything else —
+    store, session, journal, chaos, retries — is identical, so the
+    outputs must be too.
     """
     clock = SimClock()
     store = StreamStore(clock)
@@ -115,7 +131,7 @@ def run_scenario(seed: int, fault_rate: float, kill_at: int | None, fleet: bool)
     try:
         if fleet:
             scheduler = FleetScheduler(
-                VirtualTimeline(clock), clock, max_inflight=1
+                VirtualTimeline(clock), clock, max_inflight=1, backend=backend
             )
             result = scheduler.run(
                 [
@@ -145,7 +161,58 @@ def run_scenario(seed: int, fault_rate: float, kill_at: int | None, fleet: bool)
         run.status,
         export_json(store),
         clock.now(),
+        normalized_trace(store),
     )
+
+
+def normalized_trace(store) -> list[tuple]:
+    """The store's global trace as a sorted multiset of message facts.
+
+    Thread-backend runs append to the store in pool-arrival order, so the
+    raw export is order-unstable run to run even when every message —
+    id, stream, payload, producer, timestamp — is identical.  Sorting
+    removes exactly (and only) the arrival order.
+    """
+    return sorted(
+        (
+            message.stream_id,
+            message.message_id,
+            message.kind.value,
+            repr(message.payload),
+            message.producer,
+            message.timestamp,
+        )
+        for message in store.trace()
+    )
+
+
+def run_thread_scenario(seed: int, fault_rate: float, kill_at: int | None):
+    """`run_scenario` through the fleet path on a fresh thread backend."""
+    engine = ThreadBackend()
+    try:
+        return run_scenario(seed, fault_rate, kill_at, fleet=True, backend=engine)
+    finally:
+        engine.close()
+
+
+def _freeze(value):
+    """Recursively hashable form of a journal entry, time fields stripped.
+
+    Branch-local timestamps are the one thing wave/thread accounting is
+    *allowed* to reorder relative to the global clock; every other field
+    must match the serial run exactly.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            sorted(
+                (k, _freeze(v))
+                for k, v in value.items()
+                if k not in ("timestamp", "started_at")
+            )
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
 
 
 class TestFleetOfOneEquivalence:
@@ -161,6 +228,74 @@ class TestFleetOfOneEquivalence:
         # Store export first: messages, ids, *and timestamps* must match.
         assert fleet[4] == plain[4]
         assert fleet == plain
+
+
+class TestThreadBackendEquivalence:
+    """Same seeds × fault rates through :class:`ThreadBackend`: results
+    must match serial even where event order differs."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_thread_results_match_serial(self, seed, fault_rate):
+        outputs_s, charges_s, journal_s, status_s, _, end_s, _ = run_scenario(
+            seed, fault_rate, None, fleet=True
+        )
+        outputs_t, charges_t, journal_t, status_t, _, end_t, _ = (
+            run_thread_scenario(seed, fault_rate, None)
+        )
+        # Fault decisions are content-seeded (hash of seed|key|counter),
+        # so the same nodes fail under both backends: statuses agree.
+        assert status_t == status_s
+        # Serial stops a failed wave at the first failing node; thread
+        # mode has already started the siblings — subset, not equality.
+        assert outputs_s.items() <= outputs_t.items()
+        if status_s == "completed":
+            assert outputs_t == outputs_s
+            assert charges_t == charges_s
+            assert end_t == end_s
+            # Journal entry *sets* match up to time: same records, only
+            # write order and arrival interleaving may differ.
+            assert {_freeze(e) for e in journal_t} == {
+                _freeze(e) for e in journal_s
+            }
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_thread_runs_are_result_deterministic(self, seed, fault_rate):
+        """Two same-seed thread runs agree on every message fact — ids,
+        payloads, timestamps — modulo store arrival order."""
+        first = run_thread_scenario(seed, fault_rate, None)
+        second = run_thread_scenario(seed, fault_rate, None)
+        assert first[0] == second[0]  # node outputs
+        assert first[1] == second[1]  # charge multiset
+        assert first[3] == second[3]  # status
+        assert first[5] == second[5]  # clock end
+        assert first[6] == second[6]  # normalized trace
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        kill_at=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_thread_chaos_kill_resume_converges(self, seed, kill_at):
+        """Chaos under the thread backend: kill at the Nth barrier (which
+        barrier that is depends on thread interleaving), resume, and the
+        final state must equal the uninterrupted serial run's — the
+        kill-point-invariance property, backend-independent."""
+        outputs_s, _, _, status_s, _, _, _ = run_scenario(
+            seed, 0.0, None, fleet=True
+        )
+        outputs_t, _, _, status_t, _, _, _ = run_thread_scenario(
+            seed, 0.0, kill_at
+        )
+        assert status_t == status_s == "completed"
+        assert outputs_t == outputs_s
 
 
 def job_plan(index: int) -> TaskPlan:
