@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery parallel fleet engine overload examples artifacts all
+.PHONY: test bench reliability observability recovery parallel fleet engine overload shard examples artifacts all
 
 test:
 	pytest tests/
@@ -32,6 +32,10 @@ engine:
 overload:
 	PYTHONPATH=src python -m pytest benchmarks/bench_overload.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/core/test_overload.py tests/properties/test_overload_properties.py -q
+
+shard:
+	PYTHONPATH=src python -m pytest benchmarks/bench_shard.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/storage/test_cluster.py tests/storage/test_sharded_relational.py tests/storage/test_failure_detector.py tests/streams/test_partitioned.py tests/core/test_shard_pruning.py tests/properties/test_shard_properties.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null && echo OK; done

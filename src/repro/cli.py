@@ -122,6 +122,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "QoS admission + brownout (expected to violate "
                             "the tier-0 gates)")
 
+    shard = commands.add_parser(
+        "shard",
+        help="build the sharded HR substrate, demo shard-pruned vs fan-out "
+             "queries, and optionally run a seeded chaos drill (replica "
+             "kills, partitions, degraded latency) proving zero acked-write "
+             "loss through failover",
+    )
+    shard.add_argument("--seekers", type=int, default=20_000,
+                       help="seeker rows/profiles to generate")
+    shard.add_argument("--shards", type=int, default=8,
+                       help="shards per clustered store")
+    shard.add_argument("--replicas", type=int, default=3,
+                       help="replicas per shard")
+    shard.add_argument("--chaos", action="store_true",
+                       help="run the chaos drill after the query demo")
+    shard.add_argument("--kill-rate", type=float, default=0.15,
+                       help="chaos: per-replica kill probability per tick")
+    shard.add_argument("--ticks", type=int, default=20,
+                       help="chaos: fault-injection ticks to run")
+    shard.add_argument("--chaos-seed", type=int, default=11,
+                       help="chaos: fault schedule seed")
+
     recover = commands.add_parser(
         "recover",
         help="inspect a journaled stream export for recoverable plans, or "
@@ -643,6 +665,112 @@ def cmd_surge(args: argparse.Namespace) -> int:
     return 0 if completion_ok and latency_ok and shed_ok else 1
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Sharded-substrate demo: pruned queries, then an optional chaos drill."""
+    from .core.resilience.chaos import ChaosController, ChaosSpec
+    from .errors import ClusterUnavailableError, QueryError
+    from .hr.data import build_sharded_enterprise
+
+    t0 = time.perf_counter()
+    enterprise = build_sharded_enterprise(
+        seed=args.seed,
+        n_seekers=args.seekers,
+        n_shards=args.shards,
+        n_replicas=args.replicas,
+    )
+    build_s = time.perf_counter() - t0
+    database = enterprise.database
+    profiles = enterprise.profiles
+    print(f"built sharded enterprise: {args.seekers} seekers, "
+          f"{args.shards} shards x {args.replicas} replicas "
+          f"({build_s:.1f}s)")
+
+    t0 = time.perf_counter()
+    pruned = profiles.find({"city": "Austin"}, limit=20)
+    pruned_ms = (time.perf_counter() - t0) * 1000
+    stats = dict(profiles.last_find_stats)
+    print(f"\npruned doc find  city=Austin: {len(pruned)} rows in "
+          f"{pruned_ms:.1f}ms  "
+          f"(scanned {stats['shards_scanned']}/{stats['shards_total']} "
+          f"shards, {stats['docs_scanned']} docs)")
+
+    t0 = time.perf_counter()
+    fanout = profiles.find({"years_experience": {"$gte": 15}}, limit=20)
+    fanout_ms = (time.perf_counter() - t0) * 1000
+    stats = dict(profiles.last_find_stats)
+    print(f"fan-out doc find years>=15: {len(fanout)} rows in "
+          f"{fanout_ms:.1f}ms  "
+          f"(scanned {stats['shards_scanned']}/{stats['shards_total']} "
+          f"shards, {stats['docs_scanned']} docs)")
+
+    result = database.execute(
+        "SELECT title, COUNT(*) AS n FROM seekers WHERE city = 'Austin' "
+        "GROUP BY title ORDER BY n DESC LIMIT 3"
+    )
+    sql_stats = dict(database.last_execute_stats)
+    print(f"pruned SQL group-by: top titles {[r['title'] for r in result.rows]} "
+          f"(scanned {sql_stats['shards_scanned']}/{sql_stats['shards_total']} "
+          f"shards via {sql_stats['path']})")
+
+    if not args.chaos:
+        return 0
+
+    print(f"\nchaos drill: kill-rate {args.kill_rate}, {args.ticks} ticks, "
+          f"seed {args.chaos_seed}")
+    cluster = enterprise.documents.cluster
+    chaos = ChaosController(
+        ChaosSpec(
+            replica_kill_rate=args.kill_rate,
+            shard_partition_rate=args.kill_rate / 2,
+            replica_latency_rate=args.kill_rate,
+        ),
+        seed=args.chaos_seed,
+    )
+    acked: list[str] = []
+    rejected = kills = partitions = 0
+    for tick in range(args.ticks):
+        struck = chaos.strike_store_cluster(cluster)
+        kills += len(struck["killed"])
+        partitions += len(struck["partitioned"])
+        for i in range(3):
+            doc_id = f"drill-{tick}-{i}"
+            try:
+                profiles.insert(
+                    {"seeker_id": 10**9 + tick * 3 + i, "name": "Drill",
+                     "title": "Chaos Engineer", "city": "Austin",
+                     "years_experience": tick, "skills": ["chaos"]},
+                    doc_id=doc_id,
+                )
+                acked.append(doc_id)
+            except ClusterUnavailableError:
+                rejected += 1
+        cluster.tick()
+    cluster.settle(ticks=80)
+    survived = 0
+    for doc_id in acked:
+        try:
+            profiles.get(doc_id)
+            survived += 1
+        except QueryError:
+            pass
+    promotions = sum(shard.promotions for shard in cluster.shards)
+    print(f"  faults: {kills} replica kills, {partitions} partitions, "
+          f"{promotions} failover promotions")
+    print(f"  writes: {len(acked)} acked, {rejected} rejected "
+          f"(quorum unavailable)")
+    print(f"  acked writes surviving failover: {survived}/{len(acked)}")
+    healthy = all(
+        replica.status.value == "alive" and replica.applied == shard.acked
+        for shard in cluster.shards for replica in shard.replicas
+    )
+    print(f"  cluster converged: {healthy}")
+    if survived == len(acked) and healthy:
+        print("  PASS: zero acked-write loss")
+        return 0
+    print("  FAIL: acked writes lost or cluster diverged")
+    return 1
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     if args.export_file is None and not args.demo:
         print("recover: pass --export FILE to analyze a journal, or --demo")
@@ -756,6 +884,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": cmd_run,
         "fleet": cmd_fleet,
         "surge": cmd_surge,
+        "shard": cmd_shard,
         "recover": cmd_recover,
     }
     return handlers[args.command](args)

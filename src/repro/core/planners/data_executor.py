@@ -295,13 +295,18 @@ class DataPlanExecutor:
 
     def _op_doc_find(self, operator: DataOperator, inputs: list[Any]):
         collection = self._require_handle(operator, Collection)
-        documents = collection.find(
-            operator.params.get("filter", {}),
-            fields=operator.params.get("fields"),
-            sort=operator.params.get("sort"),
-            descending=operator.params.get("descending", False),
-            limit=operator.params.get("limit"),
-        )
+        kwargs: dict[str, Any] = {
+            "fields": operator.params.get("fields"),
+            "sort": operator.params.get("sort"),
+            "descending": operator.params.get("descending", False),
+            "limit": operator.params.get("limit"),
+        }
+        # The planner's shard-pruning annotation only means something to a
+        # clustered collection; a plain one fans out over nothing.
+        shards = operator.params.get("shards")
+        if shards is not None and hasattr(collection, "shards_for_filter"):
+            kwargs["shards"] = shards
+        documents = collection.find(operator.params.get("filter", {}), **kwargs)
         cost, latency, quality = self._storage_metrics(operator, len(documents))
         return documents, cost, latency, quality
 

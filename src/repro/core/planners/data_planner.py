@@ -285,13 +285,24 @@ class DataPlanner:
             if limit is not None:
                 plan.add_op("limit", Op.LIMIT, params={"n": limit}, inputs=("fetch",))
         elif entry.kind == "document_collection":
+            partition_field = self._partition_field(entry.name)
             doc_filter = {
-                field: ({"$contains": value} if isinstance(value, str) else value)
+                field: (
+                    value
+                    # Partition keys are exact-match by definition — keep
+                    # equality so the router can prune the shard fan-out.
+                    if field == partition_field
+                    else {"$contains": value} if isinstance(value, str) else value
+                )
                 for field, value in filters.items()
             }
+            params: dict[str, Any] = {"filter": doc_filter, "limit": limit}
+            shards = self._pruned_shards(entry.name, doc_filter)
+            if shards is not None:
+                params["shards"] = shards
             plan.add_op(
                 "fetch", Op.DOC_FIND,
-                params={"filter": doc_filter, "limit": limit},
+                params=params,
                 choices=(OperatorChoice(source=entry.name),),
             )
         elif entry.kind == "graph":
@@ -414,6 +425,34 @@ class DataPlanner:
             {"loc": location},
         )
         return bool(result.scalar())
+
+    def _collection_handle(self, source_name: str) -> Any | None:
+        """The registered collection behind *source_name*, if reachable."""
+        try:
+            return self.registry.handle(source_name, principal=SYSTEM_PRINCIPAL)
+        except Exception:
+            return None
+
+    def _partition_field(self, source_name: str) -> str | None:
+        """The collection's shard key, when it is a clustered collection."""
+        handle = self._collection_handle(source_name)
+        return getattr(handle, "partition_field", None)
+
+    def _pruned_shards(
+        self, source_name: str, doc_filter: dict[str, Any]
+    ) -> list[int] | None:
+        """Shard annotation for a DOC_FIND, or None when no pruning applies.
+
+        Only clustered collections expose ``shards_for_filter``; for a
+        plain collection (or an unpruned filter) the op carries no shard
+        list and the executor lets the store fan out as usual.
+        """
+        handle = self._collection_handle(source_name)
+        prune = getattr(handle, "shards_for_filter", None)
+        if prune is None:
+            return None
+        shards, pruned = prune(doc_filter)
+        return shards if pruned else None
 
     @staticmethod
     def _pick_column(entry: RegistryEntry, candidates: tuple[str, ...]) -> str | None:

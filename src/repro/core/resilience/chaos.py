@@ -61,6 +61,17 @@ class ChaosSpec:
         surge_length: steps a traffic surge lasts.
         surge_multiplier: factor applied to offered traffic during a
             surge (>= 1).
+        replica_kill_rate: probability per :meth:`strike_store_cluster`
+            call of crashing each live store replica (it restarts after
+            the cluster's ``restart_delay_ticks``).
+        shard_partition_rate: probability per strike of partitioning a
+            minority of each shard's replicas away from the router.
+        shard_partition_ticks: cluster ticks a partition lasts.
+        replica_latency_rate: probability per strike of degrading each
+            live replica's latency.
+        replica_latency_seconds: extra simulated seconds a degraded
+            replica adds to operations on its shard.
+        replica_latency_ticks: cluster ticks the degradation lasts.
     """
 
     container_kill_rate: float = 0.0
@@ -75,6 +86,12 @@ class ChaosSpec:
     surge_rate: float = 0.0
     surge_length: int = 5
     surge_multiplier: float = 2.0
+    replica_kill_rate: float = 0.0
+    shard_partition_rate: float = 0.0
+    shard_partition_ticks: int = 3
+    replica_latency_rate: float = 0.0
+    replica_latency_seconds: float = 1.0
+    replica_latency_ticks: int = 3
 
     def __post_init__(self) -> None:
         for name in (
@@ -86,6 +103,9 @@ class ChaosSpec:
             "latency_spike_rate",
             "plan_kill_rate",
             "surge_rate",
+            "replica_kill_rate",
+            "shard_partition_rate",
+            "replica_latency_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -202,6 +222,70 @@ class ChaosController:
                 killed.append(container.container_id)
                 self._record("container_kill", container=container.container_id)
         return killed
+
+    def strike_store_cluster(self, cluster: Any) -> dict[str, list[Any]]:
+        """Roll the storage faults against a :class:`StoreCluster`.
+
+        Call once per cluster tick (before or after ``tick()`` — the
+        per-key counters make the decision sequence independent of when).
+        Kills roll per live replica; partitions and degradations roll per
+        shard / replica with their own keys, so enabling one fault family
+        never shifts another family's draws.
+        """
+        struck: dict[str, list[Any]] = {"killed": [], "partitioned": [], "degraded": []}
+        spec = self.spec
+        for shard in cluster.shards:
+            for replica in shard.replicas:
+                if replica.status.value == "dead":
+                    continue
+                if (
+                    spec.replica_kill_rate > 0
+                    and self.roll(f"replica-kill|{replica.replica_id}")
+                    < spec.replica_kill_rate
+                ):
+                    cluster.kill_replica(replica.replica_id)
+                    struck["killed"].append(replica.replica_id)
+                    self._record("replica_kill", replica=replica.replica_id)
+                    continue
+                if (
+                    spec.replica_latency_rate > 0
+                    and self.roll(f"replica-latency|{replica.replica_id}")
+                    < spec.replica_latency_rate
+                ):
+                    cluster.degrade_replica(
+                        replica.replica_id,
+                        spec.replica_latency_seconds,
+                        spec.replica_latency_ticks,
+                    )
+                    struck["degraded"].append(replica.replica_id)
+                    self._record("replica_degraded", replica=replica.replica_id)
+            if (
+                spec.shard_partition_rate > 0
+                and self.roll(f"shard-partition|{shard.shard_index}")
+                < spec.shard_partition_rate
+            ):
+                minority = len(shard.replicas) - shard.quorum
+                if minority > 0:
+                    # Deterministic victim choice: a rolled offset walks
+                    # the replica ring so different shards/ticks hide
+                    # different minorities.
+                    offset = int(
+                        self.roll(f"partition-members|{shard.shard_index}")
+                        * len(shard.replicas)
+                    )
+                    members = tuple(
+                        (offset + i) % len(shard.replicas) for i in range(minority)
+                    )
+                    cluster.partition_shard(
+                        shard.shard_index, members, spec.shard_partition_ticks
+                    )
+                    struck["partitioned"].append(shard.shard_index)
+                    self._record(
+                        "shard_partition",
+                        shard=shard.shard_index,
+                        members=list(members),
+                    )
+        return struck
 
     def agent_fault(self, key: str) -> None:
         """Raise :class:`TransientError` with ``agent_transient_rate``.

@@ -45,6 +45,18 @@ class QueryError(StorageError):
     """A document/graph/vector query was malformed or unanswerable."""
 
 
+class ClusterUnavailableError(StorageError):
+    """A sharded store could not assemble a quorum for an operation.
+
+    Transient by design: replicas restart and partitions heal on later
+    cluster ticks, so retrying after ticks usually succeeds.  Writes that
+    raise this were **not** acknowledged — the zero-acked-loss invariant
+    only covers writes that returned normally.
+    """
+
+    transient = True
+
+
 class TransientError(ReproError):
     """A recoverable failure: retrying may succeed (the chaos harness and
     flaky agents raise this to signal 'try again')."""

@@ -194,6 +194,80 @@ def generate_applications(
     return applications
 
 
+def generate_seekers_fast(n: int, rng: np.random.Generator) -> list[dict]:
+    """Vectorized seeker generation for cluster-scale populations.
+
+    ``generate_seekers`` draws one ``rng.choice`` permutation per row for
+    skills, which dominates runtime past ~10k rows.  This variant draws
+    every column as one numpy array and picks skills as a rotated window
+    of the title's pool — a different (but equally deterministic)
+    distribution, so it is a separate generator rather than a silent
+    change to the small-scale data the planner tests snapshot against.
+    """
+    titles = base_titles()
+    bay_cities = list(REGION_CITIES["sf bay area"])
+    cities = bay_cities + list(OTHER_CITIES)
+    pools = [
+        list(TITLE_SKILLS.get(t.lower(), TITLE_SKILLS["software engineer"]))
+        for t in titles
+    ]
+    first_idx = rng.integers(0, len(FIRST_NAMES), size=n)
+    last_idx = rng.integers(0, len(LAST_NAMES), size=n)
+    title_idx = rng.integers(0, len(titles), size=n)
+    city_idx = rng.integers(0, len(cities), size=n)
+    years = rng.integers(0, 20, size=n)
+    salary_extra = rng.integers(0, 20_000, size=n)
+    skill_start = rng.integers(0, 64, size=n)
+    skill_extra = rng.integers(0, 8, size=n)
+    seekers = []
+    for i in range(n):
+        pool = pools[title_idx[i]]
+        count = 3 + int(skill_extra[i]) % max(1, len(pool) - 2)
+        start = int(skill_start[i]) % len(pool)
+        window = [pool[(start + j) % len(pool)] for j in range(count)]
+        y = int(years[i])
+        seekers.append(
+            {
+                "id": i + 1,
+                "name": f"{FIRST_NAMES[first_idx[i]]} {LAST_NAMES[last_idx[i]]}",
+                "title": titles[title_idx[i]],
+                "city": cities[city_idx[i]],
+                "years_experience": y,
+                "skills": ", ".join(sorted(set(window))),
+                "desired_salary": int(100_000 + y * 6_000 + salary_extra[i]),
+            }
+        )
+    return seekers
+
+
+def generate_applications_fast(
+    n_jobs: int, n_seekers: int, rng: np.random.Generator, per_seeker: float = 2.0
+) -> list[dict]:
+    """Vectorized applications: ``per_seeker`` random applications each.
+
+    ``generate_applications`` rolls jobs x seekers coin flips — 20M rolls
+    at 200 jobs x 100k seekers.  Here the application count is fixed up
+    front and every column is one array draw.
+    """
+    n_apps = int(n_seekers * per_seeker)
+    job_ids = rng.integers(1, n_jobs + 1, size=n_apps)
+    seeker_ids = rng.integers(1, n_seekers + 1, size=n_apps)
+    status_idx = rng.integers(0, len(APPLICATION_STATUSES), size=n_apps)
+    scores = np.round(rng.uniform(0.2, 0.99, size=n_apps), 3)
+    days = rng.integers(0, 30, size=n_apps)
+    return [
+        {
+            "id": i + 1,
+            "job_id": int(job_ids[i]),
+            "seeker_id": int(seeker_ids[i]),
+            "status": APPLICATION_STATUSES[status_idx[i]],
+            "match_score": float(scores[i]),
+            "days_ago": int(days[i]),
+        }
+        for i in range(n_apps)
+    ]
+
+
 def _resume_text(seeker: dict) -> str:
     return (
         f"{seeker['name']} — {seeker['title']} based in {seeker['city']} with "
@@ -203,20 +277,8 @@ def _resume_text(seeker: dict) -> str:
     )
 
 
-def build_enterprise(
-    seed: int = 7,
-    n_jobs: int = 200,
-    n_seekers: int = 150,
-    application_rate: float = 0.05,
-) -> Enterprise:
-    """Generate the full enterprise and register every source."""
-    rng = np.random.default_rng(seed)
-    jobs = generate_jobs(n_jobs, rng)
-    seekers = generate_seekers(n_seekers, rng)
-    applications = generate_applications(jobs, seekers, rng, application_rate)
-
-    database = Database("hr", description="YourJourney HR relational database")
-    jobs_schema = TableSchema(
+def _jobs_schema() -> TableSchema:
+    return TableSchema(
         "jobs",
         (
             Column("id", ColumnType.INT, primary_key=True),
@@ -231,27 +293,10 @@ def build_enterprise(
         ),
         description="Open job postings",
     )
-    jobs_table = database.create_table(jobs_schema)
-    jobs_table.insert_many(jobs)
-    jobs_table.create_index("title", kind="hash")
-    jobs_table.create_index("city", kind="hash")
-    jobs_table.create_index("salary", kind="sorted")
 
-    quick_table(
-        database,
-        "companies",
-        [
-            Column("name", ColumnType.TEXT, primary_key=True),
-            Column("headcount", ColumnType.INT),
-        ],
-        [
-            {"name": name, "headcount": int(rng.integers(50, 5000))}
-            for name in COMPANY_NAMES
-        ],
-        description="Employer companies",
-    )
 
-    seekers_schema = TableSchema(
+def _seekers_schema() -> TableSchema:
+    return TableSchema(
         "seekers",
         (
             Column("id", ColumnType.INT, primary_key=True),
@@ -264,11 +309,10 @@ def build_enterprise(
         ),
         description="Registered job seekers",
     )
-    seekers_table = database.create_table(seekers_schema)
-    seekers_table.insert_many(seekers)
-    seekers_table.create_index("title", kind="hash")
 
-    applications_schema = TableSchema(
+
+def _applications_schema() -> TableSchema:
+    return TableSchema(
         "applications",
         (
             Column("id", ColumnType.INT, primary_key=True),
@@ -280,27 +324,17 @@ def build_enterprise(
         ),
         description="Applications of seekers to jobs",
     )
-    applications_table = database.create_table(applications_schema)
-    applications_table.insert_many(applications)
-    applications_table.create_index("job_id", kind="hash")
-    applications_table.create_index("seeker_id", kind="hash")
 
-    documents = DocumentStore("hr-docs", description="YourJourney document databases")
-    profiles = documents.create_collection("profiles", "Job seeker profile documents")
-    for seeker in seekers:
-        profiles.insert({**seeker, "seeker_id": seeker["id"]}, doc_id=f"profile-{seeker['id']}")
-    profiles.create_index("title")
-    resumes = documents.create_collection("resumes", "Raw resume texts")
-    for seeker in seekers:
-        resumes.insert(
-            {"seeker_id": seeker["id"], "text": _resume_text(seeker)},
-            doc_id=f"resume-{seeker['id']}",
-        )
 
-    taxonomy = build_title_taxonomy()
-    scratch = KeyValueStore("scratch", description="Session scratch space")
-
-    registry = DataRegistry()
+def _register_sources(
+    registry: DataRegistry,
+    database,
+    profiles,
+    resumes,
+    taxonomy,
+    scratch,
+    embed_resumes: bool,
+) -> None:
     registry.register_table(
         database, "jobs", name="JOBS",
         description="Open job postings with title, company, city, salary, and required skills",
@@ -332,7 +366,9 @@ def build_enterprise(
         description="Raw resume texts of job seekers",
         fields=("seeker_id", "text"),
         keywords=("resumes", "cv"),
-        embed_field="text",  # retrieval backbone for RAG plans
+        # Retrieval backbone for RAG plans; embedding every resume is
+        # O(corpus), so cluster-scale builds skip it.
+        embed_field="text" if embed_resumes else None,
     )
     registry.register_graph(
         taxonomy, name="TITLE_TAXONOMY",
@@ -347,6 +383,200 @@ def build_enterprise(
         name="LLM:WORLD",
         description="General world knowledge (regions, cities, common sense) served by an LLM",
         knowledge_domains=("world knowledge", "geography", "general"),
+    )
+
+
+def build_enterprise(
+    seed: int = 7,
+    n_jobs: int = 200,
+    n_seekers: int = 150,
+    application_rate: float = 0.05,
+) -> Enterprise:
+    """Generate the full enterprise and register every source."""
+    rng = np.random.default_rng(seed)
+    jobs = generate_jobs(n_jobs, rng)
+    seekers = generate_seekers(n_seekers, rng)
+    applications = generate_applications(jobs, seekers, rng, application_rate)
+
+    database = Database("hr", description="YourJourney HR relational database")
+    jobs_table = database.create_table(_jobs_schema())
+    jobs_table.insert_many(jobs)
+    jobs_table.create_index("title", kind="hash")
+    jobs_table.create_index("city", kind="hash")
+    jobs_table.create_index("salary", kind="sorted")
+
+    quick_table(
+        database,
+        "companies",
+        [
+            Column("name", ColumnType.TEXT, primary_key=True),
+            Column("headcount", ColumnType.INT),
+        ],
+        [
+            {"name": name, "headcount": int(rng.integers(50, 5000))}
+            for name in COMPANY_NAMES
+        ],
+        description="Employer companies",
+    )
+
+    seekers_table = database.create_table(_seekers_schema())
+    seekers_table.insert_many(seekers)
+    seekers_table.create_index("title", kind="hash")
+
+    applications_table = database.create_table(_applications_schema())
+    applications_table.insert_many(applications)
+    applications_table.create_index("job_id", kind="hash")
+    applications_table.create_index("seeker_id", kind="hash")
+
+    documents = DocumentStore("hr-docs", description="YourJourney document databases")
+    profiles = documents.create_collection("profiles", "Job seeker profile documents")
+    for seeker in seekers:
+        profiles.insert({**seeker, "seeker_id": seeker["id"]}, doc_id=f"profile-{seeker['id']}")
+    profiles.create_index("title")
+    resumes = documents.create_collection("resumes", "Raw resume texts")
+    for seeker in seekers:
+        resumes.insert(
+            {"seeker_id": seeker["id"], "text": _resume_text(seeker)},
+            doc_id=f"resume-{seeker['id']}",
+        )
+
+    taxonomy = build_title_taxonomy()
+    scratch = KeyValueStore("scratch", description="Session scratch space")
+
+    registry = DataRegistry()
+    _register_sources(
+        registry, database, profiles, resumes, taxonomy, scratch, embed_resumes=True
+    )
+    return Enterprise(
+        database=database,
+        documents=documents,
+        taxonomy=taxonomy,
+        scratch=scratch,
+        registry=registry,
+    )
+
+
+def build_sharded_enterprise(
+    seed: int = 7,
+    n_jobs: int = 200,
+    n_seekers: int = 100_000,
+    applications_per_seeker: float = 2.0,
+    n_shards: int = 8,
+    n_replicas: int = 3,
+    clock=None,
+    **cluster_options,
+) -> Enterprise:
+    """The enterprise on the sharded substrate, at cluster scale.
+
+    Same shape as :func:`build_enterprise` but every store is replicated
+    and partitioned: the relational database and document store shard by
+    ``city`` (the query axis the planner prunes on), resumes and scratch
+    shard by key.  Seekers and applications come from the vectorized
+    generators, so 100k+ seekers load in seconds.  Resume embeddings are
+    skipped past 2 000 seekers (embedding is O(corpus)).
+    """
+    from ..clock import SimClock
+    from ..storage import (
+        ClusteredDocumentStore,
+        ClusteredKeyValueStore,
+        ShardedDatabase,
+    )
+
+    rng = np.random.default_rng(seed)
+    clock = clock or SimClock()
+    jobs = generate_jobs(n_jobs, rng)
+    seekers = generate_seekers_fast(n_seekers, rng)
+    applications = generate_applications_fast(
+        n_jobs, n_seekers, rng, applications_per_seeker
+    )
+
+    database = ShardedDatabase(
+        "hr",
+        n_shards=n_shards,
+        n_replicas=n_replicas,
+        clock=clock,
+        seed=seed,
+        description="YourJourney HR relational database (sharded)",
+        **cluster_options,
+    )
+    jobs_table = database.create_table(_jobs_schema(), partition_column="city")
+    jobs_table.insert_many(jobs)
+    jobs_table.create_index("title", kind="hash")
+    jobs_table.create_index("city", kind="hash")
+    jobs_table.create_index("salary", kind="sorted")
+
+    companies = database.create_table(
+        TableSchema.build(
+            "companies",
+            [
+                Column("name", ColumnType.TEXT, primary_key=True),
+                Column("headcount", ColumnType.INT),
+            ],
+            description="Employer companies",
+        )
+    )
+    companies.insert_many(
+        {"name": name, "headcount": int(rng.integers(50, 5000))}
+        for name in COMPANY_NAMES
+    )
+
+    seekers_table = database.create_table(_seekers_schema(), partition_column="city")
+    seekers_table.insert_many(seekers)
+    seekers_table.create_index("title", kind="hash")
+
+    applications_table = database.create_table(
+        _applications_schema(), partition_column="job_id"
+    )
+    applications_table.insert_many(applications)
+    applications_table.create_index("job_id", kind="hash")
+    applications_table.create_index("seeker_id", kind="hash")
+
+    documents = ClusteredDocumentStore(
+        "hr-docs",
+        n_shards=n_shards,
+        n_replicas=n_replicas,
+        clock=clock,
+        seed=seed,
+        description="YourJourney document databases (sharded)",
+        **cluster_options,
+    )
+    profiles = documents.create_collection(
+        "profiles", "Job seeker profile documents", partition_field="city"
+    )
+    profiles.insert_many(
+        ({**seeker, "seeker_id": seeker["id"]} for seeker in seekers),
+        doc_ids=[f"profile-{seeker['id']}" for seeker in seekers],
+    )
+    profiles.create_index("title")
+    resumes = documents.create_collection("resumes", "Raw resume texts")
+    resumes.insert_many(
+        (
+            {"seeker_id": seeker["id"], "text": _resume_text(seeker)}
+            for seeker in seekers
+        ),
+        doc_ids=[f"resume-{seeker['id']}" for seeker in seekers],
+    )
+
+    taxonomy = build_title_taxonomy()
+    scratch = ClusteredKeyValueStore(
+        "scratch",
+        n_shards=n_shards,
+        n_replicas=n_replicas,
+        clock=clock,
+        seed=seed,
+        description="Session scratch space (sharded)",
+        **cluster_options,
+    )
+
+    registry = DataRegistry()
+    _register_sources(
+        registry,
+        database,
+        profiles,
+        resumes,
+        taxonomy,
+        scratch,
+        embed_resumes=n_seekers <= 2000,
     )
     return Enterprise(
         database=database,

@@ -4,6 +4,15 @@ The data registry (:mod:`repro.core.registries`) maps these sources; the
 data planner decomposes queries over them.
 """
 
+from .cluster import (
+    ClusteredCollection,
+    ClusteredDocumentStore,
+    ClusteredKeyValueStore,
+    HashRing,
+    ShardedDatabase,
+    ShardedTable,
+    StoreCluster,
+)
 from .document import Collection, DocumentStore
 from .graph import Edge, GraphStore, Node
 from .keyvalue import KeyValueStore
@@ -12,6 +21,13 @@ from .schema import Column, ColumnType, TableSchema
 from .vector import FlatIndex, IVFIndex
 
 __all__ = [
+    "ClusteredCollection",
+    "ClusteredDocumentStore",
+    "ClusteredKeyValueStore",
+    "HashRing",
+    "ShardedDatabase",
+    "ShardedTable",
+    "StoreCluster",
     "Collection",
     "DocumentStore",
     "Edge",

@@ -1,0 +1,50 @@
+"""Sharded, replicated data substrate (DESIGN.md section 13).
+
+The paper's setting is enterprise-scale data planes (the 1M-seeker HR
+deployment); a single in-memory node per store cannot survive the chaos
+harness, let alone paper-scale load.  This package partitions each store
+into N shards by consistent hashing and replicates every shard R ways:
+
+* :class:`HashRing` — deterministic key -> shard placement,
+* :class:`Replica` — one copy of a shard: a durable op log plus the
+  state machine it rebuilds on restart,
+* :class:`ShardGroup` — quorum append/read over a shard's replicas,
+  with read-repair and primary promotion,
+* :class:`FailureDetector` — heartbeat suspicion on the SimClock,
+* :class:`StoreCluster` — the router: ring + groups + the ``tick()``
+  loop (heartbeats, detection, failover, revival, seeded anti-entropy),
+* :class:`ClusteredKeyValueStore`, :class:`ClusteredDocumentStore` /
+  :class:`ClusteredCollection`, :class:`ShardedDatabase` /
+  :class:`ShardedTable` — drop-in store fronts that keep the existing
+  single-node APIs while delegating to the cluster.
+
+Everything is deterministic: failure detection runs on the simulated
+clock, anti-entropy sweeps are seeded, and chaos faults
+(``replica_kill``, ``shard_partition``, degraded replica latency) come
+from the :class:`~repro.core.resilience.ChaosController`'s per-key
+counters — the same seed and kill schedule always produce byte-identical
+cluster exports.
+"""
+
+from .cluster import StoreCluster
+from .docs import ClusteredCollection, ClusteredDocumentStore
+from .failure import FailureDetector
+from .kv import ClusteredKeyValueStore
+from .relational import ShardedDatabase, ShardedTable
+from .replica import Replica, ReplicaStatus
+from .ring import HashRing
+from .shard import ShardGroup
+
+__all__ = [
+    "ClusteredCollection",
+    "ClusteredDocumentStore",
+    "ClusteredKeyValueStore",
+    "FailureDetector",
+    "HashRing",
+    "Replica",
+    "ReplicaStatus",
+    "ShardGroup",
+    "ShardedDatabase",
+    "ShardedTable",
+    "StoreCluster",
+]

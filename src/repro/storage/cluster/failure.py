@@ -1,0 +1,46 @@
+"""Heartbeat failure detection on the simulated clock.
+
+Replicas "send" a heartbeat every cluster tick; the detector suspects a
+replica once ``now - last_heartbeat >= timeout``.  Because heartbeats for
+a tick are recorded *before* suspicion is evaluated, a heartbeat arriving
+exactly at the suspicion deadline rescues the replica — the deadline is
+inclusive for silence, not for arrival.  Crashed and partitioned replicas
+simply stop beating, so the detector cannot (and does not try to)
+distinguish a dead process from an unreachable one; both lose primaryship.
+"""
+
+from __future__ import annotations
+
+
+class FailureDetector:
+    """Tracks last-heartbeat times and derives suspicion deterministically."""
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"suspicion timeout must be positive: {timeout}")
+        self.timeout = timeout
+        self._last: dict[str, float] = {}
+
+    def beat(self, replica_id: str, at: float) -> None:
+        """Record a heartbeat from *replica_id* at simulated time *at*."""
+        previous = self._last.get(replica_id)
+        if previous is None or at > previous:
+            self._last[replica_id] = at
+
+    def last_beat(self, replica_id: str) -> float | None:
+        return self._last.get(replica_id)
+
+    def deadline(self, replica_id: str) -> float:
+        """The instant at which silence becomes suspicion."""
+        return self._last.get(replica_id, 0.0) + self.timeout
+
+    def suspects(self, replica_id: str, now: float) -> bool:
+        """Whether *replica_id* has been silent for >= timeout at *now*.
+
+        A replica never heard from is suspected once ``now >= timeout``
+        (its implicit last beat is t=0, the cluster's birth).
+        """
+        return now - self._last.get(replica_id, 0.0) >= self.timeout
+
+    def forget(self, replica_id: str) -> None:
+        self._last.pop(replica_id, None)

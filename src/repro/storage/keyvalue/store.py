@@ -57,23 +57,39 @@ class KeyValueStore:
     def keys(self, namespace: str) -> list[str]:
         with self._lock:
             bucket = self._data.get(namespace, {})
-            live = [k for k in bucket if not self._expired(namespace, k)]
-            return sorted(live)
+            expired = [k for k in bucket if self._expired(namespace, k)]
+            for key in expired:
+                self._evict(namespace, key)
+            return sorted(bucket)
 
     def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
-        for key in self.keys(namespace):
-            yield key, self.get(namespace, key)
+        with self._lock:
+            sentinel = object()
+            pairs = [
+                (key, self.get(namespace, key, sentinel))
+                for key in self.keys(namespace)
+            ]
+        for key, value in pairs:
+            if value is not sentinel:
+                yield key, value
 
     def namespaces(self) -> list[str]:
         with self._lock:
-            return sorted(ns for ns, bucket in self._data.items() if bucket)
+            return sorted(
+                ns
+                for ns in list(self._data)
+                if any(
+                    not self._expired(ns, key) for key in self._data.get(ns, {})
+                )
+            )
 
     def clear(self, namespace: str) -> int:
         with self._lock:
+            live = len(self.keys(namespace))
             bucket = self._data.pop(namespace, {})
             for key in bucket:
                 self._expiry.pop((namespace, key), None)
-            return len(bucket)
+            return live
 
     def describe(self) -> dict[str, Any]:
         return {

@@ -165,6 +165,7 @@ class StreamStore:
             timestamp=self.clock.now(),
             metadata=dict(metadata or {}),
         )
+        self._persist(message)
         stream.append(message)
         with self._lock:
             self._trace.append(message)
@@ -175,6 +176,13 @@ class StreamStore:
             counts[kind.value] = counts.get(kind.value, 0) + 1
         self._dispatch(message)
         return message
+
+    def _persist(self, message: Message) -> None:
+        """Durability hook, called before the message touches any in-memory
+        structure.  The base store is purely in-memory (no-op); the
+        partitioned store overrides this to replicate the message — and by
+        raising refuses the publish outright when no quorum can store it,
+        leaving trace, stream, and subscribers untouched."""
 
     def publish_data(self, stream_id: str, payload: Any, **kwargs: Any) -> Message:
         return self.publish(stream_id, payload, kind=MessageKind.DATA, **kwargs)
@@ -306,6 +314,13 @@ class StreamStore:
         immediately (nested), so a coordinator that publishes an
         EXECUTE_AGENT instruction observes the agent's outputs as soon as
         the publish returns.  A depth guard catches runaway agent loops.
+
+        Callbacks may mutate the subscription table: the candidate set is
+        snapshotted under the lock before any callback runs, so a
+        subscription added mid-dispatch only sees *later* messages, and
+        ``active`` is re-checked per delivery so one unsubscribed (by
+        itself or a peer) mid-dispatch is skipped, not called on a dead
+        subscription.
         """
         with self._lock:
             self._depth += 1
@@ -317,9 +332,11 @@ class StreamStore:
                     f"dispatch depth exceeded {self.max_dispatch_depth} "
                     f"(agent loop?) on stream {message.stream_id!r}"
                 )
-            if targets:
-                self._delivery_count += len(targets)
             for subscription in targets:
+                if not subscription.active:
+                    continue
+                with self._lock:
+                    self._delivery_count += 1
                 subscription.callback(message)
         finally:
             with self._lock:

@@ -1,0 +1,402 @@
+"""Tests for the sharded, replicated store cluster substrate."""
+
+import json
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import ClusterUnavailableError, StorageError
+from repro.storage.cluster import (
+    ClusteredDocumentStore,
+    ClusteredKeyValueStore,
+    FailureDetector,
+    HashRing,
+    Replica,
+    ReplicaStatus,
+    ShardGroup,
+    StoreCluster,
+)
+from repro.storage.cluster.ring import stable_hash
+
+
+def apply_list(state, op):
+    state.append(op["value"])
+    return len(state)
+
+
+def make_shard(n_replicas=3, timeout=3.0):
+    events = []
+    shard = ShardGroup(
+        0, n_replicas, list, apply_list, FailureDetector(timeout),
+        lambda kind, **detail: events.append((kind, detail)),
+    )
+    return shard, events
+
+
+def make_cluster(n_shards=4, n_replicas=3, **options):
+    return StoreCluster(
+        "test", n_shards, n_replicas, list, apply_list,
+        clock=SimClock(), **options,
+    )
+
+
+class TestHashRing:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash("alpha") == stable_hash("alpha")
+        assert stable_hash("alpha") != stable_hash("beta")
+
+    def test_shard_for_covers_all_shards(self):
+        ring = HashRing(8)
+        hit = {ring.shard_for(f"key-{i}") for i in range(2000)}
+        assert hit == set(range(8))
+
+    def test_shard_for_is_stable(self):
+        ring = HashRing(8)
+        again = HashRing(8)
+        for i in range(200):
+            key = f"key-{i}"
+            assert ring.shard_for(key) == again.shard_for(key)
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(4)
+        counts = [0] * 4
+        for i in range(8000):
+            counts[ring.shard_for(f"key-{i}")] += 1
+        assert min(counts) > 8000 / 4 / 3  # no shard under a third of fair share
+
+    def test_shards_for_dedupes_and_sorts(self):
+        ring = HashRing(4)
+        keys = [f"key-{i}" for i in range(50)]
+        shards = ring.shards_for(keys)
+        assert shards == sorted(set(shards))
+
+    def test_all_shards(self):
+        assert HashRing(3).all_shards() == [0, 1, 2]
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestReplica:
+    def make(self):
+        return Replica("s0.r0", 0, 0, list, apply_list)
+
+    def test_append_applies_and_logs(self):
+        replica = self.make()
+        assert replica.append({"value": "a"}) == 1
+        assert replica.applied == 1
+        assert replica.state == ["a"]
+
+    def test_can_accept_requires_exact_sequence(self):
+        replica = self.make()
+        assert replica.can_accept(0)
+        assert not replica.can_accept(1)
+        replica.append({"value": "a"})
+        assert replica.can_accept(1)
+        assert not replica.can_accept(0)
+
+    def test_kill_drops_state_keeps_log(self):
+        replica = self.make()
+        replica.append({"value": "a"})
+        replica.kill()
+        assert replica.status is ReplicaStatus.DEAD
+        assert replica.state is None
+        assert not replica.can_accept(1)
+        assert len(replica.log) == 1  # durable op log survives
+
+    def test_restart_replays_own_log(self):
+        replica = self.make()
+        replica.append({"value": "a"})
+        replica.append({"value": "b"})
+        replica.kill()
+        replica.begin_restart()
+        assert replica.status is ReplicaStatus.SYNCING
+        assert replica.state == ["a", "b"]
+        assert replica.applied == 2
+
+    def test_catch_up_replays_donor_suffix(self):
+        ahead, behind = self.make(), self.make()
+        for value in "abc":
+            ahead.append({"value": value})
+        behind.append({"value": "a"})
+        copied = behind.catch_up(ahead)
+        assert copied == 2
+        assert behind.state == ["a", "b", "c"]
+        assert behind.log_digest() == ahead.log_digest()
+
+    def test_log_digest_differs_on_divergence(self):
+        one, two = self.make(), self.make()
+        one.append({"value": "a"})
+        two.append({"value": "b"})
+        assert one.log_digest() != two.log_digest()
+
+
+class TestShardGroup:
+    def test_append_reaches_all_replicas(self):
+        shard, _ = make_shard()
+        assert shard.append({"value": "a"}) == 1
+        assert shard.acked == 1
+        assert [r.applied for r in shard.replicas] == [1, 1, 1]
+
+    def test_append_with_one_dead_replica_still_acks(self):
+        shard, _ = make_shard()
+        shard.replicas[2].kill()
+        shard.append({"value": "a"})
+        assert shard.acked == 1
+        assert shard.replicas[2].applied == 0
+
+    def test_append_below_quorum_raises_and_touches_nothing(self):
+        shard, _ = make_shard()
+        shard.append({"value": "a"})
+        shard.replicas[1].kill()
+        shard.replicas[2].kill()
+        with pytest.raises(ClusterUnavailableError):
+            shard.append({"value": "b"})
+        assert shard.acked == 1
+        assert shard.replicas[0].applied == 1  # all-or-nothing: no partial write
+
+    def test_quorum_read_repairs_lagging_replica(self):
+        shard, _ = make_shard()
+        shard.replicas[2].kill()
+        shard.append({"value": "a"})
+        shard.replicas[2].begin_restart()
+        shard.replicas[2].status = ReplicaStatus.ALIVE
+        before = shard.read_repairs
+        state = shard.quorum_state()
+        assert state == ["a"]
+        # the revived replica may be chosen as a reader and repaired
+        assert shard.read_repairs >= before
+
+    def test_quorum_state_requires_latest_acked(self):
+        shard, _ = make_shard()
+        shard.append({"value": "a"})
+        shard.append({"value": "b"})
+        assert shard.quorum_state() == ["a", "b"]
+
+    def test_promote_skips_dead_candidates(self):
+        shard, events = make_shard()
+        shard.append({"value": "a"})
+        shard.replicas[0].kill()
+        promoted = shard.promote()
+        assert promoted.index != 0
+        assert promoted.applied == shard.acked
+        assert shard.promotions == 1
+        assert any(kind == "promotion" for kind, _ in events)
+
+    def test_promote_with_no_viable_candidate_raises(self):
+        shard, _ = make_shard()
+        shard.append({"value": "a"})
+        for replica in shard.replicas:
+            replica.kill()
+        with pytest.raises(ClusterUnavailableError):
+            shard.promote()
+
+    def test_sync_all_catches_up_lagging_replicas(self):
+        shard, events = make_shard()
+        shard.replicas[2].kill()
+        for value in "abcd":
+            shard.append({"value": value})
+        shard.replicas[2].begin_restart()
+        shard.sync_all()
+        assert shard.replicas[2].applied == 4
+        assert shard.replicas[2].status is ReplicaStatus.ALIVE
+        assert any(kind == "rejoin" for kind, _ in events)
+
+    def test_sync_never_copies_from_stale_donor(self):
+        shard, _ = make_shard()
+        for value in "ab":
+            shard.append({"value": value})
+        # every live replica lags the acked history: no donor is safe
+        for replica in shard.replicas:
+            replica.kill()
+            replica.begin_restart()
+            del replica.log[1:]
+            replica.state = replica.state[:1]
+        shard.acked = 2
+        assert shard.sync_all() == 0
+
+
+class TestStoreCluster:
+    def test_routing_is_stable(self):
+        cluster = make_cluster()
+        assert cluster.shard_for("k") == cluster.shard_for("k")
+
+    def test_append_and_quorum_read(self):
+        cluster = make_cluster()
+        cluster.append("k", {"value": "a"})
+        shard = cluster.shard_for("k")
+        assert cluster.quorum_state("k") == ["a"]
+        assert cluster.quorum_state_of(shard) == ["a"]
+
+    def test_kill_then_failover_promotes_new_primary(self):
+        cluster = make_cluster()
+        cluster.append("k", {"value": "a"})
+        shard_index = cluster.shard_for("k")
+        shard = cluster.shards[shard_index]
+        primary_id = shard.primary().replica_id
+        cluster.kill_replica(primary_id)
+        cluster.tick()
+        assert shard.primary().status is ReplicaStatus.ALIVE
+        assert shard.primary().replica_id != primary_id
+        assert cluster.quorum_state("k") == ["a"]
+
+    def test_dead_replica_restarts_and_rejoins(self):
+        cluster = make_cluster(restart_delay_ticks=2)
+        cluster.append("k", {"value": "a"})
+        shard_index = cluster.shard_for("k")
+        victim = cluster.shards[shard_index].replicas[1]
+        cluster.kill_replica(victim.replica_id)
+        cluster.append("k", {"value": "b"})
+        cluster.settle()
+        assert victim.status is ReplicaStatus.ALIVE
+        assert victim.applied == cluster.shards[shard_index].acked
+
+    def test_partition_never_blocks_quorum(self):
+        cluster = make_cluster()
+        cluster.append("k", {"value": "a"})
+        shard_index = cluster.shard_for("k")
+        # ask for a majority partition: capped to a minority
+        cluster.partition_shard(shard_index, [0, 1, 2], ticks=3)
+        cluster.append("k", {"value": "b"})  # still acks through the majority
+        assert cluster.quorum_state("k") == ["a", "b"]
+
+    def test_partition_heals_after_ticks(self):
+        cluster = make_cluster()
+        shard_index = cluster.shard_for("k")
+        cluster.partition_shard(shard_index, [1], ticks=2)
+        assert not cluster.shards[shard_index].replicas[1].reachable
+        cluster.settle(4)
+        assert cluster.shards[shard_index].replicas[1].reachable
+
+    def test_degraded_replica_is_tracked(self):
+        cluster = make_cluster()
+        replica = cluster.shards[0].replicas[0]
+        cluster.degrade_replica(replica.replica_id, seconds=2.0, ticks=3)
+        assert replica.is_degraded(cluster.tick_count)
+        for _ in range(5):  # settle() early-exits on a healthy cluster
+            cluster.tick()
+        assert not replica.is_degraded(cluster.tick_count)
+
+    def test_events_are_recorded(self):
+        cluster = make_cluster()
+        cluster.kill_replica("s0.r0")
+        kinds = [event["kind"] for event in cluster.events]
+        assert "replica_kill" in kinds
+
+    def test_export_json_round_trips(self):
+        cluster = make_cluster()
+        cluster.append("k", {"value": "a"})
+        cluster.tick()
+        snapshot = json.loads(cluster.export_json())
+        assert snapshot["cluster"] == "test"
+        assert len(snapshot["shards"]) == 4
+
+    def test_replica_by_id_rejects_unknown(self):
+        cluster = make_cluster()
+        with pytest.raises(StorageError):
+            cluster.replica_by_id("s9.r9")
+
+
+class TestClusteredKeyValueStore:
+    @pytest.fixture
+    def kv(self):
+        return ClusteredKeyValueStore("kv", n_shards=4, n_replicas=3,
+                                      clock=SimClock(), seed=3)
+
+    def test_round_trip(self, kv):
+        kv.put("ns", "k", {"x": 1})
+        assert kv.get("ns", "k") == {"x": 1}
+        assert kv.contains("ns", "k")
+
+    def test_keys_span_shards(self, kv):
+        names = [f"k{i}" for i in range(40)]
+        for name in names:
+            kv.put("ns", name, 1)
+        assert kv.keys("ns") == sorted(names)
+        shards = {kv.cluster.shard_for(f"ns\x00{n}") for n in names}
+        assert len(shards) > 1
+
+    def test_ttl_expiry_is_read_time(self, kv):
+        kv.put("ns", "k", 1, ttl=5.0)
+        kv.cluster.clock.advance(6.0)
+        assert kv.get("ns", "k") is None
+        assert kv.keys("ns") == []
+        assert kv.delete("ns", "k") is False  # expired: nothing to delete
+
+    def test_clear_returns_live_count(self, kv):
+        kv.put("ns", "a", 1)
+        kv.put("ns", "b", 2, ttl=1.0)
+        kv.cluster.clock.advance(2.0)
+        assert kv.clear("ns") == 1
+        assert kv.keys("ns") == []
+
+    def test_survives_replica_kills(self, kv):
+        for i in range(30):
+            kv.put("ns", f"k{i}", i)
+        kv.cluster.kill_replica("s0.r0")
+        kv.cluster.kill_replica("s2.r1")
+        for i in range(30, 50):
+            kv.put("ns", f"k{i}", i)
+        kv.cluster.settle()
+        assert len(kv.keys("ns")) == 50
+        assert kv.get("ns", "k42") == 42
+
+
+class TestClusteredDocumentStore:
+    @pytest.fixture
+    def docs(self):
+        store = ClusteredDocumentStore("docs", n_shards=4, n_replicas=3,
+                                       clock=SimClock(), seed=5)
+        collection = store.create_collection("people", partition_field="city")
+        cities = ["Oakland", "Austin", "Denver", "Boston"]
+        for i in range(80):
+            collection.insert({
+                "name": f"person-{i}",
+                "city": cities[i % 4],
+                "rank": i,
+            })
+        return store
+
+    def test_partitioned_find_prunes_shards(self, docs):
+        people = docs.collection("people")
+        rows = people.find({"city": "Austin"})
+        assert len(rows) == 20
+        assert all(row["city"] == "Austin" for row in rows)
+        stats = people.last_find_stats
+        assert stats["pruned"]
+        assert stats["shards_scanned"] < stats["shards_total"]
+
+    def test_unpartitioned_find_fans_out(self, docs):
+        people = docs.collection("people")
+        rows = people.find({"rank": {"$gte": 70}})
+        assert len(rows) == 10
+        assert people.last_find_stats["shards_scanned"] == 4
+
+    def test_sorted_limited_merge(self, docs):
+        people = docs.collection("people")
+        rows = people.find(sort="rank", descending=True, limit=5)
+        assert [row["rank"] for row in rows] == [79, 78, 77, 76, 75]
+
+    def test_update_and_delete_fan_out(self, docs):
+        people = docs.collection("people")
+        assert people.update({"city": "Denver"}, {"rank": -1}) == 20
+        assert all(r["rank"] == -1 for r in people.find({"city": "Denver"}))
+        assert people.delete({"city": "Denver"}) == 20
+        assert people.find({"city": "Denver"}) == []
+
+    def test_get_by_doc_id(self, docs):
+        people = docs.collection("people")
+        doc_id = people.insert({"name": "target", "city": "Austin", "rank": 0})
+        assert people.get(doc_id)["name"] == "target"
+
+    def test_insert_survives_failover(self, docs):
+        people = docs.collection("people")
+        cluster = docs.cluster
+        for shard in cluster.shards:
+            cluster.kill_replica(shard.primary().replica_id)
+        doc_id = people.insert({"name": "after", "city": "Austin", "rank": 1})
+        cluster.settle()
+        assert people.get(doc_id)["name"] == "after"
+        rows = people.find({"city": "Austin"})
+        assert len(rows) == 21

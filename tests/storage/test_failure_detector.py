@@ -1,0 +1,202 @@
+"""Failure-detector edge cases mandated by the shard substrate design.
+
+Three scenarios that historically break primary-backup implementations:
+a heartbeat landing exactly on the suspicion deadline, two failover
+loops racing to promote on real threads, and a previously-dead replica
+rejoining with a stale log.
+"""
+
+import threading
+
+import pytest
+
+from repro.clock import SimClock
+from repro.storage.cluster import (
+    FailureDetector,
+    ReplicaStatus,
+    StoreCluster,
+)
+
+
+def apply_list(state, op):
+    state.append(op["value"])
+    return len(state)
+
+
+def make_cluster(**options):
+    options.setdefault("clock", SimClock())
+    return StoreCluster("fd", 2, 3, list, apply_list, **options)
+
+
+class TestSuspicionDeadline:
+    def test_beat_before_deadline_clears_suspicion(self):
+        detector = FailureDetector(timeout=3.0)
+        detector.beat("r", 0.0)
+        assert not detector.suspects("r", 2.9)
+
+    def test_exactly_at_deadline_is_suspected(self):
+        detector = FailureDetector(timeout=3.0)
+        detector.beat("r", 0.0)
+        assert detector.suspects("r", 3.0)
+
+    def test_beat_at_deadline_instant_rescues(self):
+        # A beat timestamped at the deadline resets the window: the
+        # detector must evaluate against the *latest* beat, so a replica
+        # that reports exactly when its deadline expires stays in.
+        detector = FailureDetector(timeout=3.0)
+        detector.beat("r", 0.0)
+        detector.beat("r", 3.0)
+        assert not detector.suspects("r", 3.0)
+        assert not detector.suspects("r", 5.9)
+        assert detector.suspects("r", 6.0)
+
+    def test_beats_never_move_backwards(self):
+        detector = FailureDetector(timeout=3.0)
+        detector.beat("r", 10.0)
+        detector.beat("r", 4.0)  # stale beat must not rewind the deadline
+        assert detector.deadline("r") == 13.0
+
+    def test_unknown_replica_gets_birth_grace_then_suspicion(self):
+        # A replica never heard from has an implicit beat at t=0 (the
+        # cluster's birth): it is in good standing until one full
+        # timeout elapses, then suspected.
+        detector = FailureDetector(timeout=3.0)
+        assert not detector.suspects("never-seen", 2.9)
+        assert detector.suspects("never-seen", 3.0)
+
+    def test_forget_drops_history(self):
+        detector = FailureDetector(timeout=3.0)
+        detector.beat("r", 5.0)
+        detector.forget("r")
+        assert detector.last_beat("r") is None
+        # back to the implicit t=0 beat: already past deadline at t=5
+        assert detector.suspects("r", 5.0)
+
+    def test_cluster_tick_beats_before_suspicion_check(self):
+        # End-to-end: with heartbeat_interval == suspicion_timeout every
+        # beat lands exactly on the previous deadline.  Because tick()
+        # records beats before evaluating suspicion, healthy primaries
+        # must never be deposed.
+        cluster = make_cluster(heartbeat_interval=3.0, suspicion_timeout=3.0)
+        cluster.append("k", {"value": "a"})
+        for _ in range(10):
+            cluster.tick()
+        assert all(shard.promotions == 0 for shard in cluster.shards)
+
+
+class TestDoublePromotionRace:
+    def test_concurrent_promotes_elect_exactly_one_primary(self):
+        # Two failover loops observe the dead primary at the same time
+        # and both call promote().  The promotion lock re-checks primary
+        # health under the lock, so the second caller must see the fresh
+        # primary and not depose it again.
+        for attempt in range(20):
+            cluster = make_cluster()
+            shard = cluster.shards[0]
+            shard.append({"value": "a"})
+            shard.replicas[0].kill()
+            barrier = threading.Barrier(2)
+            results = []
+
+            def racer():
+                barrier.wait()
+                try:
+                    results.append(shard.promote().replica_id)
+                except Exception as exc:  # pragma: no cover - defensive
+                    results.append(exc)
+
+            threads = [threading.Thread(target=racer) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not any(isinstance(r, Exception) for r in results), results
+            # both racers settle on the same primary, one real promotion
+            assert len(set(results)) == 1, results
+            assert shard.promotions == 1
+            assert shard.primary().status is ReplicaStatus.ALIVE
+
+    def test_promote_reuses_healthy_primary(self):
+        cluster = make_cluster()
+        shard = cluster.shards[0]
+        before = shard.primary().replica_id
+        promoted = shard.promote()
+        # primary is healthy: promote() is a no-op election
+        assert promoted.replica_id == before
+        assert shard.promotions == 0
+
+    def test_promotion_requires_caught_up_candidate(self):
+        cluster = make_cluster()
+        shard = cluster.shards[0]
+        shard.append({"value": "a"})
+        # survivor never saw the write: promoting it would lose the ack
+        shard.replicas[2].kill()
+        shard.replicas[2].begin_restart()
+        del shard.replicas[2].log[:]
+        shard.replicas[2].state = []
+        shard.replicas[2].status = ReplicaStatus.ALIVE
+        shard.replicas[0].kill()
+        shard.replicas[1].kill()
+        with pytest.raises(Exception):
+            shard.promote()
+
+
+class TestRejoinAntiEntropy:
+    def test_dead_replica_rejoins_via_anti_entropy(self):
+        cluster = make_cluster(restart_delay_ticks=2)
+        cluster.append("k", {"value": "a"})
+        shard_index = cluster.shard_for("k")
+        shard = cluster.shards[shard_index]
+        victim = shard.replicas[1]
+        cluster.kill_replica(victim.replica_id)
+        # the cluster keeps acking writes the dead replica never sees
+        for value in "bcde":
+            cluster.append("k", {"value": value})
+        assert victim.applied == 1
+        cluster.settle()
+        assert victim.status is ReplicaStatus.ALIVE
+        assert victim.applied == shard.acked == 5
+        assert victim.log_digest() == shard.primary().log_digest()
+
+    def test_rejoin_emits_event_and_syncing_is_transient(self):
+        cluster = make_cluster(restart_delay_ticks=1)
+        cluster.append("k", {"value": "a"})
+        shard_index = cluster.shard_for("k")
+        victim = cluster.shards[shard_index].replicas[2]
+        cluster.kill_replica(victim.replica_id)
+        cluster.append("k", {"value": "b"})
+        cluster.tick()  # restart -> SYNCING (replays own 1-entry log)
+        sync_states = []
+        for _ in range(6):
+            sync_states.append(victim.status)
+            cluster.tick()
+        assert victim.status is ReplicaStatus.ALIVE
+        kinds = [event["kind"] for event in cluster.events]
+        assert "replica_restart" in kinds
+        assert "rejoin" in kinds
+
+    def test_rejoined_replica_accepts_new_writes(self):
+        cluster = make_cluster(restart_delay_ticks=1)
+        shard_index = cluster.shard_for("k")
+        shard = cluster.shards[shard_index]
+        cluster.append("k", {"value": "a"})
+        victim = shard.replicas[0]
+        cluster.kill_replica(victim.replica_id)
+        cluster.append("k", {"value": "b"})
+        cluster.settle()
+        cluster.append("k", {"value": "c"})
+        assert victim.applied == 3
+        assert cluster.quorum_state("k") == ["a", "b", "c"]
+
+    def test_syncing_replica_does_not_count_toward_quorum(self):
+        cluster = make_cluster()
+        shard = cluster.shards[0]
+        shard.append({"value": "a"})
+        # two replicas die; one comes back but is still SYNCING
+        shard.replicas[1].kill()
+        shard.replicas[2].kill()
+        shard.replicas[2].begin_restart()
+        assert shard.replicas[2].status is ReplicaStatus.SYNCING
+        with pytest.raises(Exception):
+            shard.append({"value": "b"})
+        assert shard.acked == 1

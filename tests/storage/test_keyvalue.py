@@ -77,3 +77,56 @@ class TestKeyValueStore:
     def test_describe(self, kv):
         kv.put("ns", "k", 1)
         assert kv.describe()["namespaces"] == {"ns": 1}
+
+
+class TestTTLEnumerationConsistency:
+    """Expired entries must be invisible to every enumeration API.
+
+    Regression tests: ``keys``/``items``/``namespaces``/``clear`` used to
+    report entries whose TTL had lapsed (``get`` already filtered them),
+    so the store disagreed with itself about what it contained.
+    """
+
+    def test_keys_hides_expired(self, kv, clock):
+        kv.put("ns", "live", 1)
+        kv.put("ns", "dying", 2, ttl=5.0)
+        clock.advance(5.0)
+        assert kv.keys("ns") == ["live"]
+
+    def test_items_hides_expired(self, kv, clock):
+        kv.put("ns", "live", 1)
+        kv.put("ns", "dying", 2, ttl=5.0)
+        clock.advance(5.0)
+        assert list(kv.items("ns")) == [("live", 1)]
+
+    def test_items_expiring_mid_iteration_not_yielded(self, kv, clock):
+        kv.put("ns", "a", 1, ttl=5.0)
+        kv.put("ns", "z", 2)
+        iterator = kv.items("ns")
+        first = next(iterator)
+        assert first == ("a", 1)
+        clock.advance(5.0)
+        # "a" was already yielded while live; the rest of the iteration
+        # must still be consistent and not resurrect expired keys.
+        assert list(iterator) == [("z", 2)]
+        assert list(kv.items("ns")) == [("z", 2)]
+
+    def test_namespaces_hides_fully_expired_namespace(self, kv, clock):
+        kv.put("gone", "k", 1, ttl=5.0)
+        kv.put("stays", "k", 2)
+        clock.advance(5.0)
+        assert kv.namespaces() == ["stays"]
+
+    def test_clear_counts_only_live_keys(self, kv, clock):
+        kv.put("ns", "live-a", 1)
+        kv.put("ns", "live-b", 2)
+        kv.put("ns", "dead", 3, ttl=5.0)
+        clock.advance(5.0)
+        assert kv.clear("ns") == 2
+        assert kv.keys("ns") == []
+
+    def test_describe_counts_match_keys(self, kv, clock):
+        kv.put("ns", "live", 1)
+        kv.put("ns", "dead", 2, ttl=1.0)
+        clock.advance(1.0)
+        assert kv.describe()["namespaces"] == {"ns": 1}

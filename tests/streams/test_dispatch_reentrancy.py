@@ -1,0 +1,101 @@
+"""Reentrancy regression tests for ``StreamStore._dispatch``.
+
+Subscriber callbacks run synchronously inside ``publish``, so a callback
+can call back into the store — unsubscribing itself, unsubscribing a
+peer, or adding a new subscription.  Dispatch snapshots its targets under
+the lock, then re-checks ``active`` per delivery: a subscription removed
+mid-dispatch must not be invoked, one added mid-dispatch must not see the
+in-flight message, and the delivery count must track actual deliveries.
+"""
+
+from repro.clock import SimClock
+from repro.streams import StreamStore
+
+import pytest
+
+
+@pytest.fixture
+def store():
+    return StreamStore(SimClock())
+
+
+class TestDispatchReentrancy:
+    def test_callback_unsubscribing_later_peer_skips_it(self, store):
+        store.create_stream("s")
+        seen = []
+
+        def cb1(message):
+            seen.append("cb1")
+            store.unsubscribe(sub2.subscription_id)
+
+        def cb2(message):
+            seen.append("cb2")
+
+        store.subscribe("first", cb1, stream_pattern="s")
+        sub2 = store.subscribe("second", cb2, stream_pattern="s")
+        store.publish_data("s", {"x": 1})
+        assert seen == ["cb1"]
+        assert store._delivery_count == 1
+
+    def test_callback_unsubscribing_itself_is_safe(self, store):
+        store.create_stream("s")
+        seen = []
+
+        def once(message):
+            seen.append(message.payload)
+            store.unsubscribe(sub.subscription_id)
+
+        sub = store.subscribe("once", once, stream_pattern="s")
+        store.publish_data("s", 1)
+        store.publish_data("s", 2)
+        assert seen == [1]
+
+    def test_callback_subscribing_new_peer_defers_to_next_message(self, store):
+        store.create_stream("s")
+        late_seen = []
+
+        def recruiter(message):
+            if not any(
+                s.subscriber == "late" for s in store.subscriptions()
+            ):
+                store.subscribe(
+                    "late", lambda m: late_seen.append(m.payload),
+                    stream_pattern="s",
+                )
+
+        store.subscribe("recruiter", recruiter, stream_pattern="s")
+        store.publish_data("s", "first")
+        assert late_seen == []  # subscribed mid-dispatch: misses the trigger
+        store.publish_data("s", "second")
+        assert late_seen == ["second"]
+
+    def test_unsubscribe_then_resubscribe_inside_callback(self, store):
+        store.create_stream("s")
+        replacement_seen = []
+
+        def swap(message):
+            store.unsubscribe(sub.subscription_id)
+            store.subscribe(
+                "replacement",
+                lambda m: replacement_seen.append(m.payload),
+                stream_pattern="s",
+            )
+
+        sub = store.subscribe("swapper", swap, stream_pattern="s")
+        store.publish_data("s", 1)
+        store.publish_data("s", 2)
+        store.publish_data("s", 3)
+        # Swap ran once; replacement caught every message after the swap.
+        assert replacement_seen == [2, 3]
+
+    def test_delivery_count_tracks_actual_deliveries(self, store):
+        store.create_stream("s")
+
+        def killer(message):
+            store.unsubscribe(victim.subscription_id)
+
+        store.subscribe("killer", killer, stream_pattern="s")
+        victim = store.subscribe("victim", lambda m: None, stream_pattern="s")
+        store.publish_data("s", 1)
+        # killer delivered, victim skipped: exactly one delivery counted.
+        assert store._delivery_count == 1
