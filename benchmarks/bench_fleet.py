@@ -28,11 +28,21 @@ The **engine** section gates wall-clock for real: a larger workload
 (16 plans, 8 in flight) with ``wall_latency_scale`` set, so every
 simulated LLM call actually blocks its thread for a proportional real
 duration.  Under the serial backend those sleeps serialize; under the
-thread backend wave siblings and in-flight plans overlap them, so
-wall-clock plans/sec must beat serial (median of 5 runs — large sleeps
-dominate scheduler overhead, which keeps the gate stable on slow CI
-hardware; the sleeps release the GIL, so the gate holds even on one
-core).
+thread and async backends wave siblings and in-flight plans overlap
+them, so wall-clock plans/sec must beat serial (median of 5 runs —
+large sleeps dominate scheduler overhead, which keeps the gate stable
+on slow CI hardware; the sleeps release the GIL, so the gate holds
+even on one core).
+
+The **batching** section gates cross-plan micro-batching on a
+homogeneous-model fleet: every stage of every plan calls the same
+model with a *session-specific* prompt, so neither the cache nor
+single-flight can merge anything — only ``LLMBatcher`` windows can.
+With one capacity slot the unbatched fleet serializes every call;
+batched, window joiners skip the reservation and ride the leader's
+execution, so simulated plans/sec must improve by ``>= 1.5x``.  Both
+runs use the serial backend: the quantity is simulated time, which is
+deterministic there.
 """
 
 import json
@@ -45,6 +55,7 @@ from repro.cli import _fleet_agents, _fleet_plan
 from repro.core.coordinator import TaskCoordinator
 from repro.core.fleet import FleetSubmission
 from repro.core.runtime import Blueprint
+from repro.llm import LLMBatcher
 
 PLANS = 8
 MAX_INFLIGHT = 4
@@ -61,9 +72,18 @@ ENGINE_INFLIGHT = 8
 #: thread overlap dominates scheduler overhead, small enough to keep the
 #: bench under a few seconds.
 WALL_SCALE = 0.005
-#: The concurrency acceptance floor: the thread backend's wall-clock
-#: plans/sec must beat the serial backend's on the identical workload.
+#: The concurrency acceptance floor: each concurrent backend's
+#: wall-clock plans/sec must beat the serial backend's on the
+#: identical workload.
 MIN_WALL_SPEEDUP = 1.0
+
+# -- batching section ----------------------------------------------------
+BATCH_PLANS = 8
+BATCH_SLOTS = 1
+BATCH_WAIT = 0.5
+#: The batching acceptance floor: batched simulated plans/sec must beat
+#: unbatched by this on the homogeneous-model scenario.
+MIN_BATCH_SPEEDUP = 1.5
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_throughput.json"
 
@@ -131,16 +151,23 @@ def run_engine(backend: str) -> tuple[float, float]:
 
 
 def measure_engine() -> dict:
-    """Median-of-5 wall timings for serial vs thread backends."""
+    """Median-of-5 wall timings for serial vs thread vs async backends."""
     serial_runs = [run_engine("serial") for _ in range(5)]
     thread_runs = [run_engine("threads") for _ in range(5)]
+    async_runs = [run_engine("async") for _ in range(5)]
     serial_makespan = serial_runs[0][0]
     thread_makespan = thread_runs[0][0]
+    async_makespan = async_runs[0][0]
     serial_wall = sorted(wall for _, wall in serial_runs)[2]
     thread_wall = sorted(wall for _, wall in thread_runs)[2]
+    async_wall = sorted(wall for _, wall in async_runs)[2]
     # Result identity: the backend moves wall-clock, never simulated time.
     assert abs(thread_makespan - serial_makespan) < 1e-9, (
         thread_makespan,
+        serial_makespan,
+    )
+    assert abs(async_makespan - serial_makespan) < 1e-9, (
+        async_makespan,
         serial_makespan,
     )
     return {
@@ -150,9 +177,105 @@ def measure_engine() -> dict:
         "simulated_makespan": round(serial_makespan, 6),
         "serial_wall_seconds": round(serial_wall, 4),
         "threads_wall_seconds": round(thread_wall, 4),
+        "async_wall_seconds": round(async_wall, 4),
         "serial_plans_per_sec": round(ENGINE_PLANS / serial_wall, 2),
         "threads_plans_per_sec": round(ENGINE_PLANS / thread_wall, 2),
+        "async_plans_per_sec": round(ENGINE_PLANS / async_wall, 2),
         "wall_speedup": round(serial_wall / thread_wall, 4),
+        "async_wall_speedup": round(serial_wall / async_wall, 4),
+    }
+
+
+def _homogeneous_agents(catalog, index: int):
+    """All four stages on one model, every prompt session-specific.
+
+    Nothing here repeats across plans, so the cache and single-flight
+    have nothing to merge — cross-plan micro-batching is the only
+    machinery that can amortize these calls.
+    """
+    from repro.core.agent import FunctionAgent
+    from repro.core.params import Parameter
+
+    def llm_stage(name, prompt_of):
+        def fn(inputs):
+            response = catalog.client("mega-s").complete(prompt_of(inputs))
+            return {"OUT": response.text}
+
+        return FunctionAgent(
+            name, fn,
+            inputs=(
+                Parameter("IN", "text"),
+                Parameter("IN2", "text", required=False),
+            ),
+            outputs=(Parameter("OUT", "text"),),
+        )
+
+    return [
+        llm_stage(
+            "PROFILER",
+            lambda i: f"TASK: EXTRACT\nFIELDS: title, location\n"
+                      f"TEXT: session {index}: {i['IN']}",
+        ),
+        llm_stage(
+            "MATCHER",
+            lambda i: f"TASK: RELATED_TITLES\nTITLE: engineer {index}",
+        ),
+        llm_stage(
+            "RECOMMENDER",
+            lambda i: f"TASK: LIST_SKILLS\nTITLE: analyst {index}",
+        ),
+        llm_stage(
+            "RANKER",
+            lambda i: f"TASK: SUMMARIZE\nTEXT: plan {index} | "
+                      f"{i.get('IN', '')} | {i.get('IN2', '')}",
+        ),
+    ]
+
+
+def run_batch_fleet(batching) -> tuple[Blueprint, "FleetResult"]:
+    """The homogeneous workload on the serial backend, batched or not."""
+    bp = Blueprint()
+    submissions = [
+        FleetSubmission(
+            plan=_fleet_plan(index),
+            agents=_homogeneous_agents(bp.catalog, index),
+        )
+        for index in range(BATCH_PLANS)
+    ]
+    result = bp.run_fleet(
+        submissions,
+        max_inflight=BATCH_PLANS,
+        single_flight=False,
+        capacity={"mega-s": BATCH_SLOTS},
+        batching=batching,
+    )
+    assert len(result.completed()) == BATCH_PLANS, [
+        p.outcome for p in result.plans
+    ]
+    return bp, result
+
+
+def measure_batching() -> dict:
+    _, unbatched = run_batch_fleet(False)
+    batched_bp, batched = run_batch_fleet(
+        LLMBatcher(max_batch_wait=BATCH_WAIT)
+    )
+    stats = batched_bp.catalog.batcher.stats()
+    return {
+        "plans": BATCH_PLANS,
+        "model_slots": BATCH_SLOTS,
+        "max_batch_wait": BATCH_WAIT,
+        "unbatched_makespan": round(unbatched.makespan, 6),
+        "batched_makespan": round(batched.makespan, 6),
+        "unbatched_plans_per_sec": round(BATCH_PLANS / unbatched.makespan, 4),
+        "batched_plans_per_sec": round(BATCH_PLANS / batched.makespan, 4),
+        "speedup": round(unbatched.makespan / batched.makespan, 4),
+        "windows": stats.batches,
+        "joins": stats.joins,
+        "peak_batch": stats.peak_batch,
+        "mean_batch": round(stats.mean_batch, 4),
+        "amortized_latency": round(stats.saved_latency, 6),
+        "attributed_cost": round(stats.attributed_cost, 6),
     }
 
 
@@ -216,17 +339,29 @@ def test_a12_fleet_throughput():
     )
     results = measure()
     results["engine"] = engine = measure_engine()
+    results["batching"] = batching = measure_batching()
 
     simulated = results["simulated"]
     assert simulated["speedup"] >= MIN_SPEEDUP, (
         f"fleet speedup {simulated['speedup']:.2f}x below the "
         f"{MIN_SPEEDUP}x acceptance floor"
     )
-    # The tentpole gate: with real per-call blocking, the thread backend
-    # must finish the identical workload in less wall time than serial.
+    # The concurrency gates: with real per-call blocking, both concurrent
+    # backends must finish the identical workload in less wall time than
+    # serial.
     assert engine["wall_speedup"] > MIN_WALL_SPEEDUP, (
         f"thread backend wall speedup {engine['wall_speedup']:.2f}x does "
         f"not beat serial (floor {MIN_WALL_SPEEDUP}x)"
+    )
+    assert engine["async_wall_speedup"] > MIN_WALL_SPEEDUP, (
+        f"async backend wall speedup {engine['async_wall_speedup']:.2f}x "
+        f"does not beat serial (floor {MIN_WALL_SPEEDUP}x)"
+    )
+    # The batching gate: micro-batch windows must buy real simulated
+    # throughput on the homogeneous-model fleet.
+    assert batching["speedup"] >= MIN_BATCH_SPEEDUP, (
+        f"batched fleet speedup {batching['speedup']:.2f}x below the "
+        f"{MIN_BATCH_SPEEDUP}x acceptance floor"
     )
 
     record(
@@ -254,9 +389,16 @@ def test_a12_fleet_throughput():
         + f"\ncapacity peaks: {results['capacity']['peak_inflight']}"
         + f"\ncoalescing hit rate: {results['coalescing']['hit_rate']:.0%}"
         + f"\nengine wall-clock ({ENGINE_PLANS} plans, scale {WALL_SCALE}): "
-        + f"threads {engine['threads_wall_seconds']:.3f}s vs serial "
+        + f"threads {engine['threads_wall_seconds']:.3f}s / async "
+        + f"{engine['async_wall_seconds']:.3f}s vs serial "
         + f"{engine['serial_wall_seconds']:.3f}s "
-        + f"({engine['wall_speedup']:.2f}x, floor {MIN_WALL_SPEEDUP}x)",
+        + f"({engine['wall_speedup']:.2f}x / "
+        + f"{engine['async_wall_speedup']:.2f}x, floor {MIN_WALL_SPEEDUP}x)"
+        + f"\nbatching ({BATCH_PLANS} homogeneous plans, "
+        + f"{BATCH_SLOTS} slot): {batching['batched_plans_per_sec']} vs "
+        + f"{batching['unbatched_plans_per_sec']} plans/sec simulated "
+        + f"({batching['speedup']:.2f}x, floor {MIN_BATCH_SPEEDUP}x; "
+        + f"{batching['joins']} joins over {batching['windows']} windows)",
     )
 
     # Regression gate against the checked-in baseline: simulated
@@ -270,6 +412,14 @@ def test_a12_fleet_throughput():
             f"fleet plans/sec regressed >{REGRESSION_TOLERANCE:.0%}: "
             f"{fresh_pps:.3f} vs baseline {base_pps:.3f} (simulated)"
         )
+        if "batching" in baseline:
+            base_batched = baseline["batching"]["batched_plans_per_sec"]
+            fresh_batched = batching["batched_plans_per_sec"]
+            assert fresh_batched >= base_batched * floor, (
+                f"batched plans/sec regressed >{REGRESSION_TOLERANCE:.0%}: "
+                f"{fresh_batched:.3f} vs baseline {base_batched:.3f} "
+                f"(simulated)"
+            )
 
     BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
 

@@ -94,11 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false",
                        help="disable cross-plan coalescing of identical "
                             "in-flight LLM calls")
-    fleet.add_argument("--backend", choices=("serial", "threads"),
+    fleet.add_argument("--backend", choices=("serial", "threads", "async"),
                        default="serial",
                        help="execution backend: serial (deterministic, "
-                            "byte-identical traces) or threads (wave nodes "
-                            "and fleet rounds on real worker threads)")
+                            "byte-identical traces), threads (wave nodes "
+                            "and fleet rounds on real worker threads), or "
+                            "async (the same concurrency as coroutines on "
+                            "an asyncio event loop)")
+    fleet.add_argument("--batch", action="store_true",
+                       help="coalesce distinct-but-batchable LLM calls "
+                            "(same model + params, different prompts) into "
+                            "micro-batch windows: shared capacity slot and "
+                            "amortized latency, per-call cost attribution")
+    fleet.add_argument("--batch-size", type=int, default=8,
+                       help="max calls per micro-batch window (with --batch)")
+    fleet.add_argument("--batch-wait", type=float, default=0.25,
+                       help="micro-batch window length in simulated seconds "
+                            "(with --batch)")
     fleet.add_argument("--wall-scale", type=float, default=0.0,
                        help="real seconds slept per simulated LLM latency "
                             "second (models blocking I/O; lets the threads "
@@ -521,6 +533,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
         for index in range(args.plans)
     ]
+    batching = False
+    if args.batch:
+        from .llm import LLMBatcher
+
+        batching = LLMBatcher(
+            max_batch_size=args.batch_size, max_batch_wait=args.batch_wait
+        )
     fleet_wall_start = time.perf_counter()
     result = fleet_bp.run_fleet(
         submissions,
@@ -528,6 +547,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         max_backlog=args.max_backlog,
         single_flight=args.single_flight,
         capacity=capacity,
+        batching=batching,
         backend=args.backend,
     )
     fleet_wall = time.perf_counter() - fleet_wall_start
@@ -535,6 +555,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     print(f"plans: {args.plans}   max in-flight: {args.max_inflight}   "
           f"model slots: {args.slots or 'unlimited'}   "
           f"single-flight: {'on' if args.single_flight else 'off'}   "
+          f"batching: {'on' if args.batch else 'off'}   "
           f"backend: {args.backend}")
     print(f"admitted={result.admitted} queued={result.queued} "
           f"rejected={result.rejected}")
@@ -569,6 +590,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"(hit rate {flights.hit_rate:.0%}, "
               f"saved ${flights.saved_cost:.5f} and "
               f"{flights.saved_latency:.2f}s model time)")
+    if fleet_bp.catalog.batcher is not None:
+        batches = fleet_bp.catalog.batcher.stats()
+        print(f"batching: {batches.joins} joins / "
+              f"{batches.batches} windows "
+              f"(mean batch {batches.mean_batch:.2f}, "
+              f"peak {batches.peak_batch}, "
+              f"amortized {batches.saved_latency:.2f}s model time, "
+              f"${batches.attributed_cost:.5f} attributed to joins)")
     completed = len(result.completed())
     expected = result.admitted
     return 0 if completed == expected else 1

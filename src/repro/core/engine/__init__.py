@@ -2,6 +2,7 @@
 
 from .backend import (
     SERIAL,
+    AsyncBackend,
     ExecutionBackend,
     SerialBackend,
     ThreadBackend,
@@ -10,6 +11,7 @@ from .backend import (
 
 __all__ = [
     "SERIAL",
+    "AsyncBackend",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

@@ -15,10 +15,18 @@ Example:
 
 from __future__ import annotations
 
+import json
 from typing import Any, Sequence
 
 from ..clock import SimClock
-from ..llm import LLMCache, ModelCapacity, ModelCatalog, SingleFlight, UsageTracker
+from ..llm import (
+    LLMBatcher,
+    LLMCache,
+    ModelCapacity,
+    ModelCatalog,
+    SingleFlight,
+    UsageTracker,
+)
 from ..observability import Observability
 from ..streams import FlowTrace, StreamStore
 from .agent import Agent
@@ -163,6 +171,7 @@ class Blueprint:
         journal: bool = True,
         single_flight: bool = True,
         capacity: "ModelCapacity | dict[str, int] | None" = None,
+        batching: "bool | LLMBatcher" = False,
         backend: "str | ExecutionBackend" = "serial",
     ) -> FleetResult:
         """Run many plans concurrently on one shared virtual timeline.
@@ -176,21 +185,28 @@ class Blueprint:
         identical LLM calls across plans coalesce into one; *capacity*
         (a :class:`~repro.llm.ModelCapacity` or a ``{model: slots}``
         mapping) bounds per-model concurrency, queueing excess calls with
-        deterministic delay.
+        deterministic delay.  With *batching* (``True`` for defaults, or
+        a configured :class:`~repro.llm.LLMBatcher`), distinct-but-
+        batchable calls to the same model — same params, different
+        prompts — coalesce into micro-batch windows: joiners keep their
+        own cost attribution but share the window's capacity slot and
+        pay only the residual latency.
 
         Plain :class:`TaskPlan` submissions run unbudgeted with no extra
         agents; wrap in :class:`~repro.core.fleet.FleetSubmission` to
         attach agents and a QoS budget.
 
         *backend* selects the execution backend: ``"serial"`` (default;
-        single-threaded, byte-identical deterministic traces) or
+        single-threaded, byte-identical deterministic traces),
         ``"threads"`` (wave nodes and fleet rounds run on real worker
         threads — result-identical, wall-clock faster when agent work
-        blocks).  An :class:`~repro.core.engine.ExecutionBackend`
-        instance may be passed directly (the caller then owns its
-        lifecycle); string-built thread backends are closed on return.
+        blocks), or ``"async"`` (the same concurrency gathered as
+        coroutines on an asyncio event loop).  An
+        :class:`~repro.core.engine.ExecutionBackend` instance may be
+        passed directly (the caller then owns its lifecycle);
+        string-built concurrent backends are closed on return.
         """
-        self._wire_fleet_contention(single_flight, capacity)
+        self._wire_fleet_contention(single_flight, capacity, batching)
         engine = resolve_backend(backend)
         owns_backend = isinstance(backend, str) and engine is not SERIAL
         entries = [self._prepare_entry(item, journal) for item in submissions]
@@ -220,6 +236,7 @@ class Blueprint:
         journal: bool = True,
         single_flight: bool = True,
         capacity: "ModelCapacity | dict[str, int] | None" = None,
+        batching: "bool | LLMBatcher" = False,
         backend: "str | ExecutionBackend" = "serial",
     ) -> FleetResult:
         """Serve an open-loop arrival stream through the overload plane.
@@ -239,7 +256,7 @@ class Blueprint:
         :class:`~repro.core.overload.BrownoutController`.  Everything
         else matches :meth:`run_fleet`.
         """
-        self._wire_fleet_contention(single_flight, capacity)
+        self._wire_fleet_contention(single_flight, capacity, batching)
         arrivals = (
             traffic.generate()
             if isinstance(traffic, TrafficGenerator)
@@ -282,6 +299,7 @@ class Blueprint:
         self,
         single_flight: bool,
         capacity: "ModelCapacity | dict[str, int] | None",
+        batching: "bool | LLMBatcher" = False,
     ) -> None:
         if single_flight and self.catalog.single_flight is None:
             self.catalog.single_flight = SingleFlight()
@@ -291,6 +309,10 @@ class Blueprint:
                 if isinstance(capacity, ModelCapacity)
                 else ModelCapacity(dict(capacity))
             )
+        if isinstance(batching, LLMBatcher):
+            self.catalog.batcher = batching
+        elif batching and self.catalog.batcher is None:
+            self.catalog.batcher = LLMBatcher()
 
     def _prepare_entry(
         self, item: "TaskPlan | FleetSubmission", journal: bool
@@ -371,8 +393,49 @@ class Blueprint:
         return FlowTrace(self.store)
 
     def trace_export(self) -> str:
-        """The canonical JSON artifact: span tree + metrics snapshot."""
-        return self.observability.export_json()
+        """The canonical JSON artifact: span tree + metrics snapshot.
+
+        When the opt-in reuse machinery is attached, its savings tallies
+        ride along — notably the cache's *saved token* counts, which the
+        zeroed usage on hits would otherwise hide from any throughput
+        read of the artifact (charged usage is untouched; these are
+        side-channel tallies).
+        """
+        report = self.observability.export_json()
+        extras: dict[str, Any] = {}
+        if self.catalog.cache is not None:
+            stats = self.catalog.cache.stats()
+            extras["llm_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "entries": stats.entries,
+                "saved_cost": stats.saved_cost,
+                "saved_latency": stats.saved_latency,
+                "saved_input_tokens": stats.saved_input_tokens,
+                "saved_output_tokens": stats.saved_output_tokens,
+            }
+        if self.catalog.single_flight is not None:
+            stats = self.catalog.single_flight.stats()
+            extras["llm_single_flight"] = {
+                "leaders": stats.leaders,
+                "joins": stats.joins,
+                "saved_cost": stats.saved_cost,
+                "saved_latency": stats.saved_latency,
+            }
+        if self.catalog.batcher is not None:
+            stats = self.catalog.batcher.stats()
+            extras["llm_batching"] = {
+                "windows": stats.batches,
+                "joins": stats.joins,
+                "peak_batch": stats.peak_batch,
+                "saved_latency": stats.saved_latency,
+                "attributed_cost": stats.attributed_cost,
+            }
+        if not extras:
+            return report
+        payload = json.loads(report)
+        payload.update(extras)
+        return json.dumps(payload, sort_keys=True, allow_nan=False, default=str)
 
     def describe(self) -> dict[str, Any]:
         """Component inventory (the Figure-1 architecture view)."""

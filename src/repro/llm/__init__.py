@@ -1,6 +1,7 @@
 """Simulated LLM substrate: tokenizer, knowledge, models, catalog, prompts."""
 
 from . import knowledge, prompts
+from .batching import BatchPolicy, BatchStats, LLMBatcher
 from .cache import CacheStats, LLMCache
 from .capacity import CapacityStats, ModelCapacity
 from .catalog import DEFAULT_SPECS, ModelCatalog
@@ -11,10 +12,13 @@ from .tokenizer import count_tokens, tokenize, truncate_tokens
 __all__ = [
     "knowledge",
     "prompts",
+    "BatchPolicy",
+    "BatchStats",
     "CacheStats",
     "CapacityStats",
     "DEFAULT_SPECS",
     "FlightStats",
+    "LLMBatcher",
     "LLMCache",
     "ModelCapacity",
     "ModelCatalog",

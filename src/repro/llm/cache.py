@@ -40,6 +40,14 @@ class CacheStats:
     #: What the hits would have cost had the model actually been called.
     saved_cost: float
     saved_latency: float
+    #: Tokens the hits represent but did not consume.  Hits stamp zeroed
+    #: usage (nothing is charged), which makes per-model token-throughput
+    #: metrics under-report the work the prompts actually stand for —
+    #: these tallies carry the would-have-been token counts so traces and
+    #: bench artifacts can report true throughput without touching what
+    #: was charged.
+    saved_input_tokens: int = 0
+    saved_output_tokens: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,6 +78,8 @@ class LLMCache:
         self._misses = 0
         self._saved_cost = 0.0
         self._saved_latency = 0.0
+        self._saved_input_tokens = 0
+        self._saved_output_tokens = 0
 
     def get(
         self, model: str, prompt: str, max_output_tokens: int
@@ -89,6 +99,8 @@ class LLMCache:
             self._hits += 1
             self._saved_cost += stored.usage.cost
             self._saved_latency += stored.usage.latency
+            self._saved_input_tokens += stored.usage.input_tokens
+            self._saved_output_tokens += stored.usage.output_tokens
             return replace(stored, usage=_ZERO_USAGE, cached=True)
 
     def put(
@@ -110,6 +122,8 @@ class LLMCache:
                 entries=len(self._entries),
                 saved_cost=self._saved_cost,
                 saved_latency=self._saved_latency,
+                saved_input_tokens=self._saved_input_tokens,
+                saved_output_tokens=self._saved_output_tokens,
             )
 
     def clear(self) -> None:

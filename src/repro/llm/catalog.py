@@ -12,6 +12,7 @@ import threading
 
 from ..clock import SimClock
 from ..errors import ModelNotFoundError
+from .batching import LLMBatcher
 from .cache import LLMCache
 from .capacity import ModelCapacity
 from .model import ModelSpec, SimulatedLLM, UsageTracker
@@ -86,6 +87,7 @@ class ModelCatalog:
         cache: LLMCache | None = None,
         capacity: ModelCapacity | None = None,
         single_flight: SingleFlight | None = None,
+        batcher: LLMBatcher | None = None,
     ) -> None:
         self.clock = clock
         self.tracker = tracker or UsageTracker()
@@ -103,6 +105,9 @@ class ModelCatalog:
         #: Optional cross-plan single-flight coalescing shared by every
         #: client (opt-in; see :class:`SingleFlight`).
         self.single_flight = single_flight
+        #: Optional cross-plan micro-batch coalescing shared by every
+        #: client (opt-in; see :class:`LLMBatcher`).
+        self.batcher = batcher
         #: Real seconds slept per simulated latency second, propagated to
         #: every client (0.0 = fully simulated; the thread backend's
         #: wall-clock benchmark sets a small scale so LLM calls actually
@@ -156,6 +161,7 @@ class ModelCatalog:
                 cached.cache = self.cache
                 cached.capacity = self.capacity
                 cached.single_flight = self.single_flight
+                cached.batcher = self.batcher
                 cached.observability = self.observability
                 cached.wall_latency_scale = self.wall_latency_scale
                 return cached
@@ -168,6 +174,7 @@ class ModelCatalog:
                 cache=self.cache,
                 capacity=self.capacity,
                 single_flight=self.single_flight,
+                batcher=self.batcher,
             )
             client.wall_latency_scale = self.wall_latency_scale
             self._clients[name] = client

@@ -38,6 +38,7 @@ from .tokenizer import count_tokens
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observability import Observability
+    from .batching import LLMBatcher
     from .cache import LLMCache
     from .capacity import ModelCapacity
     from .singleflight import SingleFlight
@@ -108,6 +109,7 @@ class LLMResponse:
     domain: str = "general"  # knowledge domain the task drew on
     cached: bool = False  # served from an LLMCache (usage is zeroed)
     coalesced: bool = False  # joined an in-flight call (usage = residual wait)
+    batched: bool = False  # rode a micro-batch window (own cost, residual wait)
 
     def items(self) -> list[Any]:
         """Structured answer as a list (empty when not list-valued)."""
@@ -169,6 +171,7 @@ class SimulatedLLM:
         cache: "LLMCache | None" = None,
         capacity: "ModelCapacity | None" = None,
         single_flight: "SingleFlight | None" = None,
+        batcher: "LLMBatcher | None" = None,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise LLMError(f"failure_rate must be in [0, 1]: {failure_rate}")
@@ -189,6 +192,10 @@ class SimulatedLLM:
         #: Optional cross-plan coalescing of timeline-overlapping identical
         #: calls (normally the catalog's).  Needs a clock too.
         self.single_flight = single_flight
+        #: Optional cross-plan micro-batching of *distinct-but-batchable*
+        #: calls — same model + params, different prompts — into shared
+        #: windows (normally the catalog's).  Needs a clock too.
+        self.batcher = batcher
         self._seed = seed
         self._call_index = 0
         self._call_lock = threading.Lock()
@@ -206,6 +213,7 @@ class SimulatedLLM:
         self._bound_obs: "Observability | None" = None
         self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
         self._m_cache_hits = self._m_cache_misses = self._m_coalesced = None
+        self._m_batch_joins = self._m_batch_windows = None
         self._h_latency = self._h_queue_wait = None
 
     @property
@@ -226,6 +234,8 @@ class SimulatedLLM:
         self._m_cache_hits = metrics.bound_counter("llm.cache.hits", model=name)
         self._m_cache_misses = metrics.bound_counter("llm.cache.misses", model=name)
         self._m_coalesced = metrics.bound_counter("llm.coalesced", model=name)
+        self._m_batch_joins = metrics.bound_counter("llm.batch.joins", model=name)
+        self._m_batch_windows = metrics.bound_counter("llm.batch.windows", model=name)
         self._h_latency = metrics.histogram("llm.latency") if metrics.enabled else None
         self._h_queue_wait = (
             metrics.histogram("llm.queue_wait") if metrics.enabled else None
@@ -261,6 +271,9 @@ class SimulatedLLM:
             joined = self._try_join(prompt, max_output_tokens, no_cache)
             if joined is not None:
                 return joined
+            batched = self._try_batch(prompt, max_output_tokens, no_cache)
+            if batched is not None:
+                return batched
             response = self._complete(prompt, max_output_tokens)
             if cache is not None:
                 cache.put(self.spec.name, prompt, max_output_tokens, response)
@@ -282,6 +295,22 @@ class SimulatedLLM:
                 if self._m_coalesced is not None:
                     self._m_coalesced.inc()
                 return joined
+            batched = self._try_batch(prompt, max_output_tokens, no_cache)
+            if batched is not None:
+                usage = batched.usage
+                span.set_attribute("batched", True)
+                span.set_attribute("batch_residual", usage.latency)
+                span.set_attribute("input_tokens", usage.input_tokens)
+                span.set_attribute("output_tokens", usage.output_tokens)
+                span.set_attribute("cost", usage.cost)
+                if self._m_batch_joins is not None:
+                    # A join is not a physical call (``llm.calls`` counts
+                    # model invocations), but its tokens and cost ARE
+                    # charged to the caller — per-call attribution.
+                    self._m_batch_joins.inc()
+                    self._m_tokens.inc(usage.input_tokens + usage.output_tokens)
+                    self._m_cost.inc(usage.cost)
+                return batched
             try:
                 response = self._complete(prompt, max_output_tokens)
             except LLMError:
@@ -325,6 +354,58 @@ class SimulatedLLM:
         if residual > 0:
             self.clock.advance(residual)
         return response
+
+    def _try_batch(
+        self, prompt: str, max_output_tokens: int, no_cache: bool
+    ) -> LLMResponse | None:
+        """Ride an open micro-batch window, paying only the residual wait.
+
+        Unlike a single-flight join the prompt here is *different* from
+        the window leader's, so the joiner computes its own answer and is
+        charged its own token cost — only latency and the capacity slot
+        are amortized (the batch already holds one).  No failure roll, no
+        call index, no capacity reservation: the physical invocation is
+        the leader's.  ``no_cache`` bypasses batching like the other
+        coalescing rungs.
+        """
+        if no_cache or self.batcher is None or self.clock is None:
+            return None
+        input_tokens = count_tokens(prompt)
+        if input_tokens > self.spec.context_window:
+            # Fall through to the physical path so the proper
+            # ContextWindowExceededError is raised without having
+            # consumed one of the batch's member slots.
+            return None
+        now = self.clock.now()
+        exec_end = self.batcher.join(self.spec.name, max_output_tokens, now)
+        if exec_end is None:
+            return None
+        text, structured, domain = self._answer(prompt)
+        output_tokens = min(count_tokens(text), max_output_tokens)
+        solo_latency = self.spec.latency_of(input_tokens, output_tokens)
+        residual = max(0.0, exec_end - now)
+        usage = LLMUsage(
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+            cost=self.spec.cost_of(input_tokens, output_tokens),
+            latency=residual,
+        )
+        self._last_queue_wait = 0.0
+        if residual > 0:
+            self.clock.advance(residual)
+        if self.wall_latency_scale > 0:
+            time.sleep(residual * self.wall_latency_scale)
+        if self.tracker is not None:
+            self.tracker.record(self.spec.name, usage)
+        self.batcher.credit(solo_latency - residual, usage.cost)
+        return LLMResponse(
+            text=text,
+            usage=usage,
+            model=self.spec.name,
+            structured=structured,
+            domain=domain,
+            batched=True,
+        )
 
     def _complete(self, prompt: str, max_output_tokens: int = 512) -> LLMResponse:
         input_tokens = count_tokens(prompt)
@@ -383,7 +464,17 @@ class SimulatedLLM:
                 start,
                 start + usage.latency,
                 response,
+                now=self.clock.now(),
             )
+        if self.batcher is not None and self.clock is not None:
+            # This physical call anchors a micro-batch window: later
+            # batchable calls whose simulated starts fall inside it ride
+            # along instead of reserving their own capacity slot.
+            self.batcher.open(
+                self.spec.name, max_output_tokens, start, start + usage.latency
+            )
+            if self._m_batch_windows is not None:
+                self._m_batch_windows.inc()
         return response
 
     # ------------------------------------------------------------------

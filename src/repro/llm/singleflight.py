@@ -11,11 +11,19 @@ the leader's response at zero cost.
 
 Unlike a cache hit (zero latency, zero cost, unbounded reuse window),
 a join pays real waiting time and only exists while the leader's
-interval ``[start, end)`` covers the joiner's start — after ``end`` the
+interval ``[start, end)`` covers the joiner's start — the interval is
+half-open, so a joiner starting *exactly* at ``end`` is too late: the
 call is no longer in flight and the joiner becomes a fresh leader.
 Joins skip the failure roll and the leader's call index, exactly like
 cache hits, so determinism suites that need every physical call use
 ``no_cache`` (which bypasses single-flight too).
+
+Eviction respects in-flight intervals: the LRU bound only drops flights
+whose ``end`` has already passed the recording clock (``end <= now``).
+A leader whose interval still covers future joiner starts is exempt —
+evicting it would silently turn would-be joins into fresh leaders and
+change traces under fleet load — so the map may transiently exceed
+``max_entries`` while many flights are live.
 """
 
 from __future__ import annotations
@@ -94,10 +102,15 @@ class SingleFlight:
             flight = self._entries.get(key)
             if flight is None or not flight.start <= now < flight.end:
                 return None
-            residual = flight.end - now
+            # ``now < end`` guarantees a positive difference, but float
+            # subtraction at adjacent representable instants can round to
+            # 0.0 — clamp so a residual (a wait) is never negative.
+            residual = max(0.0, flight.end - now)
             self._joins += 1
             self._saved_cost += flight.response.usage.cost
-            self._saved_latency += flight.response.usage.latency - residual
+            self._saved_latency += max(
+                0.0, flight.response.usage.latency - residual
+            )
             self._entries.move_to_end(key)
             shared = replace(
                 flight.response,
@@ -114,15 +127,30 @@ class SingleFlight:
         start: float,
         end: float,
         response: LLMResponse,
+        now: float | None = None,
     ) -> None:
-        """Record a completed leader call's interval and response."""
+        """Record a completed leader call's interval and response.
+
+        *now* is the recording clock instant used for eviction: flights
+        still in flight at *now* (``end > now``) are never dropped by the
+        LRU bound.  When omitted it defaults to this flight's own ``end``
+        — the latest instant the recorder can have observed.
+        """
         key = (model, prompt, max_output_tokens)
+        horizon = end if now is None else now
         with self._lock:
             self._leaders += 1
             self._entries[key] = _Flight(start=start, end=end, response=response)
             self._entries.move_to_end(key)
-            while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+            if len(self._entries) > self._max_entries:
+                # Evict stale flights only, least-recently-used first:
+                # an interval covering instants beyond ``horizon`` may
+                # still receive joiners, so it survives even over budget.
+                for stale_key in list(self._entries):
+                    if len(self._entries) <= self._max_entries:
+                        break
+                    if self._entries[stale_key].end <= horizon:
+                        del self._entries[stale_key]
 
     def stats(self) -> FlightStats:
         with self._lock:

@@ -65,6 +65,39 @@ class TestCacheHits:
         assert stats.saved_cost == pytest.approx(2 * first.usage.cost)
         assert stats.saved_latency == pytest.approx(2 * first.usage.latency)
 
+    def test_stats_track_saved_tokens(self, cached_catalog):
+        """Regression: hits stamp zeroed usage, so token-throughput reads
+        of the tracker under-report work the prompts represent.  The
+        would-have-been tokens land in the savings tallies instead —
+        charged usage stays zero."""
+        _, catalog = cached_catalog
+        client = catalog.client("mega-s")
+        first = client.complete(PROMPT)
+        hit = client.complete(PROMPT)
+        client.complete(PROMPT)
+        stats = catalog.cache.stats()
+        assert hit.usage.input_tokens == 0  # charged usage untouched
+        assert hit.usage.output_tokens == 0
+        assert stats.saved_input_tokens == 2 * first.usage.input_tokens
+        assert stats.saved_output_tokens == 2 * first.usage.output_tokens
+        assert stats.saved_input_tokens > 0
+        assert stats.saved_output_tokens > 0
+
+    def test_saved_tokens_exported_in_trace_artifact(self):
+        import json
+
+        from repro.core.runtime import Blueprint
+
+        bp = Blueprint(llm_cache=True)
+        client = bp.catalog.client("mega-s")
+        client.complete(PROMPT)
+        client.complete(PROMPT)
+        payload = json.loads(bp.trace_export())
+        cache_block = payload["llm_cache"]
+        assert cache_block["hits"] == 1
+        assert cache_block["saved_input_tokens"] > 0
+        assert cache_block["saved_output_tokens"] > 0
+
     def test_lru_eviction(self):
         cache = LLMCache(max_entries=2)
         catalog = ModelCatalog(cache=cache)

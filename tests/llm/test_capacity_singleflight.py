@@ -118,13 +118,99 @@ class TestSingleFlight:
         assert stats.saved_latency == pytest.approx(0.5)
         assert stats.hit_rate == 0.5
 
-    def test_lru_bound(self):
+    def test_lru_bound_evicts_completed_flights(self):
         flight = SingleFlight(max_entries=2)
         for i in range(3):
             flight.record("m", f"p{i}", 512, 0.0, 9.0, leader_response())
+        # Default horizon is each new entry's own end (9.0), so earlier
+        # flights ending at 9.0 are already complete and evictable.
         assert len(flight) == 2
         assert flight.join("m", "p0", 512, now=1.0) is None
         assert flight.join("m", "p2", 512, now=1.0) is not None
+
+    def test_lru_never_evicts_in_flight_leaders(self):
+        """Regression: filling the LRU past capacity mid-flight used to
+        drop a leader whose interval still covered later joiners' starts,
+        silently turning would-be joins into fresh leaders (and changing
+        traces under fleet load).  In-flight entries are eviction-exempt:
+        the map may transiently exceed ``max_entries``."""
+        flight = SingleFlight(max_entries=2)
+        # A long-running leader: in flight over [0, 100).
+        flight.record("m", "slow", 512, 0.0, 100.0, leader_response(latency=100.0))
+        # Burst of short calls recorded at now=2.0 (all complete by then).
+        for i in range(4):
+            flight.record("m", f"quick{i}", 512, 1.0, 2.0,
+                          leader_response(latency=1.0), now=2.0)
+        # The slow leader survived the burst; a mid-flight joiner at
+        # t=50 still coalesces instead of becoming a fresh leader.
+        joined = flight.join("m", "slow", 512, now=50.0)
+        assert joined is not None
+        response, residual = joined
+        assert response.coalesced
+        assert residual == pytest.approx(50.0)
+        # Completed quick flights were the ones evicted.
+        assert len(flight) <= 3  # slow + at most max_entries quick ones
+
+    def test_lru_overfull_when_everything_in_flight(self):
+        flight = SingleFlight(max_entries=1)
+        flight.record("m", "a", 512, 0.0, 10.0, leader_response(), now=1.0)
+        flight.record("m", "b", 512, 0.0, 10.0, leader_response(), now=1.0)
+        # Nothing is evictable: both intervals cover instants past now.
+        assert len(flight) == 2
+        assert flight.join("m", "a", 512, now=5.0) is not None
+        assert flight.join("m", "b", 512, now=5.0) is not None
+
+
+class TestSingleFlightBoundaries:
+    """Interval semantics are [start, end): exact-boundary joiners."""
+
+    def test_join_exactly_at_start_joins(self):
+        flight = SingleFlight()
+        flight.record("m", "p", 512, start=1.0, end=3.0, response=leader_response())
+        joined = flight.join("m", "p", 512, now=1.0)
+        assert joined is not None
+        assert joined[1] == pytest.approx(2.0)
+
+    def test_join_exactly_at_end_does_not_join(self):
+        flight = SingleFlight()
+        flight.record("m", "p", 512, start=1.0, end=3.0, response=leader_response())
+        assert flight.join("m", "p", 512, now=3.0) is None
+
+    def test_join_just_before_end_joins_with_tiny_residual(self):
+        flight = SingleFlight()
+        end = 3.0
+        flight.record("m", "p", 512, start=1.0, end=end, response=leader_response())
+        import math
+
+        just_before = math.nextafter(end, 0.0)
+        joined = flight.join("m", "p", 512, now=just_before)
+        assert joined is not None
+        response, residual = joined
+        # Adjacent-float subtraction may round to zero; a residual (a
+        # wait) must never be negative.
+        assert residual >= 0.0
+        assert response.usage.latency >= 0.0
+
+    def test_join_just_after_end_does_not_join(self):
+        import math
+
+        flight = SingleFlight()
+        end = 3.0
+        flight.record("m", "p", 512, start=1.0, end=end, response=leader_response())
+        just_after = math.nextafter(end, 10.0)
+        assert flight.join("m", "p", 512, now=just_after) is None
+
+    def test_saved_latency_never_negative(self):
+        flight = SingleFlight()
+        # Leader usage claims less latency than its recorded interval
+        # spans (queue wait padded the interval): saved latency clamps
+        # at zero rather than going negative.
+        flight.record(
+            "m", "p", 512, start=0.0, end=5.0,
+            response=leader_response(latency=1.0),
+        )
+        flight.join("m", "p", 512, now=0.5)  # residual 4.5 > latency 1.0
+        assert flight.stats().saved_latency == 0.0
 
 
 class TestSimulatedLLMIntegration:

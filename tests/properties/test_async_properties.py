@@ -1,0 +1,172 @@
+"""Property-based tests: the async backend adds an event loop, nothing else.
+
+Acceptance criteria for :class:`~repro.core.engine.AsyncBackend`, mirror
+of the thread-backend suite in ``test_fleet_properties.py``:
+
+* **Result identity with serial.**  Same seeds × fault rates × kill
+  points driven through the async backend produce the same node outputs,
+  statuses, charge multisets, and journal entry sets as serial — only
+  event *order* (store arrival, id numbering scheme, span interleaving)
+  may differ.  Failed waves diverge exactly as threads do: serial stops
+  at the first failing node, the async gather has already started its
+  siblings, so serial's executed set is a subset.
+
+* **Result determinism.**  Two same-seed async runs agree on every
+  message fact modulo store arrival order.
+
+* **Async ≡ threads.**  Both concurrent backends run the identical node
+  scope stack, so their results match each other, not just serial.
+
+* **Batching determinism.**  A serial fleet with micro-batching enabled
+  reproduces the store export byte for byte run to run: batch-window
+  membership and flush instants are pure functions of the submission
+  list on the simulated clock.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import AsyncBackend
+from repro.llm import LLMBatcher
+from repro.streams.persistence import export_json
+
+from test_fleet_properties import (
+    _freeze,
+    run_fleet_blueprint,
+    run_scenario,
+    run_thread_scenario,
+)
+
+
+def run_async_scenario(seed: int, fault_rate: float, kill_at: int | None):
+    """`run_scenario` through the fleet path on a fresh async backend."""
+    engine = AsyncBackend()
+    try:
+        return run_scenario(seed, fault_rate, kill_at, fleet=True, backend=engine)
+    finally:
+        engine.close()
+
+
+class TestAsyncBackendEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_async_results_match_serial(self, seed, fault_rate):
+        outputs_s, charges_s, journal_s, status_s, _, end_s, _ = run_scenario(
+            seed, fault_rate, None, fleet=True
+        )
+        outputs_a, charges_a, journal_a, status_a, _, end_a, _ = (
+            run_async_scenario(seed, fault_rate, None)
+        )
+        # Fault decisions are content-seeded, so the same nodes fail
+        # under both backends: statuses agree.
+        assert status_a == status_s
+        # Serial stops a failed wave at the first failing node; the
+        # async gather has already started the siblings — subset.
+        assert outputs_s.items() <= outputs_a.items()
+        if status_s == "completed":
+            assert outputs_a == outputs_s
+            assert charges_a == charges_s
+            assert end_a == end_s
+            assert {_freeze(e) for e in journal_a} == {
+                _freeze(e) for e in journal_s
+            }
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_async_runs_are_result_deterministic(self, seed, fault_rate):
+        """Two same-seed async runs agree on every message fact — ids,
+        payloads, timestamps — modulo store arrival order."""
+        first = run_async_scenario(seed, fault_rate, None)
+        second = run_async_scenario(seed, fault_rate, None)
+        assert first[0] == second[0]  # node outputs
+        assert first[1] == second[1]  # charge multiset
+        assert first[3] == second[3]  # status
+        assert first[5] == second[5]  # clock end
+        assert first[6] == second[6]  # normalized trace
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        kill_at=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_async_chaos_kill_resume_converges(self, seed, kill_at):
+        """Kill at the Nth journal barrier under the async backend,
+        resume, and the final state equals the uninterrupted serial
+        run's — kill-point invariance is backend-independent."""
+        outputs_s, _, _, status_s, _, _, _ = run_scenario(
+            seed, 0.0, None, fleet=True
+        )
+        outputs_a, _, _, status_a, _, _, _ = run_async_scenario(
+            seed, 0.0, kill_at
+        )
+        assert status_a == status_s == "completed"
+        assert outputs_a == outputs_s
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        fault_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_async_matches_threads(self, seed, fault_rate):
+        """The two concurrent backends share the node scope stack, so
+        they must agree with each other on completed runs, not only
+        with serial."""
+        thread = run_thread_scenario(seed, fault_rate, None)
+        async_ = run_async_scenario(seed, fault_rate, None)
+        assert async_[3] == thread[3]  # status
+        if thread[3] == "completed":
+            assert async_[0] == thread[0]  # node outputs
+            assert async_[1] == thread[1]  # charge multiset
+            assert async_[5] == thread[5]  # clock end
+
+
+class TestBatchingDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_fleet_is_byte_identical_on_serial(self, seed):
+        """Micro-batch membership is a pure function of the submission
+        list under the serial backend: reruns reproduce the store export
+        byte for byte, and the batcher tallies agree."""
+        order = [seed % 5, (seed + 1) % 5, (seed + 2) % 5, (seed + 3) % 5]
+
+        def run():
+            kwargs = dict(
+                max_inflight=4,
+                capacity={"mega-s": 1, "mega-m": 1},
+                single_flight=True,
+                batching=LLMBatcher(max_batch_wait=1.0),
+            )
+            bp, result = run_fleet_blueprint(order, **kwargs)
+            return export_json(bp.store), result.makespan, bp.catalog.batcher.stats()
+
+        export_1, makespan_1, stats_1 = run()
+        export_2, makespan_2, stats_2 = run()
+        assert export_1 == export_2
+        assert makespan_1 == makespan_2
+        assert stats_1 == stats_2
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=5, deadline=None)
+    def test_batching_never_changes_outcomes(self, seed):
+        """Batching amortizes latency and slots; it must not change any
+        plan's outcome or node outputs."""
+        order = [seed % 5, (seed + 1) % 5, (seed + 2) % 5]
+
+        def outcomes(batching):
+            kwargs = dict(max_inflight=3, single_flight=False, batching=batching)
+            _, result = run_fleet_blueprint(order, **kwargs)
+            return {
+                p.plan_id: (
+                    p.outcome,
+                    dict(p.run.node_outputs) if p.run else None,
+                )
+                for p in result.plans
+            }
+
+        assert outcomes(LLMBatcher(max_batch_wait=1.0)) == outcomes(False)
