@@ -1,4 +1,4 @@
-.PHONY: test bench reliability observability recovery parallel fleet engine batch overload shard examples artifacts all
+.PHONY: test bench reliability observability recovery parallel fleet engine batch overload shard profile examples artifacts all
 
 test:
 	pytest tests/
@@ -32,6 +32,10 @@ engine:
 batch:
 	PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-disable
 	PYTHONPATH=src python -m pytest tests/llm/test_batching.py tests/llm/test_cache.py tests/llm/test_capacity_singleflight.py tests/properties/test_async_properties.py -q
+
+profile:
+	PYTHONPATH=src python -m pytest benchmarks/bench_profile.py --benchmark-disable
+	PYTHONPATH=src python -m pytest tests/properties/test_hotpath_goldens.py tests/core/test_observability.py -q
 
 overload:
 	PYTHONPATH=src python -m pytest benchmarks/bench_overload.py --benchmark-disable

@@ -1,0 +1,197 @@
+"""A16 — hot-path overhead budget: profile-gated observability share.
+
+Profiles the 8-plan serial fleet workload (the same one
+``repro.core.engine.profile`` ships as its default) and gates where the
+time goes, not just how long it takes:
+
+* **observability share** — the fraction of whole-run tottime spent
+  inside ``observability/span.py`` + ``observability/metrics.py`` must
+  sit at or below **60%** of the pre-change share (a >= 40% relative
+  reduction).  The pre-change figures pinned in :data:`PRE_CHANGE` were
+  measured on this workload immediately before the lazy span ledger and
+  pre-bound tally refactor landed.
+* **observability calls** — the profiler's primitive-call count into
+  those two modules is a deterministic function of the code on the
+  serial backend, so it is gated exactly: strictly below the pre-change
+  count, and within a small tolerance of the checked-in baseline.
+* **serial wall throughput** — unprofiled plans/sec on the same
+  workload must beat the pre-change number (median of 5; the ~1.5x
+  margin keeps this stable against run-to-run noise) and must not
+  regress more than 20% against the checked-in baseline.
+
+Emits ``benchmarks/BENCH_profile.json`` — the checked-in hot-path
+baseline CI gates on — and a human-readable artifact table.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from _artifacts import record, table
+
+from repro.core.engine.profile import HOT_PATHS, profile_fleet, to_artifact
+
+PLANS = 8
+BACKEND = "serial"
+PROFILE_RUNS = 5
+WALL_RUNS = 5
+
+#: Measured on this workload immediately before the hot-path refactor
+#: (lazy span ledger, pre-bound tallies, scheduler micro-passes).
+PRE_CHANGE = {
+    "observability_share": 0.050,
+    "spans_calls": 730,
+    "metrics_calls": 978,
+    "observability_calls": 1708,
+    "serial_wall_plans_per_sec": 345.0,
+}
+
+#: The tentpole acceptance floor: observability share must drop by at
+#: least this fraction relative to the pre-change share.
+MIN_SHARE_REDUCTION = 0.40
+#: Fail CI when share or throughput drifts more than this vs baseline.
+REGRESSION_TOLERANCE = 0.20
+#: Call counts are deterministic, but allow a sliver for interpreter
+#: differences (e.g. a stdlib helper inlined on newer CPython).
+CALL_TOLERANCE = 0.05
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_profile.json"
+
+
+def measure_profile() -> dict:
+    """Median-of-N profiled runs: share gates want a stable midpoint."""
+    profile_fleet(plans=2, backend=BACKEND)  # warm-up: imports, caches
+    artifacts = [
+        to_artifact(profile_fleet(plans=PLANS, backend=BACKEND), PLANS, BACKEND)
+        for _ in range(PROFILE_RUNS)
+    ]
+    artifacts.sort(key=lambda a: a["observability_share"])
+    median = artifacts[PROFILE_RUNS // 2]
+    median["observability_share_runs"] = [
+        round(a["observability_share"], 6) for a in artifacts
+    ]
+    return median
+
+
+def measure_wall() -> dict:
+    """Median-of-N unprofiled wall timings for the same workload."""
+    from repro.core.engine.profile import _run_fleet
+
+    _run_fleet(2, BACKEND)  # warm-up
+    walls = []
+    for _ in range(WALL_RUNS):
+        start = time.perf_counter()
+        _run_fleet(PLANS, BACKEND)
+        walls.append(time.perf_counter() - start)
+    wall = statistics.median(walls)
+    return {
+        "serial_wall_seconds": round(wall, 5),
+        "serial_wall_plans_per_sec": round(PLANS / wall, 2),
+    }
+
+
+def test_a16_hotpath_budget():
+    """Artifact + gates: observability share, call counts, wall throughput."""
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    )
+    profile = measure_profile()
+    wall = measure_wall()
+
+    share = profile["observability_share"]
+    share_ceiling = PRE_CHANGE["observability_share"] * (1.0 - MIN_SHARE_REDUCTION)
+    assert share <= share_ceiling, (
+        f"observability share {share:.4f} above the budget "
+        f"{share_ceiling:.4f} (pre-change {PRE_CHANGE['observability_share']}, "
+        f"floor {MIN_SHARE_REDUCTION:.0%} relative reduction)"
+    )
+
+    obs_calls = profile["observability_calls"]
+    assert obs_calls < PRE_CHANGE["observability_calls"], (
+        f"observability calls {obs_calls} not below pre-change "
+        f"{PRE_CHANGE['observability_calls']}"
+    )
+
+    wall_pps = wall["serial_wall_plans_per_sec"]
+    assert wall_pps > PRE_CHANGE["serial_wall_plans_per_sec"], (
+        f"serial wall throughput {wall_pps} plans/sec does not beat "
+        f"pre-change {PRE_CHANGE['serial_wall_plans_per_sec']}"
+    )
+
+    if baseline is not None:
+        slack = 1.0 + REGRESSION_TOLERANCE
+        base_share = baseline["profile"]["observability_share"]
+        assert share <= base_share * slack, (
+            f"observability share regressed >{REGRESSION_TOLERANCE:.0%}: "
+            f"{share:.4f} vs baseline {base_share:.4f}"
+        )
+        base_calls = baseline["profile"]["observability_calls"]
+        assert obs_calls <= base_calls * (1.0 + CALL_TOLERANCE), (
+            f"observability calls regressed >{CALL_TOLERANCE:.0%}: "
+            f"{obs_calls} vs baseline {base_calls}"
+        )
+        base_pps = baseline["wall"]["serial_wall_plans_per_sec"]
+        assert wall_pps >= base_pps * (1.0 - REGRESSION_TOLERANCE), (
+            f"serial wall throughput regressed >{REGRESSION_TOLERANCE:.0%}: "
+            f"{wall_pps} vs baseline {base_pps} plans/sec"
+        )
+
+    results = {
+        "workload": {"plans": PLANS, "backend": BACKEND},
+        "pre_change": PRE_CHANGE,
+        "profile": profile,
+        "wall": wall,
+        "gates": {
+            "min_share_reduction": MIN_SHARE_REDUCTION,
+            "share_ceiling": round(share_ceiling, 6),
+            "share_reduction": round(
+                1.0 - share / PRE_CHANGE["observability_share"], 4
+            ),
+            "calls_reduction": round(
+                1.0 - obs_calls / PRE_CHANGE["observability_calls"], 4
+            ),
+            "wall_speedup": round(
+                wall_pps / PRE_CHANGE["serial_wall_plans_per_sec"], 4
+            ),
+            "regression_tolerance": REGRESSION_TOLERANCE,
+        },
+    }
+
+    rows = [
+        [
+            name,
+            f"{profile['buckets'][name]['tottime'] * 1000:.2f}ms",
+            f"{profile['buckets'][name]['share']:.1%}",
+            f"{profile['buckets'][name]['calls']:,}",
+        ]
+        for name in HOT_PATHS
+    ]
+    record(
+        "a16_hotpath_budget",
+        f"A16 — hot-path overhead budget ({PLANS} plans, {BACKEND} backend)\n"
+        + table(["bucket", "tottime", "share", "calls"], rows)
+        + f"\nobservability share: {share:.4f} vs pre-change "
+        + f"{PRE_CHANGE['observability_share']} "
+        + f"({results['gates']['share_reduction']:.0%} reduction, "
+        + f"floor {MIN_SHARE_REDUCTION:.0%}; budget {share_ceiling:.4f})"
+        + f"\nobservability calls: {obs_calls:,} vs pre-change "
+        + f"{PRE_CHANGE['observability_calls']:,} "
+        + f"({results['gates']['calls_reduction']:.0%} reduction)"
+        + f"\nserial wall: {wall_pps:,} plans/sec vs pre-change "
+        + f"{PRE_CHANGE['serial_wall_plans_per_sec']:,} "
+        + f"({results['gates']['wall_speedup']:.2f}x)",
+    )
+
+    BASELINE_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_a16_profile_determinism():
+    """Two profiled runs agree on the deterministic call counts."""
+    first = to_artifact(profile_fleet(plans=4, backend=BACKEND), 4, BACKEND)
+    second = to_artifact(profile_fleet(plans=4, backend=BACKEND), 4, BACKEND)
+    assert first["observability_calls"] == second["observability_calls"]
+    assert (
+        {n: b["calls"] for n, b in first["buckets"].items()}
+        == {n: b["calls"] for n, b in second["buckets"].items()}
+    )

@@ -67,9 +67,14 @@ class SimClock:
                 local += seconds
                 self._branches.now = local
                 return local
-        with self._lock:
-            self._now += seconds
-            return self._now
+            with self._lock:
+                self._now += seconds
+                return self._now
+        # Serial fast path: until a concurrent backend marks the clock
+        # threaded, exactly one thread mutates it — no lock needed.
+        now = self._now + seconds
+        self._now = now
+        return now
 
     def advance_to(self, timestamp: float) -> float:
         """Advance the clock to *timestamp* if it is in the future."""
@@ -80,10 +85,13 @@ class SimClock:
                     self._branches.now = timestamp
                     return timestamp
                 return local
-        with self._lock:
-            if timestamp > self._now:
-                self._now = timestamp
-            return self._now
+            with self._lock:
+                if timestamp > self._now:
+                    self._now = timestamp
+                return self._now
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
 
     def rebase(self, timestamp: float) -> float:
         """Set the clock to *timestamp*, which may sit in the simulated past.
@@ -103,13 +111,38 @@ class SimClock:
             if local is not None:
                 self._branches.now = float(timestamp)
                 return float(timestamp)
-        with self._lock:
-            self._now = float(timestamp)
-            return self._now
+            with self._lock:
+                self._now = float(timestamp)
+                return self._now
+        now = float(timestamp)
+        self._now = now
+        return now
 
     # ------------------------------------------------------------------
     # Branch overlay (thread backend)
     # ------------------------------------------------------------------
+    @property
+    def threaded(self) -> bool:
+        """Whether a concurrent backend has engaged this clock.
+
+        While False the clock is single-writer and mutates without its
+        lock; once True every shared-value write is locked.  Readers
+        (e.g. :class:`~repro.core.scheduler.VirtualTimeline`) use this to
+        pick their own serial fast paths.
+        """
+        return self._threaded
+
+    def mark_threaded(self) -> None:
+        """Engage locked mode *before* any worker thread touches the clock.
+
+        :meth:`branch_begin` also flips the flag, but a worker's first
+        branch would flip it from a pool thread while the driving thread
+        may still be inside an unlocked write.  Concurrent backends call
+        this from the coordinating thread before submitting work, closing
+        that window; the flag is sticky by design.
+        """
+        self._threaded = True
+
     def branch_begin(self, start: float) -> float:
         """Enter a thread-local timeline branch starting at *start*.
 

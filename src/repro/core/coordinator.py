@@ -290,7 +290,7 @@ class PlanExecution:
         coordinator._plan_no_cache = bool(self.plan.no_cache)
         try:
             if timeline is not None:
-                context.metric_inc("scheduler.waves")
+                coordinator._wave_tally += 1
             # The backend owns HOW the wave's nodes execute (in order on
             # this thread, or fanned across a pool); verdict semantics
             # are shared: first non-ok verdict wins the wave.
@@ -416,6 +416,13 @@ class TaskCoordinator(Agent):
         self._plan_status_tally: dict[str, int] = {}
         self._short_circuit_tally: dict[str, int] = {}
         self._rescue_tally: dict[str, int] = {}
+        # Unlabeled per-wave/per-node counters, bumped as plain ints on
+        # the wave-step hot path (each fleet submission has its own
+        # coordinator and a coordinator steps one wave at a time, so the
+        # unlocked increments are race-free even on the thread backend).
+        self._wave_tally = 0
+        self._parallel_node_tally = 0
+        self._replayed_effects_tally = 0
         self._registered_metrics = None
 
     def on_attach(self) -> None:
@@ -436,6 +443,14 @@ class TaskCoordinator(Agent):
             sink.inc("breaker.short_circuits", float(count), agent=agent)
         for agent, count in self._rescue_tally.items():
             sink.inc("node.fallback_rescues", float(count), agent=agent)
+        # Never-incremented tallies stay out of the snapshot (serial
+        # runs emit no scheduler counters — tests pin that).
+        if self._wave_tally:
+            sink.inc("scheduler.waves", float(self._wave_tally))
+        if self._parallel_node_tally:
+            sink.inc("scheduler.parallel_nodes", float(self._parallel_node_tally))
+        if self._replayed_effects_tally:
+            sink.inc("recovery.replayed_effects", float(self._replayed_effects_tally))
 
     # ------------------------------------------------------------------
     # Activation
@@ -669,10 +684,13 @@ class TaskCoordinator(Agent):
         run = PlanRun(plan_id=plan.plan_id, goal=plan.goal)
         self.runs.append(run)
         span = context.span(
-            f"plan:{plan.plan_id}", kind="plan", goal=plan.goal, attempt=attempt
+            f"plan:{plan.plan_id}",
+            kind="plan",
+            goal=plan.goal,
+            attempt=attempt,
+            scheduler="fleet",
         )
         span.__enter__()
-        span.set_attribute("scheduler", "fleet")
         obs = context.observability
         tracer = obs.tracer if obs is not None else None
         if tracer is not None:
@@ -817,8 +835,7 @@ class TaskCoordinator(Agent):
         re-driving the agent.  Either way the journal is brought to the
         exact state an uninterrupted run would have produced.
         """
-        context = self._require_context()
-        context.metric_inc("recovery.replayed_effects")
+        self._replayed_effects_tally += 1
         run.replayed_effects.append(node.node_id)
         failure_payload = effect.get("failure")
         if failure_payload is not None:
@@ -858,13 +875,21 @@ class TaskCoordinator(Agent):
         """
         context = self._require_context()
         # The parent plan span already names the plan, so the node span
-        # only carries the agent.
-        with context.span(
-            f"node:{node.node_id}", kind="node", agent=node.agent
-        ) as span:
-            if wave is not None:
-                span.set_attribute("wave", wave)
-                span.set_attribute("concurrency", concurrency)
+        # only carries the agent (plus wave/concurrency under the wave
+        # scheduler — passed as creation kwargs: exports sort keys, so
+        # folding them in is byte-identical and skips two set_attribute
+        # calls per scheduled node).
+        if wave is not None:
+            node_span = context.span(
+                f"node:{node.node_id}",
+                kind="node",
+                agent=node.agent,
+                wave=wave,
+                concurrency=concurrency,
+            )
+        else:
+            node_span = context.span(f"node:{node.node_id}", kind="node", agent=node.agent)
+        with node_span as span:
             policy = self.retry_policy
             breaker = self._breakers.for_agent(node.agent) if self._breakers else None
             failure: NodeFailure | None = None

@@ -111,7 +111,6 @@ class SerialBackend:
     ) -> str:
         run = execution.run
         timeline = execution.timeline
-        context = execution.coordinator._require_context()
         for node in wave:
             if node.node_id in run.executed:
                 # Restored from the journal on resume: already completed
@@ -120,7 +119,7 @@ class SerialBackend:
                 continue
             if timeline is not None:
                 if len(wave) > 1:
-                    context.metric_inc("scheduler.parallel_nodes")
+                    execution.coordinator._parallel_node_tally += 1
                 timeline.open(execution.ready_time(node), owner=run.plan_id)
             try:
                 verdict = execution.drive(node, wave_index, len(wave))
@@ -211,11 +210,9 @@ def _wave_pending(
 ) -> "list[TaskNode]":
     """The wave's not-yet-executed nodes, with parallel-node metrics."""
     run = execution.run
-    context = execution.coordinator._require_context()
     pending = [node for node in wave if node.node_id not in run.executed]
     if pending and len(wave) > 1:
-        for _ in pending:
-            context.metric_inc("scheduler.parallel_nodes")
+        execution.coordinator._parallel_node_tally += len(pending)
     return pending
 
 
@@ -301,6 +298,9 @@ class ThreadBackend:
                 _run_node_scoped(execution, pending[0], wave_index, len(wave), parent)
             ]
         else:
+            # Flip the clock into locked mode from THIS thread before any
+            # worker can race an unlocked serial-fast-path write.
+            execution.coordinator._require_context().clock.mark_threaded()
             pool = self._nodes()
             futures = [
                 pool.submit(
@@ -331,6 +331,7 @@ class ThreadBackend:
         if len(executions) == 1:
             SERIAL.step_round(executions)
             return
+        executions[0].coordinator._require_context().clock.mark_threaded()
         pool = self._plans()
         futures = [
             pool.submit(_step_one_guarded, execution) for execution in executions
@@ -449,6 +450,7 @@ class AsyncBackend:
                 _run_node_scoped(execution, pending[0], wave_index, len(wave), parent)
             ]
         else:
+            execution.coordinator._require_context().clock.mark_threaded()
             loop = self._ensure_loop()
             node_pool = self._node_pool
 
@@ -482,6 +484,7 @@ class AsyncBackend:
         if len(executions) == 1:
             SERIAL.step_round(executions)
             return
+        executions[0].coordinator._require_context().clock.mark_threaded()
         loop = self._ensure_loop()
         plan_pool = self._plan_pool
 

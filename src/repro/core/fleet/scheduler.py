@@ -208,6 +208,28 @@ class FleetScheduler:
         self._admission = admission
         #: Optional graceful-degradation state machine for open-loop runs.
         self._brownout = brownout
+        # Admission accounting, pre-bound at wiring time: the unlabeled
+        # queued/admitted counters become plain tallies pulled by a
+        # collector (several schedulers on one registry sum on key
+        # collision, matching the old always-accumulating counters), and
+        # the queue-wait histogram is resolved once instead of per
+        # admission.  Labeled rejection counters stay push-based — they
+        # are cold and their label sets vary.
+        self._queued_tally = 0
+        self._admitted_tally = 0
+        self._h_queue_wait = None
+        if observability is not None and observability.metrics.enabled:
+            metrics = observability.metrics
+            self._h_queue_wait = metrics.histogram("fleet.queue_wait")
+            metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, sink) -> None:
+        # Never-incremented tallies stay out of the snapshot, exactly as
+        # a never-touched counter never appeared.
+        if self._queued_tally:
+            sink.inc("fleet.queued", float(self._queued_tally))
+        if self._admitted_tally:
+            sink.inc("fleet.admitted", float(self._admitted_tally))
 
     def run(self, entries: Sequence[FleetEntry]) -> FleetResult:
         """Drive every entry to an outcome; returns the aggregate result."""
@@ -244,7 +266,7 @@ class FleetScheduler:
                     backlog.append((index, entry))
                     counts["queued"] += 1
                     if metrics is not None:
-                        metrics.inc("fleet.queued")
+                        self._queued_tally += 1
                 else:
                     counts["rejected"] += 1
                     if metrics is not None:
@@ -275,13 +297,20 @@ class FleetScheduler:
                     self._backend.step_round(
                         [a.execution for a in inflight if not a.execution.finished]
                     )
-                    done = [a for a in inflight if a.execution.finished]
+                    # Single-pass partition instead of a finished-scan
+                    # plus per-item remove() — the round loop runs once
+                    # per wave across the whole fleet.
+                    done: list[_Active] = []
+                    still: list[_Active] = []
+                    for a in inflight:
+                        (done if a.execution.finished else still).append(a)
+                    if done:
+                        inflight[:] = still
                     # Free slots in simulated completion order (ties by
                     # admission index) so backlog admission times are
                     # deterministic and physically sensible.
                     done.sort(key=lambda a: (a.execution.plan_end, a.index))
                     for active in done:
-                        inflight.remove(active)
                         results[active.index] = self._result_of(active, origin)
                         if backlog:
                             index, entry = backlog.popleft()
@@ -465,7 +494,7 @@ class FleetScheduler:
                     if start > arrival:
                         counts["queued"] += 1
                         if metrics is not None:
-                            metrics.inc("fleet.queued")
+                            self._queued_tally += 1
                     active = self._admit(
                         index, entry, start, metrics, counts, arrived_at=arrival
                     )
@@ -572,13 +601,13 @@ class FleetScheduler:
         )
         counts["admitted"] += 1
         if metrics is not None:
-            metrics.inc("fleet.admitted")
+            self._admitted_tally += 1
             # Batch runs measure waits from the fleet origin; open-loop
             # runs from each plan's own arrival instant.
             wait_base = (
                 arrived_at if arrived_at is not None else self._timeline.origin
             )
-            metrics.histogram("fleet.queue_wait").observe(at - wait_base)
+            self._h_queue_wait.observe(at - wait_base)
         return _Active(index, entry, execution, at, arrived_at=arrived_at)
 
     def _result_of(self, active: _Active, origin: float) -> FleetPlanResult:

@@ -66,6 +66,12 @@ class WriteAheadJournal:
         self.producer = producer
         self.barrier_hook = barrier_hook
         self.metrics = metrics
+        # Hot-path accounting: ``record`` bumps a plain tally and the
+        # registry pulls it at snapshot time (several journals may share
+        # a registry — collector sums merge on key collision).
+        self._event_tally: dict[str, int] = {}
+        if metrics is not None:
+            metrics.register_collector(self._collect_metrics)
         if session is not None:
             self.stream = session.ensure_stream(stream_name, creator=producer)
         elif stream_id is not None:
@@ -92,10 +98,15 @@ class WriteAheadJournal:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _collect_metrics(self, sink: Any) -> None:
+        for event, count in self._event_tally.items():
+            sink.inc("journal.records", count, event=event)
+
     def record(self, event: str, plan_id: str, **fields: Any) -> "Message":
         """Append one journal record (a durable stream message)."""
         if self.metrics is not None:
-            self.metrics.inc("journal.records", event=event)
+            tally = self._event_tally
+            tally[event] = tally.get(event, 0) + 1
         return self.store.publish_data(
             self.stream.stream_id,
             {"event": event, "plan": plan_id, **fields},

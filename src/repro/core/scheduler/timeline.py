@@ -111,6 +111,16 @@ class VirtualTimeline:
         under concurrent callers — merges are locked, and the horizon only
         ever ratchets upward.
         """
+        if not self._clock.threaded:
+            # Serial fast path: a never-threaded clock means every
+            # record() comes from the single driving thread.
+            if end > self._horizon:
+                self._horizon = end
+            if owner is not None and end > self._owner_horizons.get(
+                owner, self.origin
+            ):
+                self._owner_horizons[owner] = end
+            return end
         with self._merge_lock:
             if end > self._horizon:
                 self._horizon = end

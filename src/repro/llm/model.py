@@ -150,6 +150,62 @@ class UsageTracker:
             bucket["tokens"] += usage.input_tokens + usage.output_tokens
 
 
+class _BoundTallies:
+    """One observability binding's worth of LLM counter tallies.
+
+    The pre-bound-counter idea taken one step further: instead of nine
+    ``model=name`` bound counters (one locked dict add each), the client
+    keeps plain slotted floats and the registry pulls them at snapshot
+    time through :meth:`collect`.  Grouped events (a physical call bumps
+    calls/tokens/cost together) take ONE lock acquisition.  Rebinding a
+    client to a new observability sink freezes the old object — the
+    client only bumps its current binding — so a swapped-in registry
+    sees only post-swap events, exactly as push counters behaved.
+    """
+
+    __slots__ = (
+        "lock", "model", "calls", "tokens", "cost", "failures",
+        "cache_hits", "cache_misses", "coalesced", "batch_joins",
+        "batch_windows",
+    )
+
+    def __init__(self, model: str) -> None:
+        self.lock = threading.Lock()
+        self.model = model
+        self.calls = 0.0
+        self.tokens = 0.0
+        self.cost = 0.0
+        self.failures = 0.0
+        self.cache_hits = 0.0
+        self.cache_misses = 0.0
+        self.coalesced = 0.0
+        self.batch_joins = 0.0
+        self.batch_windows = 0.0
+
+    def collect(self, sink: Any) -> None:
+        model = self.model
+        if self.calls:
+            sink.inc("llm.calls", self.calls, model=model)
+        # tokens/cost series exist exactly when a physical call or batch
+        # join charged them — even at zero value (a free model still
+        # created the counter key under the push scheme).
+        if self.calls or self.batch_joins:
+            sink.inc("llm.tokens", self.tokens, model=model)
+            sink.inc("llm.cost", self.cost, model=model)
+        if self.failures:
+            sink.inc("llm.failures", self.failures, model=model)
+        if self.cache_hits:
+            sink.inc("llm.cache.hits", self.cache_hits, model=model)
+        if self.cache_misses:
+            sink.inc("llm.cache.misses", self.cache_misses, model=model)
+        if self.coalesced:
+            sink.inc("llm.coalesced", self.coalesced, model=model)
+        if self.batch_joins:
+            sink.inc("llm.batch.joins", self.batch_joins, model=model)
+        if self.batch_windows:
+            sink.inc("llm.batch.windows", self.batch_windows, model=model)
+
+
 _DIRECTIVE_RE = re.compile(r"^([A-Z_]+):\s*(.*)$")
 
 #: Tasks whose fidelity depends on HR domain knowledge (a fine-tuned HR
@@ -211,9 +267,7 @@ class SimulatedLLM:
         # (``observability`` is often assigned after construction).
         self._span_name = f"llm:{spec.name}"
         self._bound_obs: "Observability | None" = None
-        self._m_calls = self._m_tokens = self._m_cost = self._m_failures = None
-        self._m_cache_hits = self._m_cache_misses = self._m_coalesced = None
-        self._m_batch_joins = self._m_batch_windows = None
+        self._t: _BoundTallies | None = None
         self._h_latency = self._h_queue_wait = None
 
     @property
@@ -226,20 +280,18 @@ class SimulatedLLM:
 
     def _bind_instruments(self, obs: "Observability") -> None:
         metrics = obs.metrics
-        name = self.spec.name
-        self._m_calls = metrics.bound_counter("llm.calls", model=name)
-        self._m_tokens = metrics.bound_counter("llm.tokens", model=name)
-        self._m_cost = metrics.bound_counter("llm.cost", model=name)
-        self._m_failures = metrics.bound_counter("llm.failures", model=name)
-        self._m_cache_hits = metrics.bound_counter("llm.cache.hits", model=name)
-        self._m_cache_misses = metrics.bound_counter("llm.cache.misses", model=name)
-        self._m_coalesced = metrics.bound_counter("llm.coalesced", model=name)
-        self._m_batch_joins = metrics.bound_counter("llm.batch.joins", model=name)
-        self._m_batch_windows = metrics.bound_counter("llm.batch.windows", model=name)
-        self._h_latency = metrics.histogram("llm.latency") if metrics.enabled else None
-        self._h_queue_wait = (
-            metrics.histogram("llm.queue_wait") if metrics.enabled else None
-        )
+        if metrics.enabled:
+            # Fresh tallies per binding: if observability is later swapped,
+            # the old registry keeps this (frozen) object and the new one
+            # gets its own — post-swap events land only on the new sink.
+            tallies = _BoundTallies(self.spec.name)
+            metrics.register_collector(tallies.collect)
+            self._t = tallies
+            self._h_latency = metrics.histogram("llm.latency")
+            self._h_queue_wait = metrics.histogram("llm.queue_wait")
+        else:
+            self._t = None
+            self._h_latency = self._h_queue_wait = None
         self._bound_obs = obs
 
     # ------------------------------------------------------------------
@@ -280,20 +332,24 @@ class SimulatedLLM:
             return response
         if obs is not self._bound_obs:
             self._bind_instruments(obs)
+        tallies = self._t
         with obs.span(self._span_name, kind="llm", model=self.spec.name) as span:
             if hit is not None:
                 span.set_attribute("cached", True)
-                if self._m_cache_hits is not None:
-                    self._m_cache_hits.inc()
+                if tallies is not None:
+                    with tallies.lock:
+                        tallies.cache_hits += 1
                 return hit
-            if cache is not None and self._m_cache_misses is not None:
-                self._m_cache_misses.inc()
+            if cache is not None and tallies is not None:
+                with tallies.lock:
+                    tallies.cache_misses += 1
             joined = self._try_join(prompt, max_output_tokens, no_cache)
             if joined is not None:
                 span.set_attribute("coalesced", True)
                 span.set_attribute("residual_wait", joined.usage.latency)
-                if self._m_coalesced is not None:
-                    self._m_coalesced.inc()
+                if tallies is not None:
+                    with tallies.lock:
+                        tallies.coalesced += 1
                 return joined
             batched = self._try_batch(prompt, max_output_tokens, no_cache)
             if batched is not None:
@@ -303,19 +359,21 @@ class SimulatedLLM:
                 span.set_attribute("input_tokens", usage.input_tokens)
                 span.set_attribute("output_tokens", usage.output_tokens)
                 span.set_attribute("cost", usage.cost)
-                if self._m_batch_joins is not None:
+                if tallies is not None:
                     # A join is not a physical call (``llm.calls`` counts
                     # model invocations), but its tokens and cost ARE
                     # charged to the caller — per-call attribution.
-                    self._m_batch_joins.inc()
-                    self._m_tokens.inc(usage.input_tokens + usage.output_tokens)
-                    self._m_cost.inc(usage.cost)
+                    with tallies.lock:
+                        tallies.batch_joins += 1
+                        tallies.tokens += usage.input_tokens + usage.output_tokens
+                        tallies.cost += usage.cost
                 return batched
             try:
                 response = self._complete(prompt, max_output_tokens)
             except LLMError:
-                if self._m_failures is not None:
-                    self._m_failures.inc()
+                if tallies is not None:
+                    with tallies.lock:
+                        tallies.failures += 1
                 raise
             if cache is not None:
                 cache.put(self.spec.name, prompt, max_output_tokens, response)
@@ -325,12 +383,13 @@ class SimulatedLLM:
             span.set_attribute("cost", usage.cost)
             if self._last_queue_wait > 0:
                 span.set_attribute("queue_wait", self._last_queue_wait)
-            if self._m_calls is not None:
-                self._m_calls.inc()
-                self._m_tokens.inc(usage.input_tokens + usage.output_tokens)
-                self._m_cost.inc(usage.cost)
+            if tallies is not None:
+                with tallies.lock:
+                    tallies.calls += 1
+                    tallies.tokens += usage.input_tokens + usage.output_tokens
+                    tallies.cost += usage.cost
                 self._h_latency.observe(usage.latency)
-                if self._h_queue_wait is not None and self._last_queue_wait > 0:
+                if self._last_queue_wait > 0:
                     self._h_queue_wait.observe(self._last_queue_wait)
             return response
 
@@ -473,8 +532,10 @@ class SimulatedLLM:
             self.batcher.open(
                 self.spec.name, max_output_tokens, start, start + usage.latency
             )
-            if self._m_batch_windows is not None:
-                self._m_batch_windows.inc()
+            tallies = self._t
+            if tallies is not None:
+                with tallies.lock:
+                    tallies.batch_windows += 1
         return response
 
     # ------------------------------------------------------------------

@@ -151,6 +151,12 @@ class Histogram:
         self.name = name
         self._observations: list[float] = []
         self._lock = threading.Lock()
+        # Cached sorted copy, valid while the observation count is
+        # unchanged.  Observations are append-only, so the length *is*
+        # the dirty flag: ``observe`` never touches the cache fields and
+        # stays a single lock-free append.
+        self._sorted: list[float] = []
+        self._sorted_len = 0
 
     def observe(self, value: float) -> None:
         # list.append is atomic under the GIL; readers copy under the lock.
@@ -160,23 +166,35 @@ class Histogram:
         with self._lock:
             return len(self._observations)
 
+    def _ordered(self) -> list[float]:
+        """The sorted observations, re-sorted only after new data.
+
+        Callers must treat the result as read-only: repeated percentile
+        pulls (metrics collectors, bench gates) share one sorted buffer
+        until the next observation lands.
+        """
+        with self._lock:
+            observations = self._observations
+            if len(observations) != self._sorted_len:
+                snapshot = list(observations)
+                self._sorted = sorted(snapshot)
+                self._sorted_len = len(snapshot)
+            return self._sorted
+
     def percentile(self, p: float) -> float | None:
         """Nearest-rank percentile of everything observed (None if empty)."""
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100]: {p}")
-        with self._lock:
-            if not self._observations:
-                return None
-            ordered = sorted(self._observations)
+        ordered = self._ordered()
+        if not ordered:
+            return None
         return ordered[_nearest_rank(p, len(ordered)) - 1]
 
     def summary(self) -> dict[str, float]:
         """count/sum/min/max plus the p50/p95/p99 the scaling studies use."""
-        with self._lock:
-            values = list(self._observations)
-        if not values:
+        ordered = self._ordered()
+        if not ordered:
             return {"count": 0}
-        ordered = sorted(values)
 
         def rank(p: float) -> float:
             return ordered[_nearest_rank(p, len(ordered)) - 1]
@@ -274,6 +292,20 @@ class MetricsRegistry:
         if not self.enabled:
             return None
         return self.counter(name).bind(**labels)
+
+    def bound_histogram(self, name: str) -> "Histogram | None":
+        """The histogram itself, or None when the registry is disabled.
+
+        The histogram counterpart of :meth:`bound_counter`: hot paths
+        resolve the instrument once at wiring time and then call
+        ``observe`` directly — no per-observation registry dict lookup,
+        no ``enabled`` re-check.  Callers own the finiteness of what
+        they observe (event counts and simulated durations, not measured
+        values), which is why this skips the :meth:`observe` guards.
+        """
+        if not self.enabled:
+            return None
+        return self.histogram(name)
 
     # ------------------------------------------------------------------
     # Recording conveniences (the instrumented layers call these)

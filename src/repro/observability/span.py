@@ -15,15 +15,22 @@ Parenting is implicit: each thread keeps a stack of open spans, and a new
 span attaches under whatever is open on *its* thread (worker-pool agents
 start fresh roots rather than guessing a cross-thread parent).
 
-Everything here sits on the runtime's hottest paths, so the classes are
-slotted, spans act as their own context managers (no wrapper allocation),
-and ids stay integers until export renders them as ``sp00042``.
+Everything here sits on the runtime's hottest paths, so the structure is
+a *lazy ledger*: the tracer appends compact slotted records (the
+:class:`Span` handles themselves — callers hold list identity into the
+ledger), span names are interned, attribute dicts are allocated only for
+spans that carry attributes, and the parent/children index plus the
+materialized span view are built once per ledger generation and cached
+until the ledger grows.  Spans act as their own context managers (no
+wrapper allocation) and ids stay integers until export renders them as
+``sp00042``.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import sys
 import threading
 from typing import Any
 
@@ -60,11 +67,12 @@ class _ThreadState:
 
     Open spans form a linked chain through ``Span._prev`` rather than an
     explicit stack: opening a span is one pointer swap, closing it swaps
-    back.  Carrying the clock here lets ``Span.__exit__`` stamp the end
-    time without a back-reference to the tracer.
+    back.  Carrying the clock (and its pre-bound ``now`` method) here
+    lets ``Span.__exit__`` stamp the end time without a back-reference
+    to the tracer.
     """
 
-    __slots__ = ("current", "clock")
+    __slots__ = ("current", "clock", "now")
 
     def __init__(self) -> None:
         self.current: Span | None = None
@@ -80,7 +88,7 @@ class Span:
 
     __slots__ = (
         "span_id", "name", "kind", "parent_id", "start", "end",
-        "error", "attributes", "_state", "_prev",
+        "error", "_attrs", "_state", "_prev",
     )
 
     def __init__(
@@ -99,7 +107,7 @@ class Span:
         self.start = start
         self.end: float | None = None
         self.error: str | None = None
-        self.attributes = attributes if attributes is not None else {}
+        self._attrs: dict[str, Any] | None = attributes if attributes else None
         self._state: _ThreadState | None = None
         self._prev: Span | None = None
 
@@ -120,13 +128,26 @@ class Span:
         """The exported id string, e.g. ``sp00042``."""
         return f"sp{self.span_id:05d}"
 
+    @property
+    def attributes(self) -> dict[str, Any]:
+        """The span's attribute dict, allocated on first touch.
+
+        Most spans never carry attributes, so the ledger record holds
+        ``None`` until someone actually reads or writes one.
+        """
+        attrs = self._attrs
+        if attrs is None:
+            attrs = self._attrs = {}
+        return attrs
+
     def set_attribute(self, key: str, value: Any) -> None:
-        # str/int/bool need no sanitizing and cover nearly every call.
-        t = type(value)
-        if t is str or t is int or t is bool:
-            self.attributes[key] = value
-        else:
-            self.attributes[key] = sanitize_value(value)
+        # Values are stored raw; ``to_dict`` sanitizes at the export
+        # boundary (sanitize_value is idempotent, so eager callers that
+        # pre-sanitize stay byte-identical).
+        attrs = self._attrs
+        if attrs is None:
+            attrs = self._attrs = {}
+        attrs[key] = value
 
     def set_error(self, error: str) -> None:
         self.error = error
@@ -139,10 +160,11 @@ class Span:
             self.error = f"{exc_type.__name__}: {exc}"
         state = self._state
         if state is not None:
-            # ``now()`` rather than ``_now``: under the thread backend the
-            # closing thread may sit inside a clock branch overlay, and
-            # the end stamp must be branch-local time.
-            self.end = state.clock.now()
+            # ``state.now`` is the clock's bound ``now`` (not ``_now``):
+            # under the thread backend the closing thread may sit inside
+            # a clock branch overlay, and the end stamp must be
+            # branch-local time.
+            self.end = state.now()
             if state.current is self:
                 state.current = self._prev
             else:  # out-of-order close: also drop everything opened above
@@ -160,9 +182,10 @@ class Span:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        # Attributes passed as ``start_span`` kwargs are stored raw (the
-        # hot path cannot afford a sanitizing loop per span); the export
-        # boundary is where the no-``Infinity``/``NaN`` guarantee holds.
+        # Attributes are stored raw (the hot path cannot afford a
+        # sanitizing loop per span); the export boundary is where the
+        # no-``Infinity``/``NaN`` guarantee holds.
+        attrs = self._attrs
         return {
             "span_id": self.span_ref,
             "name": self.name,
@@ -173,7 +196,9 @@ class Span:
             "duration": self.duration,
             "status": self.status,
             "error": self.error,
-            "attributes": {k: sanitize_value(v) for k, v in self.attributes.items()},
+            "attributes": (
+                {} if attrs is None else {k: sanitize_value(v) for k, v in attrs.items()}
+            ),
         }
 
 
@@ -292,6 +317,14 @@ class Tracer:
         # span creation needs no lock of its own.
         self._ids = itertools.count()
         self._active = threading.local()
+        # Generation-cached views: rebuilt only when the ledger has
+        # grown since the last materialization (spans are append-only
+        # and parent ids are fixed at creation, so length is the
+        # generation counter).
+        self._view: list[Span] = []
+        self._view_len = 0
+        self._roots_view: list[Span] = []
+        self._children_view: dict[int, list[Span]] = {}
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -301,6 +334,7 @@ class Tracer:
         if state is None:
             state = self._active.state = _ThreadState()
             state.clock = self.clock
+            state.now = self.clock.now
         return state
 
     def start_span(
@@ -328,18 +362,22 @@ class Tracer:
         if state is None:
             state = self._active.state = _ThreadState()
             state.clock = self.clock
+            state.now = self.clock.now
         parent = state.current
         if parent_id is None and parent is not None:
             parent_id = parent.span_id
         span = Span.__new__(Span)
         span.span_id = next(self._ids)
-        span.name = name
+        # Names repeat heavily (one per node per plan), so interning
+        # dedups the ledger's string storage and makes find()/export
+        # comparisons pointer checks.
+        span.name = sys.intern(name)
         span.kind = kind
         span.parent_id = parent_id
-        span.start = self.clock.now()
+        span.start = state.now()
         span.end = None
         span.error = None
-        span.attributes = attributes
+        span._attrs = attributes if attributes else None
         span._state = state
         span._prev = parent
         state.current = span
@@ -401,15 +439,51 @@ class Tracer:
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
+    def _materialize(self) -> list[Span]:
+        """The cached span view, rebuilt only when the ledger has grown.
+
+        One pass builds the creation-order snapshot, the root list, and
+        the parent -> children index together, so exports and renderers
+        (flamegraph, critical path) walk the tree in O(n) instead of
+        scanning the full ledger per parent.
+        """
+        spans = self._spans
+        if len(spans) != self._view_len:
+            snapshot = list(spans)
+            roots: list[Span] = []
+            children: dict[int, list[Span]] = {}
+            for s in snapshot:
+                pid = s.parent_id
+                if pid is None:
+                    roots.append(s)
+                else:
+                    bucket = children.get(pid)
+                    if bucket is None:
+                        children[pid] = [s]
+                    else:
+                        bucket.append(s)
+            self._roots_view = roots
+            self._children_view = children
+            self._view = snapshot
+            self._view_len = len(snapshot)
+        return self._view
+
     def spans(self) -> list[Span]:
-        """Every span ever started, in creation order."""
-        return list(self._spans)
+        """Every span ever started, in creation order.
+
+        The returned list is the cached materialized view — treat it as
+        read-only (it is shared between callers until the ledger grows).
+        """
+        return self._materialize()
 
     def roots(self) -> list[Span]:
-        return [s for s in self._spans if s.parent_id is None]
+        self._materialize()
+        return list(self._roots_view)
 
     def children(self, span_id: int) -> list[Span]:
-        return [s for s in self._spans if s.parent_id == span_id]
+        self._materialize()
+        bucket = self._children_view.get(span_id)
+        return list(bucket) if bucket else []
 
     def find(self, name: str | None = None, kind: str | None = None) -> list[Span]:
         """Spans matching a name and/or kind filter."""
@@ -424,3 +498,7 @@ class Tracer:
         self._spans = []
         self._ids = itertools.count()
         self._active = threading.local()
+        self._view = []
+        self._view_len = 0
+        self._roots_view = []
+        self._children_view = {}

@@ -290,15 +290,28 @@ class StreamStore:
         in the catch-all list.  May over-approximate (``wants()`` is the
         final word), never under-approximate.
         """
-        merged: dict[str, Subscription] = {}
         exact = self._exact_subs.get(message.stream_id)
+        tagged_buckets = []
+        if message.tags:
+            for tag in message.tags:
+                tagged = self._tagged_wildcards.get(tag)
+                if tagged:
+                    tagged_buckets.append(tagged)
+        catchall = self._catchall_wildcards
+        # Single-bucket fast paths: each bucket dict is insertion-ordered
+        # (ids are never re-indexed), so its values are already in
+        # ``_sub_order`` order — no merge, no sort.
+        if not tagged_buckets:
+            if exact and not catchall:
+                return list(exact.values())
+            if not exact:
+                return list(catchall.values())
+        merged: dict[str, Subscription] = {}
         if exact:
             merged.update(exact)
-        for tag in message.tags:
-            tagged = self._tagged_wildcards.get(tag)
-            if tagged:
-                merged.update(tagged)
-        merged.update(self._catchall_wildcards)
+        for tagged in tagged_buckets:
+            merged.update(tagged)
+        merged.update(catchall)
         if len(merged) > 1:
             order = self._sub_order
             return sorted(merged.values(), key=lambda s: order[s.subscription_id])
@@ -326,6 +339,7 @@ class StreamStore:
             self._depth += 1
             depth = self._depth
             targets = [s for s in self._candidates(message) if s.wants(message)]
+        delivered = 0
         try:
             if depth > self.max_dispatch_depth:
                 raise StreamError(
@@ -335,11 +349,13 @@ class StreamStore:
             for subscription in targets:
                 if not subscription.active:
                     continue
-                with self._lock:
-                    self._delivery_count += 1
+                delivered += 1
                 subscription.callback(message)
         finally:
+            # One locked add per dispatch instead of one per delivery; a
+            # raising callback still counts its own delivery, as before.
             with self._lock:
+                self._delivery_count += delivered
                 self._depth -= 1
 
     # ------------------------------------------------------------------

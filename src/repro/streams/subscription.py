@@ -12,7 +12,7 @@ import fnmatch
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from .message import Message
+from .message import Message, MessageKind
 
 
 @dataclass(frozen=True)
@@ -36,11 +36,15 @@ class TagRule:
     exclude: frozenset[str] = frozenset()
 
     def matches(self, tags: Iterable[str]) -> bool:
-        tag_set = set(tags)
-        if self.exclude and tag_set & self.exclude:
+        exclude = self.exclude
+        include = self.include
+        if not exclude and not include:
+            return True
+        tag_set = tags if isinstance(tags, (set, frozenset)) else set(tags)
+        if exclude and not tag_set.isdisjoint(exclude):
             return False
-        if self.include:
-            return bool(tag_set & self.include)
+        if include:
+            return not tag_set.isdisjoint(include)
         return True
 
     @classmethod
@@ -74,14 +78,27 @@ class Subscription:
     data_only: bool = False
     active: bool = True
 
+    def __post_init__(self) -> None:
+        # ``wants`` runs once per candidate per publish, so precompute the
+        # filter shape: the common subscription (match-all pattern, trivial
+        # tag rule) then pays attribute checks instead of fnmatch + set
+        # algebra.  ``stream_pattern`` and ``tag_rule`` are fixed after
+        # registration (the store never mutates them).
+        self._match_all_streams = self.stream_pattern == "*"
+        self._trivial_tags = not (self.tag_rule.include or self.tag_rule.exclude)
+
     def wants(self, message: Message) -> bool:
         """Whether this subscription should receive *message*."""
         if not self.active:
             return False
-        if self.control_only and not message.is_control:
+        kind = message.kind
+        if self.control_only and kind is not MessageKind.CONTROL:
             return False
-        if self.data_only and not message.is_data:
+        if self.data_only and kind is not MessageKind.DATA:
             return False
-        if not fnmatch.fnmatchcase(message.stream_id, self.stream_pattern):
+        if not (
+            self._match_all_streams
+            or fnmatch.fnmatchcase(message.stream_id, self.stream_pattern)
+        ):
             return False
-        return self.tag_rule.matches(message.tags)
+        return self._trivial_tags or self.tag_rule.matches(message.tags)

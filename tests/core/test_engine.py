@@ -16,6 +16,7 @@ Covers the concurrency contract directly:
 
 from __future__ import annotations
 
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
@@ -486,3 +487,75 @@ class TestProfileHarness:
         assert all(v >= 0.0 for v in report["buckets"].values())
         assert report["buckets"]["llm"] > 0
         assert report["buckets"]["scheduling"] > 0
+        assert set(report["calls"]) == set(report["buckets"])
+        assert report["total_calls"] > 0
+
+    def test_classify_synthetic_pstats_table(self):
+        """Every row of a synthetic profile lands in exactly the right
+        bucket — including files that only differ past a shared prefix."""
+        from repro.core.engine.profile import classify
+
+        rows = {
+            "/x/src/repro/observability/span.py": "spans",
+            "/x/src/repro/observability/metrics.py": "metrics",
+            "/x/src/repro/core/recovery/journal.py": "journal",
+            "/x/src/repro/streams/store.py": "streams",
+            "/x/src/repro/streams/stream.py": "streams",
+            "/x/src/repro/streams/subscription.py": "streams",
+            "/x/src/repro/streams/message.py": "streams",
+            "/x/src/repro/llm/model.py": "llm",
+            "/x/src/repro/llm/knowledge.py": "llm",
+            "/x/src/repro/llm/tokenizer.py": "llm",
+            "/x/src/repro/core/coordinator.py": "scheduling",
+            "/x/src/repro/core/engine/backend.py": "scheduling",
+            "/x/src/repro/core/fleet/scheduler.py": "scheduling",
+            "/x/src/repro/core/scheduler/timeline.py": "scheduling",
+            # Windows-style separators normalize before matching.
+            "C:\\x\\src\\repro\\observability\\span.py": "spans",
+            # Near-miss neighbours must NOT be swallowed by a bucket.
+            "/x/src/repro/observability/export.py": None,
+            "/x/src/repro/streams/__init__.py": None,
+            "/x/src/repro/core/scheduler/waves.py": None,
+            "/x/src/repro/core/fleet/result.py": None,
+            "/usr/lib/python3/json/encoder.py": None,
+            "~": None,
+        }
+        for filename, expected in rows.items():
+            assert classify(filename) == expected, filename
+
+    def test_classify_rejects_overlapping_fragments(self):
+        """A filename matching two buckets is a config bug, not a silent
+        first-match — the old fragment table mis-attributed such frames
+        to whichever bucket iterated first."""
+        from repro.core.engine import profile as profile_mod
+
+        original = profile_mod.HOT_PATHS
+        profile_mod.HOT_PATHS = {
+            **original,
+            "shadow": ("observability/span.py",),
+        }
+        try:
+            with pytest.raises(ValueError, match="overlap"):
+                profile_mod.classify("/x/src/repro/observability/span.py")
+        finally:
+            profile_mod.HOT_PATHS = original
+
+    def test_to_artifact_shares(self):
+        from repro.core.engine.profile import profile_fleet, to_artifact
+
+        artifact = to_artifact(
+            profile_fleet(plans=2, backend="serial"), plans=2, backend="serial"
+        )
+        assert artifact["workload"] == {"plans": 2, "backend": "serial"}
+        shares = [b["share"] for b in artifact["buckets"].values()]
+        assert all(0.0 <= s <= 1.0 for s in shares)
+        assert artifact["observability_share"] == pytest.approx(
+            artifact["buckets"]["spans"]["share"]
+            + artifact["buckets"]["metrics"]["share"]
+        )
+        assert artifact["observability_calls"] == (
+            artifact["buckets"]["spans"]["calls"]
+            + artifact["buckets"]["metrics"]["calls"]
+        )
+        # The gate's artifact must be JSON-serializable as-is.
+        json.dumps(artifact)

@@ -107,6 +107,64 @@ class TestSpanNesting:
         assert {s.name for s in tracer.roots()} == {"main-root", "worker-root"}
 
 
+class TestTracerViewCache:
+    def test_views_track_new_spans_between_reads(self):
+        # Regression for the generation-counter view cache: a read
+        # between writes must not freeze roots/children, and reads with
+        # no intervening writes must return identical contents.
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("first", kind="plan") as first:
+            with tracer.span("first-child") as first_child:
+                pass
+        assert tracer.roots() == [first]
+        assert tracer.children(first.span_id) == [first_child]
+        first_view = tracer.spans()
+        assert list(first_view) == [first, first_child]
+        # No writes since the last read: same contents again.
+        assert list(tracer.spans()) == [first, first_child]
+        with tracer.span("second", kind="plan") as second:
+            pass
+        assert tracer.roots() == [first, second]
+        assert list(tracer.spans()) == [first, first_child, second]
+        assert tracer.children(second.span_id) == []
+        assert tracer.children("no-such-span") == []
+
+    def test_find_sees_spans_opened_but_not_yet_closed(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer", kind="plan") as outer:
+            # The ledger records at open time, so an in-flight span is
+            # already visible to queries.
+            assert tracer.find(kind="plan") == [outer]
+            assert list(tracer.spans()) == [outer]
+
+    def test_reset_clears_cached_views(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("root") as root:
+            pass
+        assert tracer.roots() == [root]
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.roots() == []
+        assert tracer.children(root.span_id) == []
+        with tracer.span("fresh") as fresh:
+            pass
+        assert tracer.roots() == [fresh]
+
+    def test_set_attribute_after_read_reaches_export(self):
+        # Attribute dicts materialize lazily; mutating one after the
+        # view cache was built must still land in the export.
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("root", kind="plan") as root:
+            pass
+        assert tracer.roots() == [root]
+        root.set_attribute("late", 7)
+        payload = json.loads(export_trace_json(tracer))
+        assert payload["spans"][0]["attributes"] == {"late": 7}
+        assert payload["spans"][0]["kind"] == "plan"
+
+
 # ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
@@ -179,6 +237,28 @@ class TestHistogramPercentiles:
         for value in range(1, 2001):  # 1..2000
             histogram.observe(float(value))
         assert histogram.percentile(99.9) == 1998.0
+
+    def test_sorted_cache_tracks_interleaved_observations(self):
+        # Regression for the dirty-flag sorted buffer: reads between
+        # writes must re-sort exactly when new observations arrived, and
+        # every exact-rank answer must match a freshly sorted scan.
+        histogram = Histogram("cached")
+        for value in (5.0, 1.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 5.0
+        # Repeated reads with no writes reuse the cached buffer.
+        assert histogram.percentile(50) == histogram.percentile(50) == 1.0
+        # A smaller value after a read must displace the cached minimum.
+        histogram.observe(0.5)
+        assert histogram.percentile(0) == 0.5
+        assert histogram.summary()["min"] == 0.5
+        histogram.observe(9.0)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["max"] == 9.0
+        assert summary["sum"] == pytest.approx(15.5)
+        assert histogram.percentile(100) == 9.0
 
 
 class TestMetricsRegistry:
